@@ -1,0 +1,86 @@
+//! Criterion benchmarks of whole-system simulation.
+//!
+//! Each iteration builds and runs a complete emulated machine, measuring
+//! how much host time a standard scenario costs. The virtual-time results
+//! themselves are printed by the experiment binaries (`cargo run -p
+//! lastcpu-bench --bin <experiment>`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lastcpu_core::SystemConfig;
+use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
+use lastcpu_kvs::server::ServerConfig;
+use lastcpu_kvs::{build_baseline_kvs, build_cpuless_kvs};
+use lastcpu_sim::SimDuration;
+
+fn quiet() -> SystemConfig {
+    SystemConfig {
+        trace: false,
+        ..SystemConfig::default()
+    }
+}
+
+fn small_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        keys: 50,
+        theta: 0.9,
+        read_fraction: 0.9,
+        value_size: 64,
+        outstanding: 4,
+        total_ops: 200,
+        preload: true,
+        stats_prefix: "bench".into(),
+        ..WorkloadConfig::default()
+    }
+}
+
+fn bench_init_sequence(c: &mut Criterion) {
+    c.bench_function("system/figure2_init_to_ready", |b| {
+        b.iter(|| {
+            let mut setup =
+                build_cpuless_kvs(quiet(), Default::default(), ServerConfig::default());
+            setup.system.power_on();
+            setup.system.run_for(SimDuration::from_millis(5));
+            assert!(setup.system.bus().alive().count() >= 3);
+        })
+    });
+}
+
+fn bench_kvs_cpuless(c: &mut Criterion) {
+    c.bench_function("system/kvs_200ops_cpuless", |b| {
+        b.iter(|| {
+            let mut setup =
+                build_cpuless_kvs(quiet(), Default::default(), ServerConfig::default());
+            let port = setup
+                .system
+                .add_host(Box::new(KvsClientHost::new(setup.kvs_port, small_workload())));
+            setup.system.power_on();
+            setup.system.run_for(SimDuration::from_secs(2));
+            let client: &KvsClientHost = setup.system.host_as(port).unwrap();
+            assert!(client.is_done());
+        })
+    });
+}
+
+fn bench_kvs_baseline(c: &mut Criterion) {
+    c.bench_function("system/kvs_200ops_baseline", |b| {
+        b.iter(|| {
+            let mut setup =
+                build_baseline_kvs(quiet(), Default::default(), ServerConfig::default());
+            let port = setup
+                .system
+                .add_host(Box::new(KvsClientHost::new(setup.kvs_port, small_workload())));
+            setup.system.power_on();
+            setup.system.run_for(SimDuration::from_secs(2));
+            let client: &KvsClientHost = setup.system.host_as(port).unwrap();
+            assert!(client.is_done());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_init_sequence, bench_kvs_cpuless, bench_kvs_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E8 — the memory controller as allocation-policy owner (§2.2).
+//!
+//! Alloc/free churn against the memory-controller device over the live
+//! control plane, across size schedules, reporting op latency, denial
+//! behaviour and fragmentation of the physical allocator.
+
+use lastcpu_bench::drivers::AllocChurn;
+use lastcpu_bench::Table;
+use lastcpu_core::{MemCtlDevice, System, SystemConfig};
+use lastcpu_mem::PAGE_SIZE;
+use lastcpu_sim::{Histogram, SimDuration};
+
+struct Schedule {
+    name: &'static str,
+    sizes: Vec<u64>,
+}
+
+fn schedules() -> Vec<Schedule> {
+    vec![
+        Schedule {
+            name: "uniform 4K",
+            sizes: vec![PAGE_SIZE],
+        },
+        Schedule {
+            name: "mixed 4K-256K",
+            sizes: vec![PAGE_SIZE, 16 * PAGE_SIZE, 64 * PAGE_SIZE, 4 * PAGE_SIZE],
+        },
+        Schedule {
+            name: "large 1M",
+            sizes: vec![256 * PAGE_SIZE],
+        },
+    ]
+}
+
+fn main() {
+    println!("E8: memory-controller allocation policy under churn");
+    println!("    (one client, 600 ops: 2 allocs : 1 free)");
+    println!();
+    let mut t = Table::new(&[
+        "schedule",
+        "alloc mean",
+        "alloc p99",
+        "free mean",
+        "denied",
+        "in use",
+        "peak",
+        "free blocks",
+    ]);
+    for sched in schedules() {
+        let mut sys = System::new(SystemConfig {
+            trace: false,
+            dram_bytes: 1 << 30,
+            ..SystemConfig::default()
+        });
+        let memctl = sys.add_memctl("memctl0");
+        let churn = sys.add_device(Box::new(AllocChurn::new(
+            "churn0",
+            memctl.id,
+            600,
+            sched.sizes.clone(),
+        )));
+        sys.power_on();
+        sys.run_for(SimDuration::from_secs(5));
+        let c: &AllocChurn = sys.device_as(churn).expect("churn");
+        assert!(c.is_done(), "churn incomplete ({} schedule)", sched.name);
+        let mut ah = Histogram::new();
+        for &l in &c.alloc_latencies {
+            ah.record(l);
+        }
+        let mut fh = Histogram::new();
+        for &l in &c.free_latencies {
+            fh.record(l);
+        }
+        let mc: &MemCtlDevice = sys.device_as(memctl).expect("memctl");
+        let stats = mc.controller().stats();
+        t.row_strings(vec![
+            sched.name.into(),
+            ah.mean().to_string(),
+            ah.percentile(99.0).to_string(),
+            fh.mean().to_string(),
+            c.denials.to_string(),
+            format!("{} KiB", stats.bytes_in_use / 1024),
+            format!("{} KiB", stats.peak_bytes / 1024),
+            mc.controller().free_block_count().to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected shape: op latency is flat across sizes (fixed message");
+    println!("cost dominates; the buddy allocator is O(log n)); mixed-size churn");
+    println!("raises the free-block count (external fragmentation) but the buddy");
+    println!("coalescing keeps it bounded.");
+}

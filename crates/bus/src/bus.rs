@@ -1,0 +1,1294 @@
+//! The privileged bus engine.
+//!
+//! The engine is a pure state machine over [`Envelope`]s. It owns exactly
+//! the state the paper allows it (§2.2): which devices exist and are alive,
+//! who controls which resource class, and nothing else. In particular it
+//! holds **no service directory and no allocation tables** — "no entity sees
+//! the entire system and there is no global state replication". Discovery
+//! queries are re-broadcast to the devices, which answer from their own
+//! service tables; allocation policy lives in the memory controller.
+//!
+//! Every rule the bus enforces is a *mechanism* rule:
+//!
+//! 1. Only registered, alive devices may send (dead devices are fenced).
+//! 2. IOMMU programming is accepted only from the registered controller of
+//!    the resource class being mapped, and a controller can never program a
+//!    mapping into its own IOMMU via a self-directed instruction chain —
+//!    the target is named explicitly and audited.
+//! 3. Failure of a device is broadcast to everyone, followed by a reset
+//!    attempt (§4 "Error Handling").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lastcpu_sim::{SimDuration, SimTime};
+
+use crate::cost::BusCostModel;
+use crate::ids::{DeviceId, RequestId};
+use crate::message::{Dst, Envelope, ErrorCode, MapOp, Payload, ResourceKind, ServiceDesc, Status};
+
+/// Effects the bus asks its host simulator to apply.
+///
+/// The bus crate has no access to devices, IOMMUs or memory: it returns
+/// intentions, and the system glue (in `lastcpu-core`) applies them. This is
+/// what keeps the privileged logic independently testable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusEffect {
+    /// Deliver `env` to device `to` after `latency`.
+    Deliver {
+        /// Receiving device.
+        to: DeviceId,
+        /// The message.
+        env: Envelope,
+        /// Control-plane latency until delivery.
+        latency: SimDuration,
+    },
+    /// Program `pages` mappings into `device`'s IOMMU.
+    ProgramMap {
+        /// Device whose IOMMU is written.
+        device: DeviceId,
+        /// Target address space.
+        pasid: u32,
+        /// Virtual base (page-aligned).
+        va: u64,
+        /// Physical base (page-aligned).
+        pa: u64,
+        /// Number of pages.
+        pages: u64,
+        /// Permission bits (1=R,2=W,4=X).
+        perms: u8,
+    },
+    /// Remove `pages` mappings from `device`'s IOMMU.
+    ProgramUnmap {
+        /// Device whose IOMMU is written.
+        device: DeviceId,
+        /// Target address space.
+        pasid: u32,
+        /// Virtual base (page-aligned).
+        va: u64,
+        /// Number of pages.
+        pages: u64,
+    },
+    /// Pulse the reset line of `device` (failure recovery attempt).
+    ResetDevice {
+        /// Device to reset.
+        device: DeviceId,
+    },
+}
+
+/// Errors from the bus's host-facing API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// Operation referenced an unknown device.
+    UnknownDevice(DeviceId),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// Liveness state of a registered device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Physically present, has not completed self-test yet.
+    Attached,
+    /// Sent `Hello`; fully operational.
+    Alive,
+    /// Declared failed; a reset has been attempted.
+    Failed,
+    /// Departed via `Bye`.
+    Departed,
+}
+
+/// Bus-side record for one device.
+#[derive(Debug, Clone)]
+pub struct DeviceEntry {
+    /// Stable bus address.
+    pub id: DeviceId,
+    /// Device name, e.g. `"nic0"`.
+    pub name: String,
+    /// Device kind, e.g. `"smart-nic"`.
+    pub kind: String,
+    /// Liveness state.
+    pub state: DeviceState,
+    /// Last time the bus heard from the device.
+    pub last_seen: SimTime,
+    /// Services the device has announced (observability only; the bus does
+    /// not answer queries from this).
+    pub services: Vec<ServiceDesc>,
+}
+
+/// Traffic counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BusStats {
+    /// Messages handled.
+    pub messages: u64,
+    /// Bytes carried (control plane only).
+    pub bytes: u64,
+    /// Unicast deliveries emitted.
+    pub unicasts: u64,
+    /// Broadcast deliveries emitted (one per recipient).
+    pub broadcast_deliveries: u64,
+    /// Map/unmap instructions executed.
+    pub map_ops: u64,
+    /// Requests denied by privilege checks.
+    pub denials: u64,
+    /// Device failures detected (heartbeat timeout or explicit).
+    pub failures: u64,
+}
+
+/// The system management bus.
+///
+/// # Examples
+///
+/// ```
+/// use lastcpu_bus::{Dst, Envelope, Payload, RequestId, SystemBus};
+/// use lastcpu_sim::SimTime;
+///
+/// let mut bus = SystemBus::new();
+/// let nic = bus.attach("nic0", "smart-nic");
+/// let mut fx = Vec::new();
+/// bus.handle(
+///     SimTime::ZERO,
+///     Envelope {
+///         src: nic,
+///         dst: Dst::Bus,
+///         req: RequestId(1),
+///         payload: Payload::Hello { name: "nic0".into(), kind: "smart-nic".into() },
+///     },
+///     &mut fx,
+/// );
+/// assert!(matches!(fx[0], lastcpu_bus::BusEffect::Deliver { .. })); // HelloAck
+/// ```
+pub struct SystemBus {
+    devices: HashMap<DeviceId, DeviceEntry>,
+    order: Vec<DeviceId>,
+    next_id: u32,
+    controllers: HashMap<ResourceKind, DeviceId>,
+    cost: BusCostModel,
+    heartbeat_timeout: SimDuration,
+    stats: BusStats,
+}
+
+impl Default for SystemBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBus {
+    /// A bus with default cost model and a 10 ms heartbeat timeout.
+    pub fn new() -> Self {
+        SystemBus {
+            devices: HashMap::new(),
+            order: Vec::new(),
+            next_id: 1, // 0 is the bus itself
+            controllers: HashMap::new(),
+            cost: BusCostModel::default(),
+            heartbeat_timeout: SimDuration::from_millis(10),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost: BusCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the heartbeat timeout after which a silent device is declared
+    /// failed by [`SystemBus::check_liveness`].
+    pub fn set_heartbeat_timeout(&mut self, t: SimDuration) {
+        self.heartbeat_timeout = t;
+    }
+
+    /// The configured cost model.
+    pub fn cost_model(&self) -> &BusCostModel {
+        &self.cost
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Registers a physically present device and assigns its bus address.
+    ///
+    /// This models slot enumeration (PCIe-style): presence is physical and
+    /// synchronous. The device becomes *alive* only after it passes
+    /// self-test and sends [`Payload::Hello`] (§2.2 "System
+    /// Initialization").
+    pub fn attach(&mut self, name: &str, kind: &str) -> DeviceId {
+        let id = DeviceId(self.next_id);
+        self.next_id += 1;
+        self.devices.insert(
+            id,
+            DeviceEntry {
+                id,
+                name: name.to_string(),
+                kind: kind.to_string(),
+                state: DeviceState::Attached,
+                last_seen: SimTime::ZERO,
+                services: Vec::new(),
+            },
+        );
+        self.order.push(id);
+        id
+    }
+
+    /// Looks up a device entry.
+    pub fn device(&self, id: DeviceId) -> Option<&DeviceEntry> {
+        self.devices.get(&id)
+    }
+
+    /// All registered devices in attach order.
+    pub fn devices(&self) -> impl Iterator<Item = &DeviceEntry> {
+        self.order.iter().filter_map(|id| self.devices.get(id))
+    }
+
+    /// Devices currently alive, in attach order.
+    pub fn alive(&self) -> impl Iterator<Item = &DeviceEntry> {
+        self.devices().filter(|d| d.state == DeviceState::Alive)
+    }
+
+    /// The registered controller of `resource`, if any.
+    pub fn controller_of(&self, resource: ResourceKind) -> Option<DeviceId> {
+        self.controllers.get(&resource).copied()
+    }
+
+    fn deliver(&mut self, to: DeviceId, env: Envelope, latency: SimDuration, fx: &mut Vec<BusEffect>) {
+        self.stats.unicasts += 1;
+        fx.push(BusEffect::Deliver { to, env, latency });
+    }
+
+    fn reply(
+        &mut self,
+        now_bytes: usize,
+        to: DeviceId,
+        req: RequestId,
+        payload: Payload,
+        fx: &mut Vec<BusEffect>,
+    ) {
+        let env = Envelope {
+            src: DeviceId::BUS,
+            dst: Dst::Device(to),
+            req,
+            payload,
+        };
+        let latency = self.cost.unicast(now_bytes.max(env.wire_len()));
+        self.deliver(to, env, latency, fx);
+    }
+
+    /// Handles one message, appending resulting effects to `fx`.
+    ///
+    /// Unknown or fenced senders are dropped silently (a dead device's
+    /// messages must not reach anyone — that is the fencing property the
+    /// failure experiment checks).
+    pub fn handle(&mut self, now: SimTime, env: Envelope, fx: &mut Vec<BusEffect>) {
+        let bytes = env.wire_len();
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+
+        // Fencing: only attached/alive devices may talk. `Hello` is allowed
+        // from `Attached` (that is how a device becomes alive) and from
+        // `Failed` (a reset device re-introduces itself).
+        let sender_state = match self.devices.get(&env.src) {
+            Some(e) => e.state,
+            None => return,
+        };
+        let is_hello = matches!(env.payload, Payload::Hello { .. });
+        match sender_state {
+            DeviceState::Alive => {}
+            DeviceState::Attached | DeviceState::Failed if is_hello => {}
+            _ => return,
+        }
+        if let Some(e) = self.devices.get_mut(&env.src) {
+            e.last_seen = now;
+        }
+
+        match env.dst {
+            Dst::Bus => self.handle_bus_directed(now, env, bytes, fx),
+            Dst::Device(target) => {
+                let alive = self
+                    .devices
+                    .get(&target)
+                    .is_some_and(|e| e.state == DeviceState::Alive);
+                if alive {
+                    let latency = self.cost.unicast(bytes);
+                    self.deliver(target, env, latency, fx);
+                } else {
+                    // Bounce: tell the sender its peer is gone.
+                    let req = env.req;
+                    let src = env.src;
+                    self.reply(
+                        bytes,
+                        src,
+                        req,
+                        Payload::ErrorNotify {
+                            code: ErrorCode::DeviceFailed,
+                            conn: crate::ids::ConnId(0),
+                            detail: format!("{target} is not alive"),
+                        },
+                        fx,
+                    );
+                }
+            }
+            Dst::Broadcast => self.broadcast_from(env.src, env, bytes, fx),
+        }
+    }
+
+    fn broadcast_from(
+        &mut self,
+        src: DeviceId,
+        env: Envelope,
+        bytes: usize,
+        fx: &mut Vec<BusEffect>,
+    ) {
+        let recipients: Vec<DeviceId> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&id| {
+                id != src
+                    && self
+                        .devices
+                        .get(&id)
+                        .is_some_and(|e| e.state == DeviceState::Alive)
+            })
+            .collect();
+        for (n, to) in recipients.into_iter().enumerate() {
+            let latency = self.cost.broadcast_nth(bytes, n);
+            self.stats.broadcast_deliveries += 1;
+            fx.push(BusEffect::Deliver {
+                to,
+                env: env.clone(),
+                latency,
+            });
+        }
+    }
+
+    fn handle_bus_directed(
+        &mut self,
+        now: SimTime,
+        env: Envelope,
+        bytes: usize,
+        fx: &mut Vec<BusEffect>,
+    ) {
+        let src = env.src;
+        let req = env.req;
+        match env.payload {
+            Payload::Hello { .. } => {
+                if let Some(e) = self.devices.get_mut(&src) {
+                    e.state = DeviceState::Alive;
+                    e.last_seen = now;
+                }
+                self.reply(bytes, src, req, Payload::HelloAck { assigned: src }, fx);
+            }
+            Payload::Heartbeat => {
+                // last_seen already refreshed in handle().
+            }
+            Payload::Bye => {
+                if let Some(e) = self.devices.get_mut(&src) {
+                    e.state = DeviceState::Departed;
+                }
+                self.fan_out_failure(src, bytes, fx);
+            }
+            Payload::Announce { service } => {
+                if let Some(e) = self.devices.get_mut(&src) {
+                    e.services.retain(|s| s.id != service.id);
+                    e.services.push(service.clone());
+                }
+                // Capability broadcast (§2.2): others may cache it.
+                let bcast = Envelope {
+                    src,
+                    dst: Dst::Broadcast,
+                    req,
+                    payload: Payload::Announce { service },
+                };
+                self.broadcast_from(src, bcast, bytes, fx);
+            }
+            Payload::Withdraw { service } => {
+                if let Some(e) = self.devices.get_mut(&src) {
+                    e.services.retain(|s| s.id != service);
+                }
+                let bcast = Envelope {
+                    src,
+                    dst: Dst::Broadcast,
+                    req,
+                    payload: Payload::Withdraw { service },
+                };
+                self.broadcast_from(src, bcast, bytes, fx);
+            }
+            Payload::Query { pattern } => {
+                // SSDP-style: the bus re-broadcasts; owners answer directly.
+                let bcast = Envelope {
+                    src,
+                    dst: Dst::Broadcast,
+                    req,
+                    payload: Payload::Query { pattern },
+                };
+                self.broadcast_from(src, bcast, bytes, fx);
+            }
+            Payload::RegisterController { resource } => {
+                let status = match self.controllers.get(&resource) {
+                    None => {
+                        self.controllers.insert(resource, src);
+                        Status::Ok
+                    }
+                    Some(&owner) if owner == src => Status::Ok,
+                    Some(_) => {
+                        self.stats.denials += 1;
+                        Status::Denied
+                    }
+                };
+                self.reply(bytes, src, req, Payload::BusAck { status }, fx);
+            }
+            Payload::MapInstruction {
+                resource,
+                op,
+                device,
+                pasid,
+                va,
+                pa,
+                pages,
+                perms,
+            } => {
+                self.handle_map_instruction(
+                    bytes, src, req, resource, op, device, pasid, va, pa, pages, perms, fx,
+                );
+            }
+            Payload::ResetDone => {
+                if let Some(e) = self.devices.get_mut(&src) {
+                    // The device still re-registers via Hello.
+                    e.last_seen = now;
+                }
+            }
+            _ => {
+                // Anything else aimed at the bus is a protocol violation.
+                self.stats.denials += 1;
+                self.reply(
+                    bytes,
+                    src,
+                    req,
+                    Payload::BusAck {
+                        status: Status::BadRequest,
+                    },
+                    fx,
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message fields.
+    fn handle_map_instruction(
+        &mut self,
+        bytes: usize,
+        src: DeviceId,
+        req: RequestId,
+        resource: ResourceKind,
+        op: MapOp,
+        device: DeviceId,
+        pasid: u32,
+        va: u64,
+        pa: u64,
+        pages: u64,
+        perms: u8,
+        fx: &mut Vec<BusEffect>,
+    ) {
+        // Privilege check: only the registered controller of this resource
+        // class may instruct mappings (§2.2 "Address Translation").
+        if self.controllers.get(&resource) != Some(&src) {
+            self.stats.denials += 1;
+            self.reply(
+                bytes,
+                src,
+                req,
+                Payload::BusAck {
+                    status: Status::Denied,
+                },
+                fx,
+            );
+            return;
+        }
+        // Map requires a live target; *unmap* is allowed on any attached
+        // device — revocation must work on a failed device precisely so its
+        // IOMMU is scrubbed before any reset revives it (§4).
+        let target_ok = match op {
+            MapOp::Map => self
+                .devices
+                .get(&device)
+                .is_some_and(|e| e.state == DeviceState::Alive),
+            MapOp::Unmap => self.devices.contains_key(&device),
+        };
+        if !target_ok || pages == 0 {
+            self.reply(
+                bytes,
+                src,
+                req,
+                Payload::BusAck {
+                    status: if pages == 0 {
+                        Status::BadRequest
+                    } else {
+                        Status::NotFound
+                    },
+                },
+                fx,
+            );
+            return;
+        }
+        self.stats.map_ops += 1;
+        match op {
+            MapOp::Map => fx.push(BusEffect::ProgramMap {
+                device,
+                pasid,
+                va,
+                pa,
+                pages,
+                perms,
+            }),
+            MapOp::Unmap => fx.push(BusEffect::ProgramUnmap {
+                device,
+                pasid,
+                va,
+                pages,
+            }),
+        }
+        // Completion signal to the device whose address space changed…
+        self.reply(
+            bytes,
+            device,
+            req,
+            Payload::MapComplete {
+                status: Status::Ok,
+                va,
+                pages,
+            },
+            fx,
+        );
+        // …and an ack to the instructing controller.
+        self.reply(
+            bytes,
+            src,
+            req,
+            Payload::BusAck { status: Status::Ok },
+            fx,
+        );
+    }
+
+    fn fan_out_failure(&mut self, failed: DeviceId, bytes: usize, fx: &mut Vec<BusEffect>) {
+        self.stats.failures += 1;
+        let note = Envelope {
+            src: DeviceId::BUS,
+            dst: Dst::Broadcast,
+            req: RequestId(0),
+            payload: Payload::DeviceFailed { device: failed },
+        };
+        self.broadcast_from(failed, note, bytes, fx);
+    }
+
+    /// Declares `device` failed right now (fault injection or an external
+    /// detector), fencing it, notifying everyone, and attempting a reset.
+    pub fn mark_failed(&mut self, device: DeviceId, fx: &mut Vec<BusEffect>) -> Result<(), BusError> {
+        let entry = self
+            .devices
+            .get_mut(&device)
+            .ok_or(BusError::UnknownDevice(device))?;
+        entry.state = DeviceState::Failed;
+        self.fan_out_failure(device, 32, fx);
+        fx.push(BusEffect::ResetDevice { device });
+        Ok(())
+    }
+
+    /// Scans for devices whose heartbeat lapsed and declares them failed.
+    ///
+    /// Returns the devices newly declared failed.
+    pub fn check_liveness(&mut self, now: SimTime, fx: &mut Vec<BusEffect>) -> Vec<DeviceId> {
+        let timeout = self.heartbeat_timeout;
+        let lapsed: Vec<DeviceId> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.devices.get(id).is_some_and(|e| {
+                    e.state == DeviceState::Alive && now.since(e.last_seen) > timeout
+                })
+            })
+            .collect();
+        for &d in &lapsed {
+            // Cannot fail: `d` came from the registry.
+            let _ = self.mark_failed(d, fx);
+        }
+        lapsed
+    }
+}
+
+impl fmt::Debug for SystemBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SystemBus(devices={}, alive={}, controllers={})",
+            self.devices.len(),
+            self.alive().count(),
+            self.controllers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ServiceId, Token};
+
+    fn hello(bus: &mut SystemBus, id: DeviceId) {
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: id,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Hello {
+                    name: String::new(),
+                    kind: String::new(),
+                },
+            },
+            &mut fx,
+        );
+    }
+
+    fn setup() -> (SystemBus, DeviceId, DeviceId, DeviceId) {
+        let mut bus = SystemBus::new();
+        let nic = bus.attach("nic0", "smart-nic");
+        let ssd = bus.attach("ssd0", "smart-ssd");
+        let mc = bus.attach("memctl0", "memory-controller");
+        for d in [nic, ssd, mc] {
+            hello(&mut bus, d);
+        }
+        (bus, nic, ssd, mc)
+    }
+
+    fn register_memctl(bus: &mut SystemBus, mc: DeviceId) {
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: mc,
+                dst: Dst::Bus,
+                req: RequestId(1),
+                payload: Payload::RegisterController {
+                    resource: ResourceKind::Memory,
+                },
+            },
+            &mut fx,
+        );
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver {
+                env: Envelope {
+                    payload: Payload::BusAck { status: Status::Ok },
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    fn map_instruction(src: DeviceId, target: DeviceId) -> Envelope {
+        Envelope {
+            src,
+            dst: Dst::Bus,
+            req: RequestId(9),
+            payload: Payload::MapInstruction {
+                resource: ResourceKind::Memory,
+                op: MapOp::Map,
+                device: target,
+                pasid: 1,
+                va: 0x10000,
+                pa: 0x200000,
+                pages: 4,
+                perms: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn attach_assigns_distinct_nonzero_ids() {
+        let (bus, nic, ssd, mc) = setup();
+        assert_ne!(nic, ssd);
+        assert_ne!(ssd, mc);
+        assert_ne!(nic, DeviceId::BUS);
+        assert_eq!(bus.devices().count(), 3);
+    }
+
+    #[test]
+    fn hello_makes_device_alive_and_acks() {
+        let mut bus = SystemBus::new();
+        let d = bus.attach("x", "y");
+        assert_eq!(bus.device(d).unwrap().state, DeviceState::Attached);
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: d,
+                dst: Dst::Bus,
+                req: RequestId(5),
+                payload: Payload::Hello {
+                    name: "x".into(),
+                    kind: "y".into(),
+                },
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.device(d).unwrap().state, DeviceState::Alive);
+        match &fx[0] {
+            BusEffect::Deliver { to, env, .. } => {
+                assert_eq!(*to, d);
+                assert_eq!(env.req, RequestId(5));
+                assert_eq!(env.payload, Payload::HelloAck { assigned: d });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_sender_is_dropped() {
+        let mut bus = SystemBus::new();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: DeviceId(99),
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn unicast_routes_between_alive_devices() {
+        let (mut bus, nic, ssd, _) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Device(ssd),
+                req: RequestId(2),
+                payload: Payload::OpenRequest {
+                    service: ServiceId(1),
+                    token: Token::NONE,
+                    params: vec![],
+                },
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.len(), 1);
+        match &fx[0] {
+            BusEffect::Deliver { to, env, latency } => {
+                assert_eq!(*to, ssd);
+                assert_eq!(env.src, nic);
+                assert!(latency.as_nanos() > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicast_to_dead_device_bounces() {
+        let (mut bus, nic, ssd, _) = setup();
+        let mut fx = Vec::new();
+        bus.mark_failed(ssd, &mut fx).unwrap();
+        fx.clear();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Device(ssd),
+                req: RequestId(3),
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.len(), 1);
+        match &fx[0] {
+            BusEffect::Deliver { to, env, .. } => {
+                assert_eq!(*to, nic);
+                assert!(matches!(
+                    env.payload,
+                    Payload::ErrorNotify {
+                        code: ErrorCode::DeviceFailed,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_alive_except_sender() {
+        let (mut bus, nic, _, _) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Broadcast,
+                req: RequestId(4),
+                payload: Payload::Query {
+                    pattern: "file:*".into(),
+                },
+            },
+            &mut fx,
+        );
+        let recipients: Vec<DeviceId> = fx
+            .iter()
+            .map(|e| match e {
+                BusEffect::Deliver { to, .. } => *to,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(recipients.len(), 2);
+        assert!(!recipients.contains(&nic));
+    }
+
+    #[test]
+    fn broadcast_latencies_are_serialized() {
+        let (mut bus, nic, _, _) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Broadcast,
+                req: RequestId(4),
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        let lats: Vec<u64> = fx
+            .iter()
+            .map(|e| match e {
+                BusEffect::Deliver { latency, .. } => latency.as_nanos(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(lats[1] > lats[0]);
+    }
+
+    #[test]
+    fn query_via_bus_is_rebroadcast_with_original_src() {
+        let (mut bus, nic, ssd, mc) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(6),
+                payload: Payload::Query {
+                    pattern: "file:/data/kv.db".into(),
+                },
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.len(), 2);
+        for e in &fx {
+            match e {
+                BusEffect::Deliver { to, env, .. } => {
+                    assert!(*to == ssd || *to == mc);
+                    assert_eq!(env.src, nic, "owners must reply to the querier");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn controller_registration_first_wins() {
+        let (mut bus, nic, _, mc) = setup();
+        register_memctl(&mut bus, mc);
+        assert_eq!(bus.controller_of(ResourceKind::Memory), Some(mc));
+        // Second claimant is denied.
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(7),
+                payload: Payload::RegisterController {
+                    resource: ResourceKind::Memory,
+                },
+            },
+            &mut fx,
+        );
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver {
+                env: Envelope {
+                    payload: Payload::BusAck {
+                        status: Status::Denied
+                    },
+                    ..
+                },
+                ..
+            }
+        ));
+        assert_eq!(bus.controller_of(ResourceKind::Memory), Some(mc));
+        assert_eq!(bus.stats().denials, 1);
+    }
+
+    #[test]
+    fn map_instruction_from_controller_programs_iommu() {
+        let (mut bus, nic, _, mc) = setup();
+        register_memctl(&mut bus, mc);
+        let mut fx = Vec::new();
+        bus.handle(SimTime::ZERO, map_instruction(mc, nic), &mut fx);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            BusEffect::ProgramMap {
+                device,
+                pasid: 1,
+                va: 0x10000,
+                pa: 0x200000,
+                pages: 4,
+                perms: 3,
+            } if *device == nic
+        )));
+        // Completion to the mapped device and ack to the controller.
+        let delivered: Vec<(DeviceId, &'static str)> = fx
+            .iter()
+            .filter_map(|e| match e {
+                BusEffect::Deliver { to, env, .. } => Some((*to, env.payload.kind_name())),
+                _ => None,
+            })
+            .collect();
+        assert!(delivered.contains(&(nic, "MapComplete")));
+        assert!(delivered.contains(&(mc, "BusAck")));
+        assert_eq!(bus.stats().map_ops, 1);
+    }
+
+    #[test]
+    fn map_instruction_from_non_controller_denied() {
+        let (mut bus, nic, ssd, mc) = setup();
+        register_memctl(&mut bus, mc);
+        let mut fx = Vec::new();
+        // The NIC (a mere device) tries to program the SSD's IOMMU.
+        bus.handle(SimTime::ZERO, map_instruction(nic, ssd), &mut fx);
+        assert!(
+            !fx.iter().any(|e| matches!(e, BusEffect::ProgramMap { .. })),
+            "no mapping must be programmed"
+        );
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver {
+                env: Envelope {
+                    payload: Payload::BusAck {
+                        status: Status::Denied
+                    },
+                    ..
+                },
+                ..
+            }
+        ));
+        assert_eq!(bus.stats().denials, 1);
+    }
+
+    #[test]
+    fn map_instruction_with_no_controller_registered_denied() {
+        let (mut bus, nic, _, mc) = setup();
+        let mut fx = Vec::new();
+        bus.handle(SimTime::ZERO, map_instruction(mc, nic), &mut fx);
+        assert!(!fx.iter().any(|e| matches!(e, BusEffect::ProgramMap { .. })));
+    }
+
+    #[test]
+    fn map_to_dead_device_is_not_found() {
+        let (mut bus, nic, _, mc) = setup();
+        register_memctl(&mut bus, mc);
+        let mut fx = Vec::new();
+        bus.mark_failed(nic, &mut fx).unwrap();
+        fx.clear();
+        bus.handle(SimTime::ZERO, map_instruction(mc, nic), &mut fx);
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver {
+                env: Envelope {
+                    payload: Payload::BusAck {
+                        status: Status::NotFound
+                    },
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_page_map_is_bad_request() {
+        let (mut bus, nic, _, mc) = setup();
+        register_memctl(&mut bus, mc);
+        let mut env = map_instruction(mc, nic);
+        if let Payload::MapInstruction { ref mut pages, .. } = env.payload {
+            *pages = 0;
+        }
+        let mut fx = Vec::new();
+        bus.handle(SimTime::ZERO, env, &mut fx);
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver {
+                env: Envelope {
+                    payload: Payload::BusAck {
+                        status: Status::BadRequest
+                    },
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn failed_device_is_fenced() {
+        let (mut bus, nic, ssd, _) = setup();
+        let mut fx = Vec::new();
+        bus.mark_failed(nic, &mut fx).unwrap();
+        fx.clear();
+        // The fenced device tries to talk: dropped.
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Device(ssd),
+                req: RequestId(0),
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn mark_failed_notifies_and_resets() {
+        let (mut bus, nic, ssd, mc) = setup();
+        let mut fx = Vec::new();
+        bus.mark_failed(ssd, &mut fx).unwrap();
+        let notified: Vec<DeviceId> = fx
+            .iter()
+            .filter_map(|e| match e {
+                BusEffect::Deliver { to, env, .. } => {
+                    assert!(matches!(
+                        env.payload,
+                        Payload::DeviceFailed { device } if device == ssd
+                    ));
+                    Some(*to)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(notified.contains(&nic));
+        assert!(notified.contains(&mc));
+        assert!(!notified.contains(&ssd));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, BusEffect::ResetDevice { device } if *device == ssd)));
+        assert_eq!(bus.stats().failures, 1);
+    }
+
+    #[test]
+    fn failed_device_can_rejoin_with_hello() {
+        let (mut bus, nic, _, _) = setup();
+        let mut fx = Vec::new();
+        bus.mark_failed(nic, &mut fx).unwrap();
+        hello(&mut bus, nic);
+        assert_eq!(bus.device(nic).unwrap().state, DeviceState::Alive);
+    }
+
+    #[test]
+    fn heartbeat_timeout_detection() {
+        let (mut bus, nic, _, _) = setup();
+        bus.set_heartbeat_timeout(SimDuration::from_millis(1));
+        let later = SimTime::ZERO + SimDuration::from_millis(5);
+        // nic heartbeats late enough; others lapse.
+        let mut fx = Vec::new();
+        bus.handle(
+            later,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        let failed = bus.check_liveness(later, &mut fx);
+        assert_eq!(failed.len(), 2);
+        assert!(!failed.contains(&nic));
+        assert_eq!(bus.device(nic).unwrap().state, DeviceState::Alive);
+    }
+
+    #[test]
+    fn bye_departs_and_notifies() {
+        let (mut bus, nic, _, _) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Bye,
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.device(nic).unwrap().state, DeviceState::Departed);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            BusEffect::Deliver {
+                env: Envelope {
+                    payload: Payload::DeviceFailed { .. },
+                    ..
+                },
+                ..
+            }
+        )));
+        // Departed devices cannot come back with Hello (unlike Failed).
+        hello(&mut bus, nic);
+        assert_eq!(bus.device(nic).unwrap().state, DeviceState::Departed);
+    }
+
+    #[test]
+    fn announce_records_and_rebroadcasts() {
+        let (mut bus, nic, _, _) = setup();
+        let svc = ServiceDesc {
+            id: ServiceId(1),
+            name: "kvs:frontend".into(),
+            resource: ResourceKind::Network,
+        };
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Announce {
+                    service: svc.clone(),
+                },
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.device(nic).unwrap().services, vec![svc.clone()]);
+        assert_eq!(fx.len(), 2); // two other devices
+        // Re-announcing the same id replaces, not duplicates.
+        let mut svc2 = svc;
+        svc2.name = "kvs:frontend-v2".into();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Announce { service: svc2 },
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.device(nic).unwrap().services.len(), 1);
+        assert_eq!(bus.device(nic).unwrap().services[0].name, "kvs:frontend-v2");
+    }
+
+    #[test]
+    fn withdraw_removes_service() {
+        let (mut bus, nic, _, _) = setup();
+        let svc = ServiceDesc {
+            id: ServiceId(1),
+            name: "kvs".into(),
+            resource: ResourceKind::Network,
+        };
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Announce { service: svc },
+            },
+            &mut fx,
+        );
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                payload: Payload::Withdraw {
+                    service: ServiceId(1),
+                },
+            },
+            &mut fx,
+        );
+        assert!(bus.device(nic).unwrap().services.is_empty());
+    }
+
+    #[test]
+    fn misdirected_payload_to_bus_is_bad_request() {
+        let (mut bus, nic, _, _) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(1),
+                payload: Payload::Doorbell {
+                    conn: crate::ids::ConnId(1),
+                    value: 0,
+                },
+            },
+            &mut fx,
+        );
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver {
+                env: Envelope {
+                    payload: Payload::BusAck {
+                        status: Status::BadRequest
+                    },
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let (mut bus, nic, ssd, _) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Device(ssd),
+                req: RequestId(1),
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        let s = bus.stats();
+        assert!(s.messages >= 4); // 3 hellos + this one
+        assert!(s.bytes > 0);
+        assert!(s.unicasts >= 4);
+    }
+}

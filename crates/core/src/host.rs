@@ -1,0 +1,120 @@
+//! External network hosts.
+//!
+//! A [`NetHost`] is a machine on the far side of the network — a client
+//! driving the KVS, a load generator, an operator's workstation. Hosts are
+//! *not* devices: they have no bus address, no IOMMU, no access to anything
+//! but their switch port. They exist so workloads enter the system the way
+//! the paper describes — "The NIC exposes a KVS interface to other machines
+//! over the network" (§3).
+
+use lastcpu_net::{Frame, PortId};
+use lastcpu_sim::{DetRng, SimDuration, SimTime, StatsRegistry};
+
+/// Effects a host queues during a callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostAction {
+    /// Transmit a frame.
+    NetTx(Frame),
+    /// Arm a timer.
+    SetTimer {
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Token returned in `on_timer`.
+        token: u64,
+    },
+    /// Emit a trace record.
+    Trace(String),
+}
+
+/// Execution context of a host callback.
+pub struct HostCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The host's switch port.
+    pub port: PortId,
+    /// The system-wide stats registry (hosts record end-to-end latencies).
+    pub stats: &'a mut StatsRegistry,
+    rng: &'a mut DetRng,
+    actions: Vec<HostAction>,
+}
+
+impl<'a> HostCtx<'a> {
+    /// Creates a context. Called by the simulator only.
+    pub fn new(
+        now: SimTime,
+        port: PortId,
+        stats: &'a mut StatsRegistry,
+        rng: &'a mut DetRng,
+    ) -> Self {
+        HostCtx {
+            now,
+            port,
+            stats,
+            rng,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The host's deterministic RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Queues a frame for transmission.
+    pub fn net_tx(&mut self, dst: PortId, payload: Vec<u8>) {
+        let frame = Frame::unicast(self.port, dst, payload);
+        self.actions.push(HostAction::NetTx(frame));
+    }
+
+    /// Arms a timer.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(HostAction::SetTimer { delay, token });
+    }
+
+    /// Emits a trace record.
+    pub fn trace(&mut self, what: impl Into<String>) {
+        self.actions.push(HostAction::Trace(what.into()));
+    }
+
+    /// Consumes the context. Called by the simulator only.
+    pub fn finish(self) -> Vec<HostAction> {
+        self.actions
+    }
+}
+
+/// A machine on the network.
+///
+/// The `Any` supertrait lets the simulator hand back typed references for
+/// workload inspection.
+pub trait NetHost: std::any::Any {
+    /// Host name (for traces).
+    fn name(&self) -> &str;
+
+    /// Called once at power-on.
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>);
+
+    /// A frame arrived on the host's port.
+    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame);
+
+    /// A timer armed with [`HostCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, _token: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_queues_actions_in_order() {
+        let mut stats = StatsRegistry::new();
+        let mut rng = DetRng::new(1);
+        let mut ctx = HostCtx::new(SimTime::ZERO, PortId(3), &mut stats, &mut rng);
+        ctx.net_tx(PortId(9), vec![1]);
+        ctx.set_timer(SimDuration::from_micros(1), 7);
+        ctx.trace("x");
+        let a = ctx.finish();
+        assert!(matches!(&a[0], HostAction::NetTx(f) if f.src == PortId(3) && f.dst == PortId(9)));
+        assert!(matches!(a[1], HostAction::SetTimer { token: 7, .. }));
+        assert!(matches!(&a[2], HostAction::Trace(_)));
+    }
+}

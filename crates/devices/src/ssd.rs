@@ -1,0 +1,1081 @@
+//! The smart SSD: a self-managing storage device.
+//!
+//! This is the server half of the paper's §3 example. The SSD exposes:
+//!
+//! - one `file:<path>` service per exported file (what the NIC discovers by
+//!   broadcasting the file name);
+//! - an `fs` control service (create/delete/list, connectionless — the
+//!   request rides in the open parameters);
+//! - a `loader` service (§4 *Access Control*): uploads a new binary image
+//!   into `/boot/`, guarded by sealed tokens.
+//!
+//! A file connection is one isolated context (§2.1). Its data path is a
+//! VIRTIO split queue living in application shared memory (§3 step 7): the
+//! client allocates the region, grants it to the SSD through the memory
+//! controller, lays out a virtqueue in it, and rings a setup doorbell whose
+//! value encodes the queue's base address and size. Every byte of queue
+//! traffic then moves by DMA through the SSD's IOMMU under the
+//! application's PASID.
+//!
+//! **Isolation scheduler.** With `isolation = true` (default) the SSD
+//! serves connections round-robin, at most [`SsdConfig::quantum`] requests
+//! per turn, re-arming a poll timer between turns; a flooding tenant then
+//! shares the device instead of owning it. With `isolation = false` the SSD
+//! drains whichever connection rang first to empty — the configuration the
+//! E3 experiment uses as its no-isolation baseline.
+
+use std::collections::{HashMap, VecDeque};
+
+use lastcpu_bus::wire::{WireReader, WireWriter};
+use lastcpu_bus::{ConnId, DeviceId, Envelope, RequestId, ResourceKind, ServiceDesc, ServiceId, Status};
+use lastcpu_iommu::IommuFault;
+use lastcpu_mem::Pasid;
+use lastcpu_sim::SimDuration;
+use lastcpu_virtio::{DescChain, QueueError, QueueLayout, VirtqueueDevice};
+
+use crate::device::{Device, DeviceCtx};
+use crate::fs::{FlashFs, FsError};
+use crate::monitor::{AuthMode, Monitor, MonitorEvent};
+
+/// Service id of the `fs` control service.
+pub const FS_SERVICE: ServiceId = ServiceId(1);
+/// Service id of the loader service.
+pub const LOADER_SERVICE: ServiceId = ServiceId(2);
+/// First service id used for exported files.
+pub const FILE_SERVICE_BASE: u16 = 100;
+
+/// Shared-memory bytes a file connection requires (queue + buffers).
+pub const FILE_CONN_SHM: u64 = 256 * 1024;
+
+/// Timer token for continuing queue processing.
+const TOKEN_POLL: u64 = 1;
+
+/// Doorbell values (client → SSD): a setup doorbell carries the queue base
+/// (page-aligned) OR'd with log2(queue size); a work doorbell is 0.
+pub const DOORBELL_WORK: u64 = 0;
+/// Doorbell value (SSD → client): completions available.
+pub const DOORBELL_COMPLETION: u64 = 1;
+
+/// Encodes a queue-setup doorbell value.
+pub fn setup_doorbell(queue_base_va: u64, queue_size: u16) -> u64 {
+    debug_assert_eq!(queue_base_va & 0xFFF, 0, "queue base must be page aligned");
+    debug_assert!(queue_size.is_power_of_two());
+    queue_base_va | queue_size.trailing_zeros() as u64
+}
+
+fn decode_setup_doorbell(value: u64) -> Option<(u64, u16)> {
+    let log2 = (value & 0xFFF) as u32;
+    if log2 == 0 || log2 > 15 {
+        return None;
+    }
+    Some((value & !0xFFF, 1u16 << log2))
+}
+
+// --- File-service wire protocol (rides in virtqueue buffers) -----------
+
+/// File operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileOp {
+    /// Read `len` bytes at `offset`.
+    Read {
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// Write `data` at `offset`.
+    Write {
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Query the file size.
+    Stat,
+    /// Durability barrier.
+    Flush,
+}
+
+impl FileOp {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            FileOp::Read { offset, len } => {
+                w.u8(1);
+                w.u64(*offset);
+                w.u32(*len);
+            }
+            FileOp::Write { offset, data } => {
+                w.u8(2);
+                w.u64(*offset);
+                w.bytes(data);
+            }
+            FileOp::Stat => w.u8(3),
+            FileOp::Flush => w.u8(4),
+        }
+        w.finish()
+    }
+
+    /// Decodes a request.
+    pub fn decode(buf: &[u8]) -> Option<FileOp> {
+        let mut r = WireReader::new(buf);
+        let op = match r.u8().ok()? {
+            1 => FileOp::Read {
+                offset: r.u64().ok()?,
+                len: r.u32().ok()?,
+            },
+            2 => FileOp::Write {
+                offset: r.u64().ok()?,
+                data: r.bytes().ok()?,
+            },
+            3 => FileOp::Stat,
+            4 => FileOp::Flush,
+            _ => return None,
+        };
+        r.expect_end().ok()?;
+        Some(op)
+    }
+}
+
+/// File-operation response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileStatus {
+    /// Success.
+    Ok,
+    /// Read crossed end of file.
+    Eof,
+    /// Device out of space.
+    NoSpace,
+    /// Flash-level I/O error.
+    Io,
+    /// Malformed request.
+    Bad,
+}
+
+impl FileStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            FileStatus::Ok => 0,
+            FileStatus::Eof => 1,
+            FileStatus::NoSpace => 2,
+            FileStatus::Io => 3,
+            FileStatus::Bad => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> FileStatus {
+        match v {
+            0 => FileStatus::Ok,
+            1 => FileStatus::Eof,
+            2 => FileStatus::NoSpace,
+            3 => FileStatus::Io,
+            _ => FileStatus::Bad,
+        }
+    }
+}
+
+/// Encodes a file-op response: status byte + payload.
+pub fn encode_response(status: FileStatus, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 1);
+    out.push(status.to_u8());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits a file-op response into status and payload.
+pub fn decode_response(buf: &[u8]) -> Option<(FileStatus, &[u8])> {
+    let (&s, rest) = buf.split_first()?;
+    Some((FileStatus::from_u8(s), rest))
+}
+
+// --- fs control-service parameters --------------------------------------
+
+/// Operations on the `fs` control service (carried in open params).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOp {
+    /// Create a file and export it as a service.
+    Create {
+        /// File path.
+        path: String,
+    },
+    /// Delete a file and withdraw its service.
+    Delete {
+        /// File path.
+        path: String,
+    },
+    /// List files (names returned newline-separated in response params).
+    List,
+}
+
+impl FsOp {
+    /// Encodes into open-request params.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            FsOp::Create { path } => {
+                w.u8(1);
+                w.string(path);
+            }
+            FsOp::Delete { path } => {
+                w.u8(2);
+                w.string(path);
+            }
+            FsOp::List => w.u8(3),
+        }
+        w.finish()
+    }
+
+    fn decode(buf: &[u8]) -> Option<FsOp> {
+        let mut r = WireReader::new(buf);
+        let op = match r.u8().ok()? {
+            1 => FsOp::Create { path: r.string().ok()? },
+            2 => FsOp::Delete { path: r.string().ok()? },
+            3 => FsOp::List,
+            _ => return None,
+        };
+        r.expect_end().ok()?;
+        Some(op)
+    }
+}
+
+/// Encodes loader open params: image name + contents.
+pub fn encode_loader_params(image: &str, contents: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.string(image);
+    w.bytes(contents);
+    w.finish()
+}
+
+// --- The device ----------------------------------------------------------
+
+/// SSD configuration.
+#[derive(Debug, Clone)]
+pub struct SsdConfig {
+    /// Per-connection isolation scheduling (the paper's §2.1 requirement).
+    pub isolation: bool,
+    /// Requests served per connection per scheduling turn when isolating.
+    pub quantum: u32,
+    /// Files to create and export at power-on.
+    pub exports: Vec<String>,
+    /// Auth for file services.
+    pub file_auth: AuthMode,
+    /// Auth for the loader service.
+    pub loader_auth: AuthMode,
+    /// Firmware overhead per request (command parse, dispatch).
+    pub per_request_overhead: SimDuration,
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig {
+            isolation: true,
+            quantum: 4,
+            exports: Vec::new(),
+            file_auth: AuthMode::Open,
+            loader_auth: AuthMode::Open,
+            per_request_overhead: SimDuration::from_micros(1),
+        }
+    }
+}
+
+/// One file connection (isolation context).
+struct FileConn {
+    peer: DeviceId,
+    pasid: Pasid,
+    file: String,
+    queue: Option<VirtqueueDevice>,
+    /// Requests served (per-context accounting).
+    served: u64,
+}
+
+/// Per-SSD counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SsdStats {
+    /// File requests served.
+    pub requests: u64,
+    /// Bytes read from files.
+    pub bytes_read: u64,
+    /// Bytes written to files.
+    pub bytes_written: u64,
+    /// Connections reset due to data-path faults.
+    pub conn_resets: u64,
+    /// Loader images installed.
+    pub images_loaded: u64,
+}
+
+/// The smart SSD device.
+pub struct SmartSsd {
+    name: String,
+    monitor: Monitor,
+    fs: FlashFs,
+    config: SsdConfig,
+    /// ServiceId → exported file path.
+    exported: HashMap<ServiceId, String>,
+    next_file_svc: u16,
+    conns: HashMap<ConnId, FileConn>,
+    /// Connections with work pending, in arrival order.
+    work: VecDeque<ConnId>,
+    poll_armed: bool,
+    stats: SsdStats,
+}
+
+impl SmartSsd {
+    /// Creates an SSD with the given filesystem and configuration.
+    pub fn new(name: &str, fs: FlashFs, config: SsdConfig) -> Self {
+        let mut ssd = SmartSsd {
+            name: name.to_string(),
+            monitor: Monitor::new(),
+            fs,
+            config,
+            exported: HashMap::new(),
+            next_file_svc: FILE_SERVICE_BASE,
+            conns: HashMap::new(),
+            work: VecDeque::new(),
+            poll_armed: false,
+            stats: SsdStats::default(),
+        };
+        ssd.monitor.add_service(
+            ServiceDesc {
+                id: FS_SERVICE,
+                name: "fs".into(),
+                resource: ResourceKind::Storage,
+            },
+            ssd.config.file_auth.clone(),
+        );
+        ssd.monitor.add_service(
+            ServiceDesc {
+                id: LOADER_SERVICE,
+                name: "loader".into(),
+                resource: ResourceKind::Storage,
+            },
+            ssd.config.loader_auth.clone(),
+        );
+        ssd
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// The filesystem (inspection, fault injection).
+    pub fn fs_mut(&mut self) -> &mut FlashFs {
+        &mut self.fs
+    }
+
+    /// The monitor (connection inspection in tests).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Adjusts the isolation scheduler's quantum (requests per context per
+    /// turn); used by the ablation experiments.
+    pub fn set_quantum(&mut self, quantum: u32) {
+        self.config.quantum = quantum.max(1);
+    }
+
+    /// Requests served on `conn` (per-context accounting).
+    pub fn conn_served(&self, conn: ConnId) -> u64 {
+        self.conns.get(&conn).map_or(0, |c| c.served)
+    }
+
+    /// Debug snapshot: `(conn, peer, served, queued_for_service)` rows.
+    pub fn debug_conns(&self) -> Vec<(u64, u32, u64, bool)> {
+        let mut v: Vec<_> = self
+            .conns
+            .iter()
+            .map(|(c, s)| (c.0, s.peer.0, s.served, self.work.contains(c)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn export_file(&mut self, path: &str) -> ServiceId {
+        let id = ServiceId(self.next_file_svc);
+        self.next_file_svc += 1;
+        self.exported.insert(id, path.to_string());
+        self.monitor.add_service(
+            ServiceDesc {
+                id,
+                name: format!("file:{path}"),
+                resource: ResourceKind::Storage,
+            },
+            self.config.file_auth.clone(),
+        );
+        id
+    }
+
+    fn handle_fs_open(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        req: RequestId,
+        from: DeviceId,
+        params: &[u8],
+    ) {
+        ctx.busy(SimDuration::from_micros(2));
+        match FsOp::decode(params) {
+            Some(FsOp::Create { path }) => match self.fs.create(&path) {
+                Ok(()) => {
+                    let svc = self.export_file(&path);
+                    self.monitor.announce(ctx, svc);
+                    let mut w = WireWriter::new();
+                    w.u16(svc.0);
+                    // Control conns carry no shared memory and are closed
+                    // by the response itself (conn id unused by clients).
+                    self.monitor
+                        .accept_open(ctx, req, from, FS_SERVICE, None, 0, w.finish());
+                }
+                Err(FsError::Exists) => self.monitor.reject_open(ctx, req, from, Status::Failed),
+                Err(FsError::NoSpace) => {
+                    self.monitor.reject_open(ctx, req, from, Status::NoResources)
+                }
+                Err(_) => self.monitor.reject_open(ctx, req, from, Status::Failed),
+            },
+            Some(FsOp::Delete { path }) => {
+                let svc = self
+                    .exported
+                    .iter()
+                    .find(|(_, p)| **p == path)
+                    .map(|(&s, _)| s);
+                match self.fs.delete(&path) {
+                    Ok(()) => {
+                        if let Some(svc) = svc {
+                            self.exported.remove(&svc);
+                            ctx.send_bus(
+                                lastcpu_bus::Dst::Bus,
+                                lastcpu_bus::Payload::Withdraw { service: svc },
+                            );
+                        }
+                        self.monitor.accept_open(ctx, req, from, FS_SERVICE, None, 0, vec![]);
+                    }
+                    Err(FsError::NotFound) => {
+                        self.monitor.reject_open(ctx, req, from, Status::NotFound)
+                    }
+                    Err(_) => self.monitor.reject_open(ctx, req, from, Status::Failed),
+                }
+            }
+            Some(FsOp::List) => {
+                let listing = self.fs.list().join("\n");
+                self.monitor
+                    .accept_open(ctx, req, from, FS_SERVICE, None, 0, listing.into_bytes());
+            }
+            None => self.monitor.reject_open(ctx, req, from, Status::BadRequest),
+        }
+    }
+
+    fn handle_loader_open(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        req: RequestId,
+        from: DeviceId,
+        principal: Option<u64>,
+        params: &[u8],
+    ) {
+        let mut r = WireReader::new(params);
+        let parsed = (|| -> Option<(String, Vec<u8>)> {
+            let name = r.string().ok()?;
+            let contents = r.bytes().ok()?;
+            r.expect_end().ok()?;
+            Some((name, contents))
+        })();
+        match parsed {
+            Some((image, contents)) => {
+                let path = format!("/boot/{image}");
+                if !self.fs.exists(&path) && self.fs.create(&path).is_err() {
+                    self.monitor.reject_open(ctx, req, from, Status::Failed);
+                    return;
+                }
+                match self.fs.write(&path, 0, &contents) {
+                    Ok(cost) => {
+                        ctx.busy(cost);
+                        self.stats.images_loaded += 1;
+                        ctx.trace(format!(
+                            "loader: installed {path} ({} bytes) for principal {principal:?}",
+                            contents.len()
+                        ));
+                        self.monitor
+                            .accept_open(ctx, req, from, LOADER_SERVICE, principal, 0, vec![]);
+                    }
+                    Err(FsError::NoSpace) => {
+                        self.monitor.reject_open(ctx, req, from, Status::NoResources)
+                    }
+                    Err(_) => self.monitor.reject_open(ctx, req, from, Status::Failed),
+                }
+            }
+            None => self.monitor.reject_open(ctx, req, from, Status::BadRequest),
+        }
+    }
+
+    fn handle_file_open(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        req: RequestId,
+        from: DeviceId,
+        service: ServiceId,
+        principal: Option<u64>,
+        params: &[u8],
+    ) {
+        let Some(path) = self.exported.get(&service).cloned() else {
+            self.monitor.reject_open(ctx, req, from, Status::NotFound);
+            return;
+        };
+        let mut r = WireReader::new(params);
+        let pasid = match r.u32() {
+            Ok(p) if r.expect_end().is_ok() => p,
+            _ => {
+                self.monitor.reject_open(ctx, req, from, Status::BadRequest);
+                return;
+            }
+        };
+        let mut w = WireWriter::new();
+        w.u64(self.fs.len(&path).unwrap_or(0));
+        let conn = self
+            .monitor
+            .accept_open(ctx, req, from, service, principal, FILE_CONN_SHM, w.finish());
+        self.conns.insert(
+            conn,
+            FileConn {
+                peer: from,
+                pasid: Pasid(pasid),
+                file: path,
+                queue: None,
+                served: 0,
+            },
+        );
+    }
+
+    fn on_doorbell(&mut self, ctx: &mut DeviceCtx<'_>, conn: ConnId, value: u64) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        if state.queue.is_none() {
+            // First doorbell: queue setup.
+            if let Some((base, size)) = decode_setup_doorbell(value) {
+                let layout = QueueLayout::new(base, size);
+                state.queue = Some(VirtqueueDevice::attach(layout));
+                ctx.trace(format!("{conn:?}: queue attached at {base:#x} size {size}"));
+            } else {
+                self.reset_conn(ctx, conn, "bad queue setup doorbell");
+            }
+            return;
+        }
+        if value == DOORBELL_WORK {
+            if !self.work.contains(&conn) {
+                self.work.push_back(conn);
+            }
+            self.pump(ctx);
+        }
+    }
+
+    /// Serves queued work according to the isolation policy.
+    fn pump(&mut self, ctx: &mut DeviceCtx<'_>) {
+        let quantum = if self.config.isolation {
+            self.config.quantum
+        } else {
+            u32::MAX
+        };
+        if let Some(conn) = self.work.pop_front() {
+            let more = self.serve_conn(ctx, conn, quantum);
+            if more {
+                self.work.push_back(conn);
+            }
+        }
+        if !self.work.is_empty() && !self.poll_armed {
+            // Continue after the cost accumulated so far has elapsed.
+            self.poll_armed = true;
+            ctx.set_timer(SimDuration::from_nanos(1), TOKEN_POLL);
+        }
+    }
+
+    /// Serves up to `quantum` requests on `conn`. Returns whether requests
+    /// may remain.
+    ///
+    /// The connection state is taken out of the table for the duration so
+    /// the queue endpoint, the filesystem and the DMA context can be
+    /// borrowed simultaneously.
+    fn serve_conn(&mut self, ctx: &mut DeviceCtx<'_>, conn: ConnId, quantum: u32) -> bool {
+        let Some(mut state) = self.conns.remove(&conn) else {
+            return false;
+        };
+        let Some(queue) = state.queue.as_mut() else {
+            self.conns.insert(conn, state);
+            return false;
+        };
+        let pasid = state.pasid;
+        let peer = state.peer;
+        let file = state.file.clone();
+        let mut served_any = false;
+        let mut drained = false;
+        let mut failed = false;
+        for _ in 0..quantum {
+            let popped = {
+                let mut view = ctx.dma_view(pasid);
+                queue.pop(&mut view)
+            };
+            match popped {
+                Ok(Some(chain)) => {
+                    match Self::serve_request(
+                        &mut self.fs,
+                        &mut self.stats,
+                        &self.config,
+                        queue,
+                        ctx,
+                        pasid,
+                        &file,
+                        &chain,
+                    ) {
+                        Ok(()) => {
+                            state.served += 1;
+                            served_any = true;
+                        }
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(None) => {
+                    drained = true;
+                    break;
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            // Connection context is gone: fence it and tell the peer (§4).
+            self.work.retain(|&c| c != conn);
+            self.stats.conn_resets += 1;
+            self.monitor.reset_conn(ctx, conn, "data-path fault");
+            return false;
+        }
+        if served_any {
+            ctx.doorbell(peer, conn, DOORBELL_COMPLETION);
+        }
+        self.conns.insert(conn, state);
+        !drained
+    }
+
+    /// Executes one request chain against the filesystem.
+    #[allow(clippy::too_many_arguments)] // Split borrows of self.
+    fn serve_request(
+        fs: &mut FlashFs,
+        stats: &mut SsdStats,
+        config: &SsdConfig,
+        queue: &mut VirtqueueDevice,
+        ctx: &mut DeviceCtx<'_>,
+        pasid: Pasid,
+        file: &str,
+        chain: &DescChain,
+    ) -> Result<(), QueueError> {
+        ctx.busy(config.per_request_overhead);
+        let request = {
+            let mut view = ctx.dma_view(pasid);
+            queue.read_request(&mut view, chain)?
+        };
+        let response = match FileOp::decode(&request) {
+            Some(FileOp::Read { offset, len }) => {
+                let mut buf = vec![0u8; len as usize];
+                match fs.read(file, offset, &mut buf) {
+                    Ok(cost) => {
+                        ctx.busy(cost);
+                        stats.bytes_read += len as u64;
+                        encode_response(FileStatus::Ok, &buf)
+                    }
+                    Err(FsError::PastEof) => encode_response(FileStatus::Eof, &[]),
+                    Err(_) => encode_response(FileStatus::Io, &[]),
+                }
+            }
+            Some(FileOp::Write { offset, data }) => match fs.write(file, offset, &data) {
+                Ok(cost) => {
+                    ctx.busy(cost);
+                    stats.bytes_written += data.len() as u64;
+                    encode_response(FileStatus::Ok, &(data.len() as u32).to_le_bytes())
+                }
+                Err(FsError::NoSpace) => encode_response(FileStatus::NoSpace, &[]),
+                Err(_) => encode_response(FileStatus::Io, &[]),
+            },
+            Some(FileOp::Stat) => {
+                let size = fs.len(file).unwrap_or(0);
+                encode_response(FileStatus::Ok, &size.to_le_bytes())
+            }
+            Some(FileOp::Flush) => {
+                ctx.busy(SimDuration::from_micros(10));
+                encode_response(FileStatus::Ok, &[])
+            }
+            None => encode_response(FileStatus::Bad, &[]),
+        };
+        stats.requests += 1;
+        let written = {
+            let mut view = ctx.dma_view(pasid);
+            match queue.write_response(&mut view, chain, &response) {
+                Ok(n) => n,
+                Err(QueueError::ResponseTooLarge { .. }) => {
+                    // Client under-provisioned its buffer: report truncated
+                    // status-only response.
+                    let short = encode_response(FileStatus::Bad, &[]);
+                    queue.write_response(&mut view, chain, &short)?
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let mut view = ctx.dma_view(pasid);
+        queue.push_used(&mut view, chain.head, written)?;
+        Ok(())
+    }
+
+    /// Resets one connection after a fatal per-connection error (§4).
+    fn reset_conn(&mut self, ctx: &mut DeviceCtx<'_>, conn: ConnId, why: &str) {
+        self.conns.remove(&conn);
+        self.work.retain(|&c| c != conn);
+        self.stats.conn_resets += 1;
+        self.monitor.reset_conn(ctx, conn, why);
+    }
+}
+
+impl Device for SmartSsd {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> &str {
+        "smart-ssd"
+    }
+
+    fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+        ctx.busy(SimDuration::from_micros(50)); // self-test: scan bad blocks
+        let exports = self.config.exports.clone();
+        for path in exports {
+            if !self.fs.exists(&path) {
+                // Cannot fail on an empty, just-formatted device.
+                self.fs.create(&path).expect("create export at power-on");
+            }
+            self.export_file(&path);
+        }
+        let name = self.name.clone();
+        self.monitor.start(ctx, &name, "smart-ssd");
+        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+    }
+
+    fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
+        for ev in self.monitor.handle(ctx, &env) {
+            match ev {
+                MonitorEvent::OpenRequested {
+                    req,
+                    from,
+                    service,
+                    principal,
+                    params,
+                } => {
+                    if service == FS_SERVICE {
+                        self.handle_fs_open(ctx, req, from, &params);
+                    } else if service == LOADER_SERVICE {
+                        self.handle_loader_open(ctx, req, from, principal, &params);
+                    } else {
+                        self.handle_file_open(ctx, req, from, service, principal, &params);
+                    }
+                }
+                MonitorEvent::Doorbell { conn, value } => {
+                    self.on_doorbell(ctx, conn, value);
+                }
+                MonitorEvent::PeerClosed { conn } => {
+                    self.conns.remove(&conn);
+                    self.work.retain(|&c| c != conn);
+                }
+                MonitorEvent::PeerFailed {
+                    dropped_server_conns,
+                    ..
+                } => {
+                    for conn in dropped_server_conns {
+                        self.conns.remove(&conn);
+                        self.work.retain(|&c| c != conn);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
+        // The SSD runs no client-side operations, so monitor timer events
+        // (discovery completions) cannot occur; heartbeats are handled
+        // inside the monitor.
+        if self.monitor.on_timer(ctx, token).is_some() {
+            return;
+        }
+        if token == TOKEN_POLL {
+            self.poll_armed = false;
+            self.pump(ctx);
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut DeviceCtx<'_>, fault: IommuFault) {
+        // Faults surface synchronously during DMA and the affected conn is
+        // reset there; an async fault with no conn attribution is only
+        // logged (it cannot corrupt another context).
+        ctx.trace(format!("{}: fault {fault}", self.name));
+    }
+
+    fn on_reset(&mut self, ctx: &mut DeviceCtx<'_>) {
+        self.conns.clear();
+        self.work.clear();
+        self.poll_armed = false;
+        self.monitor.reset();
+        // Re-introduce ourselves (§2.2: a reset device re-runs self-test).
+        ctx.busy(SimDuration::from_micros(50));
+        let name = self.name.clone();
+        self.monitor.start(ctx, &name, "smart-ssd");
+        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+    }
+}
+
+// --- Driver-side client ---------------------------------------------------
+
+/// Driver-side endpoint for a file connection.
+///
+/// Owns the virtqueue driver half and a buffer arena inside the connection's
+/// shared-memory region. Used by the smart NIC's applications and by the
+/// console device; also usable from tests over [`lastcpu_virtio::FlatMemory`].
+pub struct FileClient {
+    driver: lastcpu_virtio::VirtqueueDriver,
+    arena: lastcpu_virtio::BufferArena,
+    /// head → (req_va, resp_va, resp_capacity).
+    inflight: HashMap<u16, (u64, u64, u32)>,
+}
+
+/// Arena slot size for request/response buffers.
+pub const CLIENT_SLOT: u64 = 4096;
+
+impl FileClient {
+    /// Lays out a virtqueue plus buffer arena in `[region_base,
+    /// region_base + FILE_CONN_SHM)` and returns the client together with
+    /// the setup-doorbell value to ring on the serving SSD.
+    pub fn create<M: lastcpu_virtio::QueueMemory>(
+        mem: &mut M,
+        region_base: u64,
+        queue_size: u16,
+    ) -> Result<(Self, u64), QueueError> {
+        let layout = QueueLayout::new(region_base, queue_size);
+        let driver = lastcpu_virtio::VirtqueueDriver::create(mem, layout)?;
+        let arena_base = layout.end().div_ceil(CLIENT_SLOT) * CLIENT_SLOT;
+        let region_end = region_base + FILE_CONN_SHM;
+        if arena_base + 2 * CLIENT_SLOT > region_end {
+            return Err(QueueError::Corrupt("region too small for queue + buffers"));
+        }
+        let slots = ((region_end - arena_base) / CLIENT_SLOT).min(u16::MAX as u64) as u16;
+        Ok((
+            FileClient {
+                driver,
+                arena: lastcpu_virtio::BufferArena::new(arena_base, CLIENT_SLOT, slots),
+                inflight: HashMap::new(),
+            },
+            setup_doorbell(region_base, queue_size),
+        ))
+    }
+
+    /// Requests submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether another request can be submitted right now.
+    pub fn can_submit(&self) -> bool {
+        self.driver.free_descriptors() >= 2 && self.arena.free_slots() >= 2
+    }
+
+    /// Submits a file operation, reserving `resp_capacity` bytes for the
+    /// response payload. Returns the request handle (the descriptor head).
+    ///
+    /// Requests and responses are limited to one [`CLIENT_SLOT`] each;
+    /// larger transfers are chunked by the caller.
+    pub fn submit<M: lastcpu_virtio::QueueMemory>(
+        &mut self,
+        mem: &mut M,
+        op: &FileOp,
+        resp_capacity: u32,
+    ) -> Result<u16, QueueError> {
+        let req = op.encode();
+        let resp_len = resp_capacity + 1; // status byte
+        if req.len() as u64 > CLIENT_SLOT || resp_len as u64 > CLIENT_SLOT {
+            return Err(QueueError::ResponseTooLarge {
+                need: (req.len() as u64).max(resp_len as u64),
+                have: CLIENT_SLOT,
+            });
+        }
+        if !self.can_submit() {
+            return Err(QueueError::Full);
+        }
+        let req_va = self.arena.alloc().expect("checked can_submit");
+        let resp_va = self.arena.alloc().expect("checked can_submit");
+        mem.write(req_va, &req)?;
+        let head = match self
+            .driver
+            .submit_request(mem, req_va, req.len() as u32, resp_va, resp_len)
+        {
+            Ok(h) => h,
+            Err(e) => {
+                self.arena.free(req_va);
+                self.arena.free(resp_va);
+                return Err(e);
+            }
+        };
+        self.inflight.insert(head, (req_va, resp_va, resp_len));
+        Ok(head)
+    }
+
+    /// Drains completions, returning `(head, status, payload)` triples.
+    pub fn completions<M: lastcpu_virtio::QueueMemory>(
+        &mut self,
+        mem: &mut M,
+    ) -> Result<Vec<(u16, FileStatus, Vec<u8>)>, QueueError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.driver.complete(mem)? {
+            let (req_va, resp_va, cap) = self
+                .inflight
+                .remove(&c.head)
+                .ok_or(QueueError::Corrupt("completion for unknown head"))?;
+            let n = c.written.min(cap);
+            let mut buf = vec![0u8; n as usize];
+            mem.read(resp_va, &mut buf)?;
+            self.arena.free(req_va);
+            self.arena.free(resp_va);
+            let (status, payload) = decode_response(&buf)
+                .ok_or(QueueError::Corrupt("empty file-op response"))?;
+            out.push((c.head, status, payload.to_vec()));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastcpu_virtio::{FlatMemory, VirtqueueDevice};
+
+    #[test]
+    fn file_op_round_trips() {
+        for op in [
+            FileOp::Read { offset: 7, len: 100 },
+            FileOp::Write { offset: 0, data: vec![1, 2, 3] },
+            FileOp::Stat,
+            FileOp::Flush,
+        ] {
+            assert_eq!(FileOp::decode(&op.encode()), Some(op));
+        }
+        assert_eq!(FileOp::decode(&[9, 9]), None);
+        assert_eq!(FileOp::decode(&[]), None);
+    }
+
+    #[test]
+    fn fs_op_round_trips() {
+        for op in [
+            FsOp::Create { path: "/a/b".into() },
+            FsOp::Delete { path: "/a/b".into() },
+            FsOp::List,
+        ] {
+            assert_eq!(FsOp::decode(&op.encode()), Some(op));
+        }
+        assert_eq!(FsOp::decode(&[0]), None);
+    }
+
+    #[test]
+    fn response_encoding_round_trips() {
+        let r = encode_response(FileStatus::Ok, b"payload");
+        let (s, p) = decode_response(&r).unwrap();
+        assert_eq!(s, FileStatus::Ok);
+        assert_eq!(p, b"payload");
+        assert_eq!(decode_response(&[]), None);
+        for st in [
+            FileStatus::Ok,
+            FileStatus::Eof,
+            FileStatus::NoSpace,
+            FileStatus::Io,
+            FileStatus::Bad,
+        ] {
+            let enc = encode_response(st, &[]);
+            assert_eq!(decode_response(&enc).unwrap().0, st);
+        }
+    }
+
+    #[test]
+    fn setup_doorbell_round_trips() {
+        let v = setup_doorbell(0x40_0000, 64);
+        assert_eq!(decode_setup_doorbell(v), Some((0x40_0000, 64)));
+        // A work doorbell is not a setup doorbell.
+        assert_eq!(decode_setup_doorbell(DOORBELL_WORK), None);
+    }
+
+    #[test]
+    fn client_round_trip_against_raw_device_endpoint() {
+        let mut mem = FlatMemory::new(FILE_CONN_SHM as usize + 0x2000);
+        let (mut client, setup) = FileClient::create(&mut mem, 0x1000, 16).unwrap();
+        let (base, size) = decode_setup_doorbell(setup).unwrap();
+        assert_eq!((base, size), (0x1000, 16));
+        let mut dev = VirtqueueDevice::attach(QueueLayout::new(base, size));
+
+        let head = client
+            .submit(&mut mem, &FileOp::Read { offset: 0, len: 5 }, 16)
+            .unwrap();
+        assert_eq!(client.in_flight(), 1);
+
+        // Device side: echo a canned response.
+        let chain = dev.pop(&mut mem).unwrap().unwrap();
+        let req = dev.read_request(&mut mem, &chain).unwrap();
+        assert_eq!(FileOp::decode(&req), Some(FileOp::Read { offset: 0, len: 5 }));
+        let resp = encode_response(FileStatus::Ok, b"hello");
+        let n = dev.write_response(&mut mem, &chain, &resp).unwrap();
+        dev.push_used(&mut mem, chain.head, n).unwrap();
+
+        let done = client.completions(&mut mem).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, head);
+        assert_eq!(done[0].1, FileStatus::Ok);
+        assert_eq!(done[0].2, b"hello");
+        assert_eq!(client.in_flight(), 0);
+    }
+
+    #[test]
+    fn client_backpressure_and_release() {
+        let mut mem = FlatMemory::new(FILE_CONN_SHM as usize + 0x2000);
+        // Queue of 4 descriptors → 2 requests in flight max.
+        let (mut client, _) = FileClient::create(&mut mem, 0x1000, 4).unwrap();
+        let mut heads = vec![];
+        while client.can_submit() {
+            heads.push(client.submit(&mut mem, &FileOp::Stat, 16).unwrap());
+        }
+        assert_eq!(heads.len(), 2);
+        assert!(matches!(
+            client.submit(&mut mem, &FileOp::Stat, 16),
+            Err(QueueError::Full)
+        ));
+        // Serve one; capacity returns.
+        let mut dev = VirtqueueDevice::attach(QueueLayout::new(0x1000, 4));
+        let chain = dev.pop(&mut mem).unwrap().unwrap();
+        let resp = encode_response(FileStatus::Ok, &[]);
+        let n = dev.write_response(&mut mem, &chain, &resp).unwrap();
+        dev.push_used(&mut mem, chain.head, n).unwrap();
+        assert_eq!(client.completions(&mut mem).unwrap().len(), 1);
+        assert!(client.can_submit());
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let mut mem = FlatMemory::new(FILE_CONN_SHM as usize + 0x2000);
+        let (mut client, _) = FileClient::create(&mut mem, 0x1000, 16).unwrap();
+        let big = FileOp::Write {
+            offset: 0,
+            data: vec![0; CLIENT_SLOT as usize + 1],
+        };
+        assert!(matches!(
+            client.submit(&mut mem, &big, 16),
+            Err(QueueError::ResponseTooLarge { .. })
+        ));
+        assert!(matches!(
+            client.submit(&mut mem, &FileOp::Stat, CLIENT_SLOT as u32),
+            Err(QueueError::ResponseTooLarge { .. })
+        ));
+    }
+}

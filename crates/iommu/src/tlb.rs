@@ -1,0 +1,259 @@
+//! The IOTLB: a small LRU cache of recent translations.
+//!
+//! Real IOMMUs cache translations per (PASID, page) to avoid a four-access
+//! table walk on every DMA. Capacity and hit rates are central to the E5
+//! experiment: the paper's viability argument assumes translation overhead
+//! is tolerable, which holds only while working sets fit the IOTLB.
+
+use std::collections::HashMap;
+
+use lastcpu_mem::{Pasid, Perms, PhysAddr, VirtAddr};
+
+/// Hit/miss accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found a valid entry.
+    pub hits: u64,
+    /// Lookups that had to walk the page table.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries removed by explicit invalidation.
+    pub invalidations: u64,
+}
+
+impl TlbStats {
+    /// Hit fraction in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    frame_pa: PhysAddr,
+    perms: Perms,
+    /// Logical timestamp of last use, for LRU.
+    last_used: u64,
+}
+
+/// A set-less (fully associative) LRU IOTLB keyed by `(pasid, page)`.
+///
+/// Fully associative is a simplification, but capacity — not associativity —
+/// dominates the hit-rate shapes the experiments care about.
+pub struct Iotlb {
+    entries: HashMap<(Pasid, u64), TlbEntry>,
+    capacity: usize,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Iotlb {
+    /// Creates a TLB holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Iotlb capacity must be positive");
+        Iotlb {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Looks up the translation for the page containing `va`.
+    ///
+    /// On a hit returns the physical *page base* and the page permissions;
+    /// the caller re-applies the page offset and re-checks permissions (an
+    /// entry can be cached with fewer permissions than the access needs).
+    pub fn lookup(&mut self, pasid: Pasid, va: VirtAddr) -> Option<(PhysAddr, Perms)> {
+        self.tick += 1;
+        let key = (pasid, va.page_number());
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some((e.frame_pa, e.perms))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation for the page containing `va`, evicting the LRU
+    /// entry when full.
+    pub fn insert(&mut self, pasid: Pasid, va: VirtAddr, frame_pa: PhysAddr, perms: Perms) {
+        self.tick += 1;
+        let key = (pasid, va.page_number());
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            TlbEntry {
+                frame_pa: frame_pa.page_base(),
+                perms,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Invalidates the entry for one page, if present. Returns whether an
+    /// entry was removed.
+    pub fn invalidate_page(&mut self, pasid: Pasid, va: VirtAddr) -> bool {
+        let removed = self.entries.remove(&(pasid, va.page_number())).is_some();
+        if removed {
+            self.stats.invalidations += 1;
+        }
+        removed
+    }
+
+    /// Invalidates every entry belonging to `pasid`. Returns how many were
+    /// removed.
+    pub fn invalidate_pasid(&mut self, pasid: Pasid) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(p, _), _| *p != pasid);
+        let removed = before - self.entries.len();
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
+    /// Invalidates everything.
+    pub fn invalidate_all(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+}
+
+impl std::fmt::Debug for Iotlb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Iotlb({}/{} entries, hit_rate={:.2})",
+            self.entries.len(),
+            self.capacity,
+            self.stats.hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(page: u64) -> VirtAddr {
+        VirtAddr::new(page << 12)
+    }
+
+    fn pa(page: u64) -> PhysAddr {
+        PhysAddr::new(page << 12)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Iotlb::new(4);
+        assert!(tlb.lookup(Pasid(1), va(5)).is_none());
+        tlb.insert(Pasid(1), va(5), pa(9), Perms::RW);
+        let (p, perms) = tlb.lookup(Pasid(1), va(5)).unwrap();
+        assert_eq!(p, pa(9));
+        assert_eq!(perms, Perms::RW);
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn pasids_are_isolated() {
+        let mut tlb = Iotlb::new(4);
+        tlb.insert(Pasid(1), va(5), pa(9), Perms::RW);
+        assert!(tlb.lookup(Pasid(2), va(5)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut tlb = Iotlb::new(2);
+        tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
+        tlb.insert(Pasid(1), va(2), pa(2), Perms::R);
+        tlb.lookup(Pasid(1), va(1)); // make page 1 recent
+        tlb.insert(Pasid(1), va(3), pa(3), Perms::R); // evicts page 2
+        assert!(tlb.lookup(Pasid(1), va(1)).is_some());
+        assert!(tlb.lookup(Pasid(1), va(2)).is_none());
+        assert!(tlb.lookup(Pasid(1), va(3)).is_some());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_same_page_does_not_evict() {
+        let mut tlb = Iotlb::new(1);
+        tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
+        tlb.insert(Pasid(1), va(1), pa(2), Perms::RW);
+        assert_eq!(tlb.stats().evictions, 0);
+        let (p, perms) = tlb.lookup(Pasid(1), va(1)).unwrap();
+        assert_eq!(p, pa(2));
+        assert_eq!(perms, Perms::RW);
+    }
+
+    #[test]
+    fn invalidate_page_and_pasid() {
+        let mut tlb = Iotlb::new(8);
+        tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
+        tlb.insert(Pasid(1), va(2), pa(2), Perms::R);
+        tlb.insert(Pasid(2), va(1), pa(3), Perms::R);
+        assert!(tlb.invalidate_page(Pasid(1), va(1)));
+        assert!(!tlb.invalidate_page(Pasid(1), va(1)));
+        assert_eq!(tlb.invalidate_pasid(Pasid(1)), 1);
+        assert_eq!(tlb.len(), 1);
+        tlb.invalidate_all();
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut tlb = Iotlb::new(4);
+        tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
+        tlb.lookup(Pasid(1), va(1));
+        tlb.lookup(Pasid(1), va(2));
+        assert!((tlb.stats().hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(TlbStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        Iotlb::new(0);
+    }
+}

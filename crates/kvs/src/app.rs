@@ -1,0 +1,79 @@
+//! The KVS offloaded onto the smart NIC (the CPU-less deployment).
+
+use lastcpu_devices::monitor::MonitorEvent;
+use lastcpu_devices::nic::{NicApp, NicEnv};
+use lastcpu_mem::Pasid;
+use lastcpu_net::Frame;
+
+use crate::proto::KvsRequest;
+use crate::server::{KvsServer, ServerConfig, ServerState, ServerStats};
+
+/// The NIC-hosted KVS application.
+pub struct KvsNicApp {
+    server: KvsServer,
+}
+
+impl KvsNicApp {
+    /// Creates the app; it will run in address space `pasid`.
+    pub fn new(config: ServerConfig, pasid: Pasid) -> Self {
+        KvsNicApp {
+            server: KvsServer::new(config, pasid),
+        }
+    }
+
+    /// Server lifecycle state.
+    pub fn state(&self) -> ServerState {
+        self.server.state()
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// Live keys.
+    pub fn key_count(&self) -> usize {
+        self.server.key_count()
+    }
+
+    fn transmit(env: &mut NicEnv<'_, '_>, responses: Vec<(lastcpu_net::PortId, Vec<u8>)>) {
+        let Some(port) = env.ctx.port else { return };
+        for (dst, payload) in responses {
+            env.ctx.net_tx(Frame::unicast(port, dst, payload));
+        }
+    }
+}
+
+impl NicApp for KvsNicApp {
+    fn app_name(&self) -> &str {
+        "kvs"
+    }
+
+    fn on_start(&mut self, env: &mut NicEnv<'_, '_>) {
+        self.server.start(env.ctx, env.monitor);
+    }
+
+    fn on_net(&mut self, env: &mut NicEnv<'_, '_>, frame: Frame) {
+        match KvsRequest::decode(&frame.payload) {
+            Some(req) => {
+                let out = self.server.on_request(env.ctx, frame.src, req);
+                Self::transmit(env, out);
+            }
+            None => {
+                // Not our protocol; a real NIC would fall through to the
+                // next classifier. Drop.
+            }
+        }
+    }
+
+    fn on_event(&mut self, env: &mut NicEnv<'_, '_>, ev: MonitorEvent) {
+        let out = self.server.on_event(env.ctx, env.monitor, &ev);
+        Self::transmit(env, out);
+    }
+
+    fn on_reset(&mut self) {
+        // Device reset loses all volatile state; the index would be rebuilt
+        // on the next start. (The server is recreated by the system
+        // assembler in recovery experiments.)
+    }
+}

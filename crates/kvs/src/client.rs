@@ -1,0 +1,374 @@
+//! Closed-loop KVS workload generator.
+//!
+//! A [`KvsClientHost`] is a client machine on the network: it keeps a fixed
+//! number of requests outstanding (closed loop), draws keys from a Zipfian
+//! distribution and operations from a read/write mix — the YCSB knobs — and
+//! records end-to-end latencies into the system stats registry.
+
+use std::collections::HashMap;
+
+use lastcpu_net::{Frame, PortId};
+use lastcpu_sim::{SimDuration, SimTime};
+
+use lastcpu_core::{HostCtx, NetHost};
+
+use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
+
+/// Retry/progress timer token.
+const TOKEN_TICK: u64 = 1;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of distinct keys.
+    pub keys: u64,
+    /// Zipfian skew (0 = uniform; YCSB default 0.99).
+    pub theta: f64,
+    /// Fraction of GETs (rest are PUTs).
+    pub read_fraction: f64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Requests kept outstanding (closed loop).
+    pub outstanding: usize,
+    /// Total operations to run (after load phase).
+    pub total_ops: u64,
+    /// Pre-load every key once before measuring.
+    pub preload: bool,
+    /// Request timeout: outstanding requests older than this are counted as
+    /// lost and reissued (closed-loop recovery after server failures).
+    pub timeout: SimDuration,
+    /// Stats key prefix, e.g. `"client0"`.
+    pub stats_prefix: String,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            keys: 1000,
+            theta: 0.99,
+            read_fraction: 0.95,
+            value_size: 128,
+            outstanding: 8,
+            total_ops: 2000,
+            preload: true,
+            timeout: SimDuration::from_millis(100),
+            stats_prefix: "client".into(),
+        }
+    }
+}
+
+/// Workload phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the server to come up (probing).
+    Probing,
+    /// Inserting every key once.
+    Loading,
+    /// Measuring.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// The client machine.
+pub struct KvsClientHost {
+    server: PortId,
+    config: WorkloadConfig,
+    phase: Phase,
+    next_id: u64,
+    /// id → (sent_at, is_read).
+    outstanding: HashMap<u64, (SimTime, bool)>,
+    load_next: u64,
+    ops_done: u64,
+    ops_issued: u64,
+    errors: u64,
+    busy_rejections: u64,
+    timeouts: u64,
+    started_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+impl KvsClientHost {
+    /// Creates a client aimed at the KVS frontend on `server`.
+    pub fn new(server: PortId, config: WorkloadConfig) -> Self {
+        KvsClientHost {
+            server,
+            config,
+            phase: Phase::Probing,
+            next_id: 1,
+            outstanding: HashMap::new(),
+            load_next: 0,
+            ops_done: 0,
+            ops_issued: 0,
+            errors: 0,
+            busy_rejections: 0,
+            timeouts: 0,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Whether the workload completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Operations completed in the measured phase.
+    pub fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    /// Error responses observed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// `Busy` responses observed (server shed load).
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections
+    }
+
+    /// Requests that timed out (lost with a failed server).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Measured-phase wall time, once done.
+    pub fn elapsed(&self) -> Option<SimDuration> {
+        Some(self.finished_at?.since(self.started_at?))
+    }
+
+    /// When the measured phase began.
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// When the measured phase ended.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    /// Throughput in ops per virtual second, once done.
+    pub fn throughput(&self) -> Option<f64> {
+        let e = self.elapsed()?;
+        if e == SimDuration::ZERO {
+            return None;
+        }
+        Some(self.ops_done as f64 / (e.as_nanos() as f64 / 1e9))
+    }
+
+    fn key_bytes(k: u64) -> Vec<u8> {
+        format!("key{k:08}").into_bytes()
+    }
+
+    fn send(&mut self, ctx: &mut HostCtx<'_>, req: KvsRequest, is_read: bool) {
+        self.outstanding.insert(req.id(), (ctx.now, is_read));
+        ctx.net_tx(self.server, req.encode());
+    }
+
+    fn issue_one(&mut self, ctx: &mut HostCtx<'_>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.phase {
+            Phase::Loading => {
+                let key = Self::key_bytes(self.load_next);
+                self.load_next += 1;
+                let value = vec![0xAB; self.config.value_size];
+                self.send(ctx, KvsRequest::Put { id, key, value }, false);
+            }
+            Phase::Running => {
+                let k = ctx.rng().zipf(self.config.keys, self.config.theta);
+                let key = Self::key_bytes(k);
+                let is_read = ctx.rng().chance(self.config.read_fraction);
+                if is_read {
+                    self.send(ctx, KvsRequest::Get { id, key }, true);
+                } else {
+                    let value = vec![0xCD; self.config.value_size];
+                    self.send(ctx, KvsRequest::Put { id, key, value }, false);
+                }
+                self.ops_issued += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn fill_pipeline(&mut self, ctx: &mut HostCtx<'_>) {
+        match self.phase {
+            Phase::Loading => {
+                while self.outstanding.len() < self.config.outstanding
+                    && self.load_next < self.config.keys
+                {
+                    self.issue_one(ctx);
+                }
+                if self.load_next >= self.config.keys && self.outstanding.is_empty() {
+                    self.phase = Phase::Running;
+                    self.started_at = Some(ctx.now);
+                    ctx.set_timer(self.config.timeout, TOKEN_TICK);
+                    self.fill_pipeline(ctx);
+                }
+            }
+            Phase::Running => {
+                while self.outstanding.len() < self.config.outstanding
+                    && self.ops_issued < self.config.total_ops
+                {
+                    self.issue_one(ctx);
+                }
+                if self.ops_done >= self.config.total_ops && self.outstanding.is_empty() {
+                    self.phase = Phase::Done;
+                    self.finished_at = Some(ctx.now);
+                    ctx.trace(format!(
+                        "workload done: {} ops, {} errors",
+                        self.ops_done, self.errors
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn probe(&mut self, ctx: &mut HostCtx<'_>) {
+        // A 1-byte GET; any non-Busy answer means the server is up.
+        let id = self.next_id;
+        self.next_id += 1;
+        self.outstanding.insert(id, (ctx.now, true));
+        ctx.net_tx(
+            self.server,
+            KvsRequest::Get {
+                id,
+                key: b"probe".to_vec(),
+            }
+            .encode(),
+        );
+        ctx.set_timer(SimDuration::from_millis(2), TOKEN_TICK);
+    }
+}
+
+impl NetHost for KvsClientHost {
+    fn name(&self) -> &str {
+        &self.config.stats_prefix
+    }
+
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.probe(ctx);
+    }
+
+    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame) {
+        let Some(resp) = KvsResponse::decode(&frame.payload) else {
+            return;
+        };
+        let Some((sent_at, is_read)) = self.outstanding.remove(&resp.id) else {
+            return;
+        };
+        match self.phase {
+            Phase::Probing => {
+                if resp.status == KvsStatus::Busy {
+                    // Not up yet; the tick timer re-probes.
+                    return;
+                }
+                self.phase = if self.config.preload {
+                    Phase::Loading
+                } else {
+                    self.started_at = Some(ctx.now);
+                    Phase::Running
+                };
+                ctx.set_timer(self.config.timeout, TOKEN_TICK);
+                self.fill_pipeline(ctx);
+            }
+            Phase::Loading => {
+                match resp.status {
+                    KvsStatus::Ok => {}
+                    KvsStatus::Busy => {
+                        // Reload this key later; simplest is to append it
+                        // again at the end of the load range.
+                        self.busy_rejections += 1;
+                        self.load_next = self.load_next.saturating_sub(1);
+                    }
+                    _ => self.errors += 1,
+                }
+                self.fill_pipeline(ctx);
+            }
+            Phase::Running => {
+                let latency = ctx.now.since(sent_at);
+                let prefix = self.config.stats_prefix.clone();
+                match resp.status {
+                    KvsStatus::Ok | KvsStatus::NotFound => {
+                        self.ops_done += 1;
+                        ctx.stats.record(&format!("{prefix}.latency"), latency);
+                        if is_read {
+                            ctx.stats.record(&format!("{prefix}.get_latency"), latency);
+                        } else {
+                            ctx.stats.record(&format!("{prefix}.put_latency"), latency);
+                        }
+                    }
+                    KvsStatus::Busy => {
+                        self.busy_rejections += 1;
+                        self.ops_done += 1;
+                        // Back off: refill on the next tick instead of
+                        // hammering a shedding server at wire speed.
+                        return;
+                    }
+                    KvsStatus::Error => {
+                        self.errors += 1;
+                        self.ops_done += 1;
+                    }
+                }
+                self.fill_pipeline(ctx);
+            }
+            Phase::Done => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        if token != TOKEN_TICK {
+            return;
+        }
+        match self.phase {
+            Phase::Probing => {
+                self.outstanding.clear();
+                self.probe(ctx);
+            }
+            Phase::Loading | Phase::Running => {
+                // Expire lost requests (e.g. they died with a failed
+                // server) so the closed loop keeps moving.
+                let deadline = self.config.timeout;
+                let now = ctx.now;
+                let before = self.outstanding.len();
+                self.outstanding.retain(|_, (sent, _)| now.since(*sent) < deadline);
+                let lost = (before - self.outstanding.len()) as u64;
+                self.timeouts += lost;
+                if self.phase == Phase::Running {
+                    // Timed-out ops count as done (with no latency sample)
+                    // so workloads terminate even across failures.
+                    self.ops_done += lost;
+                }
+                if self.phase == Phase::Loading {
+                    self.load_next = self.load_next.saturating_sub(lost);
+                }
+                self.fill_pipeline(ctx);
+                if self.phase != Phase::Done {
+                    ctx.set_timer(self.config.timeout, TOKEN_TICK);
+                }
+            }
+            Phase::Done => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bytes_are_stable_and_distinct() {
+        assert_eq!(KvsClientHost::key_bytes(1), b"key00000001".to_vec());
+        assert_ne!(KvsClientHost::key_bytes(1), KvsClientHost::key_bytes(2));
+    }
+
+    #[test]
+    fn fresh_client_is_not_done() {
+        let c = KvsClientHost::new(PortId(1), WorkloadConfig::default());
+        assert!(!c.is_done());
+        assert_eq!(c.ops_done(), 0);
+        assert!(c.throughput().is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! The KVS hosted on the baseline CPU (the conventional deployment).
+//!
+//! Same [`crate::server::KvsServer`] logic as the NIC deployment, but every
+//! request entered the kernel via a NIC interrupt and a copy, and every
+//! response leaves through a syscall and another copy — the costs the
+//! paper's offload removes. Storage I/O still uses the VIRTIO session; the
+//! CPU drives it with its own MMU mappings.
+
+use lastcpu_baseline::{CpuApp, KernelEnv};
+use lastcpu_devices::monitor::MonitorEvent;
+use lastcpu_mem::Pasid;
+use lastcpu_net::PortId;
+
+use crate::proto::KvsRequest;
+use crate::server::{KvsServer, ServerConfig, ServerState, ServerStats};
+
+/// The CPU-hosted KVS application.
+pub struct KvsCpuApp {
+    server: KvsServer,
+}
+
+impl KvsCpuApp {
+    /// Creates the app; kernel memory lives in address space `pasid`.
+    pub fn new(config: ServerConfig, pasid: Pasid) -> Self {
+        KvsCpuApp {
+            server: KvsServer::new(config, pasid),
+        }
+    }
+
+    /// Server lifecycle state.
+    pub fn state(&self) -> ServerState {
+        self.server.state()
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    fn transmit(env: &mut KernelEnv<'_, '_>, responses: Vec<(PortId, Vec<u8>)>) {
+        for (dst, payload) in responses {
+            env.send_packet(dst, payload);
+        }
+    }
+}
+
+impl CpuApp for KvsCpuApp {
+    fn app_name(&self) -> &str {
+        "kvs-on-cpu"
+    }
+
+    fn on_start(&mut self, env: &mut KernelEnv<'_, '_>) {
+        self.server.start(env.ctx, env.monitor);
+    }
+
+    fn on_packet(&mut self, env: &mut KernelEnv<'_, '_>, src: PortId, payload: Vec<u8>) {
+        if let Some(req) = KvsRequest::decode(&payload) {
+            let out = self.server.on_request(env.ctx, src, req);
+            Self::transmit(env, out);
+        }
+    }
+
+    fn on_event(&mut self, env: &mut KernelEnv<'_, '_>, ev: MonitorEvent) {
+        let out = self.server.on_event(env.ctx, env.monitor, &ev);
+        Self::transmit(env, out);
+    }
+}

@@ -1,0 +1,214 @@
+//! The client↔KVS network protocol.
+//!
+//! One request or response per frame; requests carry a client-chosen id the
+//! response echoes, so clients can pipeline.
+
+use lastcpu_bus::wire::{WireReader, WireWriter};
+
+/// A KVS request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvsRequest {
+    /// Fetch a value.
+    Get {
+        /// Request id echoed in the response.
+        id: u64,
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Insert or update a value.
+    Put {
+        /// Request id echoed in the response.
+        id: u64,
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Delete {
+        /// Request id echoed in the response.
+        id: u64,
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+impl KvsRequest {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            KvsRequest::Get { id, .. }
+            | KvsRequest::Put { id, .. }
+            | KvsRequest::Delete { id, .. } => *id,
+        }
+    }
+
+    /// Encodes to frame payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            KvsRequest::Get { id, key } => {
+                w.u8(1);
+                w.u64(*id);
+                w.bytes(key);
+            }
+            KvsRequest::Put { id, key, value } => {
+                w.u8(2);
+                w.u64(*id);
+                w.bytes(key);
+                w.bytes(value);
+            }
+            KvsRequest::Delete { id, key } => {
+                w.u8(3);
+                w.u64(*id);
+                w.bytes(key);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from frame payload bytes.
+    pub fn decode(buf: &[u8]) -> Option<KvsRequest> {
+        let mut r = WireReader::new(buf);
+        let req = match r.u8().ok()? {
+            1 => KvsRequest::Get {
+                id: r.u64().ok()?,
+                key: r.bytes().ok()?,
+            },
+            2 => KvsRequest::Put {
+                id: r.u64().ok()?,
+                key: r.bytes().ok()?,
+                value: r.bytes().ok()?,
+            },
+            3 => KvsRequest::Delete {
+                id: r.u64().ok()?,
+                key: r.bytes().ok()?,
+            },
+            _ => return None,
+        };
+        r.expect_end().ok()?;
+        Some(req)
+    }
+}
+
+/// Response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvsStatus {
+    /// Success (GETs carry the value).
+    Ok,
+    /// Key not found.
+    NotFound,
+    /// Server temporarily overloaded (client should back off/retry).
+    Busy,
+    /// Server-side failure (storage error, oversized request...).
+    Error,
+}
+
+impl KvsStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            KvsStatus::Ok => 0,
+            KvsStatus::NotFound => 1,
+            KvsStatus::Busy => 2,
+            KvsStatus::Error => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> KvsStatus {
+        match v {
+            0 => KvsStatus::Ok,
+            1 => KvsStatus::NotFound,
+            2 => KvsStatus::Busy,
+            _ => KvsStatus::Error,
+        }
+    }
+}
+
+/// A KVS response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvsResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Outcome.
+    pub status: KvsStatus,
+    /// Value bytes (GET hits only).
+    pub value: Vec<u8>,
+}
+
+impl KvsResponse {
+    /// Encodes to frame payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(self.status.to_u8());
+        w.u64(self.id);
+        w.bytes(&self.value);
+        w.finish()
+    }
+
+    /// Decodes from frame payload bytes.
+    pub fn decode(buf: &[u8]) -> Option<KvsResponse> {
+        let mut r = WireReader::new(buf);
+        let status = KvsStatus::from_u8(r.u8().ok()?);
+        let id = r.u64().ok()?;
+        let value = r.bytes().ok()?;
+        r.expect_end().ok()?;
+        Some(KvsResponse { id, status, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            KvsRequest::Get {
+                id: 7,
+                key: b"k".to_vec(),
+            },
+            KvsRequest::Put {
+                id: 8,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+            KvsRequest::Delete {
+                id: 9,
+                key: b"k".to_vec(),
+            },
+        ] {
+            assert_eq!(KvsRequest::decode(&req.encode()), Some(req));
+        }
+        assert_eq!(KvsRequest::decode(&[99]), None);
+        assert_eq!(KvsRequest::decode(&[]), None);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for status in [
+            KvsStatus::Ok,
+            KvsStatus::NotFound,
+            KvsStatus::Busy,
+            KvsStatus::Error,
+        ] {
+            let resp = KvsResponse {
+                id: 42,
+                status,
+                value: b"value".to_vec(),
+            };
+            assert_eq!(KvsResponse::decode(&resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn id_accessor() {
+        assert_eq!(
+            KvsRequest::Get {
+                id: 5,
+                key: vec![]
+            }
+            .id(),
+            5
+        );
+    }
+}

@@ -1,0 +1,691 @@
+//! Deployment-independent KVS server logic.
+//!
+//! Both deployments — offloaded on the smart NIC and conventional on the
+//! CPU — run exactly this state machine; they differ only in how request
+//! packets arrive and responses leave. Keeping the store logic identical is
+//! what makes the E2 comparison fair: the measured difference is the
+//! *system structure*, not the application.
+//!
+//! Startup: discover the memory controller, discover the data file's
+//! owner, run the Figure 2 session setup, rebuild the index by scanning the
+//! log, then serve. GETs read values from the SSD through the VIRTIO
+//! queue (unless the small NIC-local cache hits); PUTs append records.
+
+use std::collections::{HashMap, VecDeque};
+
+use lastcpu_bus::{DeviceId, Token};
+use lastcpu_devices::device::DeviceCtx;
+use lastcpu_devices::monitor::{Monitor, MonitorEvent};
+use lastcpu_devices::session::{FileSession, SessionEvent, SessionState};
+use lastcpu_devices::ssd::{FileOp, FileStatus, DOORBELL_WORK};
+use lastcpu_mem::Pasid;
+use lastcpu_net::PortId;
+use lastcpu_sim::SimDuration;
+
+use crate::engine::{KvEngine, LogScanner};
+use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
+
+/// Rebuild read chunk.
+const REBUILD_CHUNK: u32 = 2048;
+/// Maximum queued-but-unsubmitted requests before shedding load.
+const MAX_BACKLOG: usize = 512;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Discovery pattern for the data file, e.g. `"file:/data/kv.db"`.
+    pub file_pattern: String,
+    /// Pre-wired memory-controller address. `None` (the CPU-less default)
+    /// discovers the `memory` service; the baseline CPU sets this to itself
+    /// (a kernel knows it is the memory manager).
+    pub memctl: Option<DeviceId>,
+    /// Auth token presented when opening the file service.
+    pub token: Token,
+    /// Virtual base for the shared region in the server's address space.
+    pub va_base: u64,
+    /// Virtqueue depth.
+    pub queue_size: u16,
+    /// Entries in the local value cache (0 = disabled).
+    pub cache_entries: usize,
+    /// Per-request processing cost (hash, parse) on the serving device.
+    pub per_request_cost: SimDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            file_pattern: "file:/data/kv.db".into(),
+            memctl: None,
+            token: Token::NONE,
+            va_base: 0x2000_0000,
+            queue_size: 64,
+            cache_entries: 0,
+            per_request_cost: SimDuration::from_nanos(500),
+        }
+    }
+}
+
+/// Server lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerState {
+    /// Waiting for registration.
+    Boot,
+    /// Discovering the memory controller.
+    FindingMemory,
+    /// Discovering the data file's owner.
+    FindingFile,
+    /// Figure-2 session setup in progress.
+    Connecting,
+    /// Scanning the log to rebuild the index.
+    Rebuilding,
+    /// Serving requests.
+    Ready,
+    /// Unrecoverable (peer death, setup failure).
+    Failed,
+}
+
+/// Per-request bookkeeping for storage operations in flight.
+enum Pending {
+    Get { port: PortId, id: u64 },
+    Put { port: PortId, id: u64, key: Vec<u8>, value: Vec<u8> },
+    Delete { port: PortId, id: u64 },
+    Rebuild { len: u32 },
+}
+
+/// Server counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServerStats {
+    /// GETs served.
+    pub gets: u64,
+    /// PUTs served.
+    pub puts: u64,
+    /// DELETEs served.
+    pub deletes: u64,
+    /// GETs answered from the local cache.
+    pub cache_hits: u64,
+    /// Requests answered `Busy` due to backlog overflow.
+    pub shed: u64,
+    /// Requests answered `NotFound`.
+    pub misses: u64,
+}
+
+/// A tiny LRU value cache (the NIC-local DRAM cache of KV-Direct).
+struct ValueCache {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    order: VecDeque<Vec<u8>>,
+    capacity: usize,
+}
+
+impl ValueCache {
+    fn new(capacity: usize) -> Self {
+        ValueCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: &[u8], value: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.map.contains_key(key) {
+            if self.map.len() >= self.capacity {
+                if let Some(victim) = self.order.pop_front() {
+                    self.map.remove(&victim);
+                }
+            }
+            self.order.push_back(key.to_vec());
+        }
+        self.map.insert(key.to_vec(), value);
+    }
+
+    fn remove(&mut self, key: &[u8]) {
+        self.map.remove(key);
+        self.order.retain(|k| k != key);
+    }
+}
+
+/// The KVS server state machine.
+pub struct KvsServer {
+    config: ServerConfig,
+    pasid: Pasid,
+    state: ServerState,
+    engine: KvEngine,
+    scanner: LogScanner,
+    memctl: Option<DeviceId>,
+    mem_op: u64,
+    file_op: u64,
+    session: Option<FileSession>,
+    file_size: u64,
+    rebuild_next: u64,
+    rebuild_inflight: u64,
+    inflight: HashMap<u16, Pending>,
+    backlog: VecDeque<(PortId, KvsRequest)>,
+    cache: ValueCache,
+    stats: ServerStats,
+}
+
+impl KvsServer {
+    /// Creates a server that will run in address space `pasid`.
+    pub fn new(config: ServerConfig, pasid: Pasid) -> Self {
+        let cache = ValueCache::new(config.cache_entries);
+        KvsServer {
+            config,
+            pasid,
+            state: ServerState::Boot,
+            engine: KvEngine::new(),
+            scanner: LogScanner::new(),
+            memctl: None,
+            mem_op: 0,
+            file_op: 0,
+            session: None,
+            file_size: 0,
+            rebuild_next: 0,
+            rebuild_inflight: 0,
+            inflight: HashMap::new(),
+            backlog: VecDeque::new(),
+            cache,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ServerState {
+        self.state
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Live keys in the index.
+    pub fn key_count(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Starts the setup pipeline (call once registered on the bus).
+    pub fn start(&mut self, ctx: &mut DeviceCtx<'_>, monitor: &mut Monitor) {
+        match self.config.memctl {
+            Some(dev) => {
+                self.memctl = Some(dev);
+                self.state = ServerState::FindingFile;
+                self.file_op = monitor.discover(ctx, &self.config.file_pattern);
+            }
+            None => {
+                self.state = ServerState::FindingMemory;
+                self.mem_op = monitor.discover(ctx, "memory");
+            }
+        }
+    }
+
+    /// Feeds a monitor event. Returns response payloads to transmit.
+    pub fn on_event(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        monitor: &mut Monitor,
+        ev: &MonitorEvent,
+    ) -> Vec<(PortId, Vec<u8>)> {
+        let mut out = Vec::new();
+        if let Some(session) = self.session.as_mut() {
+            match session.on_event(ctx, monitor, ev) {
+                Some(SessionEvent::Ready { file_size, .. }) => {
+                    self.file_size = file_size;
+                    if file_size == 0 {
+                        self.state = ServerState::Ready;
+                    } else {
+                        self.state = ServerState::Rebuilding;
+                        self.issue_rebuild_reads(ctx);
+                    }
+                    return out;
+                }
+                Some(SessionEvent::Completions { .. }) => {
+                    self.drain(ctx, &mut out);
+                    return out;
+                }
+                Some(SessionEvent::Failed { .. }) => {
+                    self.state = ServerState::Failed;
+                    return out;
+                }
+                None => {}
+            }
+        }
+        match (self.state, ev) {
+            (ServerState::FindingMemory, MonitorEvent::DiscoveryDone { op, hits })
+                if *op == self.mem_op =>
+            {
+                match hits
+                    .iter()
+                    .find(|(_, s)| Monitor::match_pattern("memory", &s.name))
+                {
+                    Some((dev, _)) => {
+                        self.memctl = Some(*dev);
+                        self.state = ServerState::FindingFile;
+                        self.file_op = monitor.discover(ctx, &self.config.file_pattern);
+                    }
+                    None => {
+                        // The controller may still be booting; retry.
+                        self.mem_op = monitor.discover(ctx, "memory");
+                    }
+                }
+            }
+            (ServerState::FindingFile, MonitorEvent::DiscoveryDone { op, hits })
+                if *op == self.file_op =>
+            {
+                match hits
+                    .iter()
+                    .find(|(_, s)| Monitor::match_pattern(&self.config.file_pattern, &s.name))
+                {
+                    Some((dev, svc)) => {
+                        let mut session = FileSession::new(
+                            self.memctl.expect("set in FindingMemory"),
+                            *dev,
+                            svc.id,
+                            self.config.token,
+                            self.pasid,
+                            self.config.va_base,
+                            self.config.queue_size,
+                        );
+                        self.state = ServerState::Connecting;
+                        session.start(ctx, monitor);
+                        self.session = Some(session);
+                    }
+                    None => {
+                        self.file_op = monitor.discover(ctx, &self.config.file_pattern);
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Handles one network request. Returns response payloads to transmit.
+    pub fn on_request(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        src: PortId,
+        req: KvsRequest,
+    ) -> Vec<(PortId, Vec<u8>)> {
+        let mut out = Vec::new();
+        if self.state != ServerState::Ready {
+            out.push((
+                src,
+                KvsResponse {
+                    id: req.id(),
+                    status: KvsStatus::Busy,
+                    value: vec![],
+                }
+                .encode(),
+            ));
+            return out;
+        }
+        ctx.busy(self.config.per_request_cost);
+        if self.backlog.len() >= MAX_BACKLOG {
+            self.stats.shed += 1;
+            out.push((
+                src,
+                KvsResponse {
+                    id: req.id(),
+                    status: KvsStatus::Busy,
+                    value: vec![],
+                }
+                .encode(),
+            ));
+            return out;
+        }
+        self.backlog.push_back((src, req));
+        self.pump(ctx, &mut out);
+        out
+    }
+
+    /// Submits backlogged requests while queue space allows.
+    fn pump(&mut self, ctx: &mut DeviceCtx<'_>, out: &mut Vec<(PortId, Vec<u8>)>) {
+        let Some(session) = self.session.as_mut() else {
+            return;
+        };
+        let pasid = self.pasid;
+        let target = session.target();
+        let conn = session.conn();
+        let mut submitted = false;
+        while let Some((src, req)) = self.backlog.pop_front() {
+            let Some((client, _)) = session.client_mut() else {
+                self.backlog.push_front((src, req));
+                break;
+            };
+            if !client.can_submit() {
+                self.backlog.push_front((src, req));
+                break;
+            }
+            match req {
+                KvsRequest::Get { id, key } => {
+                    if let Some(v) = self.cache.get(&key) {
+                        self.stats.gets += 1;
+                        self.stats.cache_hits += 1;
+                        out.push((
+                            src,
+                            KvsResponse {
+                                id,
+                                status: KvsStatus::Ok,
+                                value: v,
+                            }
+                            .encode(),
+                        ));
+                        continue;
+                    }
+                    match self.engine.get(&key) {
+                        Some(vref) => {
+                            let op = FileOp::Read {
+                                offset: vref.offset,
+                                len: vref.len,
+                            };
+                            let mut view = ctx.dma_view(pasid);
+                            match client.submit(&mut view, &op, vref.len) {
+                                Ok(head) => {
+                                    self.inflight.insert(head, Pending::Get { port: src, id });
+                                    submitted = true;
+                                }
+                                Err(_) => {
+                                    self.backlog.push_front((
+                                        src,
+                                        KvsRequest::Get { id, key },
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                        None => {
+                            self.stats.gets += 1;
+                            self.stats.misses += 1;
+                            out.push((
+                                src,
+                                KvsResponse {
+                                    id,
+                                    status: KvsStatus::NotFound,
+                                    value: vec![],
+                                }
+                                .encode(),
+                            ));
+                        }
+                    }
+                }
+                KvsRequest::Put { id, key, value } => {
+                    match self.engine.put(&key, &value) {
+                        Ok((offset, rec)) => {
+                            let op = FileOp::Write { offset, data: rec };
+                            let mut view = ctx.dma_view(pasid);
+                            match client.submit(&mut view, &op, 8) {
+                                Ok(head) => {
+                                    self.inflight.insert(
+                                        head,
+                                        Pending::Put {
+                                            port: src,
+                                            id,
+                                            key,
+                                            value,
+                                        },
+                                    );
+                                    submitted = true;
+                                }
+                                Err(_) => {
+                                    // Engine state already advanced; the log
+                                    // hole is tolerated (it will re-append on
+                                    // retry). Report busy.
+                                    self.stats.shed += 1;
+                                    out.push((
+                                        src,
+                                        KvsResponse {
+                                            id,
+                                            status: KvsStatus::Busy,
+                                            value: vec![],
+                                        }
+                                        .encode(),
+                                    ));
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            out.push((
+                                src,
+                                KvsResponse {
+                                    id,
+                                    status: KvsStatus::Error,
+                                    value: vec![],
+                                }
+                                .encode(),
+                            ));
+                        }
+                    }
+                }
+                KvsRequest::Delete { id, key } => {
+                    self.cache.remove(&key);
+                    match self.engine.delete(&key) {
+                        Ok(Some((offset, rec))) => {
+                            let op = FileOp::Write { offset, data: rec };
+                            let mut view = ctx.dma_view(pasid);
+                            match client.submit(&mut view, &op, 8) {
+                                Ok(head) => {
+                                    self.inflight
+                                        .insert(head, Pending::Delete { port: src, id });
+                                    submitted = true;
+                                }
+                                Err(_) => {
+                                    self.stats.shed += 1;
+                                    out.push((
+                                        src,
+                                        KvsResponse {
+                                            id,
+                                            status: KvsStatus::Busy,
+                                            value: vec![],
+                                        }
+                                        .encode(),
+                                    ));
+                                }
+                            }
+                        }
+                        Ok(None) => {
+                            self.stats.deletes += 1;
+                            self.stats.misses += 1;
+                            out.push((
+                                src,
+                                KvsResponse {
+                                    id,
+                                    status: KvsStatus::NotFound,
+                                    value: vec![],
+                                }
+                                .encode(),
+                            ));
+                        }
+                        Err(_) => {
+                            out.push((
+                                src,
+                                KvsResponse {
+                                    id,
+                                    status: KvsStatus::Error,
+                                    value: vec![],
+                                }
+                                .encode(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if submitted {
+            ctx.doorbell(target, conn, DOORBELL_WORK);
+        }
+    }
+
+    /// Issues index-rebuild reads while queue space allows.
+    fn issue_rebuild_reads(&mut self, ctx: &mut DeviceCtx<'_>) {
+        let Some(session) = self.session.as_mut() else {
+            return;
+        };
+        let pasid = self.pasid;
+        let target = session.target();
+        let conn = session.conn();
+        let mut issued = false;
+        if let Some((client, _)) = session.client_mut() {
+            while self.rebuild_next < self.file_size && client.can_submit() {
+                let len = REBUILD_CHUNK.min((self.file_size - self.rebuild_next) as u32);
+                let op = FileOp::Read {
+                    offset: self.rebuild_next,
+                    len,
+                };
+                let mut view = ctx.dma_view(pasid);
+                match client.submit(&mut view, &op, len) {
+                    Ok(head) => {
+                        self.inflight.insert(head, Pending::Rebuild { len });
+                        self.rebuild_next += len as u64;
+                        self.rebuild_inflight += 1;
+                        issued = true;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        if issued {
+            ctx.doorbell(target, conn, DOORBELL_WORK);
+        }
+    }
+
+    /// Drains storage completions, producing network responses.
+    fn drain(&mut self, ctx: &mut DeviceCtx<'_>, out: &mut Vec<(PortId, Vec<u8>)>) {
+        let Some(session) = self.session.as_mut() else {
+            return;
+        };
+        let pasid = self.pasid;
+        let mut done = Vec::new();
+        if let Some((client, _)) = session.client_mut() {
+            let mut view = ctx.dma_view(pasid);
+            match client.completions(&mut view) {
+                Ok(c) => done = c,
+                Err(_) => {
+                    self.state = ServerState::Failed;
+                    return;
+                }
+            }
+        }
+        for (head, status, payload) in done {
+            let Some(pending) = self.inflight.remove(&head) else {
+                continue;
+            };
+            match pending {
+                Pending::Get { port, id } => {
+                    self.stats.gets += 1;
+                    let resp = if status == FileStatus::Ok {
+                        KvsResponse {
+                            id,
+                            status: KvsStatus::Ok,
+                            value: payload,
+                        }
+                    } else {
+                        KvsResponse {
+                            id,
+                            status: KvsStatus::Error,
+                            value: vec![],
+                        }
+                    };
+                    out.push((port, resp.encode()));
+                }
+                Pending::Put { port, id, key, value } => {
+                    self.stats.puts += 1;
+                    let resp = if status == FileStatus::Ok {
+                        self.cache.insert(&key, value);
+                        KvsResponse {
+                            id,
+                            status: KvsStatus::Ok,
+                            value: vec![],
+                        }
+                    } else {
+                        KvsResponse {
+                            id,
+                            status: KvsStatus::Error,
+                            value: vec![],
+                        }
+                    };
+                    out.push((port, resp.encode()));
+                }
+                Pending::Delete { port, id } => {
+                    self.stats.deletes += 1;
+                    let resp = KvsResponse {
+                        id,
+                        status: if status == FileStatus::Ok {
+                            KvsStatus::Ok
+                        } else {
+                            KvsStatus::Error
+                        },
+                        value: vec![],
+                    };
+                    out.push((port, resp.encode()));
+                }
+                Pending::Rebuild { len } => {
+                    self.rebuild_inflight -= 1;
+                    if status == FileStatus::Ok && payload.len() == len as usize {
+                        if self.scanner.feed(&mut self.engine, &payload).is_err() {
+                            self.state = ServerState::Failed;
+                            return;
+                        }
+                    } else {
+                        self.state = ServerState::Failed;
+                        return;
+                    }
+                }
+            }
+        }
+        if self.state == ServerState::Rebuilding {
+            if self.rebuild_next >= self.file_size && self.rebuild_inflight == 0 {
+                self.state = ServerState::Ready;
+            } else {
+                self.issue_rebuild_reads(ctx);
+            }
+        } else if self.state == ServerState::Ready && !self.backlog.is_empty() {
+            self.pump(ctx, out);
+        }
+    }
+
+    /// Whether the underlying session is healthy.
+    pub fn session_state(&self) -> Option<SessionState> {
+        self.session.as_ref().map(|s| s.state())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_cache_lru_semantics() {
+        let mut c = ValueCache::new(2);
+        c.insert(b"a", vec![1]);
+        c.insert(b"b", vec![2]);
+        c.insert(b"c", vec![3]); // evicts a
+        assert_eq!(c.get(b"a"), None);
+        assert_eq!(c.get(b"b"), Some(vec![2]));
+        assert_eq!(c.get(b"c"), Some(vec![3]));
+        c.remove(b"b");
+        assert_eq!(c.get(b"b"), None);
+        // Updating an existing key does not evict.
+        c.insert(b"c", vec![9]);
+        assert_eq!(c.get(b"c"), Some(vec![9]));
+    }
+
+    #[test]
+    fn zero_capacity_cache_stores_nothing() {
+        let mut c = ValueCache::new(0);
+        c.insert(b"a", vec![1]);
+        assert_eq!(c.get(b"a"), None);
+    }
+
+    #[test]
+    fn server_starts_in_boot() {
+        let s = KvsServer::new(ServerConfig::default(), Pasid(1));
+        assert_eq!(s.state(), ServerState::Boot);
+        assert_eq!(s.key_count(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Minimal network substrate for the smart NIC.
+//!
+//! The paper's end-to-end example (§3) exposes a key-value service "to other
+//! machines over the network"; the clients that drive the E2/E3 experiments
+//! live on the far side of this substrate. It models exactly what those
+//! experiments need and nothing more: ports on a store-and-forward switch,
+//! per-egress-port line-rate serialization (so congestion and antagonist
+//! interference are real), and fixed propagation delay.
+//!
+//! Timing is computed by the switch but *applied* by the host simulator:
+//! [`Switch::route`] returns `(port, deliver_at)` pairs which the caller
+//! turns into scheduled events.
+
+pub mod switch;
+
+pub use switch::{NetCostModel, PortId, Switch, SwitchStats};
+
+/// A network frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending port.
+    pub src: PortId,
+    /// Destination port, or [`PortId::BROADCAST`].
+    pub dst: PortId,
+    /// Payload bytes (the emulator does not model L2 headers beyond the
+    /// fixed per-frame overhead in the cost model).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a unicast frame.
+    pub fn unicast(src: PortId, dst: PortId, payload: Vec<u8>) -> Self {
+        Frame { src, dst, payload }
+    }
+
+    /// On-wire length in bytes (payload + fixed header overhead).
+    pub fn wire_len(&self) -> u64 {
+        self.payload.len() as u64 + 18 // Ethernet-ish header + FCS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_includes_header() {
+        let f = Frame::unicast(PortId(1), PortId(2), vec![0; 100]);
+        assert_eq!(f.wire_len(), 118);
+    }
+}

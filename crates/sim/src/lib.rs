@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation substrate for the `lastcpu`
+//! CPU-less system emulator.
+//!
+//! "The Last CPU" (HotOS'21) proposes removing the CPU from the system and
+//! splitting OS responsibilities between self-managing devices and a
+//! privileged system-management bus. The paper's stated next step (§2.4) is a
+//! software emulation of such a system; this crate provides the emulation
+//! substrate every other crate builds on:
+//!
+//! - [`SimTime`] / [`SimDuration`]: virtual time in nanoseconds. All latencies
+//!   reported by experiments are virtual, so results are independent of the
+//!   host machine.
+//! - [`EventQueue`]: a priority queue of timestamped events with a
+//!   deterministic FIFO tie-break for events scheduled at the same instant.
+//! - [`DetRng`]: a seeded, splittable random number generator. Two runs with
+//!   the same seed produce identical traces.
+//! - [`stats`]: counters and log-bucketed latency histograms used by the
+//!   benchmark harness to report percentiles.
+//! - [`trace`]: a structured trace sink used to record protocol-level events
+//!   (e.g. the seven steps of the paper's Figure 2 initialization sequence).
+//!
+//! The substrate is intentionally single-threaded: determinism is worth more
+//! to an OS-design experiment than parallel speedup, and the simulated
+//! machine itself is highly concurrent regardless.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, StatsRegistry};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceSink};

@@ -1,0 +1,252 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are arbitrary user values tagged with a firing time. Ties are
+//! broken by insertion order (FIFO), which — together with the seeded RNG —
+//! makes whole-system runs deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event extracted from the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+/// Internal heap entry. Ordered so that the *earliest* time pops first and
+/// ties pop in insertion order.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-priority event queue with a virtual clock.
+///
+/// The queue owns the clock: popping an event advances `now` to the event's
+/// timestamp. Scheduling into the past is a logic error and is reported as
+/// a panic rather than silently reordering history.
+///
+/// # Examples
+///
+/// ```
+/// use lastcpu_sim::{EventQueue, SimDuration};
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule_in(SimDuration::from_nanos(20), "b");
+/// q.schedule_in(SimDuration::from_nanos(10), "a");
+/// q.schedule_in(SimDuration::from_nanos(10), "a2"); // same instant: FIFO
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+/// assert_eq!(order, vec!["a", "a2", "b"]);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current virtual time: an event in
+    /// the past can never fire and indicates a bug in the caller's cost
+    /// accounting.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at:?} which is before now ({:?})",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` to fire immediately (at the current time, after all
+    /// events already scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.popped += 1;
+        Some(ScheduledEvent {
+            at: entry.at,
+            event: entry.event,
+        })
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    ///
+    /// Leaves the clock untouched when no event qualifies, so callers can
+    /// interleave simulation with external pacing.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<ScheduledEvent<E>> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> EventQueue<u32> {
+        EventQueue::new()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = q();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_nanos(42), 0);
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_nanos(10), 0);
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(5), 1);
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(100), 2);
+        assert_eq!(q.pop_until(SimTime::from_nanos(50)).unwrap().event, 1);
+        assert!(q.pop_until(SimTime::from_nanos(50)).is_none());
+        // Clock did not jump past the deadline.
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn schedule_now_fires_after_existing_same_instant_events() {
+        let mut q = q();
+        q.schedule_now(1);
+        q.schedule_now(2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn counts_processed_events() {
+        let mut q = q();
+        q.schedule_now(1);
+        q.schedule_now(2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.events_processed(), 2);
+        assert!(q.is_empty());
+    }
+}

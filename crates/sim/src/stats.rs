@@ -1,0 +1,413 @@
+//! Measurement primitives: counters and latency histograms.
+//!
+//! Experiments report virtual-time latencies; a log-bucketed histogram keeps
+//! recording O(1) while still giving tight percentiles across nine decades
+//! (1 ns .. ~1 s), which covers everything from an IOTLB hit to a NAND erase.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Number of log-spaced buckets per power of two (resolution ≈ 9%).
+const SUB_BUCKETS: usize = 8;
+/// Covers values up to 2^40 ns ≈ 18 minutes of virtual time.
+const MAX_POW2: usize = 40;
+const BUCKETS: usize = MAX_POW2 * SUB_BUCKETS;
+
+/// A log-bucketed histogram of durations (or any u64 quantity).
+///
+/// Relative bucket error is bounded by `2^(1/SUB_BUCKETS) - 1` ≈ 9%, which is
+/// far below run-to-run workload noise, while recording stays constant-time
+/// and the struct stays small enough to keep one per (device, operation).
+///
+/// # Examples
+///
+/// ```
+/// use lastcpu_sim::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for us in 1..=100u64 {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// let p50 = h.percentile(50.0).as_micros();
+/// assert!((45..=55).contains(&p50), "p50 was {p50}us");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u32>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < 2 {
+            return v as usize; // 0 and 1 get exact buckets.
+        }
+        let pow = 63 - v.leading_zeros() as usize; // floor(log2 v), >= 1
+        let frac = ((v >> (pow.saturating_sub(3))) & 0x7) as usize; // top 3 bits below the MSB
+        let idx = pow * SUB_BUCKETS + frac;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Representative (geometric-ish midpoint) value for bucket `idx`.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < 2 {
+            return idx as u64;
+        }
+        let pow = idx / SUB_BUCKETS;
+        let frac = idx % SUB_BUCKETS;
+        let base = 1u64 << pow;
+        base + (base >> 3).saturating_mul(frac as u64) + (base >> 4)
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_value(d.as_nanos());
+    }
+
+    /// Records one raw value.
+    pub fn record_value(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value as a duration (zero when empty).
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min)
+        }
+    }
+
+    /// Largest recorded value as a duration (zero when empty).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max)
+    }
+
+    /// Arithmetic mean as a duration (zero when empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum / self.count as u128) as u64)
+        }
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) as a duration.
+    ///
+    /// Exact for the min/max envelope; within ~9% inside.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        if p >= 100.0 {
+            // The maximum is tracked exactly; do not round it through a
+            // bucket representative.
+            return self.max();
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c as u64;
+            if seen >= rank {
+                // Clamp the representative value into the observed envelope
+                // so p100 == max and p0 == min exactly.
+                return SimDuration::from_nanos(Self::bucket_value(idx).clamp(self.min, self.max));
+            }
+        }
+        SimDuration::from_nanos(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// One-line summary: `n=.. mean=.. p50=.. p99=.. max=..`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram({})", self.summary())
+    }
+}
+
+/// A named registry of counters and histograms.
+///
+/// Devices and subsystems record into the registry by string key; the bench
+/// harness reads it out to print experiment tables. Keys follow a
+/// `subsystem.object.metric` convention, e.g. `ssd0.file.read_latency`.
+#[derive(Default)]
+pub struct StatsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter named `key`, creating it on first use.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Adds `n` to the counter named `key`, creating it on first use.
+    pub fn add(&mut self, key: &str, n: u64) {
+        self.counters.entry(key.to_string()).or_default().add(n);
+    }
+
+    /// Current value of counter `key` (zero when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).map_or(0, |c| c.get())
+    }
+
+    /// Records a duration into histogram `key`, creating it on first use.
+    pub fn record(&mut self, key: &str, d: SimDuration) {
+        self.histograms.entry(key.to_string()).or_default().record(d);
+    }
+
+    /// Looks up histogram `key`.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, c)| (k.as_str(), c.get()))
+    }
+
+    /// Iterates histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Clears every metric.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(1234));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min().as_nanos(), 1234);
+        assert_eq!(h.max().as_nanos(), 1234);
+        assert_eq!(h.percentile(50.0).as_nanos(), 1234);
+        assert_eq!(h.percentile(100.0).as_nanos(), 1234);
+    }
+
+    #[test]
+    fn percentiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record_value(v);
+        }
+        let p50 = h.percentile(50.0).as_nanos() as f64;
+        let p99 = h.percentile(99.0).as_nanos() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.15, "p50={p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.15, "p99={p99}");
+        assert_eq!(h.mean().as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_value(10);
+        b.record_value(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min().as_nanos(), 10);
+        assert_eq!(a.max().as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_values_are_monotone() {
+        let mut prev = 0u64;
+        for idx in 0..BUCKETS {
+            let v = Histogram::bucket_value(idx);
+            assert!(v >= prev, "bucket {idx}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bucket_index_maps_value_near_itself() {
+        for shift in 1..39u32 {
+            let v = 1u64 << shift;
+            let idx = Histogram::bucket_index(v);
+            let rep = Histogram::bucket_value(idx) as f64;
+            let err = (rep - v as f64).abs() / v as f64;
+            assert!(err < 0.15, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        let mut r = StatsRegistry::new();
+        r.incr("bus.msgs");
+        r.add("bus.msgs", 2);
+        r.record("op.lat", SimDuration::from_micros(5));
+        assert_eq!(r.counter("bus.msgs"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.histogram("op.lat").unwrap().count(), 1);
+        assert_eq!(r.counters().count(), 1);
+        r.reset();
+        assert_eq!(r.counter("bus.msgs"), 0);
+    }
+
+    #[test]
+    fn reset_clears_histogram() {
+        let mut h = Histogram::new();
+        h.record_value(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Histogram invariants over arbitrary samples: ordering of
+        /// percentiles, envelope exactness, and bounded relative error
+        /// against an exact quantile.
+        #[test]
+        fn prop_histogram_quantile_bounds(mut samples in proptest::collection::vec(1u64..1_000_000_000, 1..300)) {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record_value(s);
+            }
+            samples.sort_unstable();
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            prop_assert_eq!(h.min().as_nanos(), samples[0]);
+            prop_assert_eq!(h.max().as_nanos(), *samples.last().unwrap());
+            let p50 = h.percentile(50.0).as_nanos();
+            let p99 = h.percentile(99.0).as_nanos();
+            let p100 = h.percentile(100.0).as_nanos();
+            prop_assert!(p50 <= p99 && p99 <= p100);
+            prop_assert_eq!(p100, *samples.last().unwrap());
+            // p50 within ~15% of the exact median (9% bucket error plus
+            // rank rounding on small sample counts).
+            let exact = samples[(samples.len() - 1) / 2] as f64;
+            let err = (p50 as f64 - exact).abs() / exact;
+            prop_assert!(err < 0.16, "p50={p50} exact={exact} err={err}");
+            // Mean inside the envelope.
+            let mean = h.mean().as_nanos();
+            prop_assert!(mean >= samples[0] && mean <= *samples.last().unwrap());
+        }
+    }
+}

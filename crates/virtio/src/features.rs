@@ -1,0 +1,74 @@
+//! Feature-bit negotiation.
+//!
+//! VIRTIO devices advertise a feature word; drivers acknowledge the subset
+//! they support; the connection operates on the intersection. The emulator
+//! uses the handful of bits that affect queue behaviour.
+
+/// The device complies with VIRTIO 1.0+ semantics (always negotiated here).
+pub const F_VERSION_1: u64 = 1 << 32;
+/// Indirect descriptor tables are supported.
+pub const F_INDIRECT_DESC: u64 = 1 << 28;
+/// Used/available event index suppression is supported.
+pub const F_EVENT_IDX: u64 = 1 << 29;
+
+/// A set of feature bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureSet(pub u64);
+
+impl FeatureSet {
+    /// The empty set.
+    pub const NONE: FeatureSet = FeatureSet(0);
+
+    /// Whether all bits in `mask` are present.
+    pub fn has(self, mask: u64) -> bool {
+        self.0 & mask == mask
+    }
+
+    /// Negotiates: the intersection of device-offered and driver-wanted
+    /// bits. Returns `None` if the mandatory `F_VERSION_1` would be lost,
+    /// which real drivers treat as a failed probe.
+    pub fn negotiate(device_offers: FeatureSet, driver_wants: FeatureSet) -> Option<FeatureSet> {
+        let agreed = FeatureSet(device_offers.0 & driver_wants.0);
+        if agreed.has(F_VERSION_1) {
+            Some(agreed)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::ops::BitOr for FeatureSet {
+    type Output = FeatureSet;
+
+    fn bitor(self, rhs: FeatureSet) -> FeatureSet {
+        FeatureSet(self.0 | rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_intersects() {
+        let dev = FeatureSet(F_VERSION_1 | F_INDIRECT_DESC | F_EVENT_IDX);
+        let drv = FeatureSet(F_VERSION_1 | F_INDIRECT_DESC);
+        let agreed = FeatureSet::negotiate(dev, drv).unwrap();
+        assert!(agreed.has(F_VERSION_1));
+        assert!(agreed.has(F_INDIRECT_DESC));
+        assert!(!agreed.has(F_EVENT_IDX));
+    }
+
+    #[test]
+    fn missing_version_1_fails_probe() {
+        let dev = FeatureSet(F_INDIRECT_DESC);
+        let drv = FeatureSet(F_VERSION_1 | F_INDIRECT_DESC);
+        assert_eq!(FeatureSet::negotiate(dev, drv), None);
+    }
+
+    #[test]
+    fn bitor_combines() {
+        let s = FeatureSet(F_VERSION_1) | FeatureSet(F_EVENT_IDX);
+        assert!(s.has(F_VERSION_1 | F_EVENT_IDX));
+    }
+}

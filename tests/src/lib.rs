@@ -1,0 +1,16 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use lastcpu_devices::flash::{NandChip, NandConfig};
+use lastcpu_devices::fs::FlashFs;
+use lastcpu_devices::ftl::Ftl;
+
+/// A small, wear-proof flash filesystem for integration scenarios.
+pub fn small_fs() -> FlashFs {
+    FlashFs::format(Ftl::new(NandChip::new(NandConfig {
+        blocks: 64,
+        pages_per_block: 32,
+        page_size: 4096,
+        max_erase_cycles: u32::MAX,
+        ..NandConfig::default()
+    })))
+}

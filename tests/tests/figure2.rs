@@ -1,0 +1,80 @@
+//! Integration: the paper's Figure 2 initialization sequence happens, in
+//! order, with the right actors — and nothing resembling a CPU exists in
+//! the machine.
+
+use lastcpu_core::devices::nic::SmartNic;
+use lastcpu_core::SystemConfig;
+use lastcpu_kvs::server::{ServerConfig, ServerState};
+use lastcpu_kvs::{build_cpuless_kvs, KvsNicApp};
+use lastcpu_sim::SimDuration;
+
+#[test]
+fn figure2_steps_occur_in_order() {
+    let mut setup = build_cpuless_kvs(
+        SystemConfig::default(),
+        Default::default(),
+        ServerConfig::default(),
+    );
+    setup.system.power_on();
+    setup.system.run_for(SimDuration::from_millis(20));
+
+    let nic: &SmartNic<KvsNicApp> = setup.system.device_as(setup.frontend).unwrap();
+    assert_eq!(nic.app().state(), ServerState::Ready);
+
+    // No device of kind "cpu" exists.
+    assert!(
+        setup.system.bus().devices().all(|d| d.kind != "cpu"),
+        "a CPU sneaked into the CPU-less machine"
+    );
+
+    // The seven steps appear in causal order in the trace.
+    let needles = [
+        "sends Query(file:",          // 1: broadcast discovery
+        "-> nic0: QueryHit",          // 2: the SSD answers
+        "-> ssd0: OpenRequest",       // 3: open the file service
+        "-> nic0: OpenResponse",      // 4: conn + shm requirement
+        "-> memctl0: MemAlloc",       // 5: allocate shared memory
+        "programmed IOMMU of dev:3",  // 6: bus programs the NIC's IOMMU
+        "-> memctl0: Share",          // 7: grant to the SSD
+        "programmed IOMMU of dev:2",  //    bus programs the SSD's IOMMU
+        "queue attached",             //    VIRTIO queue established
+    ];
+    let events: Vec<String> = setup
+        .system
+        .trace()
+        .events()
+        .map(|e| e.what.clone())
+        .collect();
+    let mut cursor = 0;
+    for needle in needles {
+        let pos = events[cursor..]
+            .iter()
+            .position(|w| w.contains(needle))
+            .unwrap_or_else(|| panic!("step '{needle}' missing after index {cursor}"));
+        cursor += pos + 1;
+    }
+}
+
+#[test]
+fn setup_is_fast_and_bounded() {
+    let mut setup = build_cpuless_kvs(
+        SystemConfig::default(),
+        Default::default(),
+        ServerConfig::default(),
+    );
+    setup.system.power_on();
+    setup.system.run_for(SimDuration::from_millis(20));
+    let ready_at = setup
+        .system
+        .trace()
+        .events()
+        .find(|e| e.what.contains("queue attached"))
+        .map(|e| e.at)
+        .expect("queue established");
+    // Dominated by two 50us discovery windows; the whole handshake stays
+    // well under a millisecond of virtual time.
+    assert!(
+        ready_at.as_nanos() < 1_000_000,
+        "setup took {ready_at} — regression in the control plane"
+    );
+}
