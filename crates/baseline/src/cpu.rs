@@ -303,7 +303,8 @@ impl<A: CpuApp> Device for CpuDevice<A> {
         ctx.busy(SimDuration::from_micros(500)); // the one long boot in the system
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "cpu");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
         // The kernel is the memory manager: claim the Memory class.
         let mut out = Vec::new();
         self.memctl.on_start(&mut out);
@@ -418,7 +419,8 @@ impl<A: CpuApp> Device for CpuDevice<A> {
         ctx.busy(SimDuration::from_micros(500));
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "cpu");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
         let mut out = Vec::new();
         self.memctl.on_start(&mut out);
         for e in out {
@@ -498,7 +500,8 @@ mod tests {
         fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
             let name = self.name.clone();
             self.monitor.start(ctx, &name, "client");
-            self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+            self.monitor
+                .enable_heartbeat(ctx, SimDuration::from_millis(2));
         }
 
         // (Timer token 10 = retry the kernel lookup until it answers —
@@ -528,9 +531,7 @@ mod tests {
                     MonitorEvent::Registered => {
                         ctx.set_timer(SimDuration::from_micros(100), 10);
                     }
-                    MonitorEvent::OpenDone { op, result, .. }
-                        if Some(op) == self.open_op =>
-                    {
+                    MonitorEvent::OpenDone { op, result, .. } if Some(op) == self.open_op => {
                         match result {
                             Ok((conn, shm, _)) => {
                                 assert!(shm > 0, "file conns demand shared memory");

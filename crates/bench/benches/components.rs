@@ -12,7 +12,7 @@ use lastcpu_devices::flash::{NandChip, NandConfig};
 use lastcpu_devices::ftl::Ftl;
 use lastcpu_iommu::{AccessKind, Iommu};
 use lastcpu_mem::{FrameAllocator, Pasid, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
-use lastcpu_sim::{DetRng, Histogram, SimDuration};
+use lastcpu_sim::{CorrId, DetRng, Histogram, SimDuration, SimTime, TraceData, TraceSink};
 use lastcpu_virtio::{FlatMemory, QueueLayout, QueueMemory, VirtqueueDevice, VirtqueueDriver};
 
 fn bench_wire_codec(c: &mut Criterion) {
@@ -20,6 +20,7 @@ fn bench_wire_codec(c: &mut Criterion) {
         src: DeviceId(7),
         dst: Dst::Device(DeviceId(9)),
         req: RequestId(42),
+        corr: CorrId(1),
         payload: Payload::OpenRequest {
             service: ServiceId(3),
             token: Token(0xDEADBEEF),
@@ -87,7 +88,8 @@ fn bench_iommu(c: &mut Criterion) {
         .unwrap();
     }
     c.bench_function("iommu/translate_hit", |b| {
-        mmu.translate(Pasid(1), VirtAddr::new(0), AccessKind::Read).unwrap();
+        mmu.translate(Pasid(1), VirtAddr::new(0), AccessKind::Read)
+            .unwrap();
         b.iter(|| {
             mmu.translate(Pasid(1), black_box(VirtAddr::new(0x10)), AccessKind::Read)
                 .unwrap()
@@ -97,7 +99,8 @@ fn bench_iommu(c: &mut Criterion) {
         let mut rng = DetRng::new(9);
         b.iter(|| {
             let va = VirtAddr::new(rng.below(1024) * PAGE_SIZE);
-            mmu.translate(Pasid(1), black_box(va), AccessKind::Read).unwrap()
+            mmu.translate(Pasid(1), black_box(va), AccessKind::Read)
+                .unwrap()
         })
     });
 }
@@ -123,6 +126,43 @@ fn bench_histogram(c: &mut Criterion) {
     });
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // The observability acceptance bar: with tracing disabled, an emit must
+    // cost a single branch — compare these two numbers to verify.
+    c.bench_function("trace/emit_disabled", |b| {
+        let mut sink = TraceSink::disabled();
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            sink.emit_data(
+                SimTime::from_nanos(n),
+                "bench",
+                CorrId(1),
+                TraceData::QueueDoorbell {
+                    to: String::new(),
+                    value: black_box(n),
+                },
+            );
+        });
+    });
+    c.bench_function("trace/emit_enabled_bounded", |b| {
+        let mut sink = TraceSink::bounded(4096);
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            sink.emit_data(
+                SimTime::from_nanos(n),
+                "bench",
+                CorrId(1),
+                TraceData::QueueDoorbell {
+                    to: "dev:9".to_string(),
+                    value: black_box(n),
+                },
+            );
+        });
+    });
+}
+
 fn bench_doorbell_value(c: &mut Criterion) {
     // Sanity-priced micro op: encode/decode the setup doorbell.
     c.bench_function("ssd/setup_doorbell_encode", |b| {
@@ -139,6 +179,7 @@ criterion_group!(
     bench_iommu,
     bench_frame_allocator,
     bench_histogram,
+    bench_trace_overhead,
     bench_doorbell_value,
 );
 criterion_main!(benches);

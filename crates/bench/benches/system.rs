@@ -37,8 +37,7 @@ fn small_workload() -> WorkloadConfig {
 fn bench_init_sequence(c: &mut Criterion) {
     c.bench_function("system/figure2_init_to_ready", |b| {
         b.iter(|| {
-            let mut setup =
-                build_cpuless_kvs(quiet(), Default::default(), ServerConfig::default());
+            let mut setup = build_cpuless_kvs(quiet(), Default::default(), ServerConfig::default());
             setup.system.power_on();
             setup.system.run_for(SimDuration::from_millis(5));
             assert!(setup.system.bus().alive().count() >= 3);
@@ -49,11 +48,11 @@ fn bench_init_sequence(c: &mut Criterion) {
 fn bench_kvs_cpuless(c: &mut Criterion) {
     c.bench_function("system/kvs_200ops_cpuless", |b| {
         b.iter(|| {
-            let mut setup =
-                build_cpuless_kvs(quiet(), Default::default(), ServerConfig::default());
-            let port = setup
-                .system
-                .add_host(Box::new(KvsClientHost::new(setup.kvs_port, small_workload())));
+            let mut setup = build_cpuless_kvs(quiet(), Default::default(), ServerConfig::default());
+            let port = setup.system.add_host(Box::new(KvsClientHost::new(
+                setup.kvs_port,
+                small_workload(),
+            )));
             setup.system.power_on();
             setup.system.run_for(SimDuration::from_secs(2));
             let client: &KvsClientHost = setup.system.host_as(port).unwrap();
@@ -67,9 +66,10 @@ fn bench_kvs_baseline(c: &mut Criterion) {
         b.iter(|| {
             let mut setup =
                 build_baseline_kvs(quiet(), Default::default(), ServerConfig::default());
-            let port = setup
-                .system
-                .add_host(Box::new(KvsClientHost::new(setup.kvs_port, small_workload())));
+            let port = setup.system.add_host(Box::new(KvsClientHost::new(
+                setup.kvs_port,
+                small_workload(),
+            )));
             setup.system.power_on();
             setup.system.run_for(SimDuration::from_secs(2));
             let client: &KvsClientHost = setup.system.host_as(port).unwrap();

@@ -9,7 +9,7 @@
 //!      choice) vs a control-plane message.
 
 use lastcpu_bench::twotenant::build_two_tenant;
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::SystemConfig;
 use lastcpu_iommu::{AccessKind, Iommu};
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
@@ -32,7 +32,11 @@ fn a1_discovery_window() {
         t.row_strings(vec![
             format!("{us}us"),
             format!("~{setup}us"),
-            if us >= 2 { "all (bus answers land <2.2us)".into() } else { "risk of misses".to_string() },
+            if us >= 2 {
+                "all (bus answers land <2.2us)".into()
+            } else {
+                "risk of misses".to_string()
+            },
         ]);
     }
     t.print();
@@ -60,7 +64,11 @@ fn a2_iotlb_capacity() {
         const N: u64 = 100_000;
         for _ in 0..N {
             let va = VirtAddr::new(rng.below(256) * PAGE_SIZE + rng.below(PAGE_SIZE));
-            total += mmu.translate(Pasid(1), va, AccessKind::Read).unwrap().cost.as_nanos();
+            total += mmu
+                .translate(Pasid(1), va, AccessKind::Read)
+                .unwrap()
+                .cost
+                .as_nanos();
         }
         t.row_strings(vec![
             entries.to_string(),
@@ -72,18 +80,17 @@ fn a2_iotlb_capacity() {
     println!();
 }
 
-fn a3_quantum() {
+fn a3_quantum(obs: &ObsArgs) {
     println!("A3: SSD scheduling quantum vs victim tail / antagonist throughput");
     println!("    (two tenants; antagonist floods 1KiB writes, 8 outstanding)");
     let mut t = Table::new(&["quantum", "victim p99", "victim ops/s", "antagonist ops/s"]);
     for &quantum in &[1u32, 4, 16, 64] {
-        let mut setup = build_two_tenant(
-            SystemConfig {
-                trace: false,
-                ..SystemConfig::default()
-            },
-            true,
-        );
+        let mut config = SystemConfig {
+            trace: false,
+            ..SystemConfig::default()
+        };
+        obs.apply(&mut config);
+        let mut setup = build_two_tenant(config, true);
         // Patch the quantum on the assembled SSD.
         {
             use lastcpu_core::devices::ssd::SmartSsd;
@@ -140,6 +147,7 @@ fn a3_quantum() {
             format!("{:.0}", v.throughput().expect("done")),
             format!("~{a_rate:.0}"),
         ]);
+        obs.dump(&setup.system);
     }
     t.print();
     println!();
@@ -173,10 +181,13 @@ fn a4_notification_mechanism() {
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("Ablations over lastcpu design choices");
     println!();
     a1_discovery_window();
     a2_iotlb_capacity();
-    a3_quantum();
+    // A3 is the only ablation that runs a live system; its last
+    // configuration provides the --trace-out/--metrics-out artifacts.
+    a3_quantum(&obs);
     a4_notification_mechanism();
 }

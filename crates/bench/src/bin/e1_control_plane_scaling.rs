@@ -9,7 +9,7 @@
 
 use lastcpu_baseline::{CpuDevice, IdleApp};
 use lastcpu_bench::drivers::{ControlMode, SetupClient};
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::devices::flash::{NandChip, NandConfig};
 use lastcpu_core::devices::fs::FlashFs;
 use lastcpu_core::devices::ftl::Ftl;
@@ -44,13 +44,15 @@ fn ssd() -> SmartSsd {
 }
 
 /// Runs `n` concurrent setup clients; returns (mean, p99, setups/sec).
-fn run(n: u32, centralized: bool) -> (SimDuration, SimDuration, f64) {
-    let mut sys = System::new(SystemConfig {
+fn run(n: u32, centralized: bool, obs: &ObsArgs) -> (SimDuration, SimDuration, f64) {
+    let mut config = SystemConfig {
         trace: false,
         // 4 GiB so wide client counts never hit the allocator.
         dram_bytes: 4 << 30,
         ..SystemConfig::default()
-    });
+    };
+    obs.apply(&mut config);
+    let mut sys = System::new(config);
     let mode = if centralized {
         let cpu = sys.add_device_with("cpu0", "cpu", |id, dram| {
             Box::new(CpuDevice::new("cpu0", id, dram, IdleApp))
@@ -86,7 +88,10 @@ fn run(n: u32, centralized: bool) -> (SimDuration, SimDuration, f64) {
     let mut last_done = start;
     for &c in &clients {
         let cl: &SetupClient = sys.device_as(c).expect("client");
-        assert!(!cl.failed, "setup failed under n={n} centralized={centralized}");
+        assert!(
+            !cl.failed,
+            "setup failed under n={n} centralized={centralized}"
+        );
         if !cl.is_done() {
             all_done = false;
         }
@@ -95,7 +100,10 @@ fn run(n: u32, centralized: bool) -> (SimDuration, SimDuration, f64) {
         }
         last_done = last_done.max(sys.now());
     }
-    assert!(all_done, "clients did not finish (n={n}, centralized={centralized})");
+    assert!(
+        all_done,
+        "clients did not finish (n={n}, centralized={centralized})"
+    );
     let total_setups = h.count();
     // Throughput over the span in which setups ran: approximate with the
     // mean latency times pipeline depth; simplest honest figure is
@@ -106,10 +114,12 @@ fn run(n: u32, centralized: bool) -> (SimDuration, SimDuration, f64) {
     } else {
         0.0
     };
+    obs.dump(&sys);
     (h.mean(), h.percentile(99.0), tput)
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E1: concurrent Figure-2 setups — decentralized vs centralized control plane");
     println!("    ({ITERATIONS} setups per client, closed loop)");
     println!();
@@ -124,8 +134,8 @@ fn main() {
         "mean ratio",
     ]);
     for &n in &[1u32, 2, 4, 8, 16, 32] {
-        let (dm, dp, dt) = run(n, false);
-        let (cm, cp, ct) = run(n, true);
+        let (dm, dp, dt) = run(n, false, &obs);
+        let (cm, cp, ct) = run(n, true, &obs);
         let ratio = cm.as_nanos() as f64 / dm.as_nanos().max(1) as f64;
         t.row_strings(vec![
             n.to_string(),

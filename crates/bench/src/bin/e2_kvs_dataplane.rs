@@ -8,7 +8,7 @@
 //! offloaded so "the CPU is needed only for initial setup and error
 //! handling" — and then not even that).
 
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::SystemConfig;
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
 use lastcpu_kvs::server::ServerConfig;
@@ -21,9 +21,18 @@ struct Mix {
 }
 
 const MIXES: &[Mix] = &[
-    Mix { name: "A 50/50", read_fraction: 0.5 },
-    Mix { name: "B 95/5", read_fraction: 0.95 },
-    Mix { name: "C 100/0", read_fraction: 1.0 },
+    Mix {
+        name: "A 50/50",
+        read_fraction: 0.5,
+    },
+    Mix {
+        name: "B 95/5",
+        read_fraction: 0.95,
+    },
+    Mix {
+        name: "C 100/0",
+        read_fraction: 1.0,
+    },
 ];
 
 struct Outcome {
@@ -42,11 +51,12 @@ enum Deployment {
     Baseline,
 }
 
-fn run(mix: &Mix, deployment: Deployment) -> Outcome {
-    let sys_config = SystemConfig {
+fn run(mix: &Mix, deployment: Deployment, obs: &ObsArgs) -> Outcome {
+    let mut sys_config = SystemConfig {
         trace: false,
         ..SystemConfig::default()
     };
+    obs.apply(&mut sys_config);
     // Both deployments run the identical application, including the hot
     // value cache in the processing device's local memory (KV-Direct keeps
     // its cache in NIC-attached DRAM; the kernel keeps page-cache-like
@@ -90,7 +100,11 @@ fn run(mix: &Mix, deployment: Deployment) -> Outcome {
     let mut last_finish = None;
     for &port in &ports {
         let client: &KvsClientHost = setup.system.host_as(port).expect("client");
-        assert!(client.is_done(), "workload incomplete ({})", client.ops_done());
+        assert!(
+            client.is_done(),
+            "workload incomplete ({})",
+            client.ops_done()
+        );
         assert_eq!(client.errors(), 0);
         ops += client.ops_done();
         let s = client.started_at().expect("done");
@@ -105,6 +119,7 @@ fn run(mix: &Mix, deployment: Deployment) -> Outcome {
         .stats()
         .histogram("wl.latency")
         .expect("latency histogram");
+    obs.dump(&setup.system);
     Outcome {
         tput,
         mean: h.mean(),
@@ -114,22 +129,22 @@ fn run(mix: &Mix, deployment: Deployment) -> Outcome {
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E2: KVS data plane — CPU-less offload vs kernel-mediated baseline");
-    println!("    (4 clients x 8 outstanding, 400 keys, zipf 0.99, 128B values, 512-entry edge cache)");
+    println!(
+        "    (4 clients x 8 outstanding, 400 keys, zipf 0.99, 128B values, 512-entry edge cache)"
+    );
     println!();
-    let mut t = Table::new(&[
-        "mix",
-        "system",
-        "ops/s",
-        "mean",
-        "p50",
-        "p99",
-    ]);
+    let mut t = Table::new(&["mix", "system", "ops/s", "mean", "p50", "p99"]);
     for mix in MIXES {
-        let cpuless = run(mix, Deployment::CpuLess);
-        let hybrid = run(mix, Deployment::Hybrid);
-        let base = run(mix, Deployment::Baseline);
-        for (label, o) in [("cpu-less", &cpuless), ("hybrid", &hybrid), ("baseline", &base)] {
+        let cpuless = run(mix, Deployment::CpuLess, &obs);
+        let hybrid = run(mix, Deployment::Hybrid, &obs);
+        let base = run(mix, Deployment::Baseline, &obs);
+        for (label, o) in [
+            ("cpu-less", &cpuless),
+            ("hybrid", &hybrid),
+            ("baseline", &base),
+        ] {
             t.row_strings(vec![
                 mix.name.into(),
                 label.into(),
@@ -143,7 +158,10 @@ fn main() {
             "".into(),
             "speedup".into(),
             format!("{:.2}x", cpuless.tput / base.tput),
-            format!("{:.2}x", base.mean.as_nanos() as f64 / cpuless.mean.as_nanos() as f64),
+            format!(
+                "{:.2}x",
+                base.mean.as_nanos() as f64 / cpuless.mean.as_nanos() as f64
+            ),
             "".into(),
             "".into(),
         ]);

@@ -8,7 +8,7 @@
 //! with it off the antagonist's connection is drained to exhaustion first.
 
 use lastcpu_bench::twotenant::build_two_tenant;
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::SystemConfig;
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
 use lastcpu_sim::SimDuration;
@@ -42,14 +42,17 @@ fn antagonist_workload(outstanding: usize) -> WorkloadConfig {
 }
 
 /// Returns (victim p50, victim p99, victim ops/s).
-fn run(isolation: bool, antagonist_outstanding: usize) -> (SimDuration, SimDuration, f64) {
-    let mut setup = build_two_tenant(
-        SystemConfig {
-            trace: false,
-            ..SystemConfig::default()
-        },
-        isolation,
-    );
+fn run(
+    isolation: bool,
+    antagonist_outstanding: usize,
+    obs: &ObsArgs,
+) -> (SimDuration, SimDuration, f64) {
+    let mut config = SystemConfig {
+        trace: false,
+        ..SystemConfig::default()
+    };
+    obs.apply(&mut config);
+    let mut setup = build_two_tenant(config, isolation);
     let vp = setup.system.add_host(Box::new(KvsClientHost::new(
         setup.victim_port,
         victim_workload(),
@@ -80,6 +83,7 @@ fn run(isolation: bool, antagonist_outstanding: usize) -> (SimDuration, SimDurat
         .stats()
         .histogram("victim.latency")
         .expect("victim latencies");
+    obs.dump(&setup.system);
     (
         h.percentile(50.0),
         h.percentile(99.0),
@@ -88,6 +92,7 @@ fn run(isolation: bool, antagonist_outstanding: usize) -> (SimDuration, SimDurat
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E3: victim tail latency vs antagonist intensity on a shared smart SSD");
     println!("    (victim: 90% reads, 2 outstanding; antagonist: 1KiB writes)");
     println!();
@@ -100,7 +105,7 @@ fn main() {
     ]);
     for &depth in &[0usize, 2, 8, 32] {
         for &iso in &[true, false] {
-            let (p50, p99, tput) = run(iso, depth);
+            let (p50, p99, tput) = run(iso, depth, &obs);
             t.row_strings(vec![
                 depth.to_string(),
                 if iso { "on".into() } else { "off".to_string() },

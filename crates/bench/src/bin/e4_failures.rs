@@ -13,7 +13,7 @@
 //!    alive (re-registered) again.
 
 use lastcpu_bench::drivers::{ControlMode, DmaProbe, SetupClient};
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::devices::flash::{NandChip, NandConfig};
 use lastcpu_core::devices::fs::FlashFs;
 use lastcpu_core::devices::ftl::Ftl;
@@ -42,9 +42,11 @@ fn make_ssd() -> SmartSsd {
     )
 }
 
-fn part1_local_faults() {
+fn part1_local_faults(obs: &ObsArgs) {
     println!("part 1: recoverable faults are handled by the faulting device");
-    let mut sys = System::new(SystemConfig::default());
+    let mut config = SystemConfig::default();
+    obs.apply(&mut config);
+    let mut sys = System::new(config);
     let memctl = sys.add_memctl("memctl0");
     let probe = sys.add_device(Box::new(DmaProbe::new("probe0", memctl.id)));
     let bystander = sys.add_device(Box::new(make_ssd()));
@@ -55,11 +57,19 @@ fn part1_local_faults() {
     let mut t = Table::new(&["check", "result"]);
     t.row(&[
         "in-bounds DMA succeeds",
-        if p.in_bounds_ok == Some(true) { "yes" } else { "NO" },
+        if p.in_bounds_ok == Some(true) {
+            "yes"
+        } else {
+            "NO"
+        },
     ]);
     t.row(&[
         "out-of-bounds DMA faults",
-        if p.out_of_bounds_faulted == Some(true) { "yes" } else { "NO" },
+        if p.out_of_bounds_faulted == Some(true) {
+            "yes"
+        } else {
+            "NO"
+        },
     ]);
     t.row_strings(vec![
         "fault handled at device in".into(),
@@ -67,9 +77,11 @@ fn part1_local_faults() {
     ]);
     t.row(&[
         "bystander SSD unaffected",
-        if sys.bus().device(bystander.id).is_some_and(|d| {
-            d.state == lastcpu_bus::bus::DeviceState::Alive
-        }) {
+        if sys
+            .bus()
+            .device(bystander.id)
+            .is_some_and(|d| d.state == lastcpu_bus::bus::DeviceState::Alive)
+        {
             "yes (still alive)"
         } else {
             "NO"
@@ -83,7 +95,7 @@ fn part1_local_faults() {
     println!();
 }
 
-fn part2_and_3_device_failure() {
+fn part2_and_3_device_failure(obs: &ObsArgs) {
     println!("part 2+3: device-failure fan-out and reset recovery vs consumer count");
     let mut t = Table::new(&[
         "consumers",
@@ -94,7 +106,9 @@ fn part2_and_3_device_failure() {
         "ssd alive again",
     ]);
     for &n in &[1u32, 4, 16] {
-        let mut sys = System::new(SystemConfig::default());
+        let mut config = SystemConfig::default();
+        obs.apply(&mut config);
+        let mut sys = System::new(config);
         let memctl = sys.add_memctl("memctl0");
         let ssd = sys.add_device(Box::new(make_ssd()));
         let mut clients = Vec::new();
@@ -127,7 +141,7 @@ fn part2_and_3_device_failure() {
         let deliveries: Vec<SimTime> = sys
             .trace()
             .events()
-            .filter(|e| e.at >= t_kill && e.what.contains("DeviceFailed"))
+            .filter(|e| e.at >= t_kill && e.what().contains("DeviceFailed"))
             .map(|e| e.at)
             .collect();
         let first = deliveries.iter().min().copied();
@@ -137,17 +151,19 @@ fn part2_and_3_device_failure() {
         let alive_at = sys
             .trace()
             .events()
-            .find(|e| e.at > t_kill && e.what.contains("-> ssd0: HelloAck"))
+            .find(|e| e.at > t_kill && e.what().contains("-> ssd0: HelloAck"))
             .map(|e| e.at);
 
         let reclaimed = sys.stats().counter("bus.pages_unmapped");
         t.row_strings(vec![
             n.to_string(),
-            first.map(|f| format!("+{}", f.since(t_kill))).unwrap_or("-".into()),
-            last.map(|l| format!("+{}", l.since(t_kill))).unwrap_or("-".into()),
+            first
+                .map(|f| format!("+{}", f.since(t_kill)))
+                .unwrap_or("-".into()),
+            last.map(|l| format!("+{}", l.since(t_kill)))
+                .unwrap_or("-".into()),
             {
-                let mc: &lastcpu_core::MemCtlDevice =
-                    sys.device_as(memctl).expect("memctl");
+                let mc: &lastcpu_core::MemCtlDevice = sys.device_as(memctl).expect("memctl");
                 mc.controller().stats().reclaimed.to_string()
             },
             reclaimed.to_string(),
@@ -155,6 +171,7 @@ fn part2_and_3_device_failure() {
                 .map(|a| format!("+{}", a.since(t_kill)))
                 .unwrap_or("NOT RECOVERED".into()),
         ]);
+        obs.dump(&sys);
     }
     t.print();
     println!();
@@ -204,9 +221,12 @@ fn part4_owner_death() {
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E4: failure handling on the CPU-less system (§4)");
     println!();
-    part1_local_faults();
-    part2_and_3_device_failure();
+    part1_local_faults(&obs);
+    // Parts 2+3 exercise the trace-rich failure path; their artifacts are
+    // the ones dumped (largest consumer count wins).
+    part2_and_3_device_failure(&obs);
     part4_owner_death();
 }

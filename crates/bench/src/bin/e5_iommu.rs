@@ -11,7 +11,7 @@
 //! as a function of region size.
 
 use lastcpu_bench::drivers::AllocChurn;
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::{System, SystemConfig};
 use lastcpu_iommu::{AccessKind, Iommu};
 use lastcpu_mem::{Pasid, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
@@ -58,7 +58,10 @@ fn part_a() {
             pages.to_string(),
             format!("{:.3}", stats.hit_rate()),
             mean.to_string(),
-            format!("{:.1}x", mean.as_nanos() as f64 / hit_cost.as_nanos() as f64),
+            format!(
+                "{:.1}x",
+                mean.as_nanos() as f64 / hit_cost.as_nanos() as f64
+            ),
         ]);
     }
     t.print();
@@ -69,14 +72,16 @@ fn part_a() {
     println!();
 }
 
-fn part_b() {
+fn part_b(obs: &ObsArgs) {
     println!("part B: privileged map path latency vs region size (live system)");
     let mut t = Table::new(&["region", "pages", "alloc+map mean", "free+unmap mean"]);
     for &bytes in &[PAGE_SIZE, 16 * PAGE_SIZE, 256 * PAGE_SIZE] {
-        let mut sys = System::new(SystemConfig {
+        let mut config = SystemConfig {
             trace: false,
             ..SystemConfig::default()
-        });
+        };
+        obs.apply(&mut config);
+        let mut sys = System::new(config);
         let memctl = sys.add_memctl("memctl0");
         let churn = sys.add_device(Box::new(AllocChurn::new(
             "churn0",
@@ -104,6 +109,7 @@ fn part_b() {
             mean(&c.alloc_latencies).to_string(),
             mean(&c.free_latencies).to_string(),
         ]);
+        obs.dump(&sys);
     }
     t.print();
     println!();
@@ -112,8 +118,9 @@ fn part_b() {
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E5: IOMMU translation and mapping overhead");
     println!();
     part_a();
-    part_b();
+    part_b(&obs);
 }

@@ -11,17 +11,23 @@
 //! shared interconnect.
 
 use lastcpu_bench::drivers::{ControlStorm, DoorbellPinger, DoorbellPonger};
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::{System, SystemConfig};
 use lastcpu_sim::SimDuration;
 
 /// Runs one configuration; returns (rtt mean, rtt p99, control msgs sent).
-fn run(storm_interval: Option<SimDuration>, conflate: bool) -> (SimDuration, SimDuration, u64) {
-    let mut sys = System::new(SystemConfig {
+fn run(
+    storm_interval: Option<SimDuration>,
+    conflate: bool,
+    obs: &ObsArgs,
+) -> (SimDuration, SimDuration, u64) {
+    let mut config = SystemConfig {
         trace: false,
         conflate_planes: conflate,
         ..SystemConfig::default()
-    });
+    };
+    obs.apply(&mut config);
+    let mut sys = System::new(config);
     sys.add_memctl("memctl0");
     let ponger = sys.add_device(Box::new(DoorbellPonger::new("ponger0")));
     let pinger = sys.add_device(Box::new(DoorbellPinger::new(
@@ -55,10 +61,12 @@ fn run(storm_interval: Option<SimDuration>, conflate: bool) -> (SimDuration, Sim
             st.sent
         })
         .sum();
+    obs.dump(&sys);
     (p.rtt.mean(), p.rtt.percentile(99.0), sent)
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E6: data-plane doorbell RTT under rising control-plane load");
     println!("    (doorbell ping-pong every 20us; storm = 32KiB buffers over the");
     println!("     control path, as a kernel-mediated system would move them)");
@@ -83,8 +91,8 @@ fn main() {
         ("0.6 GB/s", Some(SimDuration::from_micros(52))),
     ];
     for (label, interval) in loads {
-        let (sm, sp, _) = run(*interval, false);
-        let (cm, cp, _) = run(*interval, true);
+        let (sm, sp, _) = run(*interval, false, &obs);
+        let (cm, cp, _) = run(*interval, true, &obs);
         t.row_strings(vec![
             label.to_string(),
             sm.to_string(),

@@ -8,7 +8,7 @@
 
 use lastcpu_baseline::{CpuDevice, IdleApp};
 use lastcpu_bench::drivers::{Announcer, DiscoverProbe};
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_bus::{DeviceId, Dst, Envelope, Payload, RequestId};
 use lastcpu_core::devices::device::{Device, DeviceCtx};
 use lastcpu_core::{System, SystemConfig};
@@ -16,11 +16,17 @@ use lastcpu_sim::{SimDuration, SimTime};
 
 /// Decentralized sweep: returns (mean latency, broadcasts per query, bus
 /// bytes per query).
-fn run_decentralized(devices: u32, services_per_device: u16) -> (SimDuration, f64, f64) {
-    let mut sys = System::new(SystemConfig {
+fn run_decentralized(
+    devices: u32,
+    services_per_device: u16,
+    obs: &ObsArgs,
+) -> (SimDuration, f64, f64) {
+    let mut config = SystemConfig {
         trace: false,
         ..SystemConfig::default()
-    });
+    };
+    obs.apply(&mut config);
+    let mut sys = System::new(config);
     sys.add_memctl("memctl0");
     for i in 0..devices {
         sys.add_device(Box::new(Announcer::new(
@@ -28,11 +34,7 @@ fn run_decentralized(devices: u32, services_per_device: u16) -> (SimDuration, f6
             services_per_device,
         )));
     }
-    let probe = sys.add_device(Box::new(DiscoverProbe::new(
-        "probe0",
-        "svc:dev1:*",
-        10,
-    )));
+    let probe = sys.add_device(Box::new(DiscoverProbe::new("probe0", "svc:dev1:*", 10)));
     sys.power_on();
     // Boot announcements settle well before the probe's 200us start delay.
     sys.run_for(SimDuration::from_micros(150));
@@ -40,7 +42,11 @@ fn run_decentralized(devices: u32, services_per_device: u16) -> (SimDuration, f6
     let before_bytes = sys.bus().stats().bytes;
     sys.run_for(SimDuration::from_millis(50));
     let p: &DiscoverProbe = sys.device_as(probe).expect("probe");
-    assert!(p.is_done(), "probe incomplete ({} sweeps)", p.latencies.len());
+    assert!(
+        p.is_done(),
+        "probe incomplete ({} sweeps)",
+        p.latencies.len()
+    );
     assert_eq!(p.last_hits, services_per_device as usize);
     let mean = SimDuration::from_nanos(
         p.latencies.iter().map(|d| d.as_nanos()).sum::<u64>() / p.latencies.len() as u64,
@@ -49,6 +55,7 @@ fn run_decentralized(devices: u32, services_per_device: u16) -> (SimDuration, f6
     // Broadcast traffic includes heartbeat-era noise; queries dominate.
     let bcasts = (sys.bus().stats().broadcast_deliveries - before_b) as f64 / queries;
     let bytes = (sys.bus().stats().bytes - before_bytes) as f64 / queries;
+    obs.dump(&sys);
     (mean, bcasts, bytes)
 }
 
@@ -133,11 +140,7 @@ impl Device for CentralProbe {
                 ctx.send_bus(Dst::Bus, Payload::Heartbeat);
                 ctx.set_timer(SimDuration::from_millis(2), 1);
             }
-            2 => {
-                if self.latencies.is_empty() {
-                    self.lookup(ctx);
-                }
-            }
+            2 if self.latencies.is_empty() => self.lookup(ctx),
             _ => {}
         }
     }
@@ -162,13 +165,18 @@ fn run_centralized(devices: u32, services_per_device: u16) -> SimDuration {
     sys.power_on();
     sys.run_for(SimDuration::from_millis(60));
     let p: &CentralProbe = sys.device_as(probe).expect("probe");
-    assert!(p.is_done(), "central probe incomplete ({})", p.latencies.len());
+    assert!(
+        p.is_done(),
+        "central probe incomplete ({})",
+        p.latencies.len()
+    );
     SimDuration::from_nanos(
         p.latencies.iter().map(|d| d.as_nanos()).sum::<u64>() / p.latencies.len() as u64,
     )
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E7: service discovery vs machine size");
     println!("    (decentralized: SSDP broadcast, 50us answer window;");
     println!("     centralized: kernel directory lookup; 2 services/device)");
@@ -181,7 +189,7 @@ fn main() {
         "central mean",
     ]);
     for &n in &[4u32, 16, 64, 256] {
-        let (mean, bcasts, bytes) = run_decentralized(n, 2);
+        let (mean, bcasts, bytes) = run_decentralized(n, 2, &obs);
         let central = run_centralized(n, 2);
         t.row_strings(vec![
             n.to_string(),

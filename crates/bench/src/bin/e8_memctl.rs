@@ -5,7 +5,7 @@
 //! behaviour and fragmentation of the physical allocator.
 
 use lastcpu_bench::drivers::AllocChurn;
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::{MemCtlDevice, System, SystemConfig};
 use lastcpu_mem::PAGE_SIZE;
 use lastcpu_sim::{Histogram, SimDuration};
@@ -33,6 +33,7 @@ fn schedules() -> Vec<Schedule> {
 }
 
 fn main() {
+    let obs = ObsArgs::from_env();
     println!("E8: memory-controller allocation policy under churn");
     println!("    (one client, 600 ops: 2 allocs : 1 free)");
     println!();
@@ -47,11 +48,13 @@ fn main() {
         "free blocks",
     ]);
     for sched in schedules() {
-        let mut sys = System::new(SystemConfig {
+        let mut config = SystemConfig {
             trace: false,
             dram_bytes: 1 << 30,
             ..SystemConfig::default()
-        });
+        };
+        obs.apply(&mut config);
+        let mut sys = System::new(config);
         let memctl = sys.add_memctl("memctl0");
         let churn = sys.add_device(Box::new(AllocChurn::new(
             "churn0",
@@ -83,6 +86,7 @@ fn main() {
             format!("{} KiB", stats.peak_bytes / 1024),
             mc.controller().free_block_count().to_string(),
         ]);
+        obs.dump(&sys);
     }
     t.print();
     println!();

@@ -6,7 +6,7 @@
 //! message-sequence chart from the protocol trace, with virtual-time
 //! stamps. No CPU is involved in any step.
 
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::devices::nic::SmartNic;
 use lastcpu_core::SystemConfig;
 use lastcpu_kvs::server::{ServerConfig, ServerState};
@@ -14,18 +14,14 @@ use lastcpu_kvs::{build_cpuless_kvs, KvsNicApp};
 use lastcpu_sim::{SimDuration, SimTime};
 
 fn main() {
-    let mut setup = build_cpuless_kvs(
-        SystemConfig::default(),
-        Default::default(),
-        ServerConfig::default(),
-    );
+    let obs = ObsArgs::from_env();
+    let mut config = SystemConfig::default();
+    obs.apply(&mut config);
+    let mut setup = build_cpuless_kvs(config, Default::default(), ServerConfig::default());
     setup.system.power_on();
     setup.system.run_for(SimDuration::from_millis(20));
 
-    let nic: &SmartNic<KvsNicApp> = setup
-        .system
-        .device_as(setup.frontend)
-        .expect("nic present");
+    let nic: &SmartNic<KvsNicApp> = setup.system.device_as(setup.frontend).expect("nic present");
     assert_eq!(
         nic.app().state(),
         ServerState::Ready,
@@ -34,15 +30,43 @@ fn main() {
 
     // The paper's steps, matched against trace records in order.
     let steps: &[(&str, &str, &str)] = &[
-        ("1", "NIC broadcasts file-name discovery", "sends Query(file:"),
+        (
+            "1",
+            "NIC broadcasts file-name discovery",
+            "sends Query(file:",
+        ),
         ("2", "SSD answers it owns the file", "-> nic0: QueryHit"),
-        ("3", "NIC opens the file service (token)", "-> ssd0: OpenRequest"),
-        ("4", "SSD replies: connection + shm size", "-> nic0: OpenResponse"),
-        ("5", "NIC asks memctl to allocate shm", "-> memctl0: MemAlloc"),
-        ("6", "bus programs the NIC's IOMMU", "programmed IOMMU of dev:3"),
-        ("6b", "memctl confirms the allocation", "-> nic0: MemAllocResponse"),
+        (
+            "3",
+            "NIC opens the file service (token)",
+            "-> ssd0: OpenRequest",
+        ),
+        (
+            "4",
+            "SSD replies: connection + shm size",
+            "-> nic0: OpenResponse",
+        ),
+        (
+            "5",
+            "NIC asks memctl to allocate shm",
+            "-> memctl0: MemAlloc",
+        ),
+        (
+            "6",
+            "bus programs the NIC's IOMMU",
+            "programmed IOMMU of dev:3",
+        ),
+        (
+            "6b",
+            "memctl confirms the allocation",
+            "-> nic0: MemAllocResponse",
+        ),
         ("7", "NIC grants the region to the SSD", "-> memctl0: Share"),
-        ("7b", "bus programs the SSD's IOMMU", "programmed IOMMU of dev:2"),
+        (
+            "7b",
+            "bus programs the SSD's IOMMU",
+            "programmed IOMMU of dev:2",
+        ),
         ("8", "NIC programs VIRTIO queue, doorbell", "queue attached"),
     ];
 
@@ -57,7 +81,7 @@ fn main() {
         let found = events[cursor..]
             .iter()
             .enumerate()
-            .find(|(_, e)| e.what.contains(needle));
+            .find(|(_, e)| e.what().contains(needle));
         match found {
             Some((off, e)) => {
                 cursor += off + 1;
@@ -96,4 +120,5 @@ fn main() {
         setup.system.bus().stats().bytes,
         setup.system.stats().counter("bus.pages_mapped"),
     );
+    obs.dump(&setup.system);
 }

@@ -284,8 +284,7 @@ impl SetupClient {
                     // Queue layout + setup doorbell (the last Figure-2 step).
                     let target = self.target.expect("set at discovery").0;
                     let mut view = ctx.dma_view(Pasid(ctx.dev.0));
-                    match lastcpu_core::devices::ssd::FileClient::create(&mut view, SETUP_VA, 16)
-                    {
+                    match lastcpu_core::devices::ssd::FileClient::create(&mut view, SETUP_VA, 16) {
                         Ok((_client, setup)) => {
                             ctx.doorbell(target, self.conn, setup);
                             self.finish_iteration(ctx);
@@ -313,7 +312,8 @@ impl Device for SetupClient {
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "setup-client");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(5));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(5));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -613,7 +613,8 @@ impl Device for Announcer {
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "announcer");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(5));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(5));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -694,7 +695,8 @@ impl Device for DiscoverProbe {
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "discover-probe");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(5));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(5));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -826,7 +828,8 @@ impl Device for AllocChurn {
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "alloc-churn");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(5));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(5));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -901,7 +904,9 @@ impl DmaProbe {
                 let pasid = Pasid(ctx.dev.0);
                 // In bounds: must succeed.
                 let mut buf = [0u8; 64];
-                let ok = ctx.dma_read(pasid, VirtAddr::new(PROBE_VA), &mut buf).is_ok();
+                let ok = ctx
+                    .dma_read(pasid, VirtAddr::new(PROBE_VA), &mut buf)
+                    .is_ok();
                 self.in_bounds_ok = Some(ok);
                 // Out of bounds: must fault, handled here, device survives.
                 let before = ctx.elapsed();
@@ -930,7 +935,8 @@ impl Device for DmaProbe {
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "dma-probe");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(5));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(5));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {

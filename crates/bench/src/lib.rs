@@ -22,7 +22,9 @@
 //! control-storm generators, allocation churners, DMA probes).
 
 pub mod drivers;
+pub mod obs;
 pub mod table;
 pub mod twotenant;
 
+pub use obs::ObsArgs;
 pub use table::Table;

@@ -1,0 +1,129 @@
+//! Observability CLI plumbing shared by every experiment binary.
+//!
+//! Every experiment accepts two optional flags:
+//!
+//! - `--trace-out <path>` — dump the protocol trace. A `.json` extension
+//!   selects Chrome `trace_event` format (loadable in Perfetto /
+//!   `chrome://tracing`); any other extension selects JSON-lines, one
+//!   record per line.
+//! - `--metrics-out <path>` — dump the metrics-hub snapshot. A `.json`
+//!   extension selects a JSON document; any other extension selects a
+//!   Prometheus-style text exposition.
+//!
+//! Unknown flags are ignored so experiments keep their own argument
+//! conventions. Requesting `--trace-out` also forces tracing on in the
+//! system configuration (several experiments disable it by default for
+//! speed).
+//!
+//! Sweep-style experiments build a fresh [`System`] per configuration;
+//! they dump after every run, so the artifact on disk describes the
+//! **last** configuration of the sweep.
+
+use lastcpu_core::{System, SystemConfig};
+use lastcpu_sim::export;
+
+/// Parsed `--trace-out` / `--metrics-out` arguments.
+#[derive(Debug, Default, Clone)]
+pub struct ObsArgs {
+    /// Trace dump destination, if requested.
+    pub trace_out: Option<String>,
+    /// Metrics dump destination, if requested.
+    pub metrics_out: Option<String>,
+}
+
+impl ObsArgs {
+    /// Parses the process arguments, ignoring flags it does not know.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = ObsArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace-out" => out.trace_out = it.next(),
+                "--metrics-out" => out.metrics_out = it.next(),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether any artifact was requested.
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Forces tracing on in `config` when a trace dump was requested.
+    pub fn apply(&self, config: &mut SystemConfig) {
+        if self.trace_out.is_some() {
+            config.trace = true;
+        }
+    }
+
+    /// Writes the requested artifacts from `system`. The file extension
+    /// selects the format (see module docs). Failures are reported to
+    /// stderr but do not abort the experiment.
+    pub fn dump(&self, system: &System) {
+        if let Some(path) = &self.trace_out {
+            let body = if path.ends_with(".json") {
+                export::trace_chrome(system.trace())
+            } else {
+                export::trace_jsonl(system.trace())
+            };
+            write_artifact(path, &body, "trace");
+        }
+        if let Some(path) = &self.metrics_out {
+            let body = if path.ends_with(".json") {
+                export::metrics_json(system.stats())
+            } else {
+                export::metrics_prometheus(system.stats())
+            };
+            write_artifact(path, &body, "metrics");
+        }
+    }
+}
+
+fn write_artifact(path: &str, body: &str, label: &str) {
+    match std::fs::write(path, body) {
+        Ok(()) => eprintln!("wrote {label} to {path}"),
+        Err(e) => eprintln!("failed to write {label} to {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_ignores_unknowns() {
+        let a = ObsArgs::parse(
+            [
+                "--clients",
+                "8",
+                "--trace-out",
+                "t.jsonl",
+                "--metrics-out",
+                "m.json",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert!(a.any());
+        assert!(!ObsArgs::parse(Vec::new()).any());
+    }
+
+    #[test]
+    fn trace_request_forces_tracing_on() {
+        let a = ObsArgs::parse(["--trace-out", "t.jsonl"].map(String::from));
+        let mut cfg = SystemConfig {
+            trace: false,
+            ..SystemConfig::default()
+        };
+        a.apply(&mut cfg);
+        assert!(cfg.trace);
+    }
+}

@@ -30,7 +30,8 @@ impl Table {
     /// Appends a row (must match the header count).
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "row/header mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

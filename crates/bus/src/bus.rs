@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use lastcpu_sim::{SimDuration, SimTime};
+use lastcpu_sim::{CorrId, SimDuration, SimTime};
 
 use crate::cost::BusCostModel;
 use crate::ids::{DeviceId, RequestId};
@@ -57,6 +57,8 @@ pub enum BusEffect {
         pages: u64,
         /// Permission bits (1=R,2=W,4=X).
         perms: u8,
+        /// Activity that caused this programming.
+        corr: CorrId,
     },
     /// Remove `pages` mappings from `device`'s IOMMU.
     ProgramUnmap {
@@ -68,11 +70,15 @@ pub enum BusEffect {
         va: u64,
         /// Number of pages.
         pages: u64,
+        /// Activity that caused this revocation.
+        corr: CorrId,
     },
     /// Pulse the reset line of `device` (failure recovery attempt).
     ResetDevice {
         /// Device to reset.
         device: DeviceId,
+        /// Activity that caused the reset.
+        corr: CorrId,
     },
 }
 
@@ -148,7 +154,7 @@ pub struct BusStats {
 /// # Examples
 ///
 /// ```
-/// use lastcpu_bus::{Dst, Envelope, Payload, RequestId, SystemBus};
+/// use lastcpu_bus::{CorrId, Dst, Envelope, Payload, RequestId, SystemBus};
 /// use lastcpu_sim::SimTime;
 ///
 /// let mut bus = SystemBus::new();
@@ -160,6 +166,7 @@ pub struct BusStats {
 ///         src: nic,
 ///         dst: Dst::Bus,
 ///         req: RequestId(1),
+///         corr: CorrId(1),
 ///         payload: Payload::Hello { name: "nic0".into(), kind: "smart-nic".into() },
 ///     },
 ///     &mut fx,
@@ -174,6 +181,9 @@ pub struct SystemBus {
     cost: BusCostModel,
     heartbeat_timeout: SimDuration,
     stats: BusStats,
+    /// Correlation id of the message currently being handled; stamped onto
+    /// every reply, broadcast, and IOMMU-programming effect it causes.
+    cur_corr: CorrId,
 }
 
 impl Default for SystemBus {
@@ -193,6 +203,7 @@ impl SystemBus {
             cost: BusCostModel::default(),
             heartbeat_timeout: SimDuration::from_millis(10),
             stats: BusStats::default(),
+            cur_corr: CorrId::NONE,
         }
     }
 
@@ -262,7 +273,13 @@ impl SystemBus {
         self.controllers.get(&resource).copied()
     }
 
-    fn deliver(&mut self, to: DeviceId, env: Envelope, latency: SimDuration, fx: &mut Vec<BusEffect>) {
+    fn deliver(
+        &mut self,
+        to: DeviceId,
+        env: Envelope,
+        latency: SimDuration,
+        fx: &mut Vec<BusEffect>,
+    ) {
         self.stats.unicasts += 1;
         fx.push(BusEffect::Deliver { to, env, latency });
     }
@@ -279,6 +296,7 @@ impl SystemBus {
             src: DeviceId::BUS,
             dst: Dst::Device(to),
             req,
+            corr: self.cur_corr,
             payload,
         };
         let latency = self.cost.unicast(now_bytes.max(env.wire_len()));
@@ -292,6 +310,7 @@ impl SystemBus {
     /// failure experiment checks).
     pub fn handle(&mut self, now: SimTime, env: Envelope, fx: &mut Vec<BusEffect>) {
         let bytes = env.wire_len();
+        self.cur_corr = env.corr;
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;
 
@@ -409,6 +428,7 @@ impl SystemBus {
                     src,
                     dst: Dst::Broadcast,
                     req,
+                    corr: self.cur_corr,
                     payload: Payload::Announce { service },
                 };
                 self.broadcast_from(src, bcast, bytes, fx);
@@ -421,6 +441,7 @@ impl SystemBus {
                     src,
                     dst: Dst::Broadcast,
                     req,
+                    corr: self.cur_corr,
                     payload: Payload::Withdraw { service },
                 };
                 self.broadcast_from(src, bcast, bytes, fx);
@@ -431,6 +452,7 @@ impl SystemBus {
                     src,
                     dst: Dst::Broadcast,
                     req,
+                    corr: self.cur_corr,
                     payload: Payload::Query { pattern },
                 };
                 self.broadcast_from(src, bcast, bytes, fx);
@@ -551,12 +573,14 @@ impl SystemBus {
                 pa,
                 pages,
                 perms,
+                corr: self.cur_corr,
             }),
             MapOp::Unmap => fx.push(BusEffect::ProgramUnmap {
                 device,
                 pasid,
                 va,
                 pages,
+                corr: self.cur_corr,
             }),
         }
         // Completion signal to the device whose address space changed…
@@ -572,13 +596,7 @@ impl SystemBus {
             fx,
         );
         // …and an ack to the instructing controller.
-        self.reply(
-            bytes,
-            src,
-            req,
-            Payload::BusAck { status: Status::Ok },
-            fx,
-        );
+        self.reply(bytes, src, req, Payload::BusAck { status: Status::Ok }, fx);
     }
 
     fn fan_out_failure(&mut self, failed: DeviceId, bytes: usize, fx: &mut Vec<BusEffect>) {
@@ -587,6 +605,7 @@ impl SystemBus {
             src: DeviceId::BUS,
             dst: Dst::Broadcast,
             req: RequestId(0),
+            corr: self.cur_corr,
             payload: Payload::DeviceFailed { device: failed },
         };
         self.broadcast_from(failed, note, bytes, fx);
@@ -594,14 +613,24 @@ impl SystemBus {
 
     /// Declares `device` failed right now (fault injection or an external
     /// detector), fencing it, notifying everyone, and attempting a reset.
-    pub fn mark_failed(&mut self, device: DeviceId, fx: &mut Vec<BusEffect>) -> Result<(), BusError> {
+    pub fn mark_failed(
+        &mut self,
+        device: DeviceId,
+        fx: &mut Vec<BusEffect>,
+    ) -> Result<(), BusError> {
         let entry = self
             .devices
             .get_mut(&device)
             .ok_or(BusError::UnknownDevice(device))?;
+        // Failure detection is spontaneous, not caused by an in-flight
+        // message; do not attribute it to whatever was handled last.
+        self.cur_corr = CorrId::NONE;
         entry.state = DeviceState::Failed;
         self.fan_out_failure(device, 32, fx);
-        fx.push(BusEffect::ResetDevice { device });
+        fx.push(BusEffect::ResetDevice {
+            device,
+            corr: self.cur_corr,
+        });
         Ok(())
     }
 
@@ -653,6 +682,7 @@ mod tests {
                 src: id,
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Hello {
                     name: String::new(),
                     kind: String::new(),
@@ -681,6 +711,7 @@ mod tests {
                 src: mc,
                 dst: Dst::Bus,
                 req: RequestId(1),
+                corr: CorrId::NONE,
                 payload: Payload::RegisterController {
                     resource: ResourceKind::Memory,
                 },
@@ -704,6 +735,7 @@ mod tests {
             src,
             dst: Dst::Bus,
             req: RequestId(9),
+            corr: CorrId::NONE,
             payload: Payload::MapInstruction {
                 resource: ResourceKind::Memory,
                 op: MapOp::Map,
@@ -738,6 +770,7 @@ mod tests {
                 src: d,
                 dst: Dst::Bus,
                 req: RequestId(5),
+                corr: CorrId::NONE,
                 payload: Payload::Hello {
                     name: "x".into(),
                     kind: "y".into(),
@@ -766,6 +799,7 @@ mod tests {
                 src: DeviceId(99),
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             },
             &mut fx,
@@ -783,6 +817,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Device(ssd),
                 req: RequestId(2),
+                corr: CorrId::NONE,
                 payload: Payload::OpenRequest {
                     service: ServiceId(1),
                     token: Token::NONE,
@@ -814,6 +849,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Device(ssd),
                 req: RequestId(3),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             },
             &mut fx,
@@ -844,6 +880,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Broadcast,
                 req: RequestId(4),
+                corr: CorrId::NONE,
                 payload: Payload::Query {
                     pattern: "file:*".into(),
                 },
@@ -871,6 +908,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Broadcast,
                 req: RequestId(4),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             },
             &mut fx,
@@ -895,6 +933,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(6),
+                corr: CorrId::NONE,
                 payload: Payload::Query {
                     pattern: "file:/data/kv.db".into(),
                 },
@@ -926,6 +965,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(7),
+                corr: CorrId::NONE,
                 payload: Payload::RegisterController {
                     resource: ResourceKind::Memory,
                 },
@@ -963,6 +1003,7 @@ mod tests {
                 pa: 0x200000,
                 pages: 4,
                 perms: 3,
+                ..
             } if *device == nic
         )));
         // Completion to the mapped device and ack to the controller.
@@ -1071,6 +1112,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Device(ssd),
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             },
             &mut fx,
@@ -1101,7 +1143,7 @@ mod tests {
         assert!(!notified.contains(&ssd));
         assert!(fx
             .iter()
-            .any(|e| matches!(e, BusEffect::ResetDevice { device } if *device == ssd)));
+            .any(|e| matches!(e, BusEffect::ResetDevice { device, .. } if *device == ssd)));
         assert_eq!(bus.stats().failures, 1);
     }
 
@@ -1127,6 +1169,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             },
             &mut fx,
@@ -1147,6 +1190,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Bye,
             },
             &mut fx,
@@ -1182,6 +1226,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Announce {
                     service: svc.clone(),
                 },
@@ -1190,7 +1235,7 @@ mod tests {
         );
         assert_eq!(bus.device(nic).unwrap().services, vec![svc.clone()]);
         assert_eq!(fx.len(), 2); // two other devices
-        // Re-announcing the same id replaces, not duplicates.
+                                 // Re-announcing the same id replaces, not duplicates.
         let mut svc2 = svc;
         svc2.name = "kvs:frontend-v2".into();
         bus.handle(
@@ -1199,6 +1244,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Announce { service: svc2 },
             },
             &mut fx,
@@ -1222,6 +1268,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Announce { service: svc },
             },
             &mut fx,
@@ -1232,6 +1279,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Withdraw {
                     service: ServiceId(1),
                 },
@@ -1251,6 +1299,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Bus,
                 req: RequestId(1),
+                corr: CorrId::NONE,
                 payload: Payload::Doorbell {
                     conn: crate::ids::ConnId(1),
                     value: 0,
@@ -1282,6 +1331,7 @@ mod tests {
                 src: nic,
                 dst: Dst::Device(ssd),
                 req: RequestId(1),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             },
             &mut fx,

@@ -41,6 +41,5 @@ pub mod wire;
 pub use bus::{BusEffect, BusError, SystemBus};
 pub use cost::BusCostModel;
 pub use ids::{ConnId, DeviceId, RequestId, ServiceId, Token};
-pub use message::{
-    Dst, Envelope, ErrorCode, MapOp, Payload, ResourceKind, ServiceDesc, Status,
-};
+pub use lastcpu_sim::CorrId;
+pub use message::{Dst, Envelope, ErrorCode, MapOp, Payload, ResourceKind, ServiceDesc, Status};

@@ -15,6 +15,7 @@
 
 use crate::ids::{ConnId, DeviceId, RequestId, ServiceId, Token};
 use crate::wire::{WireError, WireReader, WireWriter};
+use lastcpu_sim::CorrId;
 
 /// Message destination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -333,15 +334,23 @@ pub enum Payload {
     },
 }
 
-/// A routed message: source, destination, correlation id, payload.
+/// A routed message: source, destination, request id, causal correlation
+/// id, payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Sender's bus address.
     pub src: DeviceId,
     /// Destination.
     pub dst: Dst,
-    /// Correlation id; responses echo the request's id.
+    /// Request id; responses echo the request's id.
     pub req: RequestId,
+    /// Causal correlation id: the activity this message belongs to.
+    ///
+    /// Allocated at the root of an activity (device start, host timer) and
+    /// propagated through every message, reply, broadcast, and IOMMU
+    /// programming it causes, so a trace filtered by one `CorrId` replays an
+    /// end-to-end operation (e.g. nic → bus → ssd → iommu) as one span.
+    pub corr: CorrId,
     /// The message.
     pub payload: Payload,
 }
@@ -365,6 +374,7 @@ impl Envelope {
             Dst::Broadcast => w.u8(2),
         }
         w.u64(self.req.0);
+        w.u64(self.corr.0);
         encode_payload(&mut w, &self.payload);
         w.finish()
     }
@@ -386,12 +396,14 @@ impl Envelope {
             }
         };
         let req = RequestId(r.u64()?);
+        let corr = CorrId(r.u64()?);
         let payload = decode_payload(&mut r)?;
         r.expect_end()?;
         Ok(Envelope {
             src,
             dst,
             req,
+            corr,
             payload,
         })
     }
@@ -825,6 +837,7 @@ mod tests {
             src: DeviceId(7),
             dst: Dst::Device(DeviceId(9)),
             req: RequestId(42),
+            corr: CorrId::NONE,
             payload: p,
         };
         let bytes = env.encode();
@@ -874,7 +887,9 @@ mod tests {
                 params: vec![],
             },
             Payload::CloseRequest { conn: ConnId(77) },
-            Payload::CloseResponse { status: Status::NotFound },
+            Payload::CloseResponse {
+                status: Status::NotFound,
+            },
             Payload::MemAlloc {
                 pasid: 4,
                 va: 0x10000,
@@ -894,7 +909,9 @@ mod tests {
                 va: 0x10000,
                 perms: 3,
             },
-            Payload::ShareResponse { status: Status::Denied },
+            Payload::ShareResponse {
+                status: Status::Denied,
+            },
             Payload::RegisterController {
                 resource: ResourceKind::Memory,
             },
@@ -945,6 +962,7 @@ mod tests {
                 src: DeviceId(1),
                 dst,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             };
             assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
@@ -957,13 +975,17 @@ mod tests {
             src: DeviceId(1),
             dst: Dst::Bus,
             req: RequestId(0),
+            corr: CorrId::NONE,
             payload: Payload::Heartbeat,
         };
         let mut bytes = env.encode();
         *bytes.last_mut().unwrap() = 200;
         assert!(matches!(
             Envelope::decode(&bytes),
-            Err(WireError::BadDiscriminant { what: "Payload", .. })
+            Err(WireError::BadDiscriminant {
+                what: "Payload",
+                ..
+            })
         ));
     }
 
@@ -973,6 +995,7 @@ mod tests {
             src: DeviceId(1),
             dst: Dst::Bus,
             req: RequestId(0),
+            corr: CorrId::NONE,
             payload: Payload::Heartbeat,
         };
         let mut bytes = env.encode();
@@ -989,6 +1012,7 @@ mod tests {
             src: DeviceId(7),
             dst: Dst::Device(DeviceId(9)),
             req: RequestId(42),
+            corr: CorrId::NONE,
             payload: Payload::ErrorNotify {
                 code: ErrorCode::Protocol,
                 conn: ConnId(1),
@@ -1007,6 +1031,7 @@ mod tests {
             src: DeviceId(1),
             dst: Dst::Broadcast,
             req: RequestId(9),
+            corr: CorrId::NONE,
             payload: Payload::Query {
                 pattern: "memory".into(),
             },
@@ -1024,7 +1049,10 @@ mod tests {
     fn kind_name_is_stable() {
         assert_eq!(Payload::Heartbeat.kind_name(), "Heartbeat");
         assert_eq!(
-            Payload::Query { pattern: String::new() }.kind_name(),
+            Payload::Query {
+                pattern: String::new()
+            }
+            .kind_name(),
             "Query"
         );
     }
@@ -1053,6 +1081,7 @@ mod proptests {
                 src: DeviceId(seed as u32),
                 dst: Dst::Device(DeviceId((seed >> 32) as u32)),
                 req: RequestId(seed),
+                corr: CorrId::NONE,
                 payload: Payload::ErrorNotify {
                     code: ErrorCode::Protocol,
                     conn: ConnId(seed ^ 0xFFFF),
@@ -1074,6 +1103,7 @@ mod proptests {
                 src: DeviceId(3),
                 dst: Dst::Bus,
                 req: RequestId(9),
+                corr: CorrId::NONE,
                 payload: Payload::MapInstruction {
                     resource: ResourceKind::Memory,
                     op: MapOp::Map,

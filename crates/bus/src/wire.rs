@@ -204,7 +204,9 @@ impl<'a> WireReader<'a> {
 
     /// Reads a little-endian `u128`.
     pub fn u128(&mut self) -> Result<u128, WireError> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("len 16")))
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("len 16"),
+        ))
     }
 
     /// Reads an unsigned LEB128 varint.
@@ -293,7 +295,10 @@ mod tests {
         let bytes = w.finish();
         let mut r = WireReader::new(&bytes);
         r.u8().unwrap();
-        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes { remaining: 1 }));
+        assert_eq!(
+            r.expect_end(),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
     }
 
     #[test]
@@ -318,7 +323,10 @@ mod tests {
     #[test]
     fn bool_is_strict() {
         let mut r = WireReader::new(&[2]);
-        assert!(matches!(r.boolean(), Err(WireError::BadDiscriminant { .. })));
+        assert!(matches!(
+            r.boolean(),
+            Err(WireError::BadDiscriminant { .. })
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! over the network" (§3).
 
 use lastcpu_net::{Frame, PortId};
-use lastcpu_sim::{DetRng, SimDuration, SimTime, StatsRegistry};
+use lastcpu_sim::{CorrId, DetRng, MetricsHub, SimDuration, SimTime};
 
 /// Effects a host queues during a callback.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,8 +32,11 @@ pub struct HostCtx<'a> {
     pub now: SimTime,
     /// The host's switch port.
     pub port: PortId,
-    /// The system-wide stats registry (hosts record end-to-end latencies).
-    pub stats: &'a mut StatsRegistry,
+    /// Correlation id of the activity this callback belongs to. Frames the
+    /// host transmits and timers it arms inherit it.
+    pub corr: CorrId,
+    /// The system-wide metrics hub (hosts record end-to-end latencies).
+    pub stats: &'a MetricsHub,
     rng: &'a mut DetRng,
     actions: Vec<HostAction>,
 }
@@ -43,12 +46,14 @@ impl<'a> HostCtx<'a> {
     pub fn new(
         now: SimTime,
         port: PortId,
-        stats: &'a mut StatsRegistry,
+        stats: &'a MetricsHub,
         rng: &'a mut DetRng,
+        corr: CorrId,
     ) -> Self {
         HostCtx {
             now,
             port,
+            corr,
             stats,
             rng,
             actions: Vec::new(),
@@ -106,9 +111,9 @@ mod tests {
 
     #[test]
     fn ctx_queues_actions_in_order() {
-        let mut stats = StatsRegistry::new();
+        let stats = MetricsHub::new();
         let mut rng = DetRng::new(1);
-        let mut ctx = HostCtx::new(SimTime::ZERO, PortId(3), &mut stats, &mut rng);
+        let mut ctx = HostCtx::new(SimTime::ZERO, PortId(3), &stats, &mut rng, CorrId::NONE);
         ctx.net_tx(PortId(9), vec![1]);
         ctx.set_timer(SimDuration::from_micros(1), 7);
         ctx.trace("x");

@@ -109,7 +109,9 @@ impl Device for MemCtlDevice {
                     },
                 );
             }
-            Payload::Query { .. } | Payload::HelloAck { .. } | Payload::Announce { .. }
+            Payload::Query { .. }
+            | Payload::HelloAck { .. }
+            | Payload::Announce { .. }
             | Payload::Withdraw { .. } => {}
             _ => {
                 // Per-message firmware cost: table lookups and updates.

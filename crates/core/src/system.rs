@@ -8,7 +8,10 @@ use lastcpu_devices::device::{Action, Device, DeviceCtx};
 use lastcpu_iommu::Iommu;
 use lastcpu_mem::{Dram, MapError, Pasid, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
 use lastcpu_net::{Frame, PortId, Switch};
-use lastcpu_sim::{DetRng, EventQueue, SimDuration, SimTime, StatsRegistry, TraceSink};
+use lastcpu_sim::{
+    CorrId, CounterHandle, DetRng, EventQueue, GaugeHandle, HistogramHandle, MetricsHub,
+    SimDuration, SimTime, TraceData, TraceSink,
+};
 
 use crate::config::SystemConfig;
 use crate::host::{HostAction, HostCtx, NetHost};
@@ -31,7 +34,11 @@ enum Event {
     /// A message is delivered to a device.
     Deliver { idx: usize, env: Envelope },
     /// A device timer fires.
-    Timer { idx: usize, token: u64 },
+    Timer {
+        idx: usize,
+        token: u64,
+        corr: CorrId,
+    },
     /// The bus writes a device's IOMMU (privileged, §2.2).
     Map {
         idx: usize,
@@ -40,6 +47,7 @@ enum Event {
         pa: u64,
         pages: u64,
         perms: u8,
+        corr: CorrId,
     },
     /// The bus removes mappings from a device's IOMMU.
     Unmap {
@@ -47,17 +55,26 @@ enum Event {
         pasid: u32,
         va: u64,
         pages: u64,
+        corr: CorrId,
     },
     /// A reset pulse reaches a device.
-    Reset(usize),
+    Reset { idx: usize, corr: CorrId },
     /// Drain the next item from a device's ingress FIFO.
     InboxPop(usize),
     /// A frame reaches a switch port.
-    NetDeliver { port: PortId, frame: Frame },
+    NetDeliver {
+        port: PortId,
+        frame: Frame,
+        corr: CorrId,
+    },
     /// Power-on of one host.
     HostStart(usize),
     /// A host timer fires.
-    HostTimer { hidx: usize, token: u64 },
+    HostTimer {
+        hidx: usize,
+        token: u64,
+        corr: CorrId,
+    },
     /// Periodic heartbeat scan.
     Liveness,
 }
@@ -65,8 +82,70 @@ enum Event {
 /// A unit of work waiting in a device's ingress FIFO.
 enum Work {
     Msg(Envelope),
-    Timer(u64),
-    Net(Frame),
+    Timer(u64, CorrId),
+    Net(Frame, CorrId),
+}
+
+/// Pre-registered per-device metric handles (`{subsystem}.{name}.*` keys), so
+/// hot-path updates are a `Cell` add with no map lookup.
+struct SlotMetrics {
+    msgs: CounterHandle,
+    frames_rx: CounterHandle,
+    inbox_depth: GaugeHandle,
+    handler_ns: HistogramHandle,
+    iommu_faults: CounterHandle,
+}
+
+/// Maps a device kind string to the metric-key subsystem prefix.
+fn subsystem_of(kind: &str) -> &'static str {
+    match kind {
+        "smart-nic" | "dumb-nic" => "nic",
+        "smart-ssd" => "ssd",
+        "fpga-accelerator" => "accel",
+        "memory-controller" => "memctl",
+        "cpu" => "cpu",
+        _ => "device",
+    }
+}
+
+fn slot_metrics(hub: &MetricsHub, kind: &str, name: &str) -> SlotMetrics {
+    let sub = subsystem_of(kind);
+    SlotMetrics {
+        msgs: hub.counter_handle(&format!("{sub}.{name}.msgs")),
+        frames_rx: hub.counter_handle(&format!("{sub}.{name}.frames_rx")),
+        inbox_depth: hub.gauge_handle(&format!("{sub}.{name}.inbox_depth")),
+        handler_ns: hub.histogram_handle(&format!("{sub}.{name}.handler_ns")),
+        iommu_faults: hub.counter_handle(&format!("iommu.{name}.faults")),
+    }
+}
+
+/// Pre-registered system-wide metric handles.
+struct SysMetrics {
+    bus_messages: CounterHandle,
+    pages_mapped: CounterHandle,
+    pages_unmapped: CounterHandle,
+    map_failures: CounterHandle,
+    iommu_faults: CounterHandle,
+    doorbells: CounterHandle,
+    doorbells_coalesced: CounterHandle,
+    device_resets: CounterHandle,
+    link_control_msgs: CounterHandle,
+}
+
+impl SysMetrics {
+    fn register(hub: &MetricsHub) -> Self {
+        SysMetrics {
+            bus_messages: hub.counter_handle("bus.messages"),
+            pages_mapped: hub.counter_handle("bus.pages_mapped"),
+            pages_unmapped: hub.counter_handle("bus.pages_unmapped"),
+            map_failures: hub.counter_handle("bus.map_failures"),
+            iommu_faults: hub.counter_handle("iommu.faults"),
+            doorbells: hub.counter_handle("system.doorbells"),
+            doorbells_coalesced: hub.counter_handle("system.doorbells_coalesced"),
+            device_resets: hub.counter_handle("system.device_resets"),
+            link_control_msgs: hub.counter_handle("link.control_msgs"),
+        }
+    }
 }
 
 struct Slot {
@@ -87,6 +166,8 @@ struct Slot {
     inbox: std::collections::VecDeque<Work>,
     /// Whether an `InboxPop` event is pending for this slot.
     pop_armed: bool,
+    /// Per-device metric handles.
+    met: SlotMetrics,
 }
 
 struct HostSlot {
@@ -141,8 +222,11 @@ pub struct System {
     port_to_slot: HashMap<PortId, usize>,
     port_to_host: HashMap<PortId, usize>,
     trace: TraceSink,
-    stats: StatsRegistry,
+    stats: MetricsHub,
+    met: SysMetrics,
     root_rng: DetRng,
+    /// Next correlation id to hand out (`0` is reserved for `CorrId::NONE`).
+    next_corr: u64,
     shared_link: Option<SharedLink>,
     memctl_id: Option<DeviceId>,
 }
@@ -157,10 +241,12 @@ impl System {
         } else {
             TraceSink::disabled()
         };
-        let shared_link = config.conflate_planes.then(|| SharedLink {
+        let shared_link = config.conflate_planes.then_some(SharedLink {
             busy_until: SimTime::ZERO,
             per_byte_ps: 400,
         });
+        let stats = MetricsHub::new();
+        let met = SysMetrics::register(&stats);
         System {
             queue: EventQueue::new(),
             bus,
@@ -172,8 +258,10 @@ impl System {
             port_to_slot: HashMap::new(),
             port_to_host: HashMap::new(),
             trace,
-            stats: StatsRegistry::new(),
+            stats,
+            met,
             root_rng: DetRng::new(config.seed),
+            next_corr: 1,
             shared_link,
             memctl_id: None,
             config,
@@ -204,6 +292,7 @@ impl System {
         let id = self.bus.attach(name, kind);
         let device = build(id, self.dram.size());
         let idx = self.slots.len();
+        let met = slot_metrics(&self.stats, kind, name);
         self.slots.push(Slot {
             id,
             device,
@@ -216,6 +305,7 @@ impl System {
             permanently_dead: false,
             inbox: std::collections::VecDeque::new(),
             pop_armed: false,
+            met,
         });
         self.by_id.insert(id, idx);
         DeviceHandle { id, idx }
@@ -224,6 +314,7 @@ impl System {
     fn add_device_inner(&mut self, device: Box<dyn Device>, with_port: bool) -> DeviceHandle {
         let id = self.bus.attach(device.name(), device.kind());
         let idx = self.slots.len();
+        let met = slot_metrics(&self.stats, device.kind(), device.name());
         let port = with_port.then(|| {
             let p = self.switch.add_port();
             self.port_to_slot.insert(p, idx);
@@ -241,6 +332,7 @@ impl System {
             permanently_dead: false,
             inbox: std::collections::VecDeque::new(),
             pop_armed: false,
+            met,
         });
         self.by_id.insert(id, idx);
         DeviceHandle { id, idx }
@@ -260,6 +352,7 @@ impl System {
     ) -> DeviceHandle {
         let id = self.bus.attach(name, "memory-controller");
         let idx = self.slots.len();
+        let met = slot_metrics(&self.stats, "memory-controller", name);
         let dev = MemCtlDevice::with_config(name, id, self.dram.size(), config);
         self.slots.push(Slot {
             id,
@@ -273,6 +366,7 @@ impl System {
             permanently_dead: false,
             inbox: std::collections::VecDeque::new(),
             pop_armed: false,
+            met,
         });
         self.by_id.insert(id, idx);
         self.memctl_id = Some(id);
@@ -311,13 +405,13 @@ impl System {
         &self.bus
     }
 
-    /// The stats registry.
-    pub fn stats(&self) -> &StatsRegistry {
+    /// The system-wide metrics hub.
+    pub fn stats(&self) -> &MetricsHub {
         &self.stats
     }
 
-    /// The stats registry, mutably (benches reset between runs).
-    pub fn stats_mut(&mut self) -> &mut StatsRegistry {
+    /// The metrics hub, mutably (benches reset between runs).
+    pub fn stats_mut(&mut self) -> &mut MetricsHub {
         &mut self.stats
     }
 
@@ -419,13 +513,18 @@ impl System {
     /// true` the device stays dead (§4 "if the entire device fails").
     pub fn kill_device(&mut self, h: DeviceHandle, permanent: bool) {
         let now = self.now();
+        let corr = self.fresh_corr();
         self.slots[h.idx].halted = true;
         self.slots[h.idx].permanently_dead = permanent;
         self.slots[h.idx].inbox.clear();
-        self.trace.emit(
+        self.trace.emit_data(
             now,
             "fault",
-            format!("device {} killed (permanent={permanent})", h.id),
+            corr,
+            TraceData::DeviceFault {
+                device: h.id.to_string(),
+                detail: format!("device {} killed (permanent={permanent})", h.id),
+            },
         );
         let mut fx = Vec::new();
         // Cannot fail: the handle came from this system.
@@ -435,16 +534,40 @@ impl System {
 
     // --- Event handling -----------------------------------------------------
 
+    /// Allocates a correlation id for a spontaneously starting activity
+    /// (device/host power-on, operator fault injection).
+    fn fresh_corr(&mut self) -> CorrId {
+        let c = CorrId(self.next_corr);
+        self.next_corr += 1;
+        c
+    }
+
     fn handle(&mut self, now: SimTime, ev: Event) {
         match ev {
-            Event::Start(idx) => self.dispatch(idx, now, |d, ctx| d.on_start(ctx)),
+            Event::Start(idx) => {
+                let corr = self.fresh_corr();
+                self.dispatch(idx, now, corr, |d, ctx| d.on_start(ctx))
+            }
             Event::BusMsg(env) => {
+                self.met.bus_messages.incr();
+                if self.trace.is_enabled() {
+                    if let Payload::Hello { name, kind } = &env.payload {
+                        self.trace.emit_data(
+                            now,
+                            "bus",
+                            env.corr,
+                            TraceData::BusRegister {
+                                device: format!("{name} ({kind})"),
+                            },
+                        );
+                    }
+                }
                 let mut fx = Vec::new();
                 self.bus.handle(now, env, &mut fx);
                 self.apply_bus_effects(now, fx);
             }
             Event::Deliver { idx, env } => self.feed(idx, now, Work::Msg(env)),
-            Event::Timer { idx, token } => self.feed(idx, now, Work::Timer(token)),
+            Event::Timer { idx, token, corr } => self.feed(idx, now, Work::Timer(token, corr)),
             Event::InboxPop(idx) => {
                 self.slots[idx].pop_armed = false;
                 if self.slot_busy(idx, now) {
@@ -454,7 +577,12 @@ impl System {
                     self.arm_pop(idx, now);
                     return;
                 }
-                if let Some(work) = self.slots[idx].inbox.pop_front() {
+                let popped = self.slots[idx].inbox.pop_front();
+                self.slots[idx]
+                    .met
+                    .inbox_depth
+                    .set(self.slots[idx].inbox.len() as i64);
+                if let Some(work) = popped {
                     self.run_work(idx, now, work);
                 }
                 if !self.slots[idx].inbox.is_empty() {
@@ -468,33 +596,38 @@ impl System {
                 pa,
                 pages,
                 perms,
-            } => self.apply_map(idx, pasid, va, pa, pages, perms),
+                corr,
+            } => self.apply_map(idx, pasid, va, pa, pages, perms, corr),
             Event::Unmap {
                 idx,
                 pasid,
                 va,
                 pages,
-            } => self.apply_unmap(idx, pasid, va, pages),
-            Event::Reset(idx) => {
+                corr,
+            } => self.apply_unmap(idx, pasid, va, pages, corr),
+            Event::Reset { idx, corr } => {
                 if self.slots[idx].permanently_dead {
                     return;
                 }
                 self.slots[idx].halted = false;
                 self.slots[idx].busy_until = now;
                 self.slots[idx].inbox.clear();
-                self.stats.incr("system.device_resets");
-                self.dispatch(idx, now, |d, ctx| d.on_reset(ctx));
+                self.met.device_resets.incr();
+                self.dispatch(idx, now, corr, |d, ctx| d.on_reset(ctx));
             }
-            Event::NetDeliver { port, frame } => {
+            Event::NetDeliver { port, frame, corr } => {
                 if let Some(&idx) = self.port_to_slot.get(&port) {
-                    self.feed(idx, now, Work::Net(frame));
+                    self.feed(idx, now, Work::Net(frame, corr));
                 } else if let Some(&hidx) = self.port_to_host.get(&port) {
-                    self.dispatch_host(hidx, now, move |h, ctx| h.on_frame(ctx, frame));
+                    self.dispatch_host(hidx, now, corr, move |h, ctx| h.on_frame(ctx, frame));
                 }
             }
-            Event::HostStart(hidx) => self.dispatch_host(hidx, now, |h, ctx| h.on_start(ctx)),
-            Event::HostTimer { hidx, token } => {
-                self.dispatch_host(hidx, now, move |h, ctx| h.on_timer(ctx, token))
+            Event::HostStart(hidx) => {
+                let corr = self.fresh_corr();
+                self.dispatch_host(hidx, now, corr, |h, ctx| h.on_start(ctx))
+            }
+            Event::HostTimer { hidx, token, corr } => {
+                self.dispatch_host(hidx, now, corr, move |h, ctx| h.on_timer(ctx, token))
             }
             Event::Liveness => {
                 let mut fx = Vec::new();
@@ -550,12 +683,16 @@ impl System {
                         )
                     });
                     if dup {
-                        self.stats.incr("system.doorbells_coalesced");
+                        self.met.doorbells_coalesced.incr();
                         return;
                     }
                 }
             }
             self.slots[idx].inbox.push_back(work);
+            self.slots[idx]
+                .met
+                .inbox_depth
+                .set(self.slots[idx].inbox.len() as i64);
             self.arm_pop(idx, now);
             return;
         }
@@ -569,20 +706,29 @@ impl System {
     fn run_work(&mut self, idx: usize, now: SimTime, work: Work) {
         match work {
             Work::Msg(env) => {
+                self.slots[idx].met.msgs.incr();
                 self.trace_envelope(now, idx, &env);
-                self.dispatch(idx, now, move |d, ctx| d.on_message(ctx, env));
+                let corr = env.corr;
+                self.dispatch(idx, now, corr, move |d, ctx| d.on_message(ctx, env));
             }
-            Work::Timer(token) => {
-                self.dispatch(idx, now, move |d, ctx| d.on_timer(ctx, token));
+            Work::Timer(token, corr) => {
+                self.dispatch(idx, now, corr, move |d, ctx| d.on_timer(ctx, token));
             }
-            Work::Net(frame) => {
-                self.dispatch(idx, now, move |d, ctx| d.on_net(ctx, frame));
+            Work::Net(frame, corr) => {
+                self.slots[idx].met.frames_rx.incr();
+                self.dispatch(idx, now, corr, move |d, ctx| d.on_net(ctx, frame));
             }
         }
     }
 
     /// Runs one device hook and applies its effects.
-    fn dispatch(&mut self, idx: usize, now: SimTime, f: impl FnOnce(&mut dyn Device, &mut DeviceCtx<'_>)) {
+    fn dispatch(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        corr: CorrId,
+        f: impl FnOnce(&mut dyn Device, &mut DeviceCtx<'_>),
+    ) {
         let slot = &mut self.slots[idx];
         if slot.halted {
             return;
@@ -595,64 +741,87 @@ impl System {
             &mut self.dram,
             &mut slot.rng,
             &mut slot.next_req,
+            corr,
+            &self.stats,
         );
         f(slot.device.as_mut(), &mut ctx);
         let (actions, elapsed, faults) = ctx.finish();
         slot.busy_until = now + elapsed;
         let t = slot.busy_until;
+        slot.met.handler_ns.record(elapsed);
         if !faults.is_empty() {
-            self.stats.add("iommu.faults", faults.len() as u64);
+            slot.met.iommu_faults.add(faults.len() as u64);
+            self.met.iommu_faults.add(faults.len() as u64);
         }
         for a in actions {
-            self.apply_action(idx, t, a);
+            self.apply_action(idx, t, corr, a);
         }
     }
 
-    fn dispatch_host(&mut self, hidx: usize, now: SimTime, f: impl FnOnce(&mut dyn NetHost, &mut HostCtx<'_>)) {
+    fn dispatch_host(
+        &mut self,
+        hidx: usize,
+        now: SimTime,
+        corr: CorrId,
+        f: impl FnOnce(&mut dyn NetHost, &mut HostCtx<'_>),
+    ) {
         let hs = &mut self.hosts[hidx];
-        let mut ctx = HostCtx::new(now, hs.port, &mut self.stats, &mut hs.rng);
+        let mut ctx = HostCtx::new(now, hs.port, &self.stats, &mut hs.rng, corr);
         f(hs.host.as_mut(), &mut ctx);
         let actions = ctx.finish();
         for a in actions {
             match a {
-                HostAction::NetTx(frame) => self.route_frame(now, frame),
+                HostAction::NetTx(frame) => self.route_frame(now, frame, corr),
                 HostAction::SetTimer { delay, token } => {
-                    self.queue.schedule_in(delay, Event::HostTimer { hidx, token });
+                    self.queue
+                        .schedule_in(delay, Event::HostTimer { hidx, token, corr });
                 }
                 HostAction::Trace(s) => {
                     let name = self.hosts[hidx].host.name().to_string();
-                    self.trace.emit(now, name, s);
+                    self.trace.emit_data(now, name, corr, TraceData::Text(s));
                 }
             }
         }
     }
 
-    fn route_frame(&mut self, at: SimTime, frame: Frame) {
+    fn route_frame(&mut self, at: SimTime, frame: Frame, corr: CorrId) {
         // `route` computes per-recipient delivery times including egress
         // queueing, which is how network contention becomes real.
         for (port, deliver_at) in self.switch.route(at, &frame) {
-            self.queue
-                .schedule_at(deliver_at, Event::NetDeliver { port, frame: frame.clone() });
+            self.queue.schedule_at(
+                deliver_at,
+                Event::NetDeliver {
+                    port,
+                    frame: frame.clone(),
+                    corr,
+                },
+            );
         }
     }
 
-    fn apply_action(&mut self, idx: usize, t: SimTime, action: Action) {
+    fn apply_action(&mut self, idx: usize, t: SimTime, corr: CorrId, action: Action) {
         match action {
             Action::SendBus(env) => {
                 if self.trace.is_enabled() {
                     let name = self.slots[idx].device.name().to_string();
-                    let detail = match &env.payload {
-                        Payload::Query { pattern } => format!("sends Query({pattern}) to {:?}", env.dst),
-                        p => format!("sends {} to {:?}", p.kind_name(), env.dst),
+                    let data = match &env.payload {
+                        Payload::Query { pattern } => TraceData::Discovery {
+                            pattern: pattern.clone(),
+                            dst: format!("{:?}", env.dst),
+                        },
+                        p => TraceData::BusSend {
+                            what: p.kind_name().to_string(),
+                            dst: format!("{:?}", env.dst),
+                        },
                     };
-                    self.trace.emit(t, name, detail);
+                    self.trace.emit_data(t, name, env.corr, data);
                 }
                 // One hop to the bus; processing/latency modelled by the
                 // bus's own cost model when it emits deliveries.
                 let mut hop = self.config.bus_cost.hop_latency;
                 if let Some(link) = self.shared_link.as_mut() {
                     hop += link.occupy(t, env.wire_len() as u64);
-                    self.stats.incr("link.control_msgs");
+                    self.met.link_control_msgs.incr();
                 }
                 self.queue.schedule_at(t + hop, Event::BusMsg(env));
             }
@@ -661,31 +830,53 @@ impl System {
                     src: self.slots[idx].id,
                     dst: Dst::Device(to),
                     req: RequestId(0),
+                    corr,
                     payload: Payload::Doorbell { conn, value },
                 };
+                if self.trace.is_enabled() {
+                    let name = self.slots[idx].device.name().to_string();
+                    self.trace.emit_data(
+                        t,
+                        name,
+                        corr,
+                        TraceData::QueueDoorbell {
+                            to: to.to_string(),
+                            value,
+                        },
+                    );
+                }
                 let mut lat = self.config.doorbell_latency;
                 if let Some(link) = self.shared_link.as_mut() {
                     lat += link.occupy(t, 8);
                 }
-                self.stats.incr("system.doorbells");
+                self.met.doorbells.incr();
                 if let Some(&to_idx) = self.by_id.get(&to) {
                     self.queue
                         .schedule_at(t + lat, Event::Deliver { idx: to_idx, env });
                 }
             }
             Action::SetTimer { delay, token } => {
-                self.queue.schedule_at(t + delay, Event::Timer { idx, token });
+                self.queue
+                    .schedule_at(t + delay, Event::Timer { idx, token, corr });
             }
-            Action::NetTx(frame) => self.route_frame(t, frame),
+            Action::NetTx(frame) => self.route_frame(t, frame, corr),
             Action::Trace(s) => {
                 let name = self.slots[idx].device.name().to_string();
-                self.trace.emit(t, name, s);
+                self.trace.emit_data(t, name, corr, TraceData::Text(s));
             }
             Action::Halt { reason } => {
                 let id = self.slots[idx].id;
                 self.slots[idx].halted = true;
                 self.slots[idx].inbox.clear();
-                self.trace.emit(t, "fault", format!("{id} halted: {reason}"));
+                self.trace.emit_data(
+                    t,
+                    "fault",
+                    corr,
+                    TraceData::DeviceFault {
+                        device: id.to_string(),
+                        detail: format!("{id} halted: {reason}"),
+                    },
+                );
                 let mut fx = Vec::new();
                 let _ = self.bus.mark_failed(id, &mut fx);
                 self.apply_bus_effects(t, fx);
@@ -702,7 +893,8 @@ impl System {
                         lat += link.occupy(now, env.wire_len() as u64);
                     }
                     if let Some(&idx) = self.by_id.get(&to) {
-                        self.queue.schedule_at(now + lat, Event::Deliver { idx, env });
+                        self.queue
+                            .schedule_at(now + lat, Event::Deliver { idx, env });
                     }
                 }
                 BusEffect::ProgramMap {
@@ -712,11 +904,25 @@ impl System {
                     pa,
                     pages,
                     perms,
+                    corr,
                 } => {
                     if let Some(&idx) = self.by_id.get(&device) {
+                        if self.trace.is_enabled() {
+                            self.trace.emit_data(
+                                now,
+                                "bus",
+                                corr,
+                                TraceData::DmaGrant {
+                                    to: device.to_string(),
+                                    pages,
+                                    writable: perms & 2 != 0,
+                                },
+                            );
+                        }
                         // The privileged write lands after one hop plus bus
                         // processing — strictly before any 2-hop response.
-                        let lat = self.config.bus_cost.hop_latency + self.config.bus_cost.processing;
+                        let lat =
+                            self.config.bus_cost.hop_latency + self.config.bus_cost.processing;
                         self.queue.schedule_at(
                             now + lat,
                             Event::Map {
@@ -726,6 +932,7 @@ impl System {
                                 pa,
                                 pages,
                                 perms,
+                                corr,
                             },
                         );
                     }
@@ -735,24 +942,44 @@ impl System {
                     pasid,
                     va,
                     pages,
+                    corr,
                 } => {
                     if let Some(&idx) = self.by_id.get(&device) {
-                        let lat = self.config.bus_cost.hop_latency + self.config.bus_cost.processing;
-                        self.queue
-                            .schedule_at(now + lat, Event::Unmap { idx, pasid, va, pages });
+                        let lat =
+                            self.config.bus_cost.hop_latency + self.config.bus_cost.processing;
+                        self.queue.schedule_at(
+                            now + lat,
+                            Event::Unmap {
+                                idx,
+                                pasid,
+                                va,
+                                pages,
+                                corr,
+                            },
+                        );
                     }
                 }
-                BusEffect::ResetDevice { device } => {
+                BusEffect::ResetDevice { device, corr } => {
                     if let Some(&idx) = self.by_id.get(&device) {
                         self.queue
-                            .schedule_in(self.config.reset_latency, Event::Reset(idx));
+                            .schedule_in(self.config.reset_latency, Event::Reset { idx, corr });
                     }
                 }
             }
         }
     }
 
-    fn apply_map(&mut self, idx: usize, pasid: u32, va: u64, pa: u64, pages: u64, perms: u8) {
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire-level Map request.
+    fn apply_map(
+        &mut self,
+        idx: usize,
+        pasid: u32,
+        va: u64,
+        pa: u64,
+        pages: u64,
+        perms: u8,
+        corr: CorrId,
+    ) {
         let slot = &mut self.slots[idx];
         let perms = perms_from_bits(perms);
         slot.iommu.bind_pasid(Pasid(pasid));
@@ -767,25 +994,36 @@ impl System {
                     let _ = slot.iommu.protect(Pasid(pasid), va_i, perms);
                 }
                 Err(e) => {
-                    self.trace
-                        .emit(self.queue.now(), "bus", format!("map failed: {e}"));
-                    self.stats.incr("bus.map_failures");
+                    self.trace.emit_data(
+                        self.queue.now(),
+                        "bus",
+                        corr,
+                        TraceData::MapFailure {
+                            error: format!("{e}"),
+                        },
+                    );
+                    self.met.map_failures.incr();
                     return;
                 }
             }
         }
-        self.stats.add("bus.pages_mapped", pages);
-        self.trace.emit(
+        self.met.pages_mapped.add(pages);
+        self.trace.emit_data(
             self.queue.now(),
             "bus",
-            format!(
-                "programmed IOMMU of {}: pasid {pasid} va {va:#x} -> pa {pa:#x} ({pages} pages, {perms})",
-                slot.id
-            ),
+            corr,
+            TraceData::IommuMap {
+                device: slot.id.to_string(),
+                pasid,
+                va,
+                pa,
+                pages,
+                perms: perms.to_string(),
+            },
         );
     }
 
-    fn apply_unmap(&mut self, idx: usize, pasid: u32, va: u64, pages: u64) {
+    fn apply_unmap(&mut self, idx: usize, pasid: u32, va: u64, pages: u64, corr: CorrId) {
         let slot = &mut self.slots[idx];
         let mut removed = 0;
         for i in 0..pages {
@@ -794,11 +1032,17 @@ impl System {
                 removed += 1;
             }
         }
-        self.stats.add("bus.pages_unmapped", removed);
-        self.trace.emit(
+        self.met.pages_unmapped.add(removed);
+        self.trace.emit_data(
             self.queue.now(),
             "bus",
-            format!("revoked {removed} pages from {} (pasid {pasid}, va {va:#x})", slot.id),
+            corr,
+            TraceData::IommuUnmap {
+                device: slot.id.to_string(),
+                pasid,
+                va,
+                pages: removed,
+            },
         );
     }
 
@@ -815,10 +1059,14 @@ impl System {
                 .map(|&i| self.slots[i].device.name().to_string())
                 .unwrap_or_else(|| format!("{}", env.src))
         };
-        self.trace.emit(
+        self.trace.emit_data(
             now,
             from,
-            format!("-> {to}: {}", env.payload.kind_name()),
+            env.corr,
+            TraceData::Deliver {
+                to,
+                kind: env.payload.kind_name(),
+            },
         );
     }
 }
@@ -840,6 +1088,7 @@ fn perms_from_bits(bits: u8) -> Perms {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lastcpu_devices::auth::AuthDevice;
     use lastcpu_devices::console::{ConsoleDevice, ConsoleState};
     use lastcpu_devices::flash::{NandChip, NandConfig};
     use lastcpu_devices::fs::FlashFs;
@@ -847,7 +1096,6 @@ mod tests {
     use lastcpu_devices::monitor::AuthMode;
     use lastcpu_devices::nic::{EchoApp, SmartNic};
     use lastcpu_devices::ssd::{SmartSsd, SsdConfig};
-    use lastcpu_devices::auth::AuthDevice;
 
     fn small_fs() -> FlashFs {
         FlashFs::format(Ftl::new(NandChip::new(NandConfig {
@@ -951,7 +1199,10 @@ mod tests {
             c.state(),
             ConsoleState::Done,
             "console stuck; trace tail: {:?}",
-            { let v: Vec<_> = sys.trace().events().collect(); v.into_iter().rev().take(15).collect::<Vec<_>>() }
+            {
+                let v: Vec<_> = sys.trace().events().collect();
+                v.into_iter().rev().take(15).collect::<Vec<_>>()
+            }
         );
         assert_eq!(
             c.log().unwrap(),
@@ -959,7 +1210,10 @@ mod tests {
         );
         // The data really moved through the SSD's IOMMU under a PASID.
         let ssd_tlb = sys.iommu(ssd).tlb_stats();
-        assert!(ssd_tlb.hits + ssd_tlb.misses > 0, "SSD DMA went through its IOMMU");
+        assert!(
+            ssd_tlb.hits + ssd_tlb.misses > 0,
+            "SSD DMA went through its IOMMU"
+        );
         assert!(sys.stats().counter("bus.pages_mapped") > 0);
     }
 

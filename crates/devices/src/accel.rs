@@ -166,7 +166,8 @@ impl Device for Accelerator {
         ctx.busy(SimDuration::from_millis(5)); // fabric configuration scan
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "fpga-accelerator");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -186,7 +187,8 @@ impl Device for Accelerator {
                         self.monitor.reject_open(ctx, req, from, Status::BadRequest);
                     } else if !admit {
                         self.stats.rejected += 1;
-                        self.monitor.reject_open(ctx, req, from, Status::NoResources);
+                        self.monitor
+                            .reject_open(ctx, req, from, Status::NoResources);
                     } else {
                         // Partial reconfiguration takes real time.
                         ctx.busy(SimDuration::from_millis(2).saturating_mul(wanted as u64));
@@ -235,8 +237,7 @@ impl Device for Accelerator {
                 }
                 MonitorEvent::PeerClosed { conn } => {
                     if let Some(c) = self.conns.remove(&conn) {
-                        self.free_regions =
-                            (self.free_regions + c.regions).min(self.total_regions);
+                        self.free_regions = (self.free_regions + c.regions).min(self.total_regions);
                     }
                 }
                 MonitorEvent::PeerFailed {
@@ -266,16 +267,19 @@ impl Device for Accelerator {
         ctx.busy(SimDuration::from_millis(5));
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "fpga-accelerator");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lastcpu_bus::CorrId;
     use lastcpu_bus::{Dst, Payload, RequestId, Token};
     use lastcpu_iommu::Iommu;
     use lastcpu_mem::Dram;
+    use lastcpu_sim::MetricsHub;
     use lastcpu_sim::{DetRng, SimTime};
 
     struct Fix {
@@ -283,6 +287,7 @@ mod tests {
         dram: Dram,
         rng: DetRng,
         req: u64,
+        stats: MetricsHub,
     }
 
     impl Fix {
@@ -292,6 +297,7 @@ mod tests {
                 dram: Dram::new(1 << 20),
                 rng: DetRng::new(7),
                 req: 0,
+                stats: MetricsHub::new(),
             }
         }
 
@@ -304,6 +310,8 @@ mod tests {
                 &mut self.dram,
                 &mut self.rng,
                 &mut self.req,
+                CorrId::NONE,
+                &self.stats,
             )
         }
     }
@@ -313,6 +321,7 @@ mod tests {
             src: DeviceId(9),
             dst: Dst::Device(DeviceId(1)),
             req: RequestId(1),
+            corr: CorrId::NONE,
             payload: Payload::OpenRequest {
                 service: FABRIC_SERVICE,
                 token: Token::NONE,
@@ -371,6 +380,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(2),
+                corr: CorrId::NONE,
                 payload: Payload::Doorbell {
                     conn: wide,
                     value: 800,
@@ -394,6 +404,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(2),
+                corr: CorrId::NONE,
                 payload: Payload::Doorbell {
                     conn: narrow,
                     value: 800,
@@ -422,6 +433,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(3),
+                corr: CorrId::NONE,
                 payload: Payload::CloseRequest { conn },
             },
         );
@@ -440,7 +452,10 @@ mod tests {
                 src: DeviceId::BUS,
                 dst: Dst::Broadcast,
                 req: RequestId(0),
-                payload: Payload::DeviceFailed { device: DeviceId(9) },
+                corr: CorrId::NONE,
+                payload: Payload::DeviceFailed {
+                    device: DeviceId(9),
+                },
             },
         );
         assert_eq!(acc.free_regions(), 4);

@@ -15,8 +15,8 @@
 
 use std::collections::HashMap;
 
-use lastcpu_bus::{Envelope, ResourceKind, ServiceDesc, ServiceId, Token};
 use lastcpu_bus::wire::{WireReader, WireWriter};
+use lastcpu_bus::{Envelope, ResourceKind, ServiceDesc, ServiceId, Token};
 use lastcpu_sim::SimDuration;
 
 use crate::device::{Device, DeviceCtx};
@@ -141,7 +141,8 @@ impl Device for AuthDevice {
         ctx.busy(SimDuration::from_micros(2)); // self-test
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "auth-service");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -170,8 +171,15 @@ impl Device for AuthDevice {
                         w.u128(t.0);
                         // A login session carries no shared memory; the
                         // token rides back in the response params.
-                        self.monitor
-                            .accept_open(ctx, req, from, LOGIN_SERVICE, None, 0, w.finish());
+                        self.monitor.accept_open(
+                            ctx,
+                            req,
+                            from,
+                            LOGIN_SERVICE,
+                            None,
+                            0,
+                            w.finish(),
+                        );
                     }
                     None => {
                         self.logins_failed += 1;
@@ -193,7 +201,8 @@ impl Device for AuthDevice {
         ctx.busy(SimDuration::from_micros(2));
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "auth-service");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 }
 

@@ -162,8 +162,9 @@ impl ConsoleDevice {
                         Some(token) => {
                             self.token = token;
                             self.state = ConsoleState::FindingLog;
-                            self.discover_op =
-                                self.monitor.discover(ctx, &format!("file:{}", self.log_path));
+                            self.discover_op = self
+                                .monitor
+                                .discover(ctx, &format!("file:{}", self.log_path));
                         }
                         None => self.fail(Status::Failed),
                     },
@@ -277,7 +278,8 @@ impl Device for ConsoleDevice {
         ctx.busy(SimDuration::from_micros(5));
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "console");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -302,6 +304,7 @@ impl Device for ConsoleDevice {
         self.next_offset = 0;
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "console");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 }

@@ -16,7 +16,7 @@ use lastcpu_bus::{ConnId, DeviceId, Dst, Envelope, Payload, RequestId};
 use lastcpu_iommu::{AccessKind, Iommu, IommuFault};
 use lastcpu_mem::{Dram, Pasid, VirtAddr};
 use lastcpu_net::{Frame, PortId};
-use lastcpu_sim::{DetRng, SimDuration, SimTime};
+use lastcpu_sim::{CorrId, DetRng, MetricsHub, SimDuration, SimTime};
 use lastcpu_virtio::{MemFault, QueueMemory};
 
 /// An outgoing effect queued by a device handler.
@@ -67,6 +67,14 @@ pub struct DeviceCtx<'a> {
     pub dev: DeviceId,
     /// The device's network port, if it has one.
     pub port: Option<PortId>,
+    /// Correlation id of the activity this handler belongs to. The simulator
+    /// sets it from the triggering event (envelope, timer, frame) and every
+    /// outgoing envelope is stamped with it, so causality survives hops.
+    pub corr: CorrId,
+    /// The system-wide metrics hub. Device firmware registers its own
+    /// counters/histograms here (keyed `subsystem.device.metric`); handles
+    /// obtained once are plain `Cell` writes on the hot path.
+    pub stats: &'a MetricsHub,
     iommu: &'a mut Iommu,
     dram: &'a mut Dram,
     rng: &'a mut DetRng,
@@ -91,11 +99,15 @@ impl<'a> DeviceCtx<'a> {
         dram: &'a mut Dram,
         rng: &'a mut DetRng,
         next_req: &'a mut u64,
+        corr: CorrId,
+        stats: &'a MetricsHub,
     ) -> Self {
         DeviceCtx {
             now,
             dev,
             port,
+            corr,
+            stats,
             iommu,
             dram,
             rng,
@@ -148,6 +160,7 @@ impl<'a> DeviceCtx<'a> {
             src: self.dev,
             dst,
             req,
+            corr: self.corr,
             payload,
         }));
     }
@@ -189,9 +202,14 @@ impl<'a> DeviceCtx<'a> {
         va: VirtAddr,
         buf: &mut [u8],
     ) -> Result<(), IommuFault> {
-        self.dma(pasid, va, buf.len() as u64, AccessKind::Read, |dram, pa, off, chunk, buf| {
-            dram.read(pa, &mut buf[off..off + chunk]).map(|_| ())
-        }, buf)
+        self.dma(
+            pasid,
+            va,
+            buf.len() as u64,
+            AccessKind::Read,
+            |dram, pa, off, chunk, buf| dram.read(pa, &mut buf[off..off + chunk]).map(|_| ()),
+            buf,
+        )
     }
 
     /// DMA-writes `data` at `va` in address space `pasid`.
@@ -229,7 +247,13 @@ impl<'a> DeviceCtx<'a> {
         va: VirtAddr,
         len: u64,
         access: AccessKind,
-        op: impl Fn(&mut Dram, lastcpu_mem::PhysAddr, usize, usize, &mut [u8]) -> Result<(), lastcpu_mem::DramError>,
+        op: impl Fn(
+            &mut Dram,
+            lastcpu_mem::PhysAddr,
+            usize,
+            usize,
+            &mut [u8],
+        ) -> Result<(), lastcpu_mem::DramError>,
         buf: &mut [u8],
     ) -> Result<(), IommuFault> {
         let mut off = 0usize;
@@ -333,10 +357,20 @@ mod tests {
         let mut iommu = Iommu::new(16);
         iommu.bind_pasid(Pasid(1));
         iommu
-            .map(Pasid(1), VirtAddr::new(0x1000), PhysAddr::new(0x4000), Perms::RW)
+            .map(
+                Pasid(1),
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0x4000),
+                Perms::RW,
+            )
             .unwrap();
         iommu
-            .map(Pasid(1), VirtAddr::new(0x2000), PhysAddr::new(0x5000), Perms::RW)
+            .map(
+                Pasid(1),
+                VirtAddr::new(0x2000),
+                PhysAddr::new(0x5000),
+                Perms::RW,
+            )
             .unwrap();
         (iommu, Dram::new(1 << 20), DetRng::new(1), 0)
     }
@@ -344,6 +378,7 @@ mod tests {
     #[test]
     fn dma_round_trip_and_cost() {
         let (mut iommu, mut dram, mut rng, mut req) = fixture();
+        let hub = MetricsHub::new();
         let mut ctx = DeviceCtx::new(
             SimTime::ZERO,
             DeviceId(1),
@@ -352,11 +387,14 @@ mod tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         ctx.dma_write(Pasid(1), VirtAddr::new(0x1ff0), b"span across pages!")
             .unwrap();
         let mut back = [0u8; 18];
-        ctx.dma_read(Pasid(1), VirtAddr::new(0x1ff0), &mut back).unwrap();
+        ctx.dma_read(Pasid(1), VirtAddr::new(0x1ff0), &mut back)
+            .unwrap();
         assert_eq!(&back, b"span across pages!");
         assert!(ctx.elapsed() > SimDuration::ZERO);
         let (actions, cost, faults) = ctx.finish();
@@ -368,6 +406,7 @@ mod tests {
     #[test]
     fn dma_fault_is_returned_and_recorded() {
         let (mut iommu, mut dram, mut rng, mut req) = fixture();
+        let hub = MetricsHub::new();
         let mut ctx = DeviceCtx::new(
             SimTime::ZERO,
             DeviceId(1),
@@ -376,9 +415,13 @@ mod tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         let mut buf = [0u8; 4];
-        let err = ctx.dma_read(Pasid(1), VirtAddr::new(0x9000), &mut buf).unwrap_err();
+        let err = ctx
+            .dma_read(Pasid(1), VirtAddr::new(0x9000), &mut buf)
+            .unwrap_err();
         assert_eq!(err.va, VirtAddr::new(0x9000));
         let (_, _, faults) = ctx.finish();
         assert_eq!(faults.len(), 1);
@@ -387,6 +430,7 @@ mod tests {
     #[test]
     fn request_ids_are_unique_and_persistent() {
         let (mut iommu, mut dram, mut rng, mut req) = fixture();
+        let hub = MetricsHub::new();
         {
             let mut ctx = DeviceCtx::new(
                 SimTime::ZERO,
@@ -396,6 +440,8 @@ mod tests {
                 &mut dram,
                 &mut rng,
                 &mut req,
+                CorrId::NONE,
+                &hub,
             );
             assert_eq!(ctx.send_bus(Dst::Bus, Payload::Heartbeat), RequestId(0));
             assert_eq!(ctx.send_bus(Dst::Bus, Payload::Heartbeat), RequestId(1));
@@ -409,6 +455,8 @@ mod tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         assert_eq!(ctx.next_request_id(), RequestId(2));
     }
@@ -416,6 +464,7 @@ mod tests {
     #[test]
     fn actions_queue_in_order() {
         let (mut iommu, mut dram, mut rng, mut req) = fixture();
+        let hub = MetricsHub::new();
         let mut ctx = DeviceCtx::new(
             SimTime::ZERO,
             DeviceId(1),
@@ -424,6 +473,8 @@ mod tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         ctx.set_timer(SimDuration::from_micros(5), 42);
         ctx.doorbell(DeviceId(2), ConnId(7), 1);
@@ -439,6 +490,7 @@ mod tests {
     #[test]
     fn dma_view_implements_queue_memory() {
         let (mut iommu, mut dram, mut rng, mut req) = fixture();
+        let hub = MetricsHub::new();
         let mut ctx = DeviceCtx::new(
             SimTime::ZERO,
             DeviceId(1),
@@ -447,6 +499,8 @@ mod tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         let mut view = ctx.dma_view(Pasid(1));
         view.write(0x1000, b"via view").unwrap();
@@ -456,13 +510,17 @@ mod tests {
         // Faults map to MemFault with the right direction.
         assert_eq!(
             view.write(0x9000, b"x"),
-            Err(MemFault { va: 0x9000, write: true })
+            Err(MemFault {
+                va: 0x9000,
+                write: true
+            })
         );
     }
 
     #[test]
     fn busy_accumulates() {
         let (mut iommu, mut dram, mut rng, mut req) = fixture();
+        let hub = MetricsHub::new();
         let mut ctx = DeviceCtx::new(
             SimTime::ZERO,
             DeviceId(1),
@@ -471,6 +529,8 @@ mod tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         ctx.busy(SimDuration::from_nanos(100));
         ctx.busy(SimDuration::from_nanos(50));

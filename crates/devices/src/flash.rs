@@ -220,14 +220,15 @@ impl NandChip {
 
     /// Erase count of a block (wear metric).
     pub fn erase_count(&self, block: u32) -> u32 {
-        self.blocks
-            .get(block as usize)
-            .map_or(0, |b| b.erase_count)
+        self.blocks.get(block as usize).map_or(0, |b| b.erase_count)
     }
 
     /// Whether a block is bad.
     pub fn is_bad(&self, block: u32) -> bool {
-        self.blocks.get(block as usize).is_none_or(|b| b.bad)
+        match self.blocks.get(block as usize) {
+            Some(b) => b.bad,
+            None => true,
+        }
     }
 
     /// Fault injection: marks a block bad immediately.

@@ -115,7 +115,10 @@ impl FlashFs {
 
     /// File size in bytes.
     pub fn len(&self, name: &str) -> Result<u64, FsError> {
-        self.files.get(name).map(|m| m.size).ok_or(FsError::NotFound)
+        self.files
+            .get(name)
+            .map(|m| m.size)
+            .ok_or(FsError::NotFound)
     }
 
     /// Lists file names in lexicographic order.
@@ -137,7 +140,12 @@ impl FlashFs {
     /// Reads `buf.len()` bytes at `offset`, returning the flash time spent.
     ///
     /// Fails with [`FsError::PastEof`] if the range extends past the end.
-    pub fn read(&mut self, name: &str, offset: u64, buf: &mut [u8]) -> Result<SimDuration, FsError> {
+    pub fn read(
+        &mut self,
+        name: &str,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<SimDuration, FsError> {
         let meta = self.files.get(name).ok_or(FsError::NotFound)?;
         if offset + buf.len() as u64 > meta.size {
             return Err(FsError::PastEof);

@@ -17,8 +17,8 @@
 use std::collections::{HashMap, HashSet};
 
 use lastcpu_bus::{
-    ConnId, DeviceId, Dst, Envelope, ErrorCode, Payload, RequestId, ServiceDesc, ServiceId,
-    Status, Token,
+    ConnId, DeviceId, Dst, Envelope, ErrorCode, Payload, RequestId, ServiceDesc, ServiceId, Status,
+    Token,
 };
 use lastcpu_sim::SimDuration;
 
@@ -445,6 +445,7 @@ impl Monitor {
 
     /// Accepts a pending [`MonitorEvent::OpenRequested`], allocating the
     /// connection context.
+    #[allow(clippy::too_many_arguments)] // Mirrors the open-response fields.
     pub fn accept_open(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
@@ -560,25 +561,23 @@ impl Monitor {
                 service,
                 token,
                 params,
-            } => {
-                match self.services.iter().find(|(s, _)| s.id == *service) {
-                    None => {
-                        self.reject_open(ctx, env.req, env.src, Status::NotFound);
-                    }
-                    Some((_, auth)) => match auth.check(*token) {
-                        Ok(principal) => ev.push(MonitorEvent::OpenRequested {
-                            req: env.req,
-                            from: env.src,
-                            service: *service,
-                            principal,
-                            params: params.clone(),
-                        }),
-                        Err(status) => {
-                            self.reject_open(ctx, env.req, env.src, status);
-                        }
-                    },
+            } => match self.services.iter().find(|(s, _)| s.id == *service) {
+                None => {
+                    self.reject_open(ctx, env.req, env.src, Status::NotFound);
                 }
-            }
+                Some((_, auth)) => match auth.check(*token) {
+                    Ok(principal) => ev.push(MonitorEvent::OpenRequested {
+                        req: env.req,
+                        from: env.src,
+                        service: *service,
+                        principal,
+                        params: params.clone(),
+                    }),
+                    Err(status) => {
+                        self.reject_open(ctx, env.req, env.src, status);
+                    }
+                },
+            },
             Payload::OpenResponse {
                 status,
                 conn,
@@ -614,14 +613,21 @@ impl Monitor {
                 if let Some(op) = self.req_to_op.remove(&env.req) {
                     if let Some(PendingOp::Close { conn, .. }) = self.ops.remove(&op) {
                         self.opened.remove(&conn);
-                        ev.push(MonitorEvent::CloseDone { op, status: *status });
+                        ev.push(MonitorEvent::CloseDone {
+                            op,
+                            status: *status,
+                        });
                     }
                 }
             }
             Payload::MemAllocResponse { status, region } => {
                 if let Some(op) = self.req_to_op.remove(&env.req) {
                     if matches!(self.ops.remove(&op), Some(PendingOp::Alloc)) {
-                        let result = if status.is_ok() { Ok(*region) } else { Err(*status) };
+                        let result = if status.is_ok() {
+                            Ok(*region)
+                        } else {
+                            Err(*status)
+                        };
                         ev.push(MonitorEvent::AllocDone { op, result });
                     }
                 }
@@ -629,14 +635,20 @@ impl Monitor {
             Payload::ShareResponse { status } => {
                 if let Some(op) = self.req_to_op.remove(&env.req) {
                     if matches!(self.ops.remove(&op), Some(PendingOp::Share)) {
-                        ev.push(MonitorEvent::ShareDone { op, status: *status });
+                        ev.push(MonitorEvent::ShareDone {
+                            op,
+                            status: *status,
+                        });
                     }
                 }
             }
             Payload::MemFreeResponse { status } => {
                 if let Some(op) = self.req_to_op.remove(&env.req) {
                     if matches!(self.ops.remove(&op), Some(PendingOp::Free)) {
-                        ev.push(MonitorEvent::FreeDone { op, status: *status });
+                        ev.push(MonitorEvent::FreeDone {
+                            op,
+                            status: *status,
+                        });
                     }
                 }
             }
@@ -730,9 +742,11 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lastcpu_bus::CorrId;
     use lastcpu_bus::ResourceKind;
     use lastcpu_iommu::Iommu;
     use lastcpu_mem::Dram;
+    use lastcpu_sim::MetricsHub;
     use lastcpu_sim::{DetRng, SimTime};
 
     struct Fix {
@@ -740,6 +754,7 @@ mod tests {
         dram: Dram,
         rng: DetRng,
         req: u64,
+        stats: MetricsHub,
     }
 
     impl Fix {
@@ -749,6 +764,7 @@ mod tests {
                 dram: Dram::new(1 << 20),
                 rng: DetRng::new(7),
                 req: 0,
+                stats: MetricsHub::new(),
             }
         }
 
@@ -761,6 +777,8 @@ mod tests {
                 &mut self.dram,
                 &mut self.rng,
                 &mut self.req,
+                CorrId::NONE,
+                &self.stats,
             )
         }
     }
@@ -807,6 +825,7 @@ mod tests {
                 src: DeviceId::BUS,
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::HelloAck {
                     assigned: DeviceId(1),
                 },
@@ -830,6 +849,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Broadcast,
                 req: RequestId(5),
+                corr: CorrId::NONE,
                 payload: Payload::Query {
                     pattern: "file:*".into(),
                 },
@@ -857,6 +877,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Broadcast,
                 req: RequestId(5),
+                corr: CorrId::NONE,
                 payload: Payload::Query {
                     pattern: "loader".into(),
                 },
@@ -894,6 +915,7 @@ mod tests {
                 src: DeviceId(2),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::QueryHit {
                     device: DeviceId(2),
                     service: svc(4, "file:/data/kv.db"),
@@ -979,6 +1001,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(3),
+                corr: CorrId::NONE,
                 payload: Payload::OpenRequest {
                     service: ServiceId(1),
                     token: Token(7), // wrong
@@ -1011,6 +1034,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(3),
+                corr: CorrId::NONE,
                 payload: Payload::OpenRequest {
                     service: ServiceId(1),
                     token,
@@ -1037,6 +1061,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(3),
+                corr: CorrId::NONE,
                 payload: Payload::OpenRequest {
                     service: ServiceId(99),
                     token: Token::NONE,
@@ -1079,6 +1104,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(2),
+                corr: CorrId::NONE,
                 payload: Payload::CloseRequest { conn },
             },
         );
@@ -1108,6 +1134,7 @@ mod tests {
                 src: mc,
                 dst: Dst::Device(DeviceId(1)),
                 req: alloc_req,
+                corr: CorrId::NONE,
                 payload: Payload::MemAllocResponse {
                     status: Status::Ok,
                     region: 33,
@@ -1132,6 +1159,7 @@ mod tests {
                 src: mc,
                 dst: Dst::Device(DeviceId(1)),
                 req: share_req,
+                corr: CorrId::NONE,
                 payload: Payload::ShareResponse { status: Status::Ok },
             },
         );
@@ -1153,6 +1181,7 @@ mod tests {
                 src: mc,
                 dst: Dst::Device(DeviceId(1)),
                 req: free_req,
+                corr: CorrId::NONE,
                 payload: Payload::MemFreeResponse { status: Status::Ok },
             },
         );
@@ -1172,8 +1201,15 @@ mod tests {
         m.add_service(svc(1, "s"), AuthMode::Open);
         // A server conn from device 9 and a client conn to device 9.
         let mut ctx = fix.ctx();
-        let server_conn =
-            m.accept_open(&mut ctx, RequestId(1), DeviceId(9), ServiceId(1), None, 0, vec![]);
+        let server_conn = m.accept_open(
+            &mut ctx,
+            RequestId(1),
+            DeviceId(9),
+            ServiceId(1),
+            None,
+            0,
+            vec![],
+        );
         drop(sent(ctx));
         let mut ctx = fix.ctx();
         let _op = m.open(&mut ctx, DeviceId(9), ServiceId(2), Token::NONE, vec![]);
@@ -1185,6 +1221,7 @@ mod tests {
                 src: DeviceId(9),
                 dst: Dst::Device(DeviceId(1)),
                 req: open_req,
+                corr: CorrId::NONE,
                 payload: Payload::OpenResponse {
                     status: Status::Ok,
                     conn: ConnId(70),
@@ -1201,7 +1238,10 @@ mod tests {
                 src: DeviceId::BUS,
                 dst: Dst::Broadcast,
                 req: RequestId(0),
-                payload: Payload::DeviceFailed { device: DeviceId(9) },
+                corr: CorrId::NONE,
+                payload: Payload::DeviceFailed {
+                    device: DeviceId(9),
+                },
             },
         );
         match &ev[0] {
@@ -1272,6 +1312,7 @@ mod tests {
                 src: DeviceId(2),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::Doorbell {
                     conn: ConnId(4),
                     value: 2,
@@ -1291,6 +1332,7 @@ mod tests {
                 src: DeviceId(2),
                 dst: Dst::Device(DeviceId(1)),
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::ErrorNotify {
                     code: ErrorCode::ServiceReset,
                     conn: ConnId(4),
@@ -1307,7 +1349,15 @@ mod tests {
         let mut m = Monitor::new();
         m.add_service(svc(1, "s"), AuthMode::Open);
         let mut ctx = fix.ctx();
-        m.accept_open(&mut ctx, RequestId(1), DeviceId(9), ServiceId(1), None, 0, vec![]);
+        m.accept_open(
+            &mut ctx,
+            RequestId(1),
+            DeviceId(9),
+            ServiceId(1),
+            None,
+            0,
+            vec![],
+        );
         m.reset();
         assert_eq!(m.server_conns().count(), 0);
         assert!(!m.is_registered());
@@ -1321,9 +1371,10 @@ mod tests {
 #[cfg(test)]
 mod discovery_correlation_tests {
     use super::*;
-    use lastcpu_bus::ResourceKind;
+    use lastcpu_bus::{CorrId, ResourceKind};
     use lastcpu_iommu::Iommu;
     use lastcpu_mem::Dram;
+    use lastcpu_sim::MetricsHub;
     use lastcpu_sim::{DetRng, SimTime};
 
     #[test]
@@ -1332,6 +1383,7 @@ mod discovery_correlation_tests {
         let mut dram = Dram::new(1 << 20);
         let mut rng = DetRng::new(7);
         let mut req = 0u64;
+        let hub = MetricsHub::new();
         let mut m = Monitor::new();
         let mut ctx = DeviceCtx::new(
             SimTime::ZERO,
@@ -1341,6 +1393,8 @@ mod discovery_correlation_tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         let op_a = m.discover(&mut ctx, "alpha:*");
         let op_b = m.discover(&mut ctx, "beta:*");
@@ -1349,9 +1403,7 @@ mod discovery_correlation_tests {
         let reqs: Vec<RequestId> = actions
             .iter()
             .filter_map(|a| match a {
-                crate::device::Action::SendBus(e)
-                    if matches!(e.payload, Payload::Query { .. }) =>
-                {
+                crate::device::Action::SendBus(e) if matches!(e.payload, Payload::Query { .. }) => {
                     Some(e.req)
                 }
                 _ => None,
@@ -1373,6 +1425,8 @@ mod discovery_correlation_tests {
             &mut dram,
             &mut rng,
             &mut req,
+            CorrId::NONE,
+            &hub,
         );
         m.handle(
             &mut ctx,
@@ -1380,6 +1434,7 @@ mod discovery_correlation_tests {
                 src: DeviceId(5),
                 dst: Dst::Device(DeviceId(1)),
                 req: reqs[1],
+                corr: CorrId::NONE,
                 payload: Payload::QueryHit {
                     device: DeviceId(5),
                     service: svc("beta:thing"),
@@ -1392,6 +1447,7 @@ mod discovery_correlation_tests {
                 src: DeviceId(6),
                 dst: Dst::Device(DeviceId(1)),
                 req: reqs[0],
+                corr: CorrId::NONE,
                 payload: Payload::QueryHit {
                     device: DeviceId(6),
                     service: svc("alpha:thing"),

@@ -123,7 +123,8 @@ impl<A: NicApp + 'static> Device for SmartNic<A> {
         ctx.busy(SimDuration::from_micros(20)); // self-test: PHY bring-up
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "smart-nic");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -196,7 +197,8 @@ impl<A: NicApp + 'static> Device for SmartNic<A> {
         ctx.busy(SimDuration::from_micros(20));
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "smart-nic");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 }
 
@@ -235,7 +237,8 @@ impl NicApp for EchoApp {
     fn on_net(&mut self, env: &mut NicEnv<'_, '_>, frame: Frame) {
         self.frames_echoed += 1;
         let Some(port) = env.ctx.port else { return };
-        env.ctx.net_tx(Frame::unicast(port, frame.src, frame.payload));
+        env.ctx
+            .net_tx(Frame::unicast(port, frame.src, frame.payload));
     }
 
     fn on_event(&mut self, _env: &mut NicEnv<'_, '_>, _ev: MonitorEvent) {}
@@ -244,10 +247,12 @@ impl NicApp for EchoApp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lastcpu_bus::CorrId;
     use lastcpu_bus::{DeviceId, Dst, Payload, RequestId};
     use lastcpu_iommu::Iommu;
     use lastcpu_mem::Dram;
     use lastcpu_net::PortId;
+    use lastcpu_sim::MetricsHub;
     use lastcpu_sim::{DetRng, SimTime};
 
     struct Fix {
@@ -255,6 +260,7 @@ mod tests {
         dram: Dram,
         rng: DetRng,
         req: u64,
+        stats: MetricsHub,
     }
 
     impl Fix {
@@ -264,6 +270,7 @@ mod tests {
                 dram: Dram::new(1 << 20),
                 rng: DetRng::new(7),
                 req: 0,
+                stats: MetricsHub::new(),
             }
         }
 
@@ -276,6 +283,8 @@ mod tests {
                 &mut self.dram,
                 &mut self.rng,
                 &mut self.req,
+                CorrId::NONE,
+                &self.stats,
             )
         }
     }
@@ -316,6 +325,7 @@ mod tests {
             src: DeviceId::BUS,
             dst: Dst::Device(DeviceId(1)),
             req: RequestId(0),
+            corr: CorrId::NONE,
             payload: Payload::HelloAck {
                 assigned: DeviceId(1),
             },
@@ -418,8 +428,8 @@ mod tests {
         let mut nic = SmartNic::new("nic0", SpyApp::default());
         let mut ctx = fix.ctx();
         nic.on_timer(&mut ctx, 7); // app-namespace token
-        // SpyApp has no on_timer counter; just verify no panic and that a
-        // monitor token is swallowed.
+                                   // SpyApp has no on_timer counter; just verify no panic and that a
+                                   // monitor token is swallowed.
         nic.on_timer(&mut ctx, 1 << 63);
     }
 }

@@ -165,7 +165,9 @@ impl FileSession {
         ev: &MonitorEvent,
     ) -> Option<SessionEvent> {
         match (self.state, ev) {
-            (SessionState::Opening, MonitorEvent::OpenDone { op, result, .. }) if *op == self.op => {
+            (SessionState::Opening, MonitorEvent::OpenDone { op, result, .. })
+                if *op == self.op =>
+            {
                 match result {
                     Ok((conn, shm, params)) => {
                         self.conn = *conn;
@@ -190,7 +192,9 @@ impl FileSession {
                     Err(status) => self.fail(*status),
                 }
             }
-            (SessionState::Allocating, MonitorEvent::AllocDone { op, result }) if *op == self.op => {
+            (SessionState::Allocating, MonitorEvent::AllocDone { op, result })
+                if *op == self.op =>
+            {
                 match result {
                     Ok(region) => {
                         self.region = *region;
@@ -251,9 +255,11 @@ impl FileSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lastcpu_bus::CorrId;
     use lastcpu_bus::{Dst, Envelope, Payload, RequestId};
     use lastcpu_iommu::Iommu;
     use lastcpu_mem::{Dram, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
+    use lastcpu_sim::MetricsHub;
     use lastcpu_sim::{DetRng, SimTime};
 
     const MEMCTL: DeviceId = DeviceId(5);
@@ -266,6 +272,7 @@ mod tests {
         dram: Dram,
         rng: DetRng,
         req: u64,
+        stats: MetricsHub,
     }
 
     impl Fix {
@@ -289,6 +296,7 @@ mod tests {
                 dram: Dram::new(1 << 24),
                 rng: DetRng::new(7),
                 req: 0,
+                stats: MetricsHub::new(),
             }
         }
 
@@ -301,6 +309,8 @@ mod tests {
                 &mut self.dram,
                 &mut self.rng,
                 &mut self.req,
+                CorrId::NONE,
+                &self.stats,
             )
         }
     }
@@ -333,15 +343,8 @@ mod tests {
     fn full_setup_sequence() {
         let mut fix = Fix::new();
         let mut monitor = Monitor::new();
-        let mut session = FileSession::new(
-            MEMCTL,
-            SSD,
-            ServiceId(100),
-            Token::NONE,
-            Pasid(1),
-            VA,
-            16,
-        );
+        let mut session =
+            FileSession::new(MEMCTL, SSD, ServiceId(100), Token::NONE, Pasid(1), VA, 16);
 
         // Step 3: open.
         let mut ctx = fix.ctx();
@@ -367,6 +370,7 @@ mod tests {
                 src: SSD,
                 dst: Dst::Device(ME),
                 req: open_req,
+                corr: CorrId::NONE,
                 payload: Payload::OpenResponse {
                     status: Status::Ok,
                     conn: ConnId(7),
@@ -391,6 +395,7 @@ mod tests {
                 src: MEMCTL,
                 dst: Dst::Device(ME),
                 req: alloc_req,
+                corr: CorrId::NONE,
                 payload: Payload::MemAllocResponse {
                     status: Status::Ok,
                     region: 55,
@@ -404,7 +409,11 @@ mod tests {
         let share_req = sent[0].req;
         assert!(matches!(
             sent[0].payload,
-            Payload::Share { region: 55, target: SSD, .. }
+            Payload::Share {
+                region: 55,
+                target: SSD,
+                ..
+            }
         ));
 
         let mut ctx = fix.ctx();
@@ -415,6 +424,7 @@ mod tests {
                 src: MEMCTL,
                 dst: Dst::Device(ME),
                 req: share_req,
+                corr: CorrId::NONE,
                 payload: Payload::ShareResponse { status: Status::Ok },
             },
         ) {
@@ -461,6 +471,7 @@ mod tests {
                 src: SSD,
                 dst: Dst::Device(ME),
                 req: open_req,
+                corr: CorrId::NONE,
                 payload: Payload::OpenResponse {
                     status: Status::Denied,
                     conn: ConnId(0),
@@ -469,7 +480,12 @@ mod tests {
                 },
             },
         );
-        assert_eq!(evs, vec![SessionEvent::Failed { status: Status::Denied }]);
+        assert_eq!(
+            evs,
+            vec![SessionEvent::Failed {
+                status: Status::Denied
+            }]
+        );
         assert_eq!(session.state(), SessionState::Failed(Status::Denied));
         assert!(session.client_mut().is_none());
     }
@@ -491,9 +507,15 @@ mod tests {
                 src: DeviceId::BUS,
                 dst: Dst::Broadcast,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::DeviceFailed { device: SSD },
             },
         );
-        assert_eq!(evs, vec![SessionEvent::Failed { status: Status::Failed }]);
+        assert_eq!(
+            evs,
+            vec![SessionEvent::Failed {
+                status: Status::Failed
+            }]
+        );
     }
 }

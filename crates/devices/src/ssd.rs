@@ -27,7 +27,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use lastcpu_bus::wire::{WireReader, WireWriter};
-use lastcpu_bus::{ConnId, DeviceId, Envelope, RequestId, ResourceKind, ServiceDesc, ServiceId, Status};
+use lastcpu_bus::{
+    ConnId, DeviceId, Envelope, RequestId, ResourceKind, ServiceDesc, ServiceId, Status,
+};
 use lastcpu_iommu::IommuFault;
 use lastcpu_mem::Pasid;
 use lastcpu_sim::SimDuration;
@@ -229,8 +231,12 @@ impl FsOp {
     fn decode(buf: &[u8]) -> Option<FsOp> {
         let mut r = WireReader::new(buf);
         let op = match r.u8().ok()? {
-            1 => FsOp::Create { path: r.string().ok()? },
-            2 => FsOp::Delete { path: r.string().ok()? },
+            1 => FsOp::Create {
+                path: r.string().ok()?,
+            },
+            2 => FsOp::Delete {
+                path: r.string().ok()?,
+            },
             3 => FsOp::List,
             _ => return None,
         };
@@ -428,7 +434,8 @@ impl SmartSsd {
                 }
                 Err(FsError::Exists) => self.monitor.reject_open(ctx, req, from, Status::Failed),
                 Err(FsError::NoSpace) => {
-                    self.monitor.reject_open(ctx, req, from, Status::NoResources)
+                    self.monitor
+                        .reject_open(ctx, req, from, Status::NoResources)
                 }
                 Err(_) => self.monitor.reject_open(ctx, req, from, Status::Failed),
             },
@@ -447,7 +454,8 @@ impl SmartSsd {
                                 lastcpu_bus::Payload::Withdraw { service: svc },
                             );
                         }
-                        self.monitor.accept_open(ctx, req, from, FS_SERVICE, None, 0, vec![]);
+                        self.monitor
+                            .accept_open(ctx, req, from, FS_SERVICE, None, 0, vec![]);
                     }
                     Err(FsError::NotFound) => {
                         self.monitor.reject_open(ctx, req, from, Status::NotFound)
@@ -494,11 +502,19 @@ impl SmartSsd {
                             "loader: installed {path} ({} bytes) for principal {principal:?}",
                             contents.len()
                         ));
-                        self.monitor
-                            .accept_open(ctx, req, from, LOADER_SERVICE, principal, 0, vec![]);
+                        self.monitor.accept_open(
+                            ctx,
+                            req,
+                            from,
+                            LOADER_SERVICE,
+                            principal,
+                            0,
+                            vec![],
+                        );
                     }
                     Err(FsError::NoSpace) => {
-                        self.monitor.reject_open(ctx, req, from, Status::NoResources)
+                        self.monitor
+                            .reject_open(ctx, req, from, Status::NoResources)
                     }
                     Err(_) => self.monitor.reject_open(ctx, req, from, Status::Failed),
                 }
@@ -530,9 +546,15 @@ impl SmartSsd {
         };
         let mut w = WireWriter::new();
         w.u64(self.fs.len(&path).unwrap_or(0));
-        let conn = self
-            .monitor
-            .accept_open(ctx, req, from, service, principal, FILE_CONN_SHM, w.finish());
+        let conn = self.monitor.accept_open(
+            ctx,
+            req,
+            from,
+            service,
+            principal,
+            FILE_CONN_SHM,
+            w.finish(),
+        );
         self.conns.insert(
             conn,
             FileConn {
@@ -757,7 +779,8 @@ impl Device for SmartSsd {
         }
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "smart-ssd");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -828,7 +851,8 @@ impl Device for SmartSsd {
         ctx.busy(SimDuration::from_micros(50));
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "smart-ssd");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 }
 
@@ -911,17 +935,18 @@ impl FileClient {
         let req_va = self.arena.alloc().expect("checked can_submit");
         let resp_va = self.arena.alloc().expect("checked can_submit");
         mem.write(req_va, &req)?;
-        let head = match self
-            .driver
-            .submit_request(mem, req_va, req.len() as u32, resp_va, resp_len)
-        {
-            Ok(h) => h,
-            Err(e) => {
-                self.arena.free(req_va);
-                self.arena.free(resp_va);
-                return Err(e);
-            }
-        };
+        let head =
+            match self
+                .driver
+                .submit_request(mem, req_va, req.len() as u32, resp_va, resp_len)
+            {
+                Ok(h) => h,
+                Err(e) => {
+                    self.arena.free(req_va);
+                    self.arena.free(resp_va);
+                    return Err(e);
+                }
+            };
         self.inflight.insert(head, (req_va, resp_va, resp_len));
         Ok(head)
     }
@@ -942,8 +967,8 @@ impl FileClient {
             mem.read(resp_va, &mut buf)?;
             self.arena.free(req_va);
             self.arena.free(resp_va);
-            let (status, payload) = decode_response(&buf)
-                .ok_or(QueueError::Corrupt("empty file-op response"))?;
+            let (status, payload) =
+                decode_response(&buf).ok_or(QueueError::Corrupt("empty file-op response"))?;
             out.push((c.head, status, payload.to_vec()));
         }
         Ok(out)
@@ -958,8 +983,14 @@ mod tests {
     #[test]
     fn file_op_round_trips() {
         for op in [
-            FileOp::Read { offset: 7, len: 100 },
-            FileOp::Write { offset: 0, data: vec![1, 2, 3] },
+            FileOp::Read {
+                offset: 7,
+                len: 100,
+            },
+            FileOp::Write {
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
             FileOp::Stat,
             FileOp::Flush,
         ] {
@@ -972,8 +1003,12 @@ mod tests {
     #[test]
     fn fs_op_round_trips() {
         for op in [
-            FsOp::Create { path: "/a/b".into() },
-            FsOp::Delete { path: "/a/b".into() },
+            FsOp::Create {
+                path: "/a/b".into(),
+            },
+            FsOp::Delete {
+                path: "/a/b".into(),
+            },
             FsOp::List,
         ] {
             assert_eq!(FsOp::decode(&op.encode()), Some(op));
@@ -1024,7 +1059,10 @@ mod tests {
         // Device side: echo a canned response.
         let chain = dev.pop(&mut mem).unwrap().unwrap();
         let req = dev.read_request(&mut mem, &chain).unwrap();
-        assert_eq!(FileOp::decode(&req), Some(FileOp::Read { offset: 0, len: 5 }));
+        assert_eq!(
+            FileOp::decode(&req),
+            Some(FileOp::Read { offset: 0, len: 5 })
+        );
         let resp = encode_response(FileStatus::Ok, b"hello");
         let n = dev.write_response(&mut mem, &chain, &resp).unwrap();
         dev.push_used(&mut mem, chain.head, n).unwrap();

@@ -74,7 +74,11 @@ impl fmt::Display for IommuFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             IommuFaultKind::NotMapped => {
-                write!(f, "page fault: {} {} at {} (not mapped)", self.pasid, self.access, self.va)
+                write!(
+                    f,
+                    "page fault: {} {} at {} (not mapped)",
+                    self.pasid, self.access, self.va
+                )
             }
             IommuFaultKind::PermissionDenied { have } => write!(
                 f,
@@ -82,10 +86,18 @@ impl fmt::Display for IommuFault {
                 self.pasid, self.access, self.va
             ),
             IommuFaultKind::OutOfRange => {
-                write!(f, "range fault: {} {} at {}", self.pasid, self.access, self.va)
+                write!(
+                    f,
+                    "range fault: {} {} at {}",
+                    self.pasid, self.access, self.va
+                )
             }
             IommuFaultKind::UnknownPasid => {
-                write!(f, "unknown pasid {} on {} at {}", self.pasid, self.access, self.va)
+                write!(
+                    f,
+                    "unknown pasid {} on {} at {}",
+                    self.pasid, self.access, self.va
+                )
             }
         }
     }

@@ -213,7 +213,10 @@ impl Iommu {
         };
         match table.translate(va, needed) {
             Ok(tr) => {
-                cost += self.cost.walk_per_access.saturating_mul(tr.walk_accesses as u64);
+                cost += self
+                    .cost
+                    .walk_per_access
+                    .saturating_mul(tr.walk_accesses as u64);
                 self.tlb.insert(pasid, va, tr.pa.page_base(), tr.perms);
                 self.stats.translations += 1;
                 Ok(TranslationOutcome {
@@ -307,17 +310,27 @@ mod tests {
     fn unit() -> Iommu {
         let mut mmu = Iommu::new(16);
         mmu.bind_pasid(Pasid(1));
-        mmu.map(Pasid(1), VirtAddr::new(0x1000), PhysAddr::new(0x8000), Perms::RW).unwrap();
+        mmu.map(
+            Pasid(1),
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x8000),
+            Perms::RW,
+        )
+        .unwrap();
         mmu
     }
 
     #[test]
     fn translation_walks_then_hits() {
         let mut mmu = unit();
-        let first = mmu.translate(Pasid(1), VirtAddr::new(0x1004), AccessKind::Read).unwrap();
+        let first = mmu
+            .translate(Pasid(1), VirtAddr::new(0x1004), AccessKind::Read)
+            .unwrap();
         assert!(!first.tlb_hit);
         assert_eq!(first.pa, PhysAddr::new(0x8004));
-        let second = mmu.translate(Pasid(1), VirtAddr::new(0x1008), AccessKind::Read).unwrap();
+        let second = mmu
+            .translate(Pasid(1), VirtAddr::new(0x1008), AccessKind::Read)
+            .unwrap();
         assert!(second.tlb_hit);
         assert!(second.cost < first.cost);
     }
@@ -325,7 +338,9 @@ mod tests {
     #[test]
     fn unknown_pasid_faults() {
         let mut mmu = unit();
-        let err = mmu.translate(Pasid(9), VirtAddr::new(0x1000), AccessKind::Read).unwrap_err();
+        let err = mmu
+            .translate(Pasid(9), VirtAddr::new(0x1000), AccessKind::Read)
+            .unwrap_err();
         assert_eq!(err.kind, IommuFaultKind::UnknownPasid);
         assert_eq!(mmu.last_fault(), Some(err));
     }
@@ -333,7 +348,9 @@ mod tests {
     #[test]
     fn unmapped_page_faults_and_is_recorded() {
         let mut mmu = unit();
-        let err = mmu.translate(Pasid(1), VirtAddr::new(0x9000), AccessKind::Read).unwrap_err();
+        let err = mmu
+            .translate(Pasid(1), VirtAddr::new(0x9000), AccessKind::Read)
+            .unwrap_err();
         assert_eq!(err.kind, IommuFaultKind::NotMapped);
         assert_eq!(err.va, VirtAddr::new(0x9000));
         assert_eq!(mmu.stats().faults, 1);
@@ -343,35 +360,61 @@ mod tests {
     fn write_to_readonly_faults() {
         let mut mmu = Iommu::new(16);
         mmu.bind_pasid(Pasid(1));
-        mmu.map(Pasid(1), VirtAddr::new(0x1000), PhysAddr::new(0x8000), Perms::R).unwrap();
-        let err = mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Write).unwrap_err();
-        assert_eq!(err.kind, IommuFaultKind::PermissionDenied { have: Perms::R });
+        mmu.map(
+            Pasid(1),
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x8000),
+            Perms::R,
+        )
+        .unwrap();
+        let err = mmu
+            .translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Write)
+            .unwrap_err();
+        assert_eq!(
+            err.kind,
+            IommuFaultKind::PermissionDenied { have: Perms::R }
+        );
     }
 
     #[test]
     fn stale_tlb_entry_does_not_grant_revoked_permission() {
         let mut mmu = unit();
         // Warm the TLB with RW.
-        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Write).unwrap();
+        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Write)
+            .unwrap();
         // Downgrade to read-only; protect must invalidate the cached entry.
-        mmu.protect(Pasid(1), VirtAddr::new(0x1000), Perms::R).unwrap();
-        assert!(mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Write).is_err());
-        assert!(mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read).is_ok());
+        mmu.protect(Pasid(1), VirtAddr::new(0x1000), Perms::R)
+            .unwrap();
+        assert!(mmu
+            .translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Write)
+            .is_err());
+        assert!(mmu
+            .translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
+            .is_ok());
     }
 
     #[test]
     fn unmap_invalidates_tlb() {
         let mut mmu = unit();
-        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read).unwrap();
+        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
+            .unwrap();
         let pa = mmu.unmap(Pasid(1), VirtAddr::new(0x1000)).unwrap();
         assert_eq!(pa, PhysAddr::new(0x8000));
-        assert!(mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read).is_err());
+        assert!(mmu
+            .translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
+            .is_err());
     }
 
     #[test]
     fn unbind_returns_mapped_frames() {
         let mut mmu = unit();
-        mmu.map(Pasid(1), VirtAddr::new(0x2000), PhysAddr::new(0x9000), Perms::R).unwrap();
+        mmu.map(
+            Pasid(1),
+            VirtAddr::new(0x2000),
+            PhysAddr::new(0x9000),
+            Perms::R,
+        )
+        .unwrap();
         let mut frames = mmu.unbind_pasid(Pasid(1));
         frames.sort();
         assert_eq!(frames, vec![PhysAddr::new(0x8000), PhysAddr::new(0x9000)]);
@@ -384,20 +427,40 @@ mod tests {
         let mut mmu = Iommu::new(16);
         mmu.bind_pasid(Pasid(1));
         mmu.bind_pasid(Pasid(2));
-        mmu.map(Pasid(1), VirtAddr::new(0x1000), PhysAddr::new(0x8000), Perms::RW).unwrap();
-        assert!(mmu.translate(Pasid(2), VirtAddr::new(0x1000), AccessKind::Read).is_err());
+        mmu.map(
+            Pasid(1),
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x8000),
+            Perms::RW,
+        )
+        .unwrap();
+        assert!(mmu
+            .translate(Pasid(2), VirtAddr::new(0x1000), AccessKind::Read)
+            .is_err());
         // Same VA can map to different PAs per PASID.
-        mmu.map(Pasid(2), VirtAddr::new(0x1000), PhysAddr::new(0xA000), Perms::R).unwrap();
-        let t1 = mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read).unwrap();
-        let t2 = mmu.translate(Pasid(2), VirtAddr::new(0x1000), AccessKind::Read).unwrap();
+        mmu.map(
+            Pasid(2),
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0xA000),
+            Perms::R,
+        )
+        .unwrap();
+        let t1 = mmu
+            .translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
+            .unwrap();
+        let t2 = mmu
+            .translate(Pasid(2), VirtAddr::new(0x1000), AccessKind::Read)
+            .unwrap();
         assert_ne!(t1.pa, t2.pa);
     }
 
     #[test]
     fn stats_accumulate() {
         let mut mmu = unit();
-        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read).unwrap();
-        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read).unwrap();
+        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
+            .unwrap();
+        mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
+            .unwrap();
         let _ = mmu.translate(Pasid(1), VirtAddr::new(0x9000), AccessKind::Read);
         let s = mmu.stats();
         assert_eq!(s.translations, 2);
@@ -413,7 +476,9 @@ mod tests {
         let mut mmu = unit();
         mmu.bind_pasid(Pasid(1));
         // Mapping from before the rebind is still there.
-        assert!(mmu.translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read).is_ok());
+        assert!(mmu
+            .translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
+            .is_ok());
     }
 }
 
@@ -442,11 +507,13 @@ mod proptests {
                 match kind {
                     0 => {
                         let r = mmu.map(Pasid(pasid), va, pa, Perms::RW);
-                        if model.contains_key(&(pasid, vp)) {
-                            prop_assert!(r.is_err());
-                        } else {
+                        if let std::collections::hash_map::Entry::Vacant(e) =
+                            model.entry((pasid, vp))
+                        {
                             prop_assert!(r.is_ok());
-                            model.insert((pasid, vp), pp + 32);
+                            e.insert(pp + 32);
+                        } else {
+                            prop_assert!(r.is_err());
                         }
                     }
                     1 => {

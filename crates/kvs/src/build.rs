@@ -256,12 +256,7 @@ mod tests {
         let c2: &KvsClientHost = base.system.host_as(p2).unwrap();
         assert!(c2.is_done(), "baseline incomplete: {}", c2.ops_done());
         assert_eq!(c2.errors(), 0);
-        let lat2 = base
-            .system
-            .stats()
-            .histogram("c.latency")
-            .unwrap()
-            .mean();
+        let lat2 = base.system.stats().histogram("c.latency").unwrap().mean();
 
         assert!(
             lat2 > lat1,
@@ -300,7 +295,11 @@ mod tests {
         let nic: &SmartNic<KvsNicApp> = setup.system.device_as(setup.frontend).unwrap();
         let st = nic.app().stats();
         assert_eq!(nic.app().key_count(), 30);
-        assert!(st.misses <= 2, "only probe misses allowed, got {}", st.misses);
+        assert!(
+            st.misses <= 2,
+            "only probe misses allowed, got {}",
+            st.misses
+        );
         assert!(st.gets >= 60);
     }
 }

@@ -294,10 +294,15 @@ impl NetHost for KvsClientHost {
                     KvsStatus::Ok | KvsStatus::NotFound => {
                         self.ops_done += 1;
                         ctx.stats.record(&format!("{prefix}.latency"), latency);
+                        // Hub-keyed copies under the `kvs.` subsystem so a
+                        // metrics snapshot always exposes the KVS layer.
+                        ctx.stats.record(&format!("kvs.{prefix}.latency"), latency);
                         if is_read {
                             ctx.stats.record(&format!("{prefix}.get_latency"), latency);
+                            ctx.stats.incr(&format!("kvs.{prefix}.gets"));
                         } else {
                             ctx.stats.record(&format!("{prefix}.put_latency"), latency);
+                            ctx.stats.incr(&format!("kvs.{prefix}.puts"));
                         }
                     }
                     KvsStatus::Busy => {
@@ -333,7 +338,8 @@ impl NetHost for KvsClientHost {
                 let deadline = self.config.timeout;
                 let now = ctx.now;
                 let before = self.outstanding.len();
-                self.outstanding.retain(|_, (sent, _)| now.since(*sent) < deadline);
+                self.outstanding
+                    .retain(|_, (sent, _)| now.since(*sent) < deadline);
                 let lost = (before - self.outstanding.len()) as u64;
                 self.timeouts += lost;
                 if self.phase == Phase::Running {

@@ -532,11 +532,13 @@ mod compaction_tests {
             ("b", Some("v2")),
             ("a", Some("v1-new")), // supersedes
             ("c", Some("v3")),
-            ("b", None),           // tombstone
+            ("b", None), // tombstone
         ]);
         assert!(e.garbage_ratio() > 0.3, "ratio {}", e.garbage_ratio());
         let (new_log, fresh) = e
-            .compact(|vref| log[vref.offset as usize..vref.offset as usize + vref.len as usize].to_vec())
+            .compact(|vref| {
+                log[vref.offset as usize..vref.offset as usize + vref.len as usize].to_vec()
+            })
             .unwrap();
         assert!(new_log.len() < log.len());
         assert_eq!(fresh.len(), 2);

@@ -202,13 +202,6 @@ mod tests {
 
     #[test]
     fn id_accessor() {
-        assert_eq!(
-            KvsRequest::Get {
-                id: 5,
-                key: vec![]
-            }
-            .id(),
-            5
-        );
+        assert_eq!(KvsRequest::Get { id: 5, key: vec![] }.id(), 5);
     }
 }

@@ -20,7 +20,7 @@ use lastcpu_devices::session::{FileSession, SessionEvent, SessionState};
 use lastcpu_devices::ssd::{FileOp, FileStatus, DOORBELL_WORK};
 use lastcpu_mem::Pasid;
 use lastcpu_net::PortId;
-use lastcpu_sim::SimDuration;
+use lastcpu_sim::{CounterHandle, SimDuration};
 
 use crate::engine::{KvEngine, LogScanner};
 use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
@@ -86,10 +86,23 @@ pub enum ServerState {
 
 /// Per-request bookkeeping for storage operations in flight.
 enum Pending {
-    Get { port: PortId, id: u64 },
-    Put { port: PortId, id: u64, key: Vec<u8>, value: Vec<u8> },
-    Delete { port: PortId, id: u64 },
-    Rebuild { len: u32 },
+    Get {
+        port: PortId,
+        id: u64,
+    },
+    Put {
+        port: PortId,
+        id: u64,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Delete {
+        port: PortId,
+        id: u64,
+    },
+    Rebuild {
+        len: u32,
+    },
 }
 
 /// Server counters.
@@ -107,6 +120,33 @@ pub struct ServerStats {
     pub shed: u64,
     /// Requests answered `NotFound`.
     pub misses: u64,
+}
+
+/// Handles into the system-wide [`MetricsHub`], registered when the server
+/// starts so `kvs.server.*` keys exist even before any request arrives.
+/// Mirrors [`ServerStats`]; hub updates are plain `Cell` writes.
+///
+/// [`MetricsHub`]: lastcpu_sim::MetricsHub
+struct HubCounters {
+    gets: CounterHandle,
+    puts: CounterHandle,
+    deletes: CounterHandle,
+    cache_hits: CounterHandle,
+    shed: CounterHandle,
+    misses: CounterHandle,
+}
+
+impl HubCounters {
+    fn register(hub: &lastcpu_sim::MetricsHub) -> Self {
+        HubCounters {
+            gets: hub.counter_handle("kvs.server.gets"),
+            puts: hub.counter_handle("kvs.server.puts"),
+            deletes: hub.counter_handle("kvs.server.deletes"),
+            cache_hits: hub.counter_handle("kvs.server.cache_hits"),
+            shed: hub.counter_handle("kvs.server.shed"),
+            misses: hub.counter_handle("kvs.server.misses"),
+        }
+    }
 }
 
 /// A tiny LRU value cache (the NIC-local DRAM cache of KV-Direct).
@@ -168,6 +208,7 @@ pub struct KvsServer {
     backlog: VecDeque<(PortId, KvsRequest)>,
     cache: ValueCache,
     stats: ServerStats,
+    met: Option<HubCounters>,
 }
 
 impl KvsServer {
@@ -191,6 +232,7 @@ impl KvsServer {
             backlog: VecDeque::new(),
             cache,
             stats: ServerStats::default(),
+            met: None,
         }
     }
 
@@ -211,6 +253,7 @@ impl KvsServer {
 
     /// Starts the setup pipeline (call once registered on the bus).
     pub fn start(&mut self, ctx: &mut DeviceCtx<'_>, monitor: &mut Monitor) {
+        self.met = Some(HubCounters::register(ctx.stats));
         match self.config.memctl {
             Some(dev) => {
                 self.memctl = Some(dev);
@@ -328,6 +371,9 @@ impl KvsServer {
         ctx.busy(self.config.per_request_cost);
         if self.backlog.len() >= MAX_BACKLOG {
             self.stats.shed += 1;
+            if let Some(met) = &self.met {
+                met.shed.incr();
+            }
             out.push((
                 src,
                 KvsResponse {
@@ -366,7 +412,13 @@ impl KvsServer {
                 KvsRequest::Get { id, key } => {
                     if let Some(v) = self.cache.get(&key) {
                         self.stats.gets += 1;
+                        if let Some(met) = &self.met {
+                            met.gets.incr();
+                        }
                         self.stats.cache_hits += 1;
+                        if let Some(met) = &self.met {
+                            met.cache_hits.incr();
+                        }
                         out.push((
                             src,
                             KvsResponse {
@@ -391,17 +443,20 @@ impl KvsServer {
                                     submitted = true;
                                 }
                                 Err(_) => {
-                                    self.backlog.push_front((
-                                        src,
-                                        KvsRequest::Get { id, key },
-                                    ));
+                                    self.backlog.push_front((src, KvsRequest::Get { id, key }));
                                     break;
                                 }
                             }
                         }
                         None => {
                             self.stats.gets += 1;
+                            if let Some(met) = &self.met {
+                                met.gets.incr();
+                            }
                             self.stats.misses += 1;
+                            if let Some(met) = &self.met {
+                                met.misses.incr();
+                            }
                             out.push((
                                 src,
                                 KvsResponse {
@@ -437,6 +492,9 @@ impl KvsServer {
                                     // hole is tolerated (it will re-append on
                                     // retry). Report busy.
                                     self.stats.shed += 1;
+                                    if let Some(met) = &self.met {
+                                        met.shed.incr();
+                                    }
                                     out.push((
                                         src,
                                         KvsResponse {
@@ -476,6 +534,9 @@ impl KvsServer {
                                 }
                                 Err(_) => {
                                     self.stats.shed += 1;
+                                    if let Some(met) = &self.met {
+                                        met.shed.incr();
+                                    }
                                     out.push((
                                         src,
                                         KvsResponse {
@@ -490,7 +551,13 @@ impl KvsServer {
                         }
                         Ok(None) => {
                             self.stats.deletes += 1;
+                            if let Some(met) = &self.met {
+                                met.deletes.incr();
+                            }
                             self.stats.misses += 1;
+                            if let Some(met) = &self.met {
+                                met.misses.incr();
+                            }
                             out.push((
                                 src,
                                 KvsResponse {
@@ -578,6 +645,9 @@ impl KvsServer {
             match pending {
                 Pending::Get { port, id } => {
                     self.stats.gets += 1;
+                    if let Some(met) = &self.met {
+                        met.gets.incr();
+                    }
                     let resp = if status == FileStatus::Ok {
                         KvsResponse {
                             id,
@@ -593,8 +663,16 @@ impl KvsServer {
                     };
                     out.push((port, resp.encode()));
                 }
-                Pending::Put { port, id, key, value } => {
+                Pending::Put {
+                    port,
+                    id,
+                    key,
+                    value,
+                } => {
                     self.stats.puts += 1;
+                    if let Some(met) = &self.met {
+                        met.puts.incr();
+                    }
                     let resp = if status == FileStatus::Ok {
                         self.cache.insert(&key, value);
                         KvsResponse {
@@ -613,6 +691,9 @@ impl KvsServer {
                 }
                 Pending::Delete { port, id } => {
                     self.stats.deletes += 1;
+                    if let Some(met) = &self.met {
+                        met.deletes.incr();
+                    }
                     let resp = KvsResponse {
                         id,
                         status: if status == FileStatus::Ok {

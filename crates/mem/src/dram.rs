@@ -298,7 +298,8 @@ mod tests {
     #[test]
     fn scalar_helpers_round_trip() {
         let mut d = Dram::new(PAGE_SIZE);
-        d.write_u64(PhysAddr::new(8), 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        d.write_u64(PhysAddr::new(8), 0xDEAD_BEEF_CAFE_F00D)
+            .unwrap();
         assert_eq!(d.read_u64(PhysAddr::new(8)).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
         d.write_u32(PhysAddr::new(16), 0x1234_5678).unwrap();
         assert_eq!(d.read_u32(PhysAddr::new(16)).unwrap(), 0x1234_5678);
@@ -317,7 +318,8 @@ mod tests {
     #[test]
     fn zero_releases_whole_frames() {
         let mut d = Dram::new(PAGE_SIZE * 4);
-        d.write(PhysAddr::new(0), &vec![7u8; (PAGE_SIZE * 2) as usize]).unwrap();
+        d.write(PhysAddr::new(0), &vec![7u8; (PAGE_SIZE * 2) as usize])
+            .unwrap();
         assert_eq!(d.resident_bytes(), PAGE_SIZE * 2);
         d.zero(PhysAddr::new(0), PAGE_SIZE).unwrap();
         assert_eq!(d.resident_bytes(), PAGE_SIZE);

@@ -189,7 +189,9 @@ impl FrameAllocator {
     /// External-fragmentation proxy: the largest allocation order that can
     /// currently be satisfied.
     pub fn largest_free_order(&self) -> Option<u8> {
-        (0..=MAX_ORDER).rev().find(|&o| !self.free[o as usize].is_empty())
+        (0..=MAX_ORDER)
+            .rev()
+            .find(|&o| !self.free[o as usize].is_empty())
     }
 
     /// Number of distinct free blocks (more blocks at equal free space =
@@ -288,14 +290,18 @@ mod tests {
         let mut fa = FrameAllocator::new(1 << MAX_ORDER);
         assert_eq!(
             fa.alloc_order(MAX_ORDER + 1),
-            Err(FrameAllocError::OrderTooLarge { order: MAX_ORDER + 1 })
+            Err(FrameAllocError::OrderTooLarge {
+                order: MAX_ORDER + 1
+            })
         );
     }
 
     #[test]
     fn coalescing_restores_large_blocks() {
         let mut fa = FrameAllocator::new(1 << MAX_ORDER);
-        let blocks: Vec<u64> = (0..(1 << MAX_ORDER)).map(|_| fa.alloc_frames(1).unwrap()).collect();
+        let blocks: Vec<u64> = (0..(1 << MAX_ORDER))
+            .map(|_| fa.alloc_frames(1).unwrap())
+            .collect();
         assert_eq!(fa.free_frames(), 0);
         assert_eq!(fa.largest_free_order(), None);
         for b in blocks {
@@ -309,7 +315,9 @@ mod tests {
     fn deterministic_allocation_order() {
         let run = || {
             let mut fa = FrameAllocator::new(2 << MAX_ORDER);
-            (0..32).map(|_| fa.alloc_frames(2).unwrap()).collect::<Vec<_>>()
+            (0..32)
+                .map(|_| fa.alloc_frames(2).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -379,11 +379,11 @@ impl PageTable {
     /// Iterates all mappings as `(va_page_base, pa_page_base, perms)`.
     pub fn iter(&self) -> Vec<(VirtAddr, PhysAddr, Perms)> {
         let mut out = Vec::with_capacity(self.mapped_pages as usize);
-        fn walk(node: &Node, prefix: u64, level: usize, out: &mut Vec<(VirtAddr, PhysAddr, Perms)>) {
+        fn walk(node: &Node, prefix: u64, out: &mut Vec<(VirtAddr, PhysAddr, Perms)>) {
             for (&i, child) in &node.children {
                 let page = (prefix << BITS_PER_LEVEL) | i as u64;
                 match child {
-                    NodeRef::Interior(n) => walk(n, page, level + 1, out),
+                    NodeRef::Interior(n) => walk(n, page, out),
                     NodeRef::Leaf(leaf) => out.push((
                         VirtAddr::new(page << PAGE_SHIFT),
                         PhysAddr::new(leaf.frame << PAGE_SHIFT),
@@ -392,7 +392,7 @@ impl PageTable {
                 }
             }
         }
-        walk(&self.root, 0, 0, &mut out);
+        walk(&self.root, 0, &mut out);
         out.sort_by_key(|(va, _, _)| va.as_u64());
         out
     }
@@ -415,7 +415,8 @@ mod tests {
     #[test]
     fn map_translate_round_trip() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x7000), PhysAddr::new(0x3000), Perms::RW).unwrap();
+        pt.map(VirtAddr::new(0x7000), PhysAddr::new(0x3000), Perms::RW)
+            .unwrap();
         let t = pt.translate(VirtAddr::new(0x7123), Perms::RW).unwrap();
         assert_eq!(t.pa, PhysAddr::new(0x3123));
         assert_eq!(t.walk_accesses, LEVELS as u32);
@@ -426,14 +427,17 @@ mod tests {
         let pt = PageTable::new();
         assert_eq!(
             pt.translate(VirtAddr::new(0x5000), Perms::R),
-            Err(TranslateError::NotMapped { va: VirtAddr::new(0x5000) })
+            Err(TranslateError::NotMapped {
+                va: VirtAddr::new(0x5000)
+            })
         );
     }
 
     #[test]
     fn permissions_enforced() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x2000), Perms::R).unwrap();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x2000), Perms::R)
+            .unwrap();
         assert!(pt.translate(VirtAddr::new(0x1000), Perms::R).is_ok());
         match pt.translate(VirtAddr::new(0x1000), Perms::W) {
             Err(TranslateError::PermissionDenied { have, needed, .. }) => {
@@ -447,10 +451,13 @@ mod tests {
     #[test]
     fn double_map_rejected() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x2000), Perms::R).unwrap();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x2000), Perms::R)
+            .unwrap();
         assert_eq!(
             pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x9000), Perms::R),
-            Err(MapError::AlreadyMapped { va: VirtAddr::new(0x1000) })
+            Err(MapError::AlreadyMapped {
+                va: VirtAddr::new(0x1000)
+            })
         );
     }
 
@@ -459,11 +466,15 @@ mod tests {
         let mut pt = PageTable::new();
         assert_eq!(
             pt.map(VirtAddr::new(0x1001), PhysAddr::new(0x2000), Perms::R),
-            Err(MapError::Unaligned { va: VirtAddr::new(0x1001) })
+            Err(MapError::Unaligned {
+                va: VirtAddr::new(0x1001)
+            })
         );
         assert_eq!(
             pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x2001), Perms::R),
-            Err(MapError::Unaligned { va: VirtAddr::new(0x1000) })
+            Err(MapError::Unaligned {
+                va: VirtAddr::new(0x1000)
+            })
         );
     }
 
@@ -471,7 +482,10 @@ mod tests {
     fn out_of_range_rejected() {
         let mut pt = PageTable::new();
         let big = VirtAddr::new(1u64 << VA_BITS);
-        assert_eq!(pt.map(big, PhysAddr::new(0), Perms::R), Err(MapError::OutOfRange { va: big }));
+        assert_eq!(
+            pt.map(big, PhysAddr::new(0), Perms::R),
+            Err(MapError::OutOfRange { va: big })
+        );
         assert_eq!(
             pt.translate(big, Perms::R),
             Err(TranslateError::OutOfRange { va: big })
@@ -481,8 +495,12 @@ mod tests {
     #[test]
     fn unmap_returns_frame_and_faults_after() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x8000), Perms::RW).unwrap();
-        assert_eq!(pt.unmap(VirtAddr::new(0x1fff)).unwrap(), PhysAddr::new(0x8000));
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x8000), Perms::RW)
+            .unwrap();
+        assert_eq!(
+            pt.unmap(VirtAddr::new(0x1fff)).unwrap(),
+            PhysAddr::new(0x8000)
+        );
         assert!(pt.translate(VirtAddr::new(0x1000), Perms::R).is_err());
         assert!(pt.unmap(VirtAddr::new(0x1000)).is_err());
         assert_eq!(pt.mapped_pages(), 0);
@@ -491,7 +509,8 @@ mod tests {
     #[test]
     fn protect_changes_perms() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x2000), Perms::RW).unwrap();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x2000), Perms::RW)
+            .unwrap();
         pt.protect(VirtAddr::new(0x1000), Perms::R).unwrap();
         assert!(pt.translate(VirtAddr::new(0x1000), Perms::W).is_err());
         assert!(pt.protect(VirtAddr::new(0x9000), Perms::R).is_err());
@@ -500,9 +519,11 @@ mod tests {
     #[test]
     fn distant_addresses_use_separate_subtrees() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x1000), Perms::R).unwrap();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x1000), Perms::R)
+            .unwrap();
         let nodes_one = pt.node_count();
-        pt.map(VirtAddr::new(1u64 << 40), PhysAddr::new(0x2000), Perms::R).unwrap();
+        pt.map(VirtAddr::new(1u64 << 40), PhysAddr::new(0x2000), Perms::R)
+            .unwrap();
         assert!(pt.node_count() > nodes_one);
         assert_eq!(pt.mapped_pages(), 2);
     }
@@ -510,8 +531,10 @@ mod tests {
     #[test]
     fn iter_lists_all_mappings_sorted() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x3000), PhysAddr::new(0x30000), Perms::R).unwrap();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x10000), Perms::RW).unwrap();
+        pt.map(VirtAddr::new(0x3000), PhysAddr::new(0x30000), Perms::R)
+            .unwrap();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x10000), Perms::RW)
+            .unwrap();
         let all = pt.iter();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].0, VirtAddr::new(0x1000));
@@ -582,11 +605,11 @@ mod proptests {
                         let pa = PhysAddr::new(pp << PAGE_SHIFT);
                         let perms = perms_from(bits);
                         let r = pt.map(va, pa, perms);
-                        if model.contains_key(&vp) {
-                            prop_assert!(r.is_err(), "double map must fail");
-                        } else {
+                        if let std::collections::hash_map::Entry::Vacant(e) = model.entry(vp) {
                             prop_assert!(r.is_ok());
-                            model.insert(vp, (pp, perms));
+                            e.insert((pp, perms));
+                        } else {
+                            prop_assert!(r.is_err(), "double map must fail");
                         }
                     }
                     Op::Unmap(vp) => {

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use lastcpu_bus::{
-    DeviceId, Dst, Envelope, MapOp, Payload, RequestId, ResourceKind, Status,
+    CorrId, DeviceId, Dst, Envelope, MapOp, Payload, RequestId, ResourceKind, Status,
 };
 use lastcpu_mem::{FrameAllocator, PAGE_SHIFT, PAGE_SIZE};
 
@@ -50,18 +50,10 @@ impl Region {
 }
 
 /// Controller configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct MemCtlConfig {
     /// Per-device byte quota (`None` = unlimited).
     pub per_device_quota: Option<u64>,
-}
-
-impl Default for MemCtlConfig {
-    fn default() -> Self {
-        MemCtlConfig {
-            per_device_quota: None,
-        }
-    }
 }
 
 /// Controller counters.
@@ -175,6 +167,7 @@ impl MemoryController {
             src: self.id,
             dst: Dst::Bus,
             req,
+            corr: CorrId::NONE,
             payload: Payload::RegisterController {
                 resource: ResourceKind::Memory,
             },
@@ -210,6 +203,7 @@ impl MemoryController {
                     src: self.id,
                     dst: Dst::Device(env.src),
                     req: env.req,
+                    corr: env.corr,
                     payload: Payload::ErrorNotify {
                         code: lastcpu_bus::ErrorCode::Protocol,
                         conn: lastcpu_bus::ConnId(0),
@@ -225,10 +219,12 @@ impl MemoryController {
             src: self.id,
             dst: Dst::Device(to),
             req,
+            corr: CorrId::NONE,
             payload,
         });
     }
 
+    #[allow(clippy::too_many_arguments)] // Mirrors the wire message's fields.
     fn map_instruction(
         &mut self,
         op: MapOp,
@@ -245,6 +241,7 @@ impl MemoryController {
             src: self.id,
             dst: Dst::Bus,
             req,
+            corr: CorrId::NONE,
             payload: Payload::MapInstruction {
                 resource: ResourceKind::Memory,
                 op,
@@ -352,7 +349,13 @@ impl MemoryController {
         );
     }
 
-    fn handle_free(&mut self, from: DeviceId, req: RequestId, region: u64, out: &mut Vec<Envelope>) {
+    fn handle_free(
+        &mut self,
+        from: DeviceId,
+        req: RequestId,
+        region: u64,
+        out: &mut Vec<Envelope>,
+    ) {
         let r = match self.regions.get(&region) {
             Some(r) if r.owner == from => r.clone(),
             Some(_) => {
@@ -557,6 +560,7 @@ mod tests {
             src: NIC,
             dst: Dst::Device(MC),
             req: RequestId(10),
+            corr: CorrId::NONE,
             payload: Payload::MemAlloc {
                 pasid: 1,
                 va: 0x10000,
@@ -712,6 +716,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(11),
+                corr: CorrId::NONE,
                 payload: Payload::Share {
                     region,
                     target: SSD,
@@ -728,6 +733,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(12),
+                corr: CorrId::NONE,
                 payload: Payload::MemFree { region },
             },
             &mut out,
@@ -763,6 +769,7 @@ mod tests {
                 src: SSD,
                 dst: Dst::Device(MC),
                 req: RequestId(13),
+                corr: CorrId::NONE,
                 payload: Payload::MemFree { region },
             },
             &mut out,
@@ -786,6 +793,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(14),
+                corr: CorrId::NONE,
                 payload: Payload::MemFree { region: 777 },
             },
             &mut out,
@@ -815,6 +823,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(15),
+                corr: CorrId::NONE,
                 payload: Payload::Share {
                     region,
                     target: SSD,
@@ -854,6 +863,7 @@ mod tests {
                 src: SSD, // not the owner
                 dst: Dst::Device(MC),
                 req: RequestId(16),
+                corr: CorrId::NONE,
                 payload: Payload::Share {
                     region,
                     target: SSD,
@@ -883,6 +893,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(17),
+                corr: CorrId::NONE,
                 payload: Payload::MemAlloc {
                     pasid: 1,
                     va: 0x10000,
@@ -905,6 +916,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(18),
+                corr: CorrId::NONE,
                 payload: Payload::Share {
                     region,
                     target: SSD,
@@ -931,6 +943,7 @@ mod tests {
             src: NIC,
             dst: Dst::Device(MC),
             req: RequestId(19),
+            corr: CorrId::NONE,
             payload: Payload::Share {
                 region,
                 target: SSD,
@@ -955,6 +968,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(20),
+                corr: CorrId::NONE,
                 payload: Payload::Share {
                     region,
                     target: SSD,
@@ -972,6 +986,7 @@ mod tests {
                 src: DeviceId::BUS,
                 dst: Dst::Broadcast,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::DeviceFailed { device: NIC },
             },
             &mut out,
@@ -1000,6 +1015,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(21),
+                corr: CorrId::NONE,
                 payload: Payload::Share {
                     region,
                     target: SSD,
@@ -1017,6 +1033,7 @@ mod tests {
                 src: DeviceId::BUS,
                 dst: Dst::Broadcast,
                 req: RequestId(0),
+                corr: CorrId::NONE,
                 payload: Payload::DeviceFailed { device: SSD },
             },
             &mut out,
@@ -1045,6 +1062,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(22),
+                corr: CorrId::NONE,
                 payload: Payload::MemFree { region: r1 },
             },
             &mut out,
@@ -1062,6 +1080,7 @@ mod tests {
                 src: NIC,
                 dst: Dst::Device(MC),
                 req: RequestId(23),
+                corr: CorrId::NONE,
                 payload: Payload::Heartbeat,
             },
             &mut out,

@@ -122,7 +122,11 @@ impl Switch {
     /// deliveries. Unknown unicast destinations are dropped (counted).
     pub fn route(&mut self, now: SimTime, frame: &Frame) -> Vec<(PortId, SimTime)> {
         let recipients: Vec<PortId> = if frame.dst == PortId::BROADCAST {
-            self.ports.iter().copied().filter(|&p| p != frame.src).collect()
+            self.ports
+                .iter()
+                .copied()
+                .filter(|&p| p != frame.src)
+                .collect()
         } else if self.has_port(frame.dst) {
             vec![frame.dst]
         } else {

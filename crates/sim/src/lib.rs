@@ -16,21 +16,31 @@
 //!   the same seed produce identical traces.
 //! - [`stats`]: counters and log-bucketed latency histograms used by the
 //!   benchmark harness to report percentiles.
-//! - [`trace`]: a structured trace sink used to record protocol-level events
-//!   (e.g. the seven steps of the paper's Figure 2 initialization sequence).
+//! - [`trace`] / [`record`]: a structured trace sink of typed records
+//!   carrying causal correlation ids (e.g. the seven steps of the paper's
+//!   Figure 2 initialization sequence reconstruct as one span).
+//! - [`metrics`]: the system-wide [`MetricsHub`] every subsystem registers
+//!   counters, gauges, and histograms into.
+//! - [`export`]: JSON-lines, Chrome `trace_event`, and Prometheus exporters
+//!   so every experiment can emit machine-readable artifacts.
 //!
 //! The substrate is intentionally single-threaded: determinism is worth more
 //! to an OS-design experiment than parallel speedup, and the simulated
 //! machine itself is highly concurrent regardless.
 
+pub mod export;
+pub mod metrics;
 pub mod queue;
+pub mod record;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use metrics::{CounterHandle, GaugeHandle, HistogramHandle, MetricsHub};
 pub use queue::{EventQueue, ScheduledEvent};
+pub use record::{CorrId, TraceData, TraceRecord};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, StatsRegistry};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceSink};
+pub use trace::TraceSink;

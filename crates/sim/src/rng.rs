@@ -5,26 +5,44 @@
 //! construction. Identical seeds therefore reproduce identical event traces —
 //! the property the rest of the test suite leans on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seeded deterministic RNG with convenience helpers and cheap splitting.
 ///
 /// Splitting derives an independent child stream from the parent, so each
 /// device can own a private RNG without global draw-order coupling: adding a
 /// draw in one device does not perturb another device's stream.
+///
+/// The generator is xoshiro256++ seeded through a SplitMix64 expansion —
+/// self-contained, allocation-free, and identical across platforms, which is
+/// exactly the reproducibility property the test suite leans on.
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step: advances `x` and returns a well-mixed output word.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        // Expand the 64-bit seed into 256 bits of state via SplitMix64, the
+        // construction recommended by the xoshiro authors. The state of a
+        // SplitMix64-seeded xoshiro256++ is never all-zero.
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state, seed }
     }
 
     /// The seed this stream was created with.
@@ -47,9 +65,18 @@ impl DetRng {
         DetRng::new(z)
     }
 
-    /// A uniform `u64`.
+    /// A uniform `u64` (xoshiro256++ output function).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// A uniform integer in `[0, bound)`.
@@ -59,7 +86,16 @@ impl DetRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "DetRng::below(0)");
-        self.inner.gen_range(0..bound)
+        // Widening-multiply rejection (Lemire): unbiased and nearly always a
+        // single draw for the bounds we use.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -69,12 +105,13 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "DetRng::range: empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 high bits scaled into [0, 1): the standard double conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -84,7 +121,15 @@ impl DetRng {
 
     /// Fills `buf` with uniform bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
     }
 
     /// A Zipfian-distributed rank in `[0, n)` with exponent `theta`.
@@ -209,7 +254,10 @@ mod tests {
         }
         // With theta=0.99 the hottest 10% of keys should receive well over
         // half the draws; uniform would give ~10%.
-        assert!(head as f64 / draws as f64 > 0.5, "head share {head}/{draws}");
+        assert!(
+            head as f64 / draws as f64 > 0.5,
+            "head share {head}/{draws}"
+        );
     }
 
     #[test]

@@ -19,14 +19,15 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one (saturating, so long soak runs cannot overflow-panic in
+    /// debug builds).
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n` (saturating).
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current value.
@@ -124,6 +125,11 @@ impl Histogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all recorded values (exact, in raw units).
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Smallest recorded value as a duration (zero when empty).
@@ -249,7 +255,10 @@ impl StatsRegistry {
 
     /// Records a duration into histogram `key`, creating it on first use.
     pub fn record(&mut self, key: &str, d: SimDuration) {
-        self.histograms.entry(key.to_string()).or_default().record(d);
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .record(d);
     }
 
     /// Looks up histogram `key`.
@@ -350,6 +359,97 @@ mod tests {
             let err = (rep - v as f64).abs() / v as f64;
             assert!(err < 0.15, "v={v} rep={rep} err={err}");
         }
+    }
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr(); // must not panic, even in debug builds
+        c.add(1_000);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_duration_record_lands_in_exact_bucket() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(50.0), SimDuration::ZERO);
+        assert_eq!(h.percentile(100.0), SimDuration::ZERO);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn values_above_ceiling_clamp_into_last_bucket() {
+        let ceiling = 1u64 << MAX_POW2; // ~18 virtual minutes in ns
+        let mut h = Histogram::new();
+        h.record_value(ceiling);
+        h.record_value(ceiling * 4);
+        h.record_value(u64::MAX);
+        assert_eq!(h.count(), 3);
+        // Envelope stays exact even though buckets saturate.
+        assert_eq!(h.min().as_nanos(), ceiling);
+        assert_eq!(h.max().as_nanos(), u64::MAX);
+        assert_eq!(h.percentile(100.0).as_nanos(), u64::MAX);
+        // All three landed in the final bucket; percentiles stay inside the
+        // observed envelope rather than inventing values beyond it.
+        let p50 = h.percentile(50.0).as_nanos();
+        assert!((ceiling..=u64::MAX).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn percentile_zero_and_hundred_hit_the_envelope() {
+        let mut h = Histogram::new();
+        for v in [10u64, 500, 90_000] {
+            h.record_value(v);
+        }
+        // p→0 clamps its rank to the first sample: exactly the minimum.
+        assert_eq!(h.percentile(0.0).as_nanos(), 10);
+        assert_eq!(h.percentile(100.0).as_nanos(), 90_000);
+        // Above-100 requests behave like 100.
+        assert_eq!(h.percentile(150.0).as_nanos(), 90_000);
+    }
+
+    #[test]
+    fn merge_of_two_histograms_is_sample_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100u64 {
+            a.record_value(v);
+        }
+        for v in 1_000..=1_100u64 {
+            b.record_value(v);
+        }
+        let (ca, cb) = (a.count(), b.count());
+        let sum = a.sum() + b.sum();
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb);
+        assert_eq!(a.sum(), sum);
+        assert_eq!(a.min().as_nanos(), 1);
+        assert_eq!(a.max().as_nanos(), 1_100);
+        // The p50 of the union sits between the two clusters' medians.
+        let p50 = a.percentile(50.0).as_nanos();
+        assert!((50..=1_100).contains(&p50), "p50={p50}");
+
+        // Merging an empty histogram is a no-op on the envelope.
+        let before_min = a.min();
+        let before_max = a.max();
+        a.merge(&Histogram::new());
+        assert_eq!(a.min(), before_min);
+        assert_eq!(a.max(), before_max);
+
+        // Merging INTO an empty histogram adopts the other's envelope.
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.count(), a.count());
+        assert_eq!(e.min(), a.min());
+        assert_eq!(e.max(), a.max());
     }
 
     #[test]

@@ -2,31 +2,15 @@
 //!
 //! The paper's Figure 2 is a message-sequence chart; to "reproduce the
 //! figure" the emulator records every protocol-level step into a
-//! [`TraceSink`] which the F2 experiment replays as a table. Traces carry a
-//! timestamp, a subsystem tag, and a human-readable description, and are kept
-//! in a bounded ring so long runs cannot exhaust memory.
+//! [`TraceSink`] which the F2 experiment replays as a table. Traces are
+//! typed [`TraceRecord`]s (see [`crate::record`]) carrying a timestamp, a
+//! subsystem tag, a causal [`CorrId`], and a [`TraceData`] payload, and are
+//! kept in a bounded ring so long runs cannot exhaust memory.
 
 use std::collections::VecDeque;
-use std::fmt;
 
+use crate::record::{CorrId, TraceData, TraceRecord};
 use crate::time::SimTime;
-
-/// One trace record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Virtual time at which the event occurred.
-    pub at: SimTime,
-    /// Subsystem tag, e.g. `"bus"`, `"nic0"`, `"iommu.ssd0"`.
-    pub source: String,
-    /// What happened.
-    pub what: String,
-}
-
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<12} {}", self.at.to_string(), self.source, self.what)
-    }
-}
 
 /// A bounded in-memory trace collector.
 ///
@@ -41,10 +25,10 @@ impl fmt::Display for TraceEvent {
 /// t.emit(SimTime::from_nanos(1), "bus", "device nic0 registered");
 /// t.emit(SimTime::from_nanos(2), "bus", "device ssd0 registered");
 /// t.emit(SimTime::from_nanos(3), "bus", "discovery query");
-/// assert_eq!(t.events().count(), 2); // oldest evicted
+/// assert_eq!(t.len(), 2); // oldest evicted
 /// ```
 pub struct TraceSink {
-    ring: VecDeque<TraceEvent>,
+    ring: VecDeque<TraceRecord>,
     capacity: usize,
     enabled: bool,
     emitted: u64,
@@ -57,11 +41,16 @@ impl Default for TraceSink {
 }
 
 impl TraceSink {
-    /// A sink keeping at most `capacity` most-recent events.
+    /// A sink keeping at most `capacity` most-recent records.
+    ///
+    /// The ring is reserved up front so steady-state emission never
+    /// reallocates (growing incrementally under a hot loop used to cost a
+    /// series of doubling copies before the ring reached capacity).
     pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         TraceSink {
-            ring: VecDeque::with_capacity(capacity.min(1024)),
-            capacity: capacity.max(1),
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
             enabled: true,
             emitted: 0,
         }
@@ -84,43 +73,84 @@ impl TraceSink {
         self.enabled
     }
 
-    /// Records an event (no-op when disabled).
+    /// Records a free-form annotation with no correlation id (no-op when
+    /// disabled). Prefer [`TraceSink::emit_data`] for typed records.
     pub fn emit(&mut self, at: SimTime, source: impl Into<String>, what: impl Into<String>) {
+        self.emit_data(at, source, CorrId::NONE, TraceData::Text(what.into()));
+    }
+
+    /// Records a free-form annotation tagged with a correlation id.
+    pub fn emit_corr(
+        &mut self,
+        at: SimTime,
+        source: impl Into<String>,
+        corr: CorrId,
+        what: impl Into<String>,
+    ) {
+        self.emit_data(at, source, corr, TraceData::Text(what.into()));
+    }
+
+    /// Records a typed event (no-op when disabled).
+    pub fn emit_data(
+        &mut self,
+        at: SimTime,
+        source: impl Into<String>,
+        corr: CorrId,
+        data: TraceData,
+    ) {
         if !self.enabled {
             return;
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
         }
-        self.ring.push_back(TraceEvent {
+        self.ring.push_back(TraceRecord {
             at,
             source: source.into(),
-            what: what.into(),
+            corr,
+            data,
         });
         self.emitted += 1;
     }
 
-    /// The retained events, oldest first.
-    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+    /// The retained records, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceRecord> {
         self.ring.iter()
     }
 
-    /// Total events emitted over the sink's lifetime (including evicted).
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total records emitted over the sink's lifetime (including evicted).
     pub fn total_emitted(&self) -> u64 {
         self.emitted
     }
 
-    /// Events whose source starts with `prefix`, oldest first.
-    pub fn by_source<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.ring.iter().filter(move |e| e.source.starts_with(prefix))
+    /// Records whose source starts with `prefix`, oldest first.
+    pub fn by_source<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.ring
+            .iter()
+            .filter(move |e| e.source.starts_with(prefix))
     }
 
-    /// Events whose description contains `needle`, oldest first.
-    pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.ring.iter().filter(move |e| e.what.contains(needle))
+    /// Records whose description contains `needle`, oldest first.
+    pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.ring.iter().filter(move |e| e.what().contains(needle))
     }
 
-    /// Discards all retained events (the lifetime counter is kept).
+    /// Records belonging to correlation id `corr`, oldest first.
+    pub fn by_corr(&self, corr: CorrId) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter().filter(move |e| e.corr == corr)
+    }
+
+    /// Discards all retained records (the lifetime counter is kept).
     pub fn clear(&mut self) {
         self.ring.clear();
     }
@@ -138,7 +168,7 @@ mod tests {
         let v: Vec<_> = t.events().collect();
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].source, "a");
-        assert_eq!(v[1].what, "y");
+        assert_eq!(v[1].what(), "y");
     }
 
     #[test]
@@ -147,9 +177,31 @@ mod tests {
         for i in 0..10u64 {
             t.emit(SimTime::from_nanos(i), "s", i.to_string());
         }
-        let v: Vec<_> = t.events().map(|e| e.what.clone()).collect();
+        let v: Vec<_> = t.events().map(|e| e.what()).collect();
         assert_eq!(v, vec!["7", "8", "9"]);
         assert_eq!(t.total_emitted(), 10);
+    }
+
+    #[test]
+    fn ring_is_fully_reserved_up_front() {
+        let t = TraceSink::bounded(4096);
+        assert!(t.ring.capacity() >= 4096, "capacity {}", t.ring.capacity());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn len_tracks_retained_records() {
+        let mut t = TraceSink::bounded(2);
+        assert!(t.is_empty());
+        t.emit(SimTime::ZERO, "s", "a");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        t.emit(SimTime::ZERO, "s", "b");
+        t.emit(SimTime::ZERO, "s", "c");
+        assert_eq!(t.len(), 2); // bounded
+        t.clear();
+        assert!(t.is_empty());
     }
 
     #[test]
@@ -176,15 +228,36 @@ mod tests {
     }
 
     #[test]
+    fn corr_filter_selects_one_activity() {
+        let mut t = TraceSink::bounded(16);
+        t.emit_corr(SimTime::ZERO, "nic0", CorrId(1), "step one");
+        t.emit_corr(SimTime::ZERO, "bus", CorrId(2), "unrelated");
+        t.emit_data(
+            SimTime::from_nanos(5),
+            "bus",
+            CorrId(1),
+            TraceData::Deliver {
+                to: "ssd0".into(),
+                kind: "OpenRequest",
+            },
+        );
+        let span: Vec<_> = t.by_corr(CorrId(1)).collect();
+        assert_eq!(span.len(), 2);
+        assert_eq!(span[1].what(), "-> ssd0: OpenRequest");
+    }
+
+    #[test]
     fn display_is_stable() {
-        let e = TraceEvent {
+        let e = TraceRecord {
             at: SimTime::from_nanos(1500),
             source: "bus".into(),
-            what: "hello".into(),
+            corr: CorrId(3),
+            data: TraceData::Text("hello".into()),
         };
         let s = e.to_string();
         assert!(s.contains("bus"));
         assert!(s.contains("hello"));
         assert!(s.contains("1.500us"));
+        assert!(s.contains("c3"));
     }
 }

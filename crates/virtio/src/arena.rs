@@ -56,7 +56,9 @@ impl BufferArena {
 
     /// Allocates a slot, returning its virtual address.
     pub fn alloc(&mut self) -> Option<u64> {
-        self.free.pop().map(|s| self.base + self.slot_size * s as u64)
+        self.free
+            .pop()
+            .map(|s| self.base + self.slot_size * s as u64)
     }
 
     /// Returns a slot by its virtual address.

@@ -91,7 +91,9 @@ impl FlatMemory {
 impl QueueMemory for FlatMemory {
     fn read(&mut self, va: u64, buf: &mut [u8]) -> Result<(), MemFault> {
         let start = va as usize;
-        let end = start.checked_add(buf.len()).ok_or(MemFault { va, write: false })?;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or(MemFault { va, write: false })?;
         if end > self.bytes.len() {
             return Err(MemFault { va, write: false });
         }
@@ -101,7 +103,9 @@ impl QueueMemory for FlatMemory {
 
     fn write(&mut self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
         let start = va as usize;
-        let end = start.checked_add(buf.len()).ok_or(MemFault { va, write: true })?;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or(MemFault { va, write: true })?;
         if end > self.bytes.len() {
             return Err(MemFault { va, write: true });
         }
@@ -127,7 +131,19 @@ mod tests {
     fn flat_memory_faults_out_of_range() {
         let mut m = FlatMemory::new(16);
         let mut b = [0u8; 8];
-        assert_eq!(m.read(12, &mut b), Err(MemFault { va: 12, write: false }));
-        assert_eq!(m.write(u64::MAX, &b), Err(MemFault { va: u64::MAX, write: true }));
+        assert_eq!(
+            m.read(12, &mut b),
+            Err(MemFault {
+                va: 12,
+                write: false
+            })
+        );
+        assert_eq!(
+            m.write(u64::MAX, &b),
+            Err(MemFault {
+                va: u64::MAX,
+                write: true
+            })
+        );
     }
 }

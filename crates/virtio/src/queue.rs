@@ -68,7 +68,11 @@ struct Desc {
     next: u16,
 }
 
-fn read_desc<M: QueueMemory>(mem: &mut M, layout: &QueueLayout, i: u16) -> Result<Desc, QueueError> {
+fn read_desc<M: QueueMemory>(
+    mem: &mut M,
+    layout: &QueueLayout,
+    i: u16,
+) -> Result<Desc, QueueError> {
     let mut b = [0u8; 16];
     mem.read(layout.desc_addr(i), &mut b)?;
     Ok(Desc {
@@ -596,7 +600,9 @@ mod tests {
         mem.write(BUF0, b"a").unwrap();
         mem.write(BUF0 + 100, b"b").unwrap();
         let h1 = drv.submit_request(&mut mem, BUF0, 1, BUF1, 8).unwrap();
-        let h2 = drv.submit_request(&mut mem, BUF0 + 100, 1, BUF1 + 100, 8).unwrap();
+        let h2 = drv
+            .submit_request(&mut mem, BUF0 + 100, 1, BUF1 + 100, 8)
+            .unwrap();
         // Device serves out of order: h2 first.
         let c1 = dev.pop(&mut mem).unwrap().unwrap();
         let c2 = dev.pop(&mut mem).unwrap().unwrap();
@@ -637,7 +643,10 @@ mod tests {
         // free-running indices and the ring slots wrap many times.
         for i in 0..70_000u32 {
             let head = drv.submit_request(&mut mem, BUF0, 1, BUF1, 4).unwrap();
-            let chain = dev.pop(&mut mem).unwrap().unwrap_or_else(|| panic!("iter {i}"));
+            let chain = dev
+                .pop(&mut mem)
+                .unwrap()
+                .unwrap_or_else(|| panic!("iter {i}"));
             dev.push_used(&mut mem, chain.head, 1).unwrap();
             let c = drv.complete(&mut mem).unwrap().unwrap();
             assert_eq!(c.head, head);
@@ -650,11 +659,22 @@ mod tests {
         let err = drv.submit_chain(
             &mut mem,
             &[
-                ChainSeg { va: BUF0, len: 4, device_writes: true },
-                ChainSeg { va: BUF1, len: 4, device_writes: false },
+                ChainSeg {
+                    va: BUF0,
+                    len: 4,
+                    device_writes: true,
+                },
+                ChainSeg {
+                    va: BUF1,
+                    len: 4,
+                    device_writes: false,
+                },
             ],
         );
-        assert_eq!(err, Err(QueueError::Corrupt("readable segment after writable")));
+        assert_eq!(
+            err,
+            Err(QueueError::Corrupt("readable segment after writable"))
+        );
     }
 
     #[test]
@@ -687,7 +707,8 @@ mod tests {
         drv.submit_request(&mut mem, BUF0, 1, BUF1, 1).unwrap();
         let layout = *drv.layout();
         // Overwrite the published slot with a bogus head.
-        mem.write(layout.avail_ring(0), &999u16.to_le_bytes()).unwrap();
+        mem.write(layout.avail_ring(0), &999u16.to_le_bytes())
+            .unwrap();
         assert_eq!(
             dev.pop(&mut mem),
             Err(QueueError::Corrupt("avail head out of range"))
@@ -712,9 +733,21 @@ mod tests {
             .submit_chain(
                 &mut mem,
                 &[
-                    ChainSeg { va: BUF0, len: 1, device_writes: false },
-                    ChainSeg { va: BUF1, len: 3, device_writes: true },
-                    ChainSeg { va: BUF1 + 0x100, len: 5, device_writes: true },
+                    ChainSeg {
+                        va: BUF0,
+                        len: 1,
+                        device_writes: false,
+                    },
+                    ChainSeg {
+                        va: BUF1,
+                        len: 3,
+                        device_writes: true,
+                    },
+                    ChainSeg {
+                        va: BUF1 + 0x100,
+                        len: 5,
+                        device_writes: true,
+                    },
                 ],
             )
             .unwrap();
@@ -739,7 +772,10 @@ mod tests {
         elem[0..4].copy_from_slice(&2u32.to_le_bytes());
         mem.write(layout.used_ring(0), &elem).unwrap();
         mem.write(layout.used_idx(), &1u16.to_le_bytes()).unwrap();
-        assert!(matches!(drv.complete(&mut mem), Err(QueueError::Corrupt(_))));
+        assert!(matches!(
+            drv.complete(&mut mem),
+            Err(QueueError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -851,11 +887,31 @@ mod indirect_tests {
         mem.write(BUF, b"hello").unwrap();
         // A 5-segment chain would not even fit a 4-entry ring directly.
         let segs = [
-            ChainSeg { va: BUF, len: 2, device_writes: false },
-            ChainSeg { va: BUF + 2, len: 3, device_writes: false },
-            ChainSeg { va: BUF + 0x100, len: 2, device_writes: true },
-            ChainSeg { va: BUF + 0x200, len: 2, device_writes: true },
-            ChainSeg { va: BUF + 0x300, len: 4, device_writes: true },
+            ChainSeg {
+                va: BUF,
+                len: 2,
+                device_writes: false,
+            },
+            ChainSeg {
+                va: BUF + 2,
+                len: 3,
+                device_writes: false,
+            },
+            ChainSeg {
+                va: BUF + 0x100,
+                len: 2,
+                device_writes: true,
+            },
+            ChainSeg {
+                va: BUF + 0x200,
+                len: 2,
+                device_writes: true,
+            },
+            ChainSeg {
+                va: BUF + 0x300,
+                len: 4,
+                device_writes: true,
+            },
         ];
         let head = drv.submit_chain_indirect(&mut mem, &segs, TABLE).unwrap();
         assert_eq!(drv.free_descriptors(), 3, "only one ring descriptor used");
@@ -882,7 +938,11 @@ mod indirect_tests {
         let (mut mem, mut drv, mut dev) = setup(4);
         drv.submit_chain_indirect(
             &mut mem,
-            &[ChainSeg { va: BUF, len: 4, device_writes: false }],
+            &[ChainSeg {
+                va: BUF,
+                len: 4,
+                device_writes: false,
+            }],
             TABLE,
         )
         .unwrap();
@@ -900,8 +960,16 @@ mod indirect_tests {
         drv.submit_chain_indirect(
             &mut mem,
             &[
-                ChainSeg { va: BUF, len: 4, device_writes: false },
-                ChainSeg { va: BUF + 8, len: 4, device_writes: false },
+                ChainSeg {
+                    va: BUF,
+                    len: 4,
+                    device_writes: false,
+                },
+                ChainSeg {
+                    va: BUF + 8,
+                    len: 4,
+                    device_writes: false,
+                },
             ],
             TABLE,
         )
@@ -921,7 +989,11 @@ mod indirect_tests {
         let (mut mem, mut drv, mut dev) = setup(4);
         drv.submit_chain_indirect(
             &mut mem,
-            &[ChainSeg { va: BUF, len: 4, device_writes: false }],
+            &[ChainSeg {
+                va: BUF,
+                len: 4,
+                device_writes: false,
+            }],
             TABLE,
         )
         .unwrap();
@@ -929,7 +1001,7 @@ mod indirect_tests {
         let layout = *drv.layout();
         let mut b = [0u8; 16];
         mem.read(layout.desc_addr(3), &mut b).unwrap(); // head popped from free list top (id 3? find it)
-        // Find the published head instead of guessing the id.
+                                                        // Find the published head instead of guessing the id.
         let mut head_b = [0u8; 2];
         mem.read(layout.avail_ring(0), &mut head_b).unwrap();
         let head = u16::from_le_bytes(head_b);
@@ -943,13 +1015,23 @@ mod indirect_tests {
     fn indirect_interleaves_with_direct() {
         let (mut mem, mut drv, mut dev) = setup(8);
         mem.write(BUF, b"AB").unwrap();
-        let direct = drv.submit_request(&mut mem, BUF, 2, BUF + 0x500, 4).unwrap();
+        let direct = drv
+            .submit_request(&mut mem, BUF, 2, BUF + 0x500, 4)
+            .unwrap();
         let indirect = drv
             .submit_chain_indirect(
                 &mut mem,
                 &[
-                    ChainSeg { va: BUF, len: 2, device_writes: false },
-                    ChainSeg { va: BUF + 0x600, len: 4, device_writes: true },
+                    ChainSeg {
+                        va: BUF,
+                        len: 2,
+                        device_writes: false,
+                    },
+                    ChainSeg {
+                        va: BUF + 0x600,
+                        len: 4,
+                        device_writes: true,
+                    },
                 ],
                 TABLE,
             )

@@ -50,11 +50,11 @@ fn main() {
         .events()
         .filter(|e| e.at >= t_kill)
         .filter(|e| {
-            e.what.contains("DeviceFailed")
-                || e.what.contains("revoked")
+            e.what().contains("DeviceFailed")
+                || e.what().contains("revoked")
                 || e.source == "fault"
-                || e.what.contains("ssd0: HelloAck")
-                || e.what.contains("Hello to")
+                || e.what().contains("ssd0: HelloAck")
+                || e.what().contains("Hello to")
         })
         .take(12)
         .map(|e| format!("  {e}"))
@@ -66,7 +66,10 @@ fn main() {
     // The NIC's server lost its session (its storage died under it).
     let nic: &SmartNic<KvsNicApp> = setup.system.device_as(setup.frontend).expect("nic");
     println!();
-    println!("KVS server state after the failure: {:?}", nic.app().state());
+    println!(
+        "KVS server state after the failure: {:?}",
+        nic.app().state()
+    );
     assert_eq!(nic.app().state(), ServerState::Failed);
     println!("the client times out its lost requests and the server sheds load:");
     setup.system.run_for(SimDuration::from_millis(300));
@@ -76,8 +79,14 @@ fn main() {
         client.timeouts(),
         client.busy_rejections(),
     );
-    assert!(client.timeouts() > 0, "in-flight requests died with the SSD");
-    assert!(client.busy_rejections() > 0, "server sheds load after failure");
+    assert!(
+        client.timeouts() > 0,
+        "in-flight requests died with the SSD"
+    );
+    assert!(
+        client.busy_rejections() > 0,
+        "server sheds load after failure"
+    );
 
     // The bus reset the SSD; it re-registered. (The KVS application layer
     // would reconnect via a fresh discovery — the paper leaves recovery to
@@ -90,7 +99,11 @@ fn main() {
     println!();
     println!(
         "ssd0 after the bus's reset pulse: {}",
-        if ssd_alive { "alive again (re-registered via Hello)" } else { "still down" }
+        if ssd_alive {
+            "alive again (re-registered via Hello)"
+        } else {
+            "still down"
+        }
     );
     assert!(ssd_alive);
     println!(

@@ -45,15 +45,27 @@ fn main() {
     assert!(client.is_done(), "workload incomplete");
     let nic: &SmartNic<KvsNicApp> = cpuless.system.device_as(cpuless.frontend).expect("nic");
     let stats = nic.app().stats();
-    let h = cpuless.system.stats().histogram("client.latency").expect("latencies");
+    let h = cpuless
+        .system
+        .stats()
+        .histogram("client.latency")
+        .expect("latencies");
 
     println!("CPU-less KVS (smart NIC + smart SSD, no CPU):");
     println!("  ops completed: {}", client.ops_done());
     println!("  throughput:    {:.0} ops/s", client.throughput().unwrap());
-    println!("  latency:       mean {} / p50 {} / p99 {}", h.mean(), h.percentile(50.0), h.percentile(99.0));
+    println!(
+        "  latency:       mean {} / p50 {} / p99 {}",
+        h.mean(),
+        h.percentile(50.0),
+        h.percentile(99.0)
+    );
     println!(
         "  server:        {} GETs ({} cache hits), {} PUTs, {} live keys",
-        stats.gets, stats.cache_hits, stats.puts, nic.app().key_count()
+        stats.gets,
+        stats.cache_hits,
+        stats.puts,
+        nic.app().key_count()
     );
 
     // --- Conventional deployment (the last CPU still in place) ----------
@@ -72,13 +84,22 @@ fn main() {
     base.system.run_for(SimDuration::from_secs(5));
     let client: &KvsClientHost = base.system.host_as(port).expect("client");
     assert!(client.is_done(), "baseline workload incomplete");
-    let h2 = base.system.stats().histogram("client.latency").expect("latencies");
+    let h2 = base
+        .system
+        .stats()
+        .histogram("client.latency")
+        .expect("latencies");
 
     println!();
     println!("Conventional KVS (CPU + dumb NIC, same store logic, same SSD):");
     println!("  ops completed: {}", client.ops_done());
     println!("  throughput:    {:.0} ops/s", client.throughput().unwrap());
-    println!("  latency:       mean {} / p50 {} / p99 {}", h2.mean(), h2.percentile(50.0), h2.percentile(99.0));
+    println!(
+        "  latency:       mean {} / p50 {} / p99 {}",
+        h2.mean(),
+        h2.percentile(50.0),
+        h2.percentile(99.0)
+    );
     println!();
     println!(
         "kernel tax on the median op: {:.2}x  (the mean is flash-bound on PUTs;",

@@ -68,7 +68,10 @@ fn main() {
     // 7. Inspect the result.
     let c: &ConsoleDevice = sys.device_as(console).expect("console present");
     assert_eq!(c.state(), ConsoleState::Done, "console did not finish");
-    println!("machine booted: {} devices alive, zero CPUs", sys.bus().alive().count());
+    println!(
+        "machine booted: {} devices alive, zero CPUs",
+        sys.bus().alive().count()
+    );
     println!();
     println!("log retrieved by the console over the CPU-less fabric:");
     println!("-------------------------------------------------------");
@@ -81,8 +84,8 @@ fn main() {
         .events()
         .filter(|e| {
             e.source == "console0"
-                || e.what.contains("console0")
-                || e.what.contains("programmed IOMMU")
+                || e.what().contains("console0")
+                || e.what().contains("programmed IOMMU")
         })
         .collect();
     for e in events.iter().take(14) {

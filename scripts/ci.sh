@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# CI gate for the lastcpu workspace. Mirrors what a reviewer runs:
+#
+#   1. formatting        cargo fmt --check
+#   2. lints             cargo clippy --all-targets -- -D warnings
+#   3. tier-1            cargo build --release && cargo test -q
+#   4. obs smoke test    f2_init_sequence --trace-out/--metrics-out produce
+#                        non-empty, well-formed artifacts
+#
+# Everything runs offline; the workspace has no crates.io dependencies.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --offline --release
+
+echo "==> tier-1: cargo test -q"
+cargo test --offline -q
+
+echo "==> observability smoke test (f2_init_sequence)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --offline --release -q -p lastcpu-bench --bin f2_init_sequence -- \
+    --trace-out "$tmp/f2.jsonl" --metrics-out "$tmp/f2.prom" >/dev/null
+
+# The JSONL trace must be non-empty, and every line must be a JSON object
+# with the fields the exporter promises (at_ns, source, corr, kind, what).
+[ -s "$tmp/f2.jsonl" ] || { echo "FAIL: empty trace"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/f2.jsonl" <<'PY'
+import json, sys
+n = 0
+corrs = set()
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    for field in ("at_ns", "source", "corr", "kind", "what"):
+        assert field in rec, f"missing {field!r}: {rec}"
+    corrs.add(rec["corr"])
+    n += 1
+assert n > 0, "no trace records"
+assert len(corrs) > 1, "expected more than one correlation id"
+print(f"    {n} trace records, {len(corrs)} correlation ids")
+PY
+else
+    grep -q '"corr"' "$tmp/f2.jsonl" || { echo "FAIL: no corr field"; exit 1; }
+fi
+
+# The metrics snapshot must cover each subsystem the design instruments
+# (names are sanitized to lastcpu_<subsystem>_... in the exposition).
+for prefix in bus iommu nic ssd memctl kvs; do
+    grep -q "lastcpu_${prefix}_" "$tmp/f2.prom" || {
+        echo "FAIL: no ${prefix}.* metric in snapshot"; exit 1;
+    }
+done
+echo "    metrics cover bus/iommu/nic/ssd/memctl/kvs"
+
+echo "CI OK"

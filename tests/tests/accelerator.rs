@@ -1,7 +1,7 @@
 //! Integration: the FPGA-style accelerator over the live bus — spatial
 //! region allocation, doorbell-driven jobs, and release on disconnect.
 
-use lastcpu_bus::{ConnId, DeviceId, Dst, Envelope, Payload, Status, Token};
+use lastcpu_bus::{ConnId, DeviceId, Envelope, Status, Token};
 use lastcpu_core::devices::accel::{
     encode_fabric_params, Accelerator, DOORBELL_JOB_DONE, FABRIC_SERVICE,
 };
@@ -66,7 +66,8 @@ impl Device for FabricClient {
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "fabric-client");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -210,8 +211,8 @@ fn time_shared_mode_admits_and_stretches() {
     sys2.run_for(SimDuration::from_millis(100));
     let s: &FabricClient = sys2.device_as(solo).unwrap();
     assert!(s.is_done() && !s.denied);
-    let shared_mean = c1.job_times.iter().map(|d| d.as_nanos()).sum::<u64>()
-        / c1.job_times.len() as u64;
+    let shared_mean =
+        c1.job_times.iter().map(|d| d.as_nanos()).sum::<u64>() / c1.job_times.len() as u64;
     let solo_mean =
         s.job_times.iter().map(|d| d.as_nanos()).sum::<u64>() / s.job_times.len() as u64;
     assert!(

@@ -29,22 +29,17 @@ fn figure2_steps_occur_in_order() {
 
     // The seven steps appear in causal order in the trace.
     let needles = [
-        "sends Query(file:",          // 1: broadcast discovery
-        "-> nic0: QueryHit",          // 2: the SSD answers
-        "-> ssd0: OpenRequest",       // 3: open the file service
-        "-> nic0: OpenResponse",      // 4: conn + shm requirement
-        "-> memctl0: MemAlloc",       // 5: allocate shared memory
-        "programmed IOMMU of dev:3",  // 6: bus programs the NIC's IOMMU
-        "-> memctl0: Share",          // 7: grant to the SSD
-        "programmed IOMMU of dev:2",  //    bus programs the SSD's IOMMU
-        "queue attached",             //    VIRTIO queue established
+        "sends Query(file:",         // 1: broadcast discovery
+        "-> nic0: QueryHit",         // 2: the SSD answers
+        "-> ssd0: OpenRequest",      // 3: open the file service
+        "-> nic0: OpenResponse",     // 4: conn + shm requirement
+        "-> memctl0: MemAlloc",      // 5: allocate shared memory
+        "programmed IOMMU of dev:3", // 6: bus programs the NIC's IOMMU
+        "-> memctl0: Share",         // 7: grant to the SSD
+        "programmed IOMMU of dev:2", //    bus programs the SSD's IOMMU
+        "queue attached",            //    VIRTIO queue established
     ];
-    let events: Vec<String> = setup
-        .system
-        .trace()
-        .events()
-        .map(|e| e.what.clone())
-        .collect();
+    let events: Vec<String> = setup.system.trace().events().map(|e| e.what()).collect();
     let mut cursor = 0;
     for needle in needles {
         let pos = events[cursor..]
@@ -68,7 +63,7 @@ fn setup_is_fast_and_bounded() {
         .system
         .trace()
         .events()
-        .find(|e| e.what.contains("queue attached"))
+        .find(|e| e.what().contains("queue attached"))
         .map(|e| e.at)
         .expect("queue established");
     // Dominated by two 50us discovery windows; the whole handshake stays

@@ -152,9 +152,7 @@ fn mean_rtt(conflate: bool) -> SimDuration {
     sys.run_for(SimDuration::from_millis(20));
     let p: &Pinger = sys.device_as(pinger).unwrap();
     assert!(p.rtts.len() > 100, "too few pings: {}", p.rtts.len());
-    SimDuration::from_nanos(
-        p.rtts.iter().map(|d| d.as_nanos()).sum::<u64>() / p.rtts.len() as u64,
-    )
+    SimDuration::from_nanos(p.rtts.iter().map(|d| d.as_nanos()).sum::<u64>() / p.rtts.len() as u64)
 }
 
 #[test]

@@ -6,9 +6,9 @@ use lastcpu_bus::{Dst, Envelope, Payload};
 use lastcpu_core::devices::device::{Device, DeviceCtx};
 use lastcpu_core::devices::ssd::{SmartSsd, SsdConfig};
 use lastcpu_core::{System, SystemConfig};
+use lastcpu_kvs::build_cpuless_kvs;
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
 use lastcpu_kvs::server::ServerConfig;
-use lastcpu_kvs::build_cpuless_kvs;
 use lastcpu_sim::{SimDuration, SimTime};
 use lastcpu_tests::small_fs;
 
@@ -53,7 +53,10 @@ fn heartbeat_timeout_declares_silent_device_failed() {
     }));
     sys.power_on();
     sys.run_for(SimDuration::from_millis(2));
-    assert_eq!(sys.bus().device(silent.id).unwrap().state, DeviceState::Alive);
+    assert_eq!(
+        sys.bus().device(silent.id).unwrap().state,
+        DeviceState::Alive
+    );
     // Default heartbeat timeout is 10ms; by 30ms the scan has fired.
     sys.run_for(SimDuration::from_millis(30));
     let state = sys.bus().device(silent.id).unwrap().state;
@@ -67,7 +70,12 @@ fn heartbeat_timeout_declares_silent_device_failed() {
     );
     assert!(sys.bus().stats().failures >= 1, "liveness scan never fired");
     // The memory controller heartbeats and must never be declared failed.
-    let mc_state = sys.bus().devices().find(|d| d.kind == "memory-controller").unwrap().state;
+    let mc_state = sys
+        .bus()
+        .devices()
+        .find(|d| d.kind == "memory-controller")
+        .unwrap()
+        .state;
     assert_eq!(mc_state, DeviceState::Alive);
 }
 
@@ -266,7 +274,11 @@ fn memctl_quota_denies_over_budget_allocations() {
     sys.power_on();
     sys.run_for(SimDuration::from_millis(20));
     let c: &DoubleAlloc = sys.device_as(client).unwrap();
-    assert_eq!(c.results, vec![true, false], "second region exceeds the quota");
+    assert_eq!(
+        c.results,
+        vec![true, false],
+        "second region exceeds the quota"
+    );
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! (create/list/delete) and the `loader` service (§4 Access Control) —
 //! exercised over the live bus by a scripted client device.
 
-use lastcpu_bus::{Dst, Envelope, Payload, ServiceId, Status, Token};
+use lastcpu_bus::{Envelope, ServiceId, Status, Token};
 use lastcpu_core::devices::auth;
 use lastcpu_core::devices::device::{Device, DeviceCtx};
 use lastcpu_core::devices::monitor::{AuthMode, Monitor, MonitorEvent};
@@ -23,7 +23,11 @@ struct ScriptClient {
 }
 
 impl ScriptClient {
-    fn new(name: &str, ssd: lastcpu_bus::DeviceId, script: Vec<(ServiceId, Token, Vec<u8>)>) -> Self {
+    fn new(
+        name: &str,
+        ssd: lastcpu_bus::DeviceId,
+        script: Vec<(ServiceId, Token, Vec<u8>)>,
+    ) -> Self {
         ScriptClient {
             name: name.into(),
             monitor: Monitor::new(),
@@ -61,7 +65,8 @@ impl Device for ScriptClient {
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let name = self.name.clone();
         self.monitor.start(ctx, &name, "script-client");
-        self.monitor.enable_heartbeat(ctx, SimDuration::from_millis(2));
+        self.monitor
+            .enable_heartbeat(ctx, SimDuration::from_millis(2));
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
@@ -109,22 +114,50 @@ fn fs_service_create_list_delete() {
         "client0",
         ssd.id,
         vec![
-            (FS_SERVICE, Token::NONE, FsOp::Create { path: "/a.db".into() }.encode()),
+            (
+                FS_SERVICE,
+                Token::NONE,
+                FsOp::Create {
+                    path: "/a.db".into(),
+                }
+                .encode(),
+            ),
             (FS_SERVICE, Token::NONE, FsOp::List.encode()),
-            (FS_SERVICE, Token::NONE, FsOp::Delete { path: "/a.db".into() }.encode()),
+            (
+                FS_SERVICE,
+                Token::NONE,
+                FsOp::Delete {
+                    path: "/a.db".into(),
+                }
+                .encode(),
+            ),
             (FS_SERVICE, Token::NONE, FsOp::List.encode()),
             // Deleting again: NotFound.
-            (FS_SERVICE, Token::NONE, FsOp::Delete { path: "/a.db".into() }.encode()),
+            (
+                FS_SERVICE,
+                Token::NONE,
+                FsOp::Delete {
+                    path: "/a.db".into(),
+                }
+                .encode(),
+            ),
         ],
     )));
     sys.power_on();
     sys.run_for(SimDuration::from_millis(50));
     let c: &ScriptClient = sys.device_as(client).unwrap();
-    assert!(c.is_done(), "script incomplete: {} results", c.results.len());
+    assert!(
+        c.is_done(),
+        "script incomplete: {} results",
+        c.results.len()
+    );
     assert_eq!(c.results[0].0, Status::Ok, "create");
     assert_eq!(c.results[1].0, Status::Ok, "list");
     let listing = String::from_utf8_lossy(&c.results[1].1).to_string();
-    assert!(listing.contains("/a.db") && listing.contains("/seed.txt"), "{listing}");
+    assert!(
+        listing.contains("/a.db") && listing.contains("/seed.txt"),
+        "{listing}"
+    );
     assert_eq!(c.results[2].0, Status::Ok, "delete");
     let listing = String::from_utf8_lossy(&c.results[3].1).to_string();
     assert!(!listing.contains("/a.db"), "{listing}");
@@ -155,7 +188,11 @@ fn loader_requires_sealed_token() {
     sys.run_for(SimDuration::from_millis(50));
     let c: &ScriptClient = sys.device_as(client).unwrap();
     assert!(c.is_done());
-    assert_eq!(c.results[0].0, Status::Denied, "forged token must be denied");
+    assert_eq!(
+        c.results[0].0,
+        Status::Denied,
+        "forged token must be denied"
+    );
     assert_eq!(c.results[1].0, Status::Ok, "sealed token accepted");
     let listing = String::from_utf8_lossy(&c.results[2].1).to_string();
     assert!(listing.contains("/boot/fw-v2.bin"), "{listing}");
