@@ -12,14 +12,17 @@
 //! 3. **Reset recovery.** The bus pulses reset; we measure until the SSD is
 //!    alive (re-registered) again.
 
+use std::hash::{Hash, Hasher};
+
 use lastcpu_bench::drivers::{ControlMode, DmaProbe, SetupClient};
 use lastcpu_bench::{ObsArgs, Table};
+use lastcpu_bus::RetryConfig;
 use lastcpu_core::devices::flash::{NandChip, NandConfig};
 use lastcpu_core::devices::fs::FlashFs;
 use lastcpu_core::devices::ftl::Ftl;
 use lastcpu_core::devices::ssd::{SmartSsd, SsdConfig};
 use lastcpu_core::{System, SystemConfig};
-use lastcpu_sim::{SimDuration, SimTime};
+use lastcpu_sim::{DetRng, FaultKind, FaultPlan, SimDuration, SimTime};
 
 const FILE: &str = "/data/e4.db";
 
@@ -220,13 +223,189 @@ fn part4_owner_death() {
     println!("revoked from both the dead owner and the surviving SSD).");
 }
 
+/// One cell of the part-5 fault matrix, summarised for comparison.
+struct CellOutcome {
+    /// Fingerprint of the full trace + final clock (determinism witness).
+    fingerprint: u64,
+    retries: u64,
+    give_ups: u64,
+    wire_hits: u64,
+    recoveries: u64,
+    recovery_mean: Option<SimDuration>,
+    /// The SSD completed the Figure-2 re-init (HelloAck after the fault).
+    reinit: bool,
+}
+
+/// Builds the fault plan for one matrix cell. Injection times are jittered
+/// from the seed so different seeds exercise different interleavings, while
+/// one seed always produces the same plan.
+fn cell_plan(seed: u64, cell: u64, wire: FaultKind, dev: FaultKind) -> FaultPlan {
+    let mut rng = DetRng::new(seed).split(0xE4_0000 | cell);
+    let mut plan = FaultPlan::new(seed);
+    // Wire fault lands during the Figure-2 setup burst (the session setup
+    // RPCs all fly within the first ~120 us), so the dropped/corrupted
+    // requests must be retransmitted by the timeout/backoff layer.
+    let wire_at = SimTime::from_nanos(5_000 + rng.below(110_000));
+    plan.inject(wire_at, "ssd0", wire);
+    // Device fault lands once the system is quiescent.
+    let dev_at = SimTime::from_nanos(12_000_000 + rng.below(2_000_000));
+    plan.inject(dev_at, "ssd0", dev);
+    plan
+}
+
+/// Runs one matrix cell to completion and summarises it.
+fn run_cell(obs: &ObsArgs, seed: u64, cell: u64, wire: FaultKind, dev: FaultKind) -> CellOutcome {
+    let plan = cell_plan(seed, cell, wire, dev);
+    let dev_at = plan.events().last().expect("two injections").at;
+    let mut config = SystemConfig {
+        seed,
+        trace: true, // the determinism witness hashes the trace
+        liveness_interval: Some(SimDuration::from_millis(2)),
+        fault_plan: Some(plan),
+        rpc_retry: Some(RetryConfig::default()),
+        ..SystemConfig::default()
+    };
+    obs.apply(&mut config);
+    let mut sys = System::new(config);
+    let memctl = sys.add_memctl("memctl0");
+    sys.add_device(Box::new(make_ssd()));
+    let mut client = SetupClient::new(
+        "client0",
+        ControlMode::Decentralized,
+        &format!("file:{FILE}"),
+        1,
+    );
+    client.memctl_hint_value = memctl.id;
+    sys.add_device(Box::new(client));
+    sys.power_on();
+    sys.run_for(SimDuration::from_millis(60));
+
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    sys.now().as_nanos().hash(&mut h);
+    for e in sys.trace().events() {
+        e.at.as_nanos().hash(&mut h);
+        e.what().hash(&mut h);
+    }
+    let stats = sys.stats();
+    let wire_hits = stats.counter("fault.msgs_dropped")
+        + stats.counter("fault.msgs_corrupted")
+        + stats.counter("fault.msgs_delayed");
+    let rec = stats.histogram("bus.ssd0.recovery_latency");
+    let reinit = sys
+        .trace()
+        .events()
+        .any(|e| e.at > dev_at && e.what().contains("-> ssd0: HelloAck"));
+    let out = CellOutcome {
+        fingerprint: h.finish(),
+        retries: stats.counter("bus.rpc_retries"),
+        give_ups: stats.counter("bus.rpc_give_ups"),
+        wire_hits,
+        recoveries: rec.as_ref().map(|r| r.count()).unwrap_or(0),
+        recovery_mean: rec.as_ref().filter(|r| r.count() > 0).map(|r| r.mean()),
+        reinit,
+    };
+    obs.dump(&sys);
+    out
+}
+
+/// Part 5 — the deterministic fault matrix: each {drop, corrupt, delay}
+/// wire fault is paired with each {crash, hang} device fault, every cell is
+/// run **twice** from the same `--fault-seed`, and the two runs must agree
+/// bit-for-bit (same trace, same clock, same counters). This is the E4
+/// acceptance check for the fault-injection subsystem: faults are ordinary
+/// scheduled events, so a faulty run replays exactly.
+fn part5_fault_matrix(obs: &ObsArgs, seed: u64) {
+    println!("part 5: deterministic fault matrix (seed {seed:#x}, each cell run twice)");
+    let wire_faults: [(&str, FaultKind); 3] = [
+        ("drop", FaultKind::Drop { count: 3 }),
+        ("corrupt", FaultKind::Corrupt { count: 3 }),
+        (
+            "delay",
+            FaultKind::Delay {
+                count: 3,
+                extra_ns: 300_000,
+            },
+        ),
+    ];
+    let dev_faults: [(&str, FaultKind); 2] =
+        [("crash", FaultKind::Crash), ("hang", FaultKind::Hang)];
+    let mut t = Table::new(&[
+        "wire fault",
+        "device fault",
+        "wire hits",
+        "rpc retries",
+        "give-ups",
+        "recoveries",
+        "mean recovery",
+        "figure-2 re-init",
+        "deterministic",
+    ]);
+    let mut cell = 0u64;
+    for (wname, wkind) in &wire_faults {
+        for (dname, dkind) in &dev_faults {
+            let a = run_cell(obs, seed, cell, *wkind, *dkind);
+            let b = run_cell(obs, seed, cell, *wkind, *dkind);
+            assert_eq!(
+                a.fingerprint, b.fingerprint,
+                "cell {wname}x{dname} diverged across identical seeded runs"
+            );
+            assert!(
+                a.reinit,
+                "cell {wname}x{dname}: ssd0 never completed the Figure-2 re-init"
+            );
+            t.row_strings(vec![
+                (*wname).into(),
+                (*dname).into(),
+                a.wire_hits.to_string(),
+                a.retries.to_string(),
+                a.give_ups.to_string(),
+                a.recoveries.to_string(),
+                a.recovery_mean.map(|m| m.to_string()).unwrap_or("-".into()),
+                if a.reinit { "yes" } else { "NO" }.into(),
+                "yes (bit-identical)".into(),
+            ]);
+            cell += 1;
+        }
+    }
+    t.print();
+    println!();
+    println!("expected: every cell recovers (crash via the bus's loud reset path,");
+    println!("hang via heartbeat-lapse detection), dropped/corrupted setup RPCs are");
+    println!("retransmitted by the timeout/backoff layer, and re-running a cell from");
+    println!("the same seed replays the exact same trace.");
+}
+
+/// Parses `--fault-seed <n>` (decimal or 0x-hex); defaults to 0xE4.
+fn fault_seed_from_env() -> u64 {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--fault-seed" {
+            if let Some(v) = it.next() {
+                if let Some(hex) = v.strip_prefix("0x") {
+                    if let Ok(s) = u64::from_str_radix(hex, 16) {
+                        return s;
+                    }
+                } else if let Ok(s) = v.parse::<u64>() {
+                    return s;
+                }
+                eprintln!("ignoring unparsable --fault-seed {v:?}");
+            }
+        }
+    }
+    0xE4
+}
+
 fn main() {
     let obs = ObsArgs::from_env();
+    let fault_seed = fault_seed_from_env();
     println!("E4: failure handling on the CPU-less system (§4)");
     println!();
     part1_local_faults(&obs);
-    // Parts 2+3 exercise the trace-rich failure path; their artifacts are
-    // the ones dumped (largest consumer count wins).
     part2_and_3_device_failure(&obs);
     part4_owner_death();
+    println!();
+    // Part 5 exercises the trace-rich injected-fault path; it dumps last so
+    // the artifacts on disk (incl. bus.*.recovery_latency histograms and
+    // bus.*.retries counters) describe the final matrix cell.
+    part5_fault_matrix(&obs, fault_seed);
 }

@@ -70,6 +70,52 @@ fn part_a() {
     println!("IOTLB, falling toward 0 beyond it; mean cost steps from the ~2ns");
     println!("lookup toward the ~122ns four-level walk.");
     println!();
+    part_a_perm_accounting();
+}
+
+/// Smoke check of the corrected IOTLB accounting: a cached entry with
+/// insufficient permissions forces a full walk, so it must count as a
+/// `perm_miss`, not a hit (it used to inflate the hit rate reported above).
+fn part_a_perm_accounting() {
+    let mut mmu = Iommu::new(8);
+    mmu.bind_pasid(Pasid(1));
+    mmu.map(
+        Pasid(1),
+        VirtAddr::new(0),
+        PhysAddr::new(16 * PAGE_SIZE),
+        Perms::R,
+    )
+    .expect("fresh mapping");
+    // Warm the TLB (miss + walk), then hit it once with a permitted read.
+    mmu.translate(Pasid(1), VirtAddr::new(8), AccessKind::Read)
+        .expect("read allowed");
+    mmu.translate(Pasid(1), VirtAddr::new(16), AccessKind::Read)
+        .expect("read allowed");
+    // Write probes find the cached R-only entry, walk, and fault.
+    for _ in 0..3 {
+        assert!(
+            mmu.translate(Pasid(1), VirtAddr::new(24), AccessKind::Write)
+                .is_err(),
+            "write through an R-only mapping must fault"
+        );
+    }
+    let s = mmu.tlb_stats();
+    assert_eq!(s.misses, 1, "one cold miss");
+    assert_eq!(s.hits, 1, "one permitted re-read");
+    assert_eq!(s.perm_misses, 3, "each write probe is a perm miss");
+    // 1 hit out of 5 lookups: perm misses depress the rate.
+    assert!(
+        (s.hit_rate() - 0.2).abs() < 1e-9,
+        "corrected hit rate, got {:.3}",
+        s.hit_rate()
+    );
+    println!("perm-miss accounting: 3 write probes of an R-only entry count as");
+    println!(
+        "perm_misses; corrected hit rate {:.3} (was 0.800 with the old",
+        s.hit_rate()
+    );
+    println!("hit-counting bug).");
+    println!();
 }
 
 fn part_b(obs: &ObsArgs) {

@@ -636,6 +636,11 @@ impl SystemBus {
 
     /// Scans for devices whose heartbeat lapsed and declares them failed.
     ///
+    /// A device is lapsed once the full timeout has elapsed, *inclusive* of
+    /// the boundary tick: with a strict `>` a deterministic sweep schedule
+    /// whose period divides the timeout would land exactly on the deadline
+    /// every time and keep a dead device "Alive" forever.
+    ///
     /// Returns the devices newly declared failed.
     pub fn check_liveness(&mut self, now: SimTime, fx: &mut Vec<BusEffect>) -> Vec<DeviceId> {
         let timeout = self.heartbeat_timeout;
@@ -645,7 +650,7 @@ impl SystemBus {
             .copied()
             .filter(|id| {
                 self.devices.get(id).is_some_and(|e| {
-                    e.state == DeviceState::Alive && now.since(e.last_seen) > timeout
+                    e.state == DeviceState::Alive && now.since(e.last_seen) >= timeout
                 })
             })
             .collect();
@@ -1178,6 +1183,28 @@ mod tests {
         assert_eq!(failed.len(), 2);
         assert!(!failed.contains(&nic));
         assert_eq!(bus.device(nic).unwrap().state, DeviceState::Alive);
+    }
+
+    #[test]
+    fn heartbeat_boundary_tick_fires() {
+        // Regression: a sweep landing *exactly* on the deadline tick must
+        // declare the device failed. With `now.since(last_seen) > timeout`
+        // a sweep period that divides the timeout never observed a lapsed
+        // device, so a dead device stayed "Alive" forever on deterministic
+        // schedules.
+        let (mut bus, nic, _, _) = setup();
+        let timeout = SimDuration::from_millis(1);
+        bus.set_heartbeat_timeout(timeout);
+        let mut fx = Vec::new();
+        // One tick before the deadline: still alive.
+        let almost = SimTime::from_nanos(timeout.as_nanos() - 1);
+        assert!(bus.check_liveness(almost, &mut fx).is_empty());
+        assert_eq!(bus.device(nic).unwrap().state, DeviceState::Alive);
+        // Exactly on the deadline: lapsed.
+        let boundary = SimTime::ZERO + timeout;
+        let failed = bus.check_liveness(boundary, &mut fx);
+        assert!(failed.contains(&nic), "boundary tick must fire");
+        assert_eq!(bus.device(nic).unwrap().state, DeviceState::Failed);
     }
 
     #[test]

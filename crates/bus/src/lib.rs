@@ -36,6 +36,7 @@ pub mod bus;
 pub mod cost;
 pub mod ids;
 pub mod message;
+pub mod retry;
 pub mod wire;
 
 pub use bus::{BusEffect, BusError, SystemBus};
@@ -43,3 +44,4 @@ pub use cost::BusCostModel;
 pub use ids::{ConnId, DeviceId, RequestId, ServiceId, Token};
 pub use lastcpu_sim::CorrId;
 pub use message::{Dst, Envelope, ErrorCode, MapOp, Payload, ResourceKind, ServiceDesc, Status};
+pub use retry::{RetryConfig, RetryStats, RetryVerdict, RpcTracker};

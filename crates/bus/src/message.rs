@@ -14,7 +14,7 @@
 //! | Notify | `Doorbell`, `ErrorNotify`, `ResetRequest/Done`, `DeviceFailed` | §2.3, §4 |
 
 use crate::ids::{ConnId, DeviceId, RequestId, ServiceId, Token};
-use crate::wire::{WireError, WireReader, WireWriter};
+use crate::wire::{frame_check, WireError, WireReader, WireWriter};
 use lastcpu_sim::CorrId;
 
 /// Message destination.
@@ -361,7 +361,9 @@ impl Envelope {
         self.encode().len()
     }
 
-    /// Encodes to the wire format.
+    /// Encodes to the wire format. The frame ends with a 4-byte frame check
+    /// sequence over the body (see [`frame_check`]); corruption in flight is
+    /// detected at decode and the frame dropped rather than misparsed.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         w.u32(self.src.0);
@@ -376,13 +378,25 @@ impl Envelope {
         w.u64(self.req.0);
         w.u64(self.corr.0);
         encode_payload(&mut w, &self.payload);
-        w.finish()
+        let mut bytes = w.finish();
+        let fcs = frame_check(&bytes);
+        bytes.extend_from_slice(&fcs.to_le_bytes());
+        bytes
     }
 
     /// Decodes from the wire format, requiring the buffer to hold exactly
-    /// one message.
+    /// one message and its frame check sequence.
     pub fn decode(buf: &[u8]) -> Result<Envelope, WireError> {
-        let mut r = WireReader::new(buf);
+        let Some(body_len) = buf.len().checked_sub(4) else {
+            return Err(WireError::Truncated);
+        };
+        let (body, fcs) = buf.split_at(body_len);
+        let expected = u32::from_le_bytes(fcs.try_into().expect("len 4"));
+        let actual = frame_check(body);
+        if expected != actual {
+            return Err(WireError::ChecksumMismatch { expected, actual });
+        }
+        let mut r = WireReader::new(body);
         let src = DeviceId(r.u32()?);
         let dst = match r.u8()? {
             0 => Dst::Device(DeviceId(r.u32()?)),
@@ -793,6 +807,24 @@ fn decode_payload(r: &mut WireReader<'_>) -> Result<Payload, WireError> {
 }
 
 impl Payload {
+    /// Whether this payload is a reply/acknowledgement kind — a message
+    /// that echoes a request's id and may complete an RPC tracked by the
+    /// retry layer (`retry::RpcTracker`).
+    pub fn is_reply(&self) -> bool {
+        matches!(
+            self,
+            Payload::HelloAck { .. }
+                | Payload::OpenResponse { .. }
+                | Payload::CloseResponse { .. }
+                | Payload::MemAllocResponse { .. }
+                | Payload::MemFreeResponse { .. }
+                | Payload::ShareResponse { .. }
+                | Payload::BusAck { .. }
+                | Payload::MapComplete { .. }
+                | Payload::ResetDone
+        )
+    }
+
     /// Short tag for tracing.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -969,6 +1001,15 @@ mod tests {
         }
     }
 
+    /// Recomputes the trailing frame check sequence after the test mutated
+    /// the body, so the mutation under test (not the FCS) trips the decoder.
+    fn reframe(mut bytes: Vec<u8>) -> Vec<u8> {
+        let body_len = bytes.len() - 4;
+        let fcs = crate::wire::frame_check(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&fcs.to_le_bytes());
+        bytes
+    }
+
     #[test]
     fn bad_payload_tag_rejected() {
         let env = Envelope {
@@ -979,7 +1020,9 @@ mod tests {
             payload: Payload::Heartbeat,
         };
         let mut bytes = env.encode();
-        *bytes.last_mut().unwrap() = 200;
+        let tag_at = bytes.len() - 5; // last body byte: the payload tag
+        bytes[tag_at] = 200;
+        let bytes = reframe(bytes);
         assert!(matches!(
             Envelope::decode(&bytes),
             Err(WireError::BadDiscriminant {
@@ -999,11 +1042,55 @@ mod tests {
             payload: Payload::Heartbeat,
         };
         let mut bytes = env.encode();
-        bytes.push(0);
+        let fcs_at = bytes.len() - 4;
+        bytes.insert(fcs_at, 0); // garbage between payload and FCS
+        let bytes = reframe(bytes);
         assert!(matches!(
             Envelope::decode(&bytes),
             Err(WireError::TrailingBytes { .. })
         ));
+    }
+
+    #[test]
+    fn unframed_corruption_trips_the_frame_check() {
+        let env = Envelope {
+            src: DeviceId(1),
+            dst: Dst::Bus,
+            req: RequestId(0),
+            corr: CorrId::NONE,
+            payload: Payload::Heartbeat,
+        };
+        let mut bytes = env.encode();
+        bytes.push(0); // appended garbage without re-framing
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    /// Regression: before the frame check existed, flipping one bit of an
+    /// encoded `Heartbeat` could alias it into a *valid* `Bye`, silently
+    /// deregistering the device (found by the E4 fault-injection matrix).
+    /// With the FCS, every single-bit flip must be rejected, never
+    /// misparsed.
+    #[test]
+    fn single_bit_corruption_never_aliases() {
+        let env = Envelope {
+            src: DeviceId(3),
+            dst: Dst::Bus,
+            req: RequestId(7),
+            corr: CorrId(9),
+            payload: Payload::Heartbeat,
+        };
+        let bytes = env.encode();
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                Envelope::decode(&flipped).is_err(),
+                "bit flip {bit} decoded as a valid message"
+            );
+        }
     }
 
     #[test]

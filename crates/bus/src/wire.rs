@@ -42,6 +42,15 @@ pub enum WireError {
         /// How many bytes were left over.
         remaining: usize,
     },
+    /// The frame check sequence did not match the frame body: the message
+    /// was corrupted in flight and must be dropped (the sender's RPC
+    /// timeout retransmits it).
+    ChecksumMismatch {
+        /// FCS carried by the frame.
+        expected: u32,
+        /// FCS computed over the received body.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -57,11 +66,36 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after message")
             }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame check mismatch: frame says {expected:#010x}, body hashes to {actual:#010x}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// The frame check sequence: 32-bit FNV-1a over the frame body.
+///
+/// Real interconnects protect every TLP/flit with a CRC (PCIe LCRC, CXL
+/// flit CRC); without one, a single flipped bit can alias one valid
+/// protocol message into another. (The E4 fault-injection matrix found
+/// exactly this: a bit-flipped `Heartbeat` decoded as a clean `Bye`,
+/// silently deregistering the device so liveness monitoring stopped
+/// watching it.) FNV-1a is not a CRC, but it has the property the
+/// simulation needs: any small corruption changes the check word, so the
+/// receiver drops the frame and the sender's RPC timeout retransmits.
+pub fn frame_check(body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in body {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// Append-only encoder.
 #[derive(Default)]

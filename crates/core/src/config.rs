@@ -1,8 +1,8 @@
 //! System-wide configuration.
 
-use lastcpu_bus::BusCostModel;
+use lastcpu_bus::{BusCostModel, RetryConfig};
 use lastcpu_net::NetCostModel;
-use lastcpu_sim::SimDuration;
+use lastcpu_sim::{FaultPlan, SimDuration};
 
 /// Configuration of the emulated machine.
 #[derive(Debug, Clone)]
@@ -31,6 +31,16 @@ pub struct SystemConfig {
     pub conflate_planes: bool,
     /// Enable trace collection (protocol-step recording).
     pub trace: bool,
+    /// Deterministic fault schedule (`None` = fault-free run). The plan's
+    /// injections are turned into ordinary discrete events at
+    /// [`power_on`](crate::System::power_on), so a faulty run replays
+    /// bit-identically from its seed.
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-request timeout + bounded-backoff retry for bus RPCs (`None` =
+    /// disabled, the pre-fault-subsystem behaviour). Failure experiments
+    /// enable this so lost/corrupted requests are retransmitted instead of
+    /// wedging the requester.
+    pub rpc_retry: Option<RetryConfig>,
 }
 
 impl Default for SystemConfig {
@@ -46,6 +56,8 @@ impl Default for SystemConfig {
             liveness_interval: None,
             conflate_planes: false,
             trace: true,
+            fault_plan: None,
+            rpc_retry: None,
         }
     }
 }

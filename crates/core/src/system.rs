@@ -3,14 +3,18 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use lastcpu_bus::{BusEffect, DeviceId, Dst, Envelope, Payload, RequestId, SystemBus};
+use lastcpu_bus::bus::DeviceState;
+use lastcpu_bus::{
+    BusEffect, ConnId, DeviceId, Dst, Envelope, Payload, RequestId, RetryStats, RetryVerdict,
+    RpcTracker, Status, SystemBus,
+};
 use lastcpu_devices::device::{Action, Device, DeviceCtx};
-use lastcpu_iommu::Iommu;
+use lastcpu_iommu::{AccessKind, Iommu, IommuFault, IommuFaultKind};
 use lastcpu_mem::{Dram, MapError, Pasid, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
 use lastcpu_net::{Frame, PortId, Switch};
 use lastcpu_sim::{
-    CorrId, CounterHandle, DetRng, EventQueue, GaugeHandle, HistogramHandle, MetricsHub,
-    SimDuration, SimTime, TraceData, TraceSink,
+    CorrId, CounterHandle, DetRng, EventQueue, FaultEvent, FaultKind, GaugeHandle, HistogramHandle,
+    MetricsHub, SimDuration, SimTime, TraceData, TraceSink,
 };
 
 use crate::config::SystemConfig;
@@ -77,6 +81,10 @@ enum Event {
     },
     /// Periodic heartbeat scan.
     Liveness,
+    /// A scheduled fault-plan injection fires (index into the plan).
+    Fault(usize),
+    /// Sweep the RPC tracker for lapsed reply deadlines.
+    RetryCheck,
 }
 
 /// A unit of work waiting in a device's ingress FIFO.
@@ -94,6 +102,10 @@ struct SlotMetrics {
     inbox_depth: GaugeHandle,
     handler_ns: HistogramHandle,
     iommu_faults: CounterHandle,
+    /// RPC retransmissions issued on behalf of this device.
+    retries: CounterHandle,
+    /// Down-to-re-registered latency of this device's recoveries.
+    recovery_latency: HistogramHandle,
 }
 
 /// Maps a device kind string to the metric-key subsystem prefix.
@@ -116,6 +128,8 @@ fn slot_metrics(hub: &MetricsHub, kind: &str, name: &str) -> SlotMetrics {
         inbox_depth: hub.gauge_handle(&format!("{sub}.{name}.inbox_depth")),
         handler_ns: hub.histogram_handle(&format!("{sub}.{name}.handler_ns")),
         iommu_faults: hub.counter_handle(&format!("iommu.{name}.faults")),
+        retries: hub.counter_handle(&format!("bus.{name}.retries")),
+        recovery_latency: hub.histogram_handle(&format!("bus.{name}.recovery_latency")),
     }
 }
 
@@ -130,6 +144,12 @@ struct SysMetrics {
     doorbells_coalesced: CounterHandle,
     device_resets: CounterHandle,
     link_control_msgs: CounterHandle,
+    faults_injected: CounterHandle,
+    msgs_dropped: CounterHandle,
+    msgs_corrupted: CounterHandle,
+    msgs_delayed: CounterHandle,
+    rpc_retries: CounterHandle,
+    rpc_give_ups: CounterHandle,
 }
 
 impl SysMetrics {
@@ -144,6 +164,12 @@ impl SysMetrics {
             doorbells_coalesced: hub.counter_handle("system.doorbells_coalesced"),
             device_resets: hub.counter_handle("system.device_resets"),
             link_control_msgs: hub.counter_handle("link.control_msgs"),
+            faults_injected: hub.counter_handle("fault.injected"),
+            msgs_dropped: hub.counter_handle("fault.msgs_dropped"),
+            msgs_corrupted: hub.counter_handle("fault.msgs_corrupted"),
+            msgs_delayed: hub.counter_handle("fault.msgs_delayed"),
+            rpc_retries: hub.counter_handle("bus.rpc_retries"),
+            rpc_give_ups: hub.counter_handle("bus.rpc_give_ups"),
         }
     }
 }
@@ -168,6 +194,56 @@ struct Slot {
     pop_armed: bool,
     /// Per-device metric handles.
     met: SlotMetrics,
+    /// Armed fault-injection state (all zero/idle on a fault-free run).
+    faults: SlotFaults,
+}
+
+/// Per-slot fault-injection state, armed by [`Event::Fault`] and consumed
+/// as messages touch the slot.
+struct SlotFaults {
+    /// Wire messages to silently discard.
+    drop_rem: u32,
+    /// Wire messages to bit-flip.
+    corrupt_rem: u32,
+    /// Deterministic stream for corruption bit choice (armed with the
+    /// fault; falls back to a fixed stream if a corrupt fires unarmed).
+    corrupt_rng: Option<DetRng>,
+    /// Wire messages to delay.
+    delay_rem: u32,
+    /// Extra latency per delayed message.
+    delay_extra: SimDuration,
+    /// Service-time multiplier while `now < slow_until`.
+    slow_factor: u32,
+    /// End of the slow-down window.
+    slow_until: SimTime,
+    /// When the device went down (recovery-latency base); cleared when its
+    /// re-registration `Hello` brings it back to `Alive`.
+    down_since: Option<SimTime>,
+}
+
+impl Default for SlotFaults {
+    fn default() -> Self {
+        SlotFaults {
+            drop_rem: 0,
+            corrupt_rem: 0,
+            corrupt_rng: None,
+            delay_rem: 0,
+            delay_extra: SimDuration::ZERO,
+            slow_factor: 1,
+            slow_until: SimTime::ZERO,
+            down_since: None,
+        }
+    }
+}
+
+/// The RPC retry machinery (present when [`SystemConfig::rpc_retry`] is
+/// set): the tracker itself, a dedicated jitter stream, and a dedupe guard
+/// for the sweep event.
+struct RpcState {
+    tracker: RpcTracker,
+    rng: DetRng,
+    /// Time of the currently scheduled [`Event::RetryCheck`], if any.
+    sweep_at: Option<SimTime>,
 }
 
 struct HostSlot {
@@ -229,6 +305,10 @@ pub struct System {
     next_corr: u64,
     shared_link: Option<SharedLink>,
     memctl_id: Option<DeviceId>,
+    /// The fault plan's injections, sorted, indexed by [`Event::Fault`].
+    fault_events: Vec<FaultEvent>,
+    /// RPC timeout/retry machinery (when configured).
+    rpc: Option<RpcState>,
 }
 
 impl System {
@@ -247,6 +327,19 @@ impl System {
         });
         let stats = MetricsHub::new();
         let met = SysMetrics::register(&stats);
+        let root_rng = DetRng::new(config.seed);
+        let fault_events = config
+            .fault_plan
+            .as_ref()
+            .map(|p| p.events())
+            .unwrap_or_default();
+        let rpc = config.rpc_retry.map(|rc| RpcState {
+            tracker: RpcTracker::new(rc),
+            // `split` derives without advancing `root_rng`, so enabling
+            // retries does not perturb the rest of a seeded run.
+            rng: root_rng.split(0x5E7_127),
+            sweep_at: None,
+        });
         System {
             queue: EventQueue::new(),
             bus,
@@ -260,10 +353,12 @@ impl System {
             trace,
             stats,
             met,
-            root_rng: DetRng::new(config.seed),
+            root_rng,
             next_corr: 1,
             shared_link,
             memctl_id: None,
+            fault_events,
+            rpc,
             config,
         }
     }
@@ -306,6 +401,7 @@ impl System {
             inbox: std::collections::VecDeque::new(),
             pop_armed: false,
             met,
+            faults: SlotFaults::default(),
         });
         self.by_id.insert(id, idx);
         DeviceHandle { id, idx }
@@ -333,6 +429,7 @@ impl System {
             inbox: std::collections::VecDeque::new(),
             pop_armed: false,
             met,
+            faults: SlotFaults::default(),
         });
         self.by_id.insert(id, idx);
         DeviceHandle { id, idx }
@@ -367,6 +464,7 @@ impl System {
             inbox: std::collections::VecDeque::new(),
             pop_armed: false,
             met,
+            faults: SlotFaults::default(),
         });
         self.by_id.insert(id, idx);
         self.memctl_id = Some(id);
@@ -376,6 +474,11 @@ impl System {
     /// The memory controller's bus address, if one was added.
     pub fn memctl_id(&self) -> Option<DeviceId> {
         self.memctl_id
+    }
+
+    /// Aggregate RPC retry counters, when retries are enabled.
+    pub fn rpc_stats(&self) -> Option<RetryStats> {
+        self.rpc.as_ref().map(|r| r.tracker.stats())
     }
 
     /// Adds an external host machine; returns its switch port.
@@ -465,6 +568,11 @@ impl System {
         if let Some(interval) = self.config.liveness_interval {
             self.queue.schedule_in(interval, Event::Liveness);
         }
+        // Fault injections become ordinary discrete events: same queue,
+        // same deterministic tie-break, bit-identical replays.
+        for (i, e) in self.fault_events.iter().enumerate() {
+            self.queue.schedule_at(e.at, Event::Fault(i));
+        }
     }
 
     /// Powers on one late-added device (for devices attached after
@@ -517,6 +625,10 @@ impl System {
         self.slots[h.idx].halted = true;
         self.slots[h.idx].permanently_dead = permanent;
         self.slots[h.idx].inbox.clear();
+        self.mark_down(h.idx, now);
+        if let Some(rpc) = self.rpc.as_mut() {
+            rpc.tracker.forget_requester(h.id);
+        }
         self.trace.emit_data(
             now,
             "fault",
@@ -562,9 +674,14 @@ impl System {
                         );
                     }
                 }
+                let src = env.src;
+                let was_hello = matches!(env.payload, Payload::Hello { .. });
                 let mut fx = Vec::new();
                 self.bus.handle(now, env, &mut fx);
                 self.apply_bus_effects(now, fx);
+                if was_hello {
+                    self.note_possible_recovery(now, src);
+                }
             }
             Event::Deliver { idx, env } => self.feed(idx, now, Work::Msg(env)),
             Event::Timer { idx, token, corr } => self.feed(idx, now, Work::Timer(token, corr)),
@@ -635,6 +752,7 @@ impl System {
                 for id in lapsed {
                     if let Some(&idx) = self.by_id.get(&id) {
                         self.slots[idx].halted = true;
+                        self.mark_down(idx, now);
                     }
                 }
                 self.apply_bus_effects(now, fx);
@@ -642,7 +760,303 @@ impl System {
                     self.queue.schedule_in(interval, Event::Liveness);
                 }
             }
+            Event::Fault(i) => self.apply_fault(now, i),
+            Event::RetryCheck => self.rpc_sweep(now),
         }
+    }
+
+    /// Records the down-to-alive latency of a device whose `Hello` just
+    /// brought it back to the bus's `Alive` state after a fault.
+    fn note_possible_recovery(&mut self, now: SimTime, src: DeviceId) {
+        let Some(&idx) = self.by_id.get(&src) else {
+            return;
+        };
+        let Some(t0) = self.slots[idx].faults.down_since else {
+            return;
+        };
+        let alive = self
+            .bus
+            .device(src)
+            .map(|e| e.state == DeviceState::Alive)
+            .unwrap_or(false);
+        if !alive {
+            return;
+        }
+        let lat = now.since(t0);
+        self.slots[idx].met.recovery_latency.record(lat);
+        self.slots[idx].faults.down_since = None;
+        if self.trace.is_enabled() {
+            let name = self.slots[idx].device.name().to_string();
+            self.trace.emit_data(
+                now,
+                "fault",
+                CorrId::NONE,
+                TraceData::Text(format!("{name} recovered after {lat}")),
+            );
+        }
+    }
+
+    /// Stamps the moment a device went down, if not already down.
+    fn mark_down(&mut self, idx: usize, now: SimTime) {
+        if self.slots[idx].faults.down_since.is_none() {
+            self.slots[idx].faults.down_since = Some(now);
+        }
+    }
+
+    /// Applies one scheduled fault-plan injection.
+    fn apply_fault(&mut self, now: SimTime, i: usize) {
+        let ev = self.fault_events[i].clone();
+        let Some(idx) = self.slots.iter().position(|s| s.device.name() == ev.target) else {
+            return;
+        };
+        self.met.faults_injected.incr();
+        let corr = self.fresh_corr();
+        self.trace.emit_data(
+            now,
+            "fault",
+            corr,
+            TraceData::DeviceFault {
+                device: ev.target.clone(),
+                detail: format!("inject {} on {}", ev.kind.tag(), ev.target),
+            },
+        );
+        match ev.kind {
+            FaultKind::Drop { count } => self.slots[idx].faults.drop_rem += count,
+            FaultKind::Corrupt { count } => {
+                self.slots[idx].faults.corrupt_rem += count;
+                if let Some(plan) = self.config.fault_plan.as_ref() {
+                    self.slots[idx].faults.corrupt_rng = Some(plan.stream(i as u64));
+                }
+            }
+            FaultKind::Delay { count, extra_ns } => {
+                let f = &mut self.slots[idx].faults;
+                f.delay_rem += count;
+                f.delay_extra = SimDuration::from_nanos(extra_ns.max(f.delay_extra.as_nanos()));
+            }
+            FaultKind::Crash => {
+                if self.slots[idx].permanently_dead {
+                    return;
+                }
+                let id = self.slots[idx].id;
+                self.slots[idx].halted = true;
+                self.slots[idx].inbox.clear();
+                self.mark_down(idx, now);
+                if let Some(rpc) = self.rpc.as_mut() {
+                    rpc.tracker.forget_requester(id);
+                }
+                // The bus notices (DeviceFailed broadcast + reset pulse):
+                // the crash is loud, recovery replays the Figure-2 init.
+                let mut fx = Vec::new();
+                let _ = self.bus.mark_failed(id, &mut fx);
+                self.apply_bus_effects(now, fx);
+            }
+            FaultKind::Hang => {
+                // Silent: the device just stops. No bus notification — only
+                // the heartbeat liveness sweep can detect this, which is
+                // the point of the fault.
+                self.slots[idx].halted = true;
+                self.slots[idx].inbox.clear();
+                self.mark_down(idx, now);
+            }
+            FaultKind::SlowDown { factor, for_ns } => {
+                let f = &mut self.slots[idx].faults;
+                f.slow_factor = factor.max(1);
+                f.slow_until = now + SimDuration::from_nanos(for_ns);
+            }
+            FaultKind::IommuStorm { count } => {
+                // A burst of spurious translation faults the device firmware
+                // must service (§4: devices handle their own faults).
+                for k in 0..count {
+                    let fault = IommuFault {
+                        pasid: Pasid(0),
+                        va: VirtAddr::new(k as u64 * PAGE_SIZE),
+                        access: AccessKind::Read,
+                        kind: IommuFaultKind::NotMapped,
+                    };
+                    self.dispatch(idx, now, corr, move |d, ctx| d.on_fault(ctx, fault));
+                }
+                self.slots[idx].met.iommu_faults.add(count as u64);
+                self.met.iommu_faults.add(count as u64);
+            }
+        }
+    }
+
+    /// Applies armed wire faults for slot `idx` to a message touching it
+    /// (as sender or recipient). Returns `None` when the message is
+    /// consumed (dropped, or corrupted beyond decoding), otherwise the
+    /// possibly-corrupted envelope plus any extra latency.
+    fn wire_fault_filter(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        env: Envelope,
+    ) -> Option<(Envelope, SimDuration)> {
+        let f = &mut self.slots[idx].faults;
+        if f.drop_rem == 0 && f.corrupt_rem == 0 && f.delay_rem == 0 {
+            return Some((env, SimDuration::ZERO)); // fast path: nothing armed
+        }
+        if f.drop_rem > 0 {
+            f.drop_rem -= 1;
+            self.met.msgs_dropped.incr();
+            self.trace.emit_data(
+                now,
+                "fault",
+                env.corr,
+                TraceData::Text(format!("dropped {} on the wire", env.payload.kind_name())),
+            );
+            return None;
+        }
+        if f.corrupt_rem > 0 {
+            f.corrupt_rem -= 1;
+            let rng = f.corrupt_rng.get_or_insert_with(|| DetRng::new(0xC0_22_09));
+            let mut bytes = env.encode();
+            let bit = rng.below(bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            self.met.msgs_corrupted.incr();
+            let corr = env.corr;
+            let kind = env.payload.kind_name();
+            return match Envelope::decode(&bytes) {
+                Ok(corrupted) => {
+                    // Survived the frame check (astronomically unlikely with
+                    // the FCS, but handled): delivered as a *different*
+                    // message; the endpoint validation layers must cope.
+                    self.trace.emit_data(
+                        now,
+                        "fault",
+                        corr,
+                        TraceData::Text(format!(
+                            "corrupted {kind} -> {}",
+                            corrupted.payload.kind_name()
+                        )),
+                    );
+                    Some((corrupted, SimDuration::ZERO))
+                }
+                Err(_) => {
+                    // The envelope's frame check sequence catches the flip;
+                    // the receiver discards the frame, so on the wire this is
+                    // a drop — the sender's RPC timeout retransmits.
+                    self.met.msgs_dropped.incr();
+                    self.trace.emit_data(
+                        now,
+                        "fault",
+                        corr,
+                        TraceData::Text(format!("corrupted {kind}; frame check dropped it")),
+                    );
+                    None
+                }
+            };
+        }
+        // delay_rem > 0
+        f.delay_rem -= 1;
+        let extra = f.delay_extra;
+        self.met.msgs_delayed.incr();
+        Some((env, extra))
+    }
+
+    /// Ensures a [`Event::RetryCheck`] is scheduled at the tracker's next
+    /// deadline. Deadlines only move later (each is `send + timeout`), so a
+    /// sweep armed earlier never misses one.
+    fn arm_rpc_sweep(&mut self) {
+        let Some(rpc) = self.rpc.as_mut() else {
+            return;
+        };
+        let Some(d) = rpc.tracker.next_deadline() else {
+            return;
+        };
+        if rpc.sweep_at.is_some_and(|t| t <= d) {
+            return;
+        }
+        rpc.sweep_at = Some(d);
+        self.queue.schedule_at(d, Event::RetryCheck);
+    }
+
+    /// Sweeps the RPC tracker: retransmits timed-out requests (with
+    /// backoff + jitter) and surfaces terminal failures for exhausted ones.
+    fn rpc_sweep(&mut self, now: SimTime) {
+        let verdicts = {
+            let Some(rpc) = self.rpc.as_mut() else {
+                return;
+            };
+            rpc.sweep_at = None;
+            rpc.tracker.expire(now, &mut rpc.rng)
+        };
+        for v in verdicts {
+            match v {
+                RetryVerdict::Resend {
+                    env,
+                    send_at,
+                    attempt,
+                } => {
+                    self.met.rpc_retries.incr();
+                    let src_idx = self.by_id.get(&env.src).copied();
+                    if let Some(idx) = src_idx {
+                        self.slots[idx].met.retries.incr();
+                    }
+                    if self.trace.is_enabled() {
+                        self.trace.emit_data(
+                            now,
+                            "bus",
+                            env.corr,
+                            TraceData::Text(format!(
+                                "retry {attempt} of {} from {}",
+                                env.payload.kind_name(),
+                                env.src
+                            )),
+                        );
+                    }
+                    // Retransmissions traverse the same faulty wire.
+                    let filtered = match src_idx {
+                        Some(idx) => self.wire_fault_filter(send_at, idx, env),
+                        None => Some((env, SimDuration::ZERO)),
+                    };
+                    let Some((env, extra)) = filtered else {
+                        continue;
+                    };
+                    let hop = self.config.bus_cost.hop_latency + extra;
+                    self.queue.schedule_at(send_at + hop, Event::BusMsg(env));
+                }
+                RetryVerdict::GiveUp {
+                    env,
+                    first_sent,
+                    attempts,
+                } => {
+                    self.met.rpc_give_ups.incr();
+                    self.trace.emit_data(
+                        now,
+                        "fault",
+                        env.corr,
+                        TraceData::Text(format!(
+                            "{} from {} abandoned after {attempts} attempts ({} in flight)",
+                            env.payload.kind_name(),
+                            env.src,
+                            now.since(first_sent),
+                        )),
+                    );
+                    // Synthesize a terminal failure reply so the requester's
+                    // state machine unwinds instead of wedging (graceful
+                    // degradation; the KVS server turns this into
+                    // `Unavailable` for its clients).
+                    if let Some(payload) = failure_reply_for(&env.payload) {
+                        let src = match env.dst {
+                            Dst::Device(d) => d,
+                            _ => DeviceId::BUS,
+                        };
+                        let fail = Envelope {
+                            src,
+                            dst: Dst::Device(env.src),
+                            req: env.req,
+                            corr: env.corr,
+                            payload,
+                        };
+                        if let Some(&idx) = self.by_id.get(&env.src) {
+                            self.queue
+                                .schedule_at(now, Event::Deliver { idx, env: fail });
+                        }
+                    }
+                }
+            }
+        }
+        self.arm_rpc_sweep();
     }
 
     fn slot_busy(&self, idx: usize, now: SimTime) -> bool {
@@ -745,7 +1159,12 @@ impl System {
             &self.stats,
         );
         f(slot.device.as_mut(), &mut ctx);
-        let (actions, elapsed, faults) = ctx.finish();
+        let (actions, mut elapsed, faults) = ctx.finish();
+        if slot.faults.slow_factor > 1 && now < slot.faults.slow_until {
+            // An active slow-down fault stretches the firmware's service
+            // time (thermal throttling, background housekeeping).
+            elapsed = elapsed.saturating_mul(slot.faults.slow_factor as u64);
+        }
         slot.busy_until = now + elapsed;
         let t = slot.busy_until;
         slot.met.handler_ns.record(elapsed);
@@ -816,9 +1235,18 @@ impl System {
                     };
                     self.trace.emit_data(t, name, env.corr, data);
                 }
+                // Arm the retry tracker *before* wire faults apply: the
+                // tracker exists precisely to notice lost sends.
+                if let Some(rpc) = self.rpc.as_mut() {
+                    rpc.tracker.track(t, &env);
+                }
+                self.arm_rpc_sweep();
+                let Some((env, extra)) = self.wire_fault_filter(t, idx, env) else {
+                    return;
+                };
                 // One hop to the bus; processing/latency modelled by the
                 // bus's own cost model when it emits deliveries.
-                let mut hop = self.config.bus_cost.hop_latency;
+                let mut hop = self.config.bus_cost.hop_latency + extra;
                 if let Some(link) = self.shared_link.as_mut() {
                     hop += link.occupy(t, env.wire_len() as u64);
                     self.met.link_control_msgs.incr();
@@ -868,6 +1296,7 @@ impl System {
                 let id = self.slots[idx].id;
                 self.slots[idx].halted = true;
                 self.slots[idx].inbox.clear();
+                self.mark_down(idx, t);
                 self.trace.emit_data(
                     t,
                     "fault",
@@ -893,8 +1322,19 @@ impl System {
                         lat += link.occupy(now, env.wire_len() as u64);
                     }
                     if let Some(&idx) = self.by_id.get(&to) {
+                        // Destination-side wire faults: a reply eaten here
+                        // must *not* complete the tracker — the requester
+                        // never saw it.
+                        let Some((env, extra)) = self.wire_fault_filter(now, idx, env) else {
+                            continue;
+                        };
+                        if env.payload.is_reply() {
+                            if let Some(rpc) = self.rpc.as_mut() {
+                                rpc.tracker.complete(to, env.req, &env.payload);
+                            }
+                        }
                         self.queue
-                            .schedule_at(now + lat, Event::Deliver { idx, env });
+                            .schedule_at(now + lat + extra, Event::Deliver { idx, env });
                     }
                 }
                 BusEffect::ProgramMap {
@@ -1069,6 +1509,38 @@ impl System {
             },
         );
     }
+}
+
+/// The terminal failure reply synthesized for an abandoned request, so the
+/// requester's state machine unwinds instead of waiting forever. Requests
+/// without a typed response (e.g. `Hello` — the reset path re-issues it)
+/// get none.
+fn failure_reply_for(p: &Payload) -> Option<Payload> {
+    Some(match p {
+        Payload::OpenRequest { .. } => Payload::OpenResponse {
+            status: Status::Failed,
+            conn: ConnId(0),
+            shm_bytes: 0,
+            params: Vec::new(),
+        },
+        Payload::CloseRequest { .. } => Payload::CloseResponse {
+            status: Status::Failed,
+        },
+        Payload::MemAlloc { .. } => Payload::MemAllocResponse {
+            status: Status::Failed,
+            region: 0,
+        },
+        Payload::MemFree { .. } => Payload::MemFreeResponse {
+            status: Status::Failed,
+        },
+        Payload::Share { .. } => Payload::ShareResponse {
+            status: Status::Failed,
+        },
+        Payload::RegisterController { .. } | Payload::MapInstruction { .. } => Payload::BusAck {
+            status: Status::Failed,
+        },
+        _ => return None,
+    })
 }
 
 fn perms_from_bits(bits: u8) -> Perms {
@@ -1305,6 +1777,144 @@ mod tests {
                 sys.now(),
                 sys.trace().total_emitted(),
                 sys.stats().counter("bus.pages_mapped"),
+                sys.bus().stats().messages,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_fault_recovers_and_records_latency() {
+        use lastcpu_sim::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new(1);
+        plan.inject(
+            SimTime::ZERO + SimDuration::from_millis(2),
+            "auth0",
+            FaultKind::Crash,
+        );
+        let mut sys = System::new(SystemConfig {
+            fault_plan: Some(plan),
+            ..SystemConfig::default()
+        });
+        sys.add_memctl("memctl0");
+        sys.add_device(Box::new(AuthDevice::new("auth0", 1, &[])));
+        sys.power_on();
+        sys.run_for(SimDuration::from_millis(20));
+        assert_eq!(sys.bus().alive().count(), 2, "crashed device re-registered");
+        assert_eq!(sys.stats().counter("fault.injected"), 1);
+        let h = sys
+            .stats()
+            .histogram("bus.auth0.recovery_latency")
+            .expect("histogram registered");
+        assert_eq!(h.count(), 1, "one recovery recorded");
+        assert!(
+            h.mean() >= sys.config.reset_latency,
+            "recovery >= reset pulse"
+        );
+    }
+
+    #[test]
+    fn hang_fault_is_detected_by_liveness_and_recovered() {
+        use lastcpu_sim::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new(1);
+        plan.inject(
+            SimTime::ZERO + SimDuration::from_millis(3),
+            "auth0",
+            FaultKind::Hang,
+        );
+        let mut sys = System::new(SystemConfig {
+            fault_plan: Some(plan),
+            // The hang is silent: only the heartbeat sweep can notice.
+            liveness_interval: Some(SimDuration::from_millis(2)),
+            ..SystemConfig::default()
+        });
+        sys.add_memctl("memctl0");
+        sys.add_device(Box::new(AuthDevice::new("auth0", 1, &[])));
+        sys.power_on();
+        // Default heartbeat timeout is 10ms; detection needs hang + lapse.
+        sys.run_for(SimDuration::from_millis(40));
+        assert_eq!(sys.bus().alive().count(), 2, "hung device recovered");
+        let h = sys
+            .stats()
+            .histogram("bus.auth0.recovery_latency")
+            .expect("histogram registered");
+        assert_eq!(h.count(), 1);
+        assert!(
+            h.mean() >= SimDuration::from_millis(10),
+            "silent hang detection is bounded below by the heartbeat timeout, got {}",
+            h.mean()
+        );
+    }
+
+    #[test]
+    fn dropped_hello_is_retransmitted_by_rpc_retry() {
+        use lastcpu_bus::RetryConfig;
+        use lastcpu_sim::{FaultKind, FaultPlan};
+        // Arm a drop *before* power-on: the device's very first Hello is
+        // eaten on the wire. Without retries it would stay invisible until
+        // something reset it; with retries it re-registers on its own.
+        let mut plan = FaultPlan::new(1);
+        plan.inject(SimTime::ZERO, "auth0", FaultKind::Drop { count: 1 });
+        let mut sys = System::new(SystemConfig {
+            fault_plan: Some(plan),
+            rpc_retry: Some(RetryConfig::default()),
+            ..SystemConfig::default()
+        });
+        sys.add_memctl("memctl0");
+        sys.add_device(Box::new(AuthDevice::new("auth0", 1, &[])));
+        sys.power_on();
+        sys.run_for(SimDuration::from_millis(5));
+        assert_eq!(sys.bus().alive().count(), 2, "lost Hello was retried");
+        assert!(sys.stats().counter("bus.auth0.retries") >= 1);
+        assert_eq!(sys.stats().counter("fault.msgs_dropped"), 1);
+        let rs = sys.rpc_stats().expect("retry enabled");
+        assert!(rs.recovered >= 1, "completion arrived after a retry");
+        assert_eq!(rs.give_ups, 0);
+    }
+
+    #[test]
+    fn faulty_run_replays_bit_identically() {
+        use lastcpu_bus::RetryConfig;
+        use lastcpu_sim::{FaultPlan, SimTime as T};
+        let run = || {
+            let plan = FaultPlan::generate(
+                99,
+                &["auth0", "console0", "ssd0"],
+                T::ZERO,
+                SimDuration::from_millis(30),
+                12,
+            );
+            let mut sys = System::new(SystemConfig {
+                fault_plan: Some(plan),
+                rpc_retry: Some(RetryConfig::default()),
+                ..SystemConfig::default()
+            });
+            let memctl = sys.add_memctl("memctl0");
+            sys.add_device(Box::new(AuthDevice::new("auth0", 0xFEED, &[("op", "pw")])));
+            let mut fs = small_fs();
+            fs.create("/l").unwrap();
+            fs.write("/l", 0, &vec![7u8; 3000]).unwrap();
+            sys.add_device(Box::new(SmartSsd::new(
+                "ssd0",
+                fs,
+                SsdConfig {
+                    exports: vec!["/l".into()],
+                    file_auth: AuthMode::Sealed { secret: 0xFEED },
+                    ..SsdConfig::default()
+                },
+            )));
+            sys.add_device(Box::new(ConsoleDevice::new(
+                "console0", memctl.id, "op", "pw", "/l",
+            )));
+            sys.power_on();
+            sys.run_for(SimDuration::from_millis(40));
+            (
+                sys.now(),
+                sys.trace().total_emitted(),
+                sys.stats().counter("fault.injected"),
+                sys.stats().counter("fault.msgs_dropped"),
+                sys.stats().counter("bus.rpc_retries"),
+                sys.stats().counter("system.device_resets"),
                 sys.bus().stats().messages,
             )
         };

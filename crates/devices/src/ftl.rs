@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use lastcpu_sim::SimDuration;
+use lastcpu_sim::{BackoffPolicy, SimDuration};
 
 use crate::flash::{FlashError, NandChip};
 
@@ -62,6 +62,8 @@ pub struct FtlStats {
     pub gc_moved_pages: u64,
     /// Blocks retired after program failures.
     pub retired_blocks: u64,
+    /// Writes abandoned after the bounded-backoff retry budget ran out.
+    pub retry_exhausted: u64,
 }
 
 impl FtlStats {
@@ -92,6 +94,9 @@ pub struct Ftl {
     spare: Option<u32>,
     logical_pages: u32,
     stats: FtlStats,
+    /// Bounded retry policy for program failures; the backoff delay is
+    /// charged to the triggering operation's cost.
+    retry: BackoffPolicy,
 }
 
 impl Ftl {
@@ -123,7 +128,26 @@ impl Ftl {
             logical_pages: logical,
             nand,
             stats: FtlStats::default(),
+            // Media retries back off in units comparable to NAND program
+            // time; jitter is pointless against deterministic media, so the
+            // policy is used jitter-free here.
+            retry: BackoffPolicy {
+                base: SimDuration::from_micros(50),
+                cap: SimDuration::from_millis(2),
+                max_retries: 6,
+                jitter_pct: 0,
+            },
         }
+    }
+
+    /// Overrides the bounded retry policy for program failures.
+    pub fn set_retry_policy(&mut self, policy: BackoffPolicy) {
+        self.retry = policy;
+    }
+
+    /// The bounded retry policy in effect.
+    pub fn retry_policy(&self) -> BackoffPolicy {
+        self.retry
     }
 
     /// Exported capacity in logical pages.
@@ -167,13 +191,17 @@ impl Ftl {
     ///
     /// A program failure (the block went bad under us) retires the block:
     /// its live pages are relocated — reads still work on bad blocks — and
-    /// the write retries on fresh media.
+    /// the write retries on fresh media under the bounded
+    /// [`BackoffPolicy`]; each retry's backoff delay is charged to the
+    /// write's cost. When the budget runs out the write surfaces
+    /// [`FtlError::NoSpace`] and bumps `retry_exhausted`.
     pub fn write(&mut self, lpn: u32, data: &[u8]) -> Result<SimDuration, FtlError> {
         if lpn >= self.logical_pages {
             return Err(FtlError::OutOfRange);
         }
         let mut cost = SimDuration::ZERO;
-        for _attempt in 0..8 {
+        let mut retry = 0u32;
+        loop {
             let (b, p, gc_stall) = self.alloc_page()?;
             cost += gc_stall;
             match self.nand.program_page(b, p, data) {
@@ -189,11 +217,18 @@ impl Ftl {
                 }
                 Err(FlashError::BadBlock) => {
                     cost += self.retire_block(b)?;
+                    retry += 1;
+                    match self.retry.delay(retry) {
+                        Some(d) => cost += d,
+                        None => {
+                            self.stats.retry_exhausted += 1;
+                            return Err(FtlError::NoSpace);
+                        }
+                    }
                 }
                 Err(e) => return Err(e.into()),
             }
         }
-        Err(FtlError::NoSpace)
     }
 
     /// Evacuates a block that failed a program: relocates its valid pages
@@ -232,17 +267,42 @@ impl Ftl {
                 }
                 Err(FlashError::BadBlock) => {
                     cost += self.retire_block(nb)?;
-                    // Redo this page on the next loop pass by pushing it
-                    // back; simplest is a direct retry here.
-                    let (rb, rp, rstall) = self.alloc_page()?;
-                    cost += rstall;
-                    cost += self.nand.program_page(rb, rp, &buf)?;
-                    self.stats.nand_writes += 1;
-                    self.rmap.remove(&(block, p));
-                    self.valid[block as usize] -= 1;
-                    self.map[lpn as usize] = Some((rb, rp));
-                    self.rmap.insert((rb, rp), lpn);
-                    self.valid[rb as usize] += 1;
+                    // Redo this page under the bounded backoff policy. The
+                    // old code made a single unguarded direct retry whose
+                    // raw `BadBlock` propagated as a hard error if *that*
+                    // block failed too; now each retry retires the failed
+                    // block, pays the backoff delay, and the relocation
+                    // only gives up (with `retry_exhausted` accounted) once
+                    // the policy's budget is spent.
+                    let mut retry = 1u32;
+                    loop {
+                        match self.retry.delay(retry) {
+                            Some(d) => cost += d,
+                            None => {
+                                self.stats.retry_exhausted += 1;
+                                return Err(FtlError::NoSpace);
+                            }
+                        }
+                        let (rb, rp, rstall) = self.alloc_page()?;
+                        cost += rstall;
+                        match self.nand.program_page(rb, rp, &buf) {
+                            Ok(t) => {
+                                cost += t;
+                                self.stats.nand_writes += 1;
+                                self.rmap.remove(&(block, p));
+                                self.valid[block as usize] -= 1;
+                                self.map[lpn as usize] = Some((rb, rp));
+                                self.rmap.insert((rb, rp), lpn);
+                                self.valid[rb as usize] += 1;
+                                break;
+                            }
+                            Err(FlashError::BadBlock) => {
+                                cost += self.retire_block(rb)?;
+                                retry += 1;
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -645,6 +705,43 @@ mod retirement_tests {
             f.nand_mut().force_bad_block(b);
         }
         assert!(f.write(1, &[2; 32]).is_err());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_error_and_counts() {
+        let mut f = ftl();
+        // A zero-retry policy turns the first program failure into an
+        // immediate, accounted give-up instead of a retry loop.
+        f.set_retry_policy(lastcpu_sim::BackoffPolicy {
+            base: lastcpu_sim::SimDuration::from_micros(1),
+            cap: lastcpu_sim::SimDuration::from_micros(1),
+            max_retries: 0,
+            jitter_pct: 0,
+        });
+        f.write(0, &[7; 32]).unwrap();
+        let active_block = f.active.expect("active block in use").0;
+        f.nand_mut().force_bad_block(active_block);
+        assert_eq!(f.write(1, &[8; 32]), Err(FtlError::NoSpace));
+        assert_eq!(f.stats().retry_exhausted, 1);
+        // Earlier data still readable after the failed attempt.
+        let mut buf = [0u8; 32];
+        f.read(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
+    }
+
+    #[test]
+    fn backoff_delay_is_charged_to_the_write_cost() {
+        let mut f = ftl();
+        f.write(0, &[1; 32]).unwrap();
+        let clean_cost = f.write(1, &[1; 32]).unwrap();
+        let active_block = f.active.expect("active block in use").0;
+        f.nand_mut().force_bad_block(active_block);
+        let retried_cost = f.write(2, &[2; 32]).unwrap();
+        let base = f.retry_policy().base;
+        assert!(
+            retried_cost >= clean_cost + base,
+            "retried write ({retried_cost}) must absorb at least one backoff delay over a clean write ({clean_cost})"
+        );
     }
 
     #[test]

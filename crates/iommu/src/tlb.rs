@@ -12,10 +12,15 @@ use lastcpu_mem::{Pasid, Perms, PhysAddr, VirtAddr};
 /// Hit/miss accounting.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TlbStats {
-    /// Lookups that found a valid entry.
+    /// Lookups that found a valid entry with sufficient permissions.
     pub hits: u64,
-    /// Lookups that had to walk the page table.
+    /// Lookups that found no entry and had to walk the page table.
     pub misses: u64,
+    /// Lookups that found an entry whose cached permissions were
+    /// insufficient for the access; the caller still walks, so these are
+    /// misses for cost purposes (they used to be miscounted as hits,
+    /// inflating `hit_rate()` in E5).
+    pub perm_misses: u64,
     /// Entries evicted by capacity pressure.
     pub evictions: u64,
     /// Entries removed by explicit invalidation.
@@ -24,8 +29,11 @@ pub struct TlbStats {
 
 impl TlbStats {
     /// Hit fraction in `[0, 1]`; zero when no lookups happened.
+    ///
+    /// Permission-insufficient cached entries count toward the denominator
+    /// like ordinary misses: the caller pays for a full walk either way.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.misses + self.perm_misses;
         if total == 0 {
             0.0
         } else {
@@ -90,19 +98,32 @@ impl Iotlb {
         self.stats
     }
 
-    /// Looks up the translation for the page containing `va`.
+    /// Looks up the translation for the page containing `va`, for an access
+    /// needing `needed` permissions.
     ///
     /// On a hit returns the physical *page base* and the page permissions;
-    /// the caller re-applies the page offset and re-checks permissions (an
-    /// entry can be cached with fewer permissions than the access needs).
-    pub fn lookup(&mut self, pasid: Pasid, va: VirtAddr) -> Option<(PhysAddr, Perms)> {
+    /// the caller re-applies the page offset. A cached entry whose
+    /// permissions do not cover `needed` is **not** a hit: the caller must
+    /// fall back to a full walk (for a precise fault), so it is counted in
+    /// `perm_misses` and `None` is returned. Such an entry also keeps its
+    /// LRU position — serving a walk is not a "use" of the cached entry.
+    pub fn lookup(
+        &mut self,
+        pasid: Pasid,
+        va: VirtAddr,
+        needed: Perms,
+    ) -> Option<(PhysAddr, Perms)> {
         self.tick += 1;
         let key = (pasid, va.page_number());
         match self.entries.get_mut(&key) {
-            Some(e) => {
+            Some(e) if e.perms.allows(needed) => {
                 e.last_used = self.tick;
                 self.stats.hits += 1;
                 Some((e.frame_pa, e.perms))
+            }
+            Some(_) => {
+                self.stats.perm_misses += 1;
+                None
             }
             None => {
                 self.stats.misses += 1;
@@ -186,9 +207,9 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut tlb = Iotlb::new(4);
-        assert!(tlb.lookup(Pasid(1), va(5)).is_none());
+        assert!(tlb.lookup(Pasid(1), va(5), Perms::R).is_none());
         tlb.insert(Pasid(1), va(5), pa(9), Perms::RW);
-        let (p, perms) = tlb.lookup(Pasid(1), va(5)).unwrap();
+        let (p, perms) = tlb.lookup(Pasid(1), va(5), Perms::R).unwrap();
         assert_eq!(p, pa(9));
         assert_eq!(perms, Perms::RW);
         assert_eq!(tlb.stats().hits, 1);
@@ -199,7 +220,7 @@ mod tests {
     fn pasids_are_isolated() {
         let mut tlb = Iotlb::new(4);
         tlb.insert(Pasid(1), va(5), pa(9), Perms::RW);
-        assert!(tlb.lookup(Pasid(2), va(5)).is_none());
+        assert!(tlb.lookup(Pasid(2), va(5), Perms::R).is_none());
     }
 
     #[test]
@@ -207,11 +228,11 @@ mod tests {
         let mut tlb = Iotlb::new(2);
         tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
         tlb.insert(Pasid(1), va(2), pa(2), Perms::R);
-        tlb.lookup(Pasid(1), va(1)); // make page 1 recent
+        tlb.lookup(Pasid(1), va(1), Perms::R); // make page 1 recent
         tlb.insert(Pasid(1), va(3), pa(3), Perms::R); // evicts page 2
-        assert!(tlb.lookup(Pasid(1), va(1)).is_some());
-        assert!(tlb.lookup(Pasid(1), va(2)).is_none());
-        assert!(tlb.lookup(Pasid(1), va(3)).is_some());
+        assert!(tlb.lookup(Pasid(1), va(1), Perms::R).is_some());
+        assert!(tlb.lookup(Pasid(1), va(2), Perms::R).is_none());
+        assert!(tlb.lookup(Pasid(1), va(3), Perms::R).is_some());
         assert_eq!(tlb.stats().evictions, 1);
     }
 
@@ -221,7 +242,7 @@ mod tests {
         tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
         tlb.insert(Pasid(1), va(1), pa(2), Perms::RW);
         assert_eq!(tlb.stats().evictions, 0);
-        let (p, perms) = tlb.lookup(Pasid(1), va(1)).unwrap();
+        let (p, perms) = tlb.lookup(Pasid(1), va(1), Perms::R).unwrap();
         assert_eq!(p, pa(2));
         assert_eq!(perms, Perms::RW);
     }
@@ -245,10 +266,30 @@ mod tests {
     fn hit_rate_computation() {
         let mut tlb = Iotlb::new(4);
         tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
-        tlb.lookup(Pasid(1), va(1));
-        tlb.lookup(Pasid(1), va(2));
+        tlb.lookup(Pasid(1), va(1), Perms::R);
+        tlb.lookup(Pasid(1), va(2), Perms::R);
         assert!((tlb.stats().hit_rate() - 0.5).abs() < 1e-9);
         assert_eq!(TlbStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn insufficient_permissions_count_as_perm_miss_not_hit() {
+        // Regression: a cached read-only entry probed for a write used to
+        // count as a *hit* even though the caller must fall back to a full
+        // walk, inflating hit_rate().
+        let mut tlb = Iotlb::new(4);
+        tlb.insert(Pasid(1), va(1), pa(1), Perms::R);
+        assert!(tlb.lookup(Pasid(1), va(1), Perms::W).is_none());
+        let s = tlb.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.perm_misses, 1);
+        assert_eq!(s.hit_rate(), 0.0, "perm miss must depress the hit rate");
+        // A permitted probe of the same entry is still a hit.
+        assert!(tlb.lookup(Pasid(1), va(1), Perms::R).is_some());
+        let s = tlb.stats();
+        assert_eq!(s.hits, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -193,17 +193,17 @@ impl Iommu {
     ) -> Result<TranslationOutcome, IommuFault> {
         let needed = access.required_perms();
         let mut cost = self.cost.tlb_lookup;
-        if let Some((frame_pa, perms)) = self.tlb.lookup(pasid, va) {
-            if perms.allows(needed) {
-                self.stats.translations += 1;
-                return Ok(TranslationOutcome {
-                    pa: PhysAddr::new(frame_pa.as_u64() | va.page_offset()),
-                    cost,
-                    tlb_hit: true,
-                });
-            }
-            // Cached entry lacks permission: fall through to a walk so the
-            // fault is precise (matches real hardware re-walk behaviour).
+        // The TLB only reports a hit when the cached permissions cover the
+        // access; a permission-insufficient entry is accounted as a
+        // `perm_miss` and we fall through to a walk so the fault is precise
+        // (matches real hardware re-walk behaviour).
+        if let Some((frame_pa, _perms)) = self.tlb.lookup(pasid, va, needed) {
+            self.stats.translations += 1;
+            return Ok(TranslationOutcome {
+                pa: PhysAddr::new(frame_pa.as_u64() | va.page_offset()),
+                cost,
+                tlb_hit: true,
+            });
         }
         let table = match self.tables.get(&pasid) {
             Some(t) => t,

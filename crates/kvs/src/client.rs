@@ -83,6 +83,7 @@ pub struct KvsClientHost {
     ops_issued: u64,
     errors: u64,
     busy_rejections: u64,
+    unavailable_rejections: u64,
     timeouts: u64,
     started_at: Option<SimTime>,
     finished_at: Option<SimTime>,
@@ -102,6 +103,7 @@ impl KvsClientHost {
             ops_issued: 0,
             errors: 0,
             busy_rejections: 0,
+            unavailable_rejections: 0,
             timeouts: 0,
             started_at: None,
             finished_at: None,
@@ -126,6 +128,11 @@ impl KvsClientHost {
     /// `Busy` responses observed (server shed load).
     pub fn busy_rejections(&self) -> u64 {
         self.busy_rejections
+    }
+
+    /// `Unavailable` responses observed (server failed over / recovering).
+    pub fn unavailable_rejections(&self) -> u64 {
+        self.unavailable_rejections
     }
 
     /// Requests that timed out (lost with a failed server).
@@ -261,8 +268,8 @@ impl NetHost for KvsClientHost {
         };
         match self.phase {
             Phase::Probing => {
-                if resp.status == KvsStatus::Busy {
-                    // Not up yet; the tick timer re-probes.
+                if matches!(resp.status, KvsStatus::Busy | KvsStatus::Unavailable) {
+                    // Not up yet (or recovering); the tick timer re-probes.
                     return;
                 }
                 self.phase = if self.config.preload {
@@ -281,6 +288,12 @@ impl NetHost for KvsClientHost {
                         // Reload this key later; simplest is to append it
                         // again at the end of the load range.
                         self.busy_rejections += 1;
+                        self.load_next = self.load_next.saturating_sub(1);
+                    }
+                    KvsStatus::Unavailable => {
+                        // Server failed over mid-load; reload the key once
+                        // recovery completes.
+                        self.unavailable_rejections += 1;
                         self.load_next = self.load_next.saturating_sub(1);
                     }
                     _ => self.errors += 1,
@@ -310,6 +323,18 @@ impl NetHost for KvsClientHost {
                         self.ops_done += 1;
                         // Back off: refill on the next tick instead of
                         // hammering a shedding server at wire speed.
+                        return;
+                    }
+                    KvsStatus::Unavailable => {
+                        // Explicit degradation: the server lost its backing
+                        // store and is re-running discovery. Count the op as
+                        // done (no latency sample) and back off until the
+                        // next tick — recovery takes bus round-trips, not
+                        // wire time.
+                        self.unavailable_rejections += 1;
+                        self.ops_done += 1;
+                        ctx.stats
+                            .incr(&format!("kvs.{}.unavailable", self.config.stats_prefix));
                         return;
                     }
                     KvsStatus::Error => {

@@ -102,6 +102,11 @@ pub enum KvsStatus {
     Busy,
     /// Server-side failure (storage error, oversized request...).
     Error,
+    /// Server lost a backing resource (SSD session, memory grant) and is
+    /// re-running discovery/recovery. Unlike [`KvsStatus::Error`] this is an
+    /// explicit degradation signal: the request was *not* attempted and the
+    /// client should retry after the server re-initialises (§ failure model).
+    Unavailable,
 }
 
 impl KvsStatus {
@@ -111,6 +116,7 @@ impl KvsStatus {
             KvsStatus::NotFound => 1,
             KvsStatus::Busy => 2,
             KvsStatus::Error => 3,
+            KvsStatus::Unavailable => 4,
         }
     }
 
@@ -119,6 +125,7 @@ impl KvsStatus {
             0 => KvsStatus::Ok,
             1 => KvsStatus::NotFound,
             2 => KvsStatus::Busy,
+            4 => KvsStatus::Unavailable,
             _ => KvsStatus::Error,
         }
     }
@@ -190,6 +197,7 @@ mod tests {
             KvsStatus::NotFound,
             KvsStatus::Busy,
             KvsStatus::Error,
+            KvsStatus::Unavailable,
         ] {
             let resp = KvsResponse {
                 id: 42,

@@ -29,6 +29,12 @@ use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
 const REBUILD_CHUNK: u32 = 2048;
 /// Maximum queued-but-unsubmitted requests before shedding load.
 const MAX_BACKLOG: usize = 512;
+/// Virtual-address stride between session incarnations (16 MiB; regions are
+/// ~256 KiB). A failed incarnation's region may still be mapped at its old
+/// VA — there is no unmap protocol for an owner that survived its peer — so
+/// each reconnect maps its fresh region at a fresh VA instead of aliasing
+/// the stale mapping.
+const VA_STRIDE: u64 = 0x0100_0000;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -80,7 +86,11 @@ pub enum ServerState {
     Rebuilding,
     /// Serving requests.
     Ready,
-    /// Unrecoverable (peer death, setup failure).
+    /// Lost a backing resource (peer death, setup failure). Transient: the
+    /// failure sites immediately call [`KvsServer::restart`], which answers
+    /// everything queued with [`KvsStatus::Unavailable`] and re-enters the
+    /// discovery pipeline, so a revived SSD/memory controller brings the
+    /// server back without outside intervention.
     Failed,
 }
 
@@ -120,6 +130,10 @@ pub struct ServerStats {
     pub shed: u64,
     /// Requests answered `NotFound`.
     pub misses: u64,
+    /// Backing-resource failures survived (each triggers a restart).
+    pub failures: u64,
+    /// Requests answered `Unavailable` (failed over or arrived mid-recovery).
+    pub unavailable: u64,
 }
 
 /// Handles into the system-wide [`MetricsHub`], registered when the server
@@ -134,6 +148,8 @@ struct HubCounters {
     cache_hits: CounterHandle,
     shed: CounterHandle,
     misses: CounterHandle,
+    restarts: CounterHandle,
+    unavailable: CounterHandle,
 }
 
 impl HubCounters {
@@ -145,6 +161,8 @@ impl HubCounters {
             cache_hits: hub.counter_handle("kvs.server.cache_hits"),
             shed: hub.counter_handle("kvs.server.shed"),
             misses: hub.counter_handle("kvs.server.misses"),
+            restarts: hub.counter_handle("kvs.server.restarts"),
+            unavailable: hub.counter_handle("kvs.server.unavailable"),
         }
     }
 }
@@ -209,6 +227,14 @@ pub struct KvsServer {
     cache: ValueCache,
     stats: ServerStats,
     met: Option<HubCounters>,
+    /// True between a failure-triggered [`restart`](Self::restart) and the
+    /// next transition to [`ServerState::Ready`]; requests arriving in that
+    /// window get `Unavailable` (lost resource) rather than `Busy`
+    /// (overload), so clients can tell the two apart.
+    recovering: bool,
+    /// Session incarnation counter; selects the VA window ([`VA_STRIDE`])
+    /// the next session maps its shared region at.
+    generation: u64,
 }
 
 impl KvsServer {
@@ -233,6 +259,8 @@ impl KvsServer {
             cache,
             stats: ServerStats::default(),
             met: None,
+            recovering: false,
+            generation: 0,
         }
     }
 
@@ -281,6 +309,7 @@ impl KvsServer {
                     self.file_size = file_size;
                     if file_size == 0 {
                         self.state = ServerState::Ready;
+                        self.recovering = false;
                     } else {
                         self.state = ServerState::Rebuilding;
                         self.issue_rebuild_reads(ctx);
@@ -289,10 +318,14 @@ impl KvsServer {
                 }
                 Some(SessionEvent::Completions { .. }) => {
                     self.drain(ctx, &mut out);
+                    if self.state == ServerState::Failed {
+                        self.restart(ctx, monitor, &mut out);
+                    }
                     return out;
                 }
                 Some(SessionEvent::Failed { .. }) => {
                     self.state = ServerState::Failed;
+                    self.restart(ctx, monitor, &mut out);
                     return out;
                 }
                 None => {}
@@ -331,7 +364,7 @@ impl KvsServer {
                             svc.id,
                             self.config.token,
                             self.pasid,
-                            self.config.va_base,
+                            self.config.va_base + self.generation * VA_STRIDE,
                             self.config.queue_size,
                         );
                         self.state = ServerState::Connecting;
@@ -357,11 +390,20 @@ impl KvsServer {
     ) -> Vec<(PortId, Vec<u8>)> {
         let mut out = Vec::new();
         if self.state != ServerState::Ready {
+            // `Unavailable` = lost a backing resource (recovery under way);
+            // `Busy` = still starting up or overloaded. Clients treat the
+            // former as "back off longer".
+            let status = if self.recovering || self.state == ServerState::Failed {
+                self.note_unavailable();
+                KvsStatus::Unavailable
+            } else {
+                KvsStatus::Busy
+            };
             out.push((
                 src,
                 KvsResponse {
                     id: req.id(),
-                    status: KvsStatus::Busy,
+                    status,
                     value: vec![],
                 }
                 .encode(),
@@ -722,6 +764,7 @@ impl KvsServer {
         if self.state == ServerState::Rebuilding {
             if self.rebuild_next >= self.file_size && self.rebuild_inflight == 0 {
                 self.state = ServerState::Ready;
+                self.recovering = false;
             } else {
                 self.issue_rebuild_reads(ctx);
             }
@@ -733,6 +776,89 @@ impl KvsServer {
     /// Whether the underlying session is healthy.
     pub fn session_state(&self) -> Option<SessionState> {
         self.session.as_ref().map(|s| s.state())
+    }
+
+    fn note_unavailable(&mut self) {
+        self.stats.unavailable += 1;
+        if let Some(met) = &self.met {
+            met.unavailable.incr();
+        }
+    }
+
+    /// Fails over after losing a backing resource: answers every queued and
+    /// in-flight request with an explicit [`KvsStatus::Unavailable`] (instead
+    /// of wedging them forever), drops the dead session, resets the index,
+    /// and re-enters the discovery pipeline from the top. When the SSD comes
+    /// back (e.g. after a bus-initiated reset in E4), discovery finds it
+    /// again and the Figure-2 setup + log rebuild replays, returning the
+    /// server to `Ready` with no outside intervention.
+    fn restart(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        monitor: &mut Monitor,
+        out: &mut Vec<(PortId, Vec<u8>)>,
+    ) {
+        self.stats.failures += 1;
+        if let Some(met) = &self.met {
+            met.restarts.incr();
+        }
+        // Fail the in-flight storage ops. Sorted by descriptor head so the
+        // response order is deterministic (HashMap iteration is not).
+        let mut heads: Vec<u16> = self.inflight.keys().copied().collect();
+        heads.sort_unstable();
+        for head in heads {
+            let (port, id) = match self.inflight.remove(&head) {
+                Some(Pending::Get { port, id })
+                | Some(Pending::Delete { port, id })
+                | Some(Pending::Put { port, id, .. }) => (port, id),
+                Some(Pending::Rebuild { .. }) | None => continue,
+            };
+            self.note_unavailable();
+            out.push((
+                port,
+                KvsResponse {
+                    id,
+                    status: KvsStatus::Unavailable,
+                    value: vec![],
+                }
+                .encode(),
+            ));
+        }
+        self.inflight.clear();
+        // Fail the backlog in arrival order.
+        while let Some((port, req)) = self.backlog.pop_front() {
+            self.note_unavailable();
+            out.push((
+                port,
+                KvsResponse {
+                    id: req.id(),
+                    status: KvsStatus::Unavailable,
+                    value: vec![],
+                }
+                .encode(),
+            ));
+        }
+        // Drop the dead session and the (now untrusted) index; the rebuild
+        // scan will reconstruct it from the log on reconnect.
+        self.session = None;
+        self.engine = KvEngine::new();
+        self.scanner = LogScanner::new();
+        self.file_size = 0;
+        self.rebuild_next = 0;
+        self.rebuild_inflight = 0;
+        self.recovering = true;
+        self.generation += 1;
+        match self.config.memctl {
+            Some(dev) => {
+                self.memctl = Some(dev);
+                self.state = ServerState::FindingFile;
+                self.file_op = monitor.discover(ctx, &self.config.file_pattern);
+            }
+            None => {
+                self.state = ServerState::FindingMemory;
+                self.mem_op = monitor.discover(ctx, "memory");
+            }
+        }
     }
 }
 
@@ -768,5 +894,133 @@ mod tests {
         let s = KvsServer::new(ServerConfig::default(), Pasid(1));
         assert_eq!(s.state(), ServerState::Boot);
         assert_eq!(s.key_count(), 0);
+    }
+
+    mod degradation {
+        use super::*;
+        use lastcpu_bus::CorrId;
+        use lastcpu_iommu::Iommu;
+        use lastcpu_mem::Dram;
+        use lastcpu_sim::{DetRng, MetricsHub, SimTime};
+
+        struct Fix {
+            iommu: Iommu,
+            dram: Dram,
+            rng: DetRng,
+            req: u64,
+            stats: MetricsHub,
+        }
+
+        impl Fix {
+            fn new() -> Self {
+                Fix {
+                    iommu: Iommu::new(8),
+                    dram: Dram::new(1 << 20),
+                    rng: DetRng::new(11),
+                    req: 0,
+                    stats: MetricsHub::new(),
+                }
+            }
+
+            fn ctx(&mut self) -> DeviceCtx<'_> {
+                DeviceCtx::new(
+                    SimTime::ZERO,
+                    DeviceId(9),
+                    Some(PortId(3)),
+                    &mut self.iommu,
+                    &mut self.dram,
+                    &mut self.rng,
+                    &mut self.req,
+                    CorrId::NONE,
+                    &self.stats,
+                )
+            }
+        }
+
+        #[test]
+        fn restart_fails_over_queued_work_and_reenters_discovery() {
+            let mut fix = Fix::new();
+            let mut monitor = Monitor::new();
+            let mut server = KvsServer::new(ServerConfig::default(), Pasid(1));
+            let mut ctx = fix.ctx();
+            server.start(&mut ctx, &mut monitor);
+            assert_eq!(server.state(), ServerState::FindingMemory);
+            // Pretend the server got to Ready with work queued and in flight,
+            // then the backing SSD died.
+            server.state = ServerState::Ready;
+            server.backlog.push_back((
+                PortId(7),
+                KvsRequest::Get {
+                    id: 1,
+                    key: b"k".to_vec(),
+                },
+            ));
+            server.inflight.insert(
+                4,
+                Pending::Get {
+                    port: PortId(7),
+                    id: 2,
+                },
+            );
+            let mut out = Vec::new();
+            server.restart(&mut ctx, &mut monitor, &mut out);
+            // Both the in-flight op and the backlogged request were answered
+            // with an explicit Unavailable instead of being wedged.
+            assert_eq!(out.len(), 2);
+            for (_, bytes) in &out {
+                let resp = KvsResponse::decode(bytes).unwrap();
+                assert_eq!(resp.status, KvsStatus::Unavailable);
+            }
+            assert!(server.inflight.is_empty());
+            assert!(server.backlog.is_empty());
+            assert!(server.session.is_none());
+            assert!(server.recovering);
+            assert_eq!(server.state(), ServerState::FindingMemory);
+            assert_eq!(server.stats().failures, 1);
+            assert_eq!(server.stats().unavailable, 2);
+        }
+
+        #[test]
+        fn requests_during_recovery_get_unavailable_not_busy() {
+            let mut fix = Fix::new();
+            let mut monitor = Monitor::new();
+            let mut server = KvsServer::new(ServerConfig::default(), Pasid(1));
+            let mut ctx = fix.ctx();
+            server.start(&mut ctx, &mut monitor);
+            // Before any failure: still booting => Busy.
+            let out = server.on_request(
+                &mut ctx,
+                PortId(7),
+                KvsRequest::Get {
+                    id: 5,
+                    key: b"k".to_vec(),
+                },
+            );
+            assert_eq!(
+                KvsResponse::decode(&out[0].1).unwrap().status,
+                KvsStatus::Busy
+            );
+            // After a failure-triggered restart: recovering => Unavailable.
+            let mut sink = Vec::new();
+            server.restart(&mut ctx, &mut monitor, &mut sink);
+            let out = server.on_request(
+                &mut ctx,
+                PortId(7),
+                KvsRequest::Get {
+                    id: 6,
+                    key: b"k".to_vec(),
+                },
+            );
+            assert_eq!(
+                KvsResponse::decode(&out[0].1).unwrap().status,
+                KvsStatus::Unavailable
+            );
+            // Reaching Ready clears the recovering flag.
+            server.state = ServerState::Rebuilding;
+            server.file_size = 0;
+            let mut out2 = Vec::new();
+            server.drain(&mut ctx, &mut out2); // no session: early return keeps flag
+            assert!(server.recovering);
+        }
     }
 }

@@ -23,12 +23,16 @@
 //!   counters, gauges, and histograms into.
 //! - [`export`]: JSON-lines, Chrome `trace_event`, and Prometheus exporters
 //!   so every experiment can emit machine-readable artifacts.
+//! - [`fault`]: deterministic fault plans ([`FaultPlan`]) and the shared
+//!   bounded-exponential [`BackoffPolicy`], so failure experiments replay
+//!   bit-identically from a seed.
 //!
 //! The substrate is intentionally single-threaded: determinism is worth more
 //! to an OS-design experiment than parallel speedup, and the simulated
 //! machine itself is highly concurrent regardless.
 
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod record;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fault::{BackoffPolicy, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{CounterHandle, GaugeHandle, HistogramHandle, MetricsHub};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use record::{CorrId, TraceData, TraceRecord};

@@ -32,7 +32,14 @@ impl QueueLayout {
     /// # Panics
     ///
     /// Panics if `size` is zero, not a power of two, or exceeds 32768 —
-    /// these are protocol constants, not runtime conditions.
+    /// these are protocol constants, not runtime conditions. The
+    /// power-of-two requirement is load-bearing for correctness, not just
+    /// VIRTIO conformance: ring cursors are free-running `u16`s that wrap
+    /// at 65536, and [`QueueLayout::slot`] reduces them with a bitmask.
+    /// With a non-power-of-two size, `idx % size` and the wrapped cursor
+    /// distance (`wrapping_sub`) disagree after the first u16 wrap —
+    /// 65536 % 12 ≠ 0 — so the slot pointer and the pending count would
+    /// drift apart permanently.
     pub fn new(base: u64, size: u16) -> Self {
         assert!(size > 0 && size <= 32768, "queue size out of range");
         assert!(size.is_power_of_two(), "queue size must be a power of two");
@@ -45,6 +52,15 @@ impl QueueLayout {
             avail,
             used,
         }
+    }
+
+    /// Reduces a free-running ring cursor to its slot in `[0, size)`.
+    ///
+    /// Uses a bitmask rather than `%` so the reduction stays consistent
+    /// with `u16` cursor wraparound (valid because `size` is a power of
+    /// two, enforced at construction).
+    pub fn slot(&self, cursor: u16) -> u16 {
+        cursor & (self.size - 1)
     }
 
     /// Total bytes the queue structures occupy from `desc` to the end of

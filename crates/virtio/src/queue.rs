@@ -210,7 +210,7 @@ impl VirtqueueDriver {
         let head = ids[0];
         // Publish: slot, then index (index write is the release barrier on
         // real hardware; ordering is preserved here by program order).
-        let slot = self.avail_idx % self.layout.size;
+        let slot = self.layout.slot(self.avail_idx);
         mem.write(self.layout.avail_ring(slot), &head.to_le_bytes())?;
         self.avail_idx = self.avail_idx.wrapping_add(1);
         mem.write(self.layout.avail_idx(), &self.avail_idx.to_le_bytes())?;
@@ -273,7 +273,7 @@ impl VirtqueueDriver {
                 next: 0,
             },
         )?;
-        let slot = self.avail_idx % self.layout.size;
+        let slot = self.layout.slot(self.avail_idx);
         mem.write(self.layout.avail_ring(slot), &id.to_le_bytes())?;
         self.avail_idx = self.avail_idx.wrapping_add(1);
         mem.write(self.layout.avail_idx(), &self.avail_idx.to_le_bytes())?;
@@ -319,7 +319,7 @@ impl VirtqueueDriver {
         if used_idx == self.last_used {
             return Ok(None);
         }
-        let slot = self.last_used % self.layout.size;
+        let slot = self.layout.slot(self.last_used);
         let mut elem = [0u8; 8];
         mem.read(self.layout.used_ring(slot), &mut elem)?;
         let id = u32::from_le_bytes(elem[0..4].try_into().expect("len 4"));
@@ -395,7 +395,7 @@ impl VirtqueueDevice {
         if self.pending(mem)? == 0 {
             return Ok(None);
         }
-        let slot = self.last_avail % self.layout.size;
+        let slot = self.layout.slot(self.last_avail);
         let mut head_b = [0u8; 2];
         mem.read(self.layout.avail_ring(slot), &mut head_b)?;
         let head = u16::from_le_bytes(head_b);
@@ -542,7 +542,7 @@ impl VirtqueueDevice {
         if head >= self.layout.size {
             return Err(QueueError::Corrupt("push_used head out of range"));
         }
-        let slot = self.used_idx % self.layout.size;
+        let slot = self.layout.slot(self.used_idx);
         let mut elem = [0u8; 8];
         elem[0..4].copy_from_slice(&(head as u32).to_le_bytes());
         elem[4..8].copy_from_slice(&written.to_le_bytes());
@@ -651,6 +651,60 @@ mod tests {
             let c = drv.complete(&mut mem).unwrap().unwrap();
             assert_eq!(c.head, head);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn size_12_ring_rejected_at_construction() {
+        // Regression guard for the wraparound bug class: a 12-entry ring
+        // would make `slot(cursor)` and the wrapped cursor distance diverge
+        // after the first u16 wrap (65536 % 12 != 0), so non-power-of-two
+        // sizes must never get past layout construction.
+        QueueLayout::new(0x100, 12);
+    }
+
+    #[test]
+    fn indices_wrap_around_u16_size_16_with_outstanding() {
+        // Drive > 65536 descriptors through a size-16 ring while keeping
+        // several requests outstanding, so the free-running u16 cursors wrap
+        // multiple times with the ring partially occupied. Before the
+        // mask-based slot reduction this was the configuration where slot
+        // math and free-count could disagree.
+        let (mut mem, mut drv, mut dev) = setup(16);
+        mem.write(BUF0, b"x").unwrap();
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        // Each request uses 2 descriptors -> up to 8 outstanding.
+        while completed < 70_000 {
+            while drv.free_descriptors() >= 2 && submitted - completed < 8 {
+                drv.submit_request(&mut mem, BUF0, 1, BUF1, 4).unwrap();
+                submitted += 1;
+            }
+            // Serve half of what is pending, completing out of lockstep
+            // with submission so cursors drift apart.
+            let pending = dev.pending(&mut mem).unwrap();
+            let serve = (pending / 2).max(1);
+            for _ in 0..serve {
+                let chain = dev.pop(&mut mem).unwrap().expect("pending chain");
+                dev.push_used(&mut mem, chain.head, 1).unwrap();
+            }
+            while let Some(c) = drv.complete(&mut mem).unwrap() {
+                assert_eq!(c.written, 1);
+                completed += 1;
+            }
+        }
+        assert!(submitted > 65_536, "must cross the u16 wrap");
+        assert_eq!(drv.in_flight() as u64, submitted - completed);
+        // Drain the tail.
+        while let Some(chain) = dev.pop(&mut mem).unwrap() {
+            dev.push_used(&mut mem, chain.head, 1).unwrap();
+        }
+        while drv.complete(&mut mem).unwrap().is_some() {
+            completed += 1;
+        }
+        assert_eq!(submitted, completed);
+        assert_eq!(drv.free_descriptors(), 16);
+        assert_eq!(drv.in_flight(), 0);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 #   3. tier-1            cargo build --release && cargo test -q
 #   4. obs smoke test    f2_init_sequence --trace-out/--metrics-out produce
 #                        non-empty, well-formed artifacts
+#   5. fault smoke test  e4_failures fault matrix replays from three seeds
+#                        and exports retry/recovery metrics
 #
 # Everything runs offline; the workspace has no crates.io dependencies.
 
@@ -60,5 +62,23 @@ for prefix in bus iommu nic ssd memctl kvs; do
     }
 done
 echo "    metrics cover bus/iommu/nic/ssd/memctl/kvs"
+
+echo "==> fault-matrix smoke test (e4_failures, 3 seeds)"
+# The matrix itself asserts bit-identical replay per cell and a completed
+# Figure-2 re-init per recovery; CI additionally checks that the exported
+# snapshot carries the retry counters and recovery-latency histograms
+# (keys bus.<device>.retries / bus.<device>.recovery_latency, sanitized to
+# lastcpu_bus_<device>_... in the Prometheus exposition).
+for seed in 0xE4 7 1984; do
+    cargo run --offline --release -q -p lastcpu-bench --bin e4_failures -- \
+        --fault-seed "$seed" --metrics-out "$tmp/e4_$seed.prom" >/dev/null
+    grep -Eq 'lastcpu_bus_[a-z0-9]+_retries' "$tmp/e4_$seed.prom" || {
+        echo "FAIL: no bus.*.retries counter for seed $seed"; exit 1;
+    }
+    grep -q 'recovery_latency' "$tmp/e4_$seed.prom" || {
+        echo "FAIL: no recovery_latency histogram for seed $seed"; exit 1;
+    }
+done
+echo "    3 seeds replayed; retry + recovery_latency metrics present"
 
 echo "CI OK"

@@ -1,0 +1,170 @@
+//! Property tests for the deterministic fault-injection subsystem.
+//!
+//! Two invariants from the failure-model design (DESIGN.md §8):
+//!
+//! 1. **Replay**: a `FaultPlan` is pure data seeded from `DetRng`, and the
+//!    system consumes it through the ordinary event loop — so the same seed
+//!    must reproduce the same run bit-for-bit, no matter which faults the
+//!    plan happens to contain.
+//! 2. **No silent wedging**: every injected device crash either completes
+//!    the Figure-2 re-init (device `Alive` again, with a recovery-latency
+//!    sample recorded) or surfaces as a terminal, observable failure
+//!    (device `Failed` on the bus with the failure counted). A crash must
+//!    never leave a device in a live-looking state that does no work.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use lastcpu_bus::bus::DeviceState;
+use lastcpu_bus::RetryConfig;
+use lastcpu_core::{System, SystemConfig};
+use lastcpu_devices::auth::AuthDevice;
+use lastcpu_devices::console::ConsoleDevice;
+use lastcpu_devices::monitor::AuthMode;
+use lastcpu_devices::ssd::{SmartSsd, SsdConfig};
+use lastcpu_sim::{FaultKind, FaultPlan, SimDuration, SimTime};
+use lastcpu_tests::small_fs;
+use proptest::prelude::*;
+
+/// Devices a plan may target. `memctl0` is deliberately excluded: the
+/// memory controller is the root of the Figure-2 discovery sequence and
+/// has no independent supervisor to restart it.
+const TARGETS: [&str; 3] = ["auth0", "console0", "ssd0"];
+
+/// Builds the three-device machine used by the properties (auth + console
+/// + SSD behind one memory controller), powers it on, and returns it.
+fn faulty_system(seed: u64, plan: FaultPlan) -> System {
+    let mut sys = System::new(SystemConfig {
+        seed,
+        trace: true,
+        liveness_interval: Some(SimDuration::from_millis(2)),
+        fault_plan: Some(plan),
+        rpc_retry: Some(RetryConfig::default()),
+        ..SystemConfig::default()
+    });
+    let memctl = sys.add_memctl("memctl0");
+    sys.add_device(Box::new(AuthDevice::new("auth0", 0xFEED, &[("op", "pw")])));
+    let mut fs = small_fs();
+    fs.create("/l").unwrap();
+    fs.write("/l", 0, &vec![7u8; 3000]).unwrap();
+    sys.add_device(Box::new(SmartSsd::new(
+        "ssd0",
+        fs,
+        SsdConfig {
+            exports: vec!["/l".into()],
+            file_auth: AuthMode::Sealed { secret: 0xFEED },
+            ..SsdConfig::default()
+        },
+    )));
+    sys.add_device(Box::new(ConsoleDevice::new(
+        "console0", memctl.id, "op", "pw", "/l",
+    )));
+    sys.power_on();
+    sys
+}
+
+/// Order-independent digest of everything observable about a finished run:
+/// final clock, the retained trace (time + rendered text of every event),
+/// and all stats counters.
+fn fingerprint(sys: &System) -> u64 {
+    let mut h = DefaultHasher::new();
+    sys.now().as_nanos().hash(&mut h);
+    for e in sys.trace().events() {
+        e.at.as_nanos().hash(&mut h);
+        e.what().hash(&mut h);
+    }
+    let mut counters = sys.stats().counters();
+    counters.sort();
+    counters.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Replay: the same fault seed yields a bit-identical run — same
+    /// clock, same trace, same counters — across arbitrary plan shapes
+    /// (drop/corrupt/delay/crash/hang/slow-down/IOMMU-storm mixes).
+    fn fault_plan_seed_replays_bit_identically(
+        seed in 0u64..1_000_000_000,
+        count in 1u32..=12,
+    ) {
+        let run = || {
+            let plan = FaultPlan::generate(
+                seed,
+                &TARGETS,
+                SimTime::ZERO,
+                SimDuration::from_millis(25),
+                count,
+            );
+            let mut sys = faulty_system(seed, plan);
+            sys.run_for(SimDuration::from_millis(35));
+            fingerprint(&sys)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Recovery: every injected crash either brings the device back
+    /// `Alive` through the Figure-2 re-init (recording a recovery-latency
+    /// sample) or leaves it observably `Failed` on the bus — never a
+    /// third, silent state.
+    fn every_injected_crash_recovers_or_surfaces(
+        seed in 0u64..1_000_000_000,
+        crashes in proptest::collection::vec(
+            (5_000_000u64..20_000_000, 0usize..TARGETS.len()),
+            1..5,
+        ),
+    ) {
+        let mut plan = FaultPlan::new(seed);
+        for &(at_ns, idx) in &crashes {
+            plan.inject(SimTime::from_nanos(at_ns), TARGETS[idx], FaultKind::Crash);
+        }
+        let mut sys = faulty_system(seed, plan);
+        // Last crash lands before 20ms; 50ms leaves >30ms of slack, vs a
+        // 100us reset latency plus one 2ms heartbeat round-trip.
+        sys.run_for(SimDuration::from_millis(50));
+
+        prop_assert!(
+            sys.stats().counter("system.device_resets") >= 1,
+            "a crash was injected but no reset was ever issued"
+        );
+        let mut hit: Vec<&str> = crashes.iter().map(|&(_, idx)| TARGETS[idx]).collect();
+        hit.sort_unstable();
+        hit.dedup();
+        for target in hit {
+            let info = sys
+                .bus()
+                .devices()
+                .find(|d| d.name == target)
+                .unwrap_or_else(|| panic!("{target} vanished from the bus roster"));
+            match info.state {
+                DeviceState::Alive => {
+                    let rec = sys
+                        .stats()
+                        .histogram(&format!("bus.{target}.recovery_latency"));
+                    prop_assert!(
+                        rec.map(|r| r.count()).unwrap_or(0) >= 1,
+                        "{target} is Alive after a crash but never recorded a recovery"
+                    );
+                }
+                DeviceState::Failed => {
+                    // Terminal error surfaced: the bus counted the failure
+                    // and broadcast it.
+                    prop_assert!(
+                        sys.bus().stats().failures >= 1,
+                        "{target} is Failed but the bus never counted a failure"
+                    );
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "{target} left in silent state {other:?} after crash"
+                    )));
+                }
+            }
+        }
+    }
+}
