@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use lastcpu_sim::{CorrId, SimDuration, SimTime};
 
@@ -35,11 +36,17 @@ use crate::message::{Dst, Envelope, ErrorCode, MapOp, Payload, ResourceKind, Ser
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BusEffect {
     /// Deliver `env` to device `to` after `latency`.
+    ///
+    /// The envelope is `Arc`-shared: a broadcast hands the *same* allocation
+    /// to every recipient instead of deep-cloning the payload per receiver,
+    /// and a unicast forwards the sender's envelope untouched. Receivers
+    /// that need ownership (device dispatch) unwrap the `Arc`, which is a
+    /// move — not a copy — whenever they hold the last reference.
     Deliver {
         /// Receiving device.
         to: DeviceId,
         /// The message.
-        env: Envelope,
+        env: Arc<Envelope>,
         /// Control-plane latency until delivery.
         latency: SimDuration,
     },
@@ -276,7 +283,7 @@ impl SystemBus {
     fn deliver(
         &mut self,
         to: DeviceId,
-        env: Envelope,
+        env: Arc<Envelope>,
         latency: SimDuration,
         fx: &mut Vec<BusEffect>,
     ) {
@@ -299,17 +306,45 @@ impl SystemBus {
             corr: self.cur_corr,
             payload,
         };
-        let latency = self.cost.unicast(now_bytes.max(env.wire_len()));
-        self.deliver(to, env, latency, fx);
+        let latency = self.cost.unicast(now_bytes.max(env.encoded_len()));
+        self.deliver(to, Arc::new(env), latency, fx);
+    }
+
+    /// Shared rebroadcast path for bus-directed discovery messages
+    /// (`Announce` / `Withdraw` / `Query`): builds the broadcast envelope
+    /// **once**, shares it across all recipients, and re-uses the incoming
+    /// message's wire size for cost accounting. Previously each call site
+    /// rebuilt and re-cloned the envelope per recipient.
+    fn rebroadcast(
+        &mut self,
+        src: DeviceId,
+        req: RequestId,
+        payload: Payload,
+        bytes: usize,
+        fx: &mut Vec<BusEffect>,
+    ) {
+        let env = Arc::new(Envelope {
+            src,
+            dst: Dst::Broadcast,
+            req,
+            corr: self.cur_corr,
+            payload,
+        });
+        self.broadcast_from(src, env, bytes, fx);
     }
 
     /// Handles one message, appending resulting effects to `fx`.
     ///
+    /// Accepts either an owned [`Envelope`] or an already-shared
+    /// `Arc<Envelope>`; the routing path never re-encodes or deep-clones
+    /// the message.
+    ///
     /// Unknown or fenced senders are dropped silently (a dead device's
     /// messages must not reach anyone — that is the fencing property the
     /// failure experiment checks).
-    pub fn handle(&mut self, now: SimTime, env: Envelope, fx: &mut Vec<BusEffect>) {
-        let bytes = env.wire_len();
+    pub fn handle(&mut self, now: SimTime, env: impl Into<Arc<Envelope>>, fx: &mut Vec<BusEffect>) {
+        let env: Arc<Envelope> = env.into();
+        let bytes = env.encoded_len();
         self.cur_corr = env.corr;
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;
@@ -332,7 +367,7 @@ impl SystemBus {
         }
 
         match env.dst {
-            Dst::Bus => self.handle_bus_directed(now, env, bytes, fx),
+            Dst::Bus => self.handle_bus_directed(now, &env, bytes, fx),
             Dst::Device(target) => {
                 let alive = self
                     .devices
@@ -340,6 +375,8 @@ impl SystemBus {
                     .is_some_and(|e| e.state == DeviceState::Alive);
                 if alive {
                     let latency = self.cost.unicast(bytes);
+                    // Zero-copy forward: the sender's envelope is handed
+                    // through untouched.
                     self.deliver(target, env, latency, fx);
                 } else {
                     // Bounce: tell the sender its peer is gone.
@@ -365,28 +402,29 @@ impl SystemBus {
     fn broadcast_from(
         &mut self,
         src: DeviceId,
-        env: Envelope,
+        env: Arc<Envelope>,
         bytes: usize,
         fx: &mut Vec<BusEffect>,
     ) {
-        let recipients: Vec<DeviceId> = self
-            .order
-            .iter()
-            .copied()
-            .filter(|&id| {
-                id != src
-                    && self
-                        .devices
-                        .get(&id)
-                        .is_some_and(|e| e.state == DeviceState::Alive)
-            })
-            .collect();
-        for (n, to) in recipients.into_iter().enumerate() {
+        let mut n = 0usize;
+        for i in 0..self.order.len() {
+            let id = self.order[i];
+            if id == src
+                || !self
+                    .devices
+                    .get(&id)
+                    .is_some_and(|e| e.state == DeviceState::Alive)
+            {
+                continue;
+            }
             let latency = self.cost.broadcast_nth(bytes, n);
+            n += 1;
             self.stats.broadcast_deliveries += 1;
             fx.push(BusEffect::Deliver {
-                to,
-                env: env.clone(),
+                to: id,
+                // Reference-count bump only — the payload is shared, not
+                // deep-cloned per recipient.
+                env: Arc::clone(&env),
                 latency,
             });
         }
@@ -395,13 +433,13 @@ impl SystemBus {
     fn handle_bus_directed(
         &mut self,
         now: SimTime,
-        env: Envelope,
+        env: &Envelope,
         bytes: usize,
         fx: &mut Vec<BusEffect>,
     ) {
         let src = env.src;
         let req = env.req;
-        match env.payload {
+        match &env.payload {
             Payload::Hello { .. } => {
                 if let Some(e) = self.devices.get_mut(&src) {
                     e.state = DeviceState::Alive;
@@ -424,40 +462,37 @@ impl SystemBus {
                     e.services.push(service.clone());
                 }
                 // Capability broadcast (§2.2): others may cache it.
-                let bcast = Envelope {
+                self.rebroadcast(
                     src,
-                    dst: Dst::Broadcast,
                     req,
-                    corr: self.cur_corr,
-                    payload: Payload::Announce { service },
-                };
-                self.broadcast_from(src, bcast, bytes, fx);
+                    Payload::Announce {
+                        service: service.clone(),
+                    },
+                    bytes,
+                    fx,
+                );
             }
             Payload::Withdraw { service } => {
+                let service = *service;
                 if let Some(e) = self.devices.get_mut(&src) {
                     e.services.retain(|s| s.id != service);
                 }
-                let bcast = Envelope {
-                    src,
-                    dst: Dst::Broadcast,
-                    req,
-                    corr: self.cur_corr,
-                    payload: Payload::Withdraw { service },
-                };
-                self.broadcast_from(src, bcast, bytes, fx);
+                self.rebroadcast(src, req, Payload::Withdraw { service }, bytes, fx);
             }
             Payload::Query { pattern } => {
                 // SSDP-style: the bus re-broadcasts; owners answer directly.
-                let bcast = Envelope {
+                self.rebroadcast(
                     src,
-                    dst: Dst::Broadcast,
                     req,
-                    corr: self.cur_corr,
-                    payload: Payload::Query { pattern },
-                };
-                self.broadcast_from(src, bcast, bytes, fx);
+                    Payload::Query {
+                        pattern: pattern.clone(),
+                    },
+                    bytes,
+                    fx,
+                );
             }
             Payload::RegisterController { resource } => {
+                let resource = *resource;
                 let status = match self.controllers.get(&resource) {
                     None => {
                         self.controllers.insert(resource, src);
@@ -482,7 +517,7 @@ impl SystemBus {
                 perms,
             } => {
                 self.handle_map_instruction(
-                    bytes, src, req, resource, op, device, pasid, va, pa, pages, perms, fx,
+                    bytes, src, req, *resource, *op, *device, *pasid, *va, *pa, *pages, *perms, fx,
                 );
             }
             Payload::ResetDone => {
@@ -601,13 +636,15 @@ impl SystemBus {
 
     fn fan_out_failure(&mut self, failed: DeviceId, bytes: usize, fx: &mut Vec<BusEffect>) {
         self.stats.failures += 1;
-        let note = Envelope {
+        // Not `rebroadcast`: the notice is *from the bus* but must exclude
+        // the failed device, so the exclusion differs from the envelope src.
+        let note = Arc::new(Envelope {
             src: DeviceId::BUS,
             dst: Dst::Broadcast,
             req: RequestId(0),
             corr: self.cur_corr,
             payload: Payload::DeviceFailed { device: failed },
-        };
+        });
         self.broadcast_from(failed, note, bytes, fx);
     }
 
@@ -725,13 +762,8 @@ mod tests {
         );
         assert!(matches!(
             &fx[0],
-            BusEffect::Deliver {
-                env: Envelope {
-                    payload: Payload::BusAck { status: Status::Ok },
-                    ..
-                },
-                ..
-            }
+            BusEffect::Deliver { env, .. }
+                if matches!(env.payload, Payload::BusAck { status: Status::Ok })
         ));
     }
 
@@ -979,15 +1011,13 @@ mod tests {
         );
         assert!(matches!(
             &fx[0],
-            BusEffect::Deliver {
-                env: Envelope {
-                    payload: Payload::BusAck {
+            BusEffect::Deliver { env, .. }
+                if matches!(
+                    env.payload,
+                    Payload::BusAck {
                         status: Status::Denied
-                    },
-                    ..
-                },
-                ..
-            }
+                    }
+                )
         ));
         assert_eq!(bus.controller_of(ResourceKind::Memory), Some(mc));
         assert_eq!(bus.stats().denials, 1);
@@ -1037,15 +1067,13 @@ mod tests {
         );
         assert!(matches!(
             &fx[0],
-            BusEffect::Deliver {
-                env: Envelope {
-                    payload: Payload::BusAck {
+            BusEffect::Deliver { env, .. }
+                if matches!(
+                    env.payload,
+                    Payload::BusAck {
                         status: Status::Denied
-                    },
-                    ..
-                },
-                ..
-            }
+                    }
+                )
         ));
         assert_eq!(bus.stats().denials, 1);
     }
@@ -1068,15 +1096,13 @@ mod tests {
         bus.handle(SimTime::ZERO, map_instruction(mc, nic), &mut fx);
         assert!(matches!(
             &fx[0],
-            BusEffect::Deliver {
-                env: Envelope {
-                    payload: Payload::BusAck {
+            BusEffect::Deliver { env, .. }
+                if matches!(
+                    env.payload,
+                    Payload::BusAck {
                         status: Status::NotFound
-                    },
-                    ..
-                },
-                ..
-            }
+                    }
+                )
         ));
     }
 
@@ -1092,15 +1118,13 @@ mod tests {
         bus.handle(SimTime::ZERO, env, &mut fx);
         assert!(matches!(
             &fx[0],
-            BusEffect::Deliver {
-                env: Envelope {
-                    payload: Payload::BusAck {
+            BusEffect::Deliver { env, .. }
+                if matches!(
+                    env.payload,
+                    Payload::BusAck {
                         status: Status::BadRequest
-                    },
-                    ..
-                },
-                ..
-            }
+                    }
+                )
         ));
     }
 
@@ -1225,13 +1249,8 @@ mod tests {
         assert_eq!(bus.device(nic).unwrap().state, DeviceState::Departed);
         assert!(fx.iter().any(|e| matches!(
             e,
-            BusEffect::Deliver {
-                env: Envelope {
-                    payload: Payload::DeviceFailed { .. },
-                    ..
-                },
-                ..
-            }
+            BusEffect::Deliver { env, .. }
+                if matches!(env.payload, Payload::DeviceFailed { .. })
         )));
         // Departed devices cannot come back with Hello (unlike Failed).
         hello(&mut bus, nic);
@@ -1336,16 +1355,137 @@ mod tests {
         );
         assert!(matches!(
             &fx[0],
-            BusEffect::Deliver {
-                env: Envelope {
-                    payload: Payload::BusAck {
+            BusEffect::Deliver { env, .. }
+                if matches!(
+                    env.payload,
+                    Payload::BusAck {
                         status: Status::BadRequest
-                    },
-                    ..
-                },
-                ..
-            }
+                    }
+                )
         ));
+    }
+
+    /// Zero-copy contract: every recipient of a broadcast receives the
+    /// *same* shared envelope allocation, and a unicast forwards the
+    /// sender's envelope untouched (pointer-identical).
+    #[test]
+    fn broadcast_shares_one_envelope_and_unicast_forwards_it() {
+        let (mut bus, nic, _, _) = setup();
+        let mut fx = Vec::new();
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Broadcast,
+                req: RequestId(4),
+                corr: CorrId::NONE,
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        let envs: Vec<&std::sync::Arc<Envelope>> = fx
+            .iter()
+            .map(|e| match e {
+                BusEffect::Deliver { env, .. } => env,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(envs.len(), 2);
+        assert!(
+            std::sync::Arc::ptr_eq(envs[0], envs[1]),
+            "broadcast must share one allocation across recipients"
+        );
+
+        // Unicast: the routed envelope is the very Arc the caller passed in.
+        let (mut bus, nic, ssd, _) = setup();
+        let original = std::sync::Arc::new(Envelope {
+            src: nic,
+            dst: Dst::Device(ssd),
+            req: RequestId(2),
+            corr: CorrId::NONE,
+            payload: Payload::Heartbeat,
+        });
+        let mut fx = Vec::new();
+        bus.handle(SimTime::ZERO, std::sync::Arc::clone(&original), &mut fx);
+        match &fx[0] {
+            BusEffect::Deliver { env, .. } => {
+                assert!(
+                    std::sync::Arc::ptr_eq(env, &original),
+                    "unicast must forward, not clone"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The `rebroadcast` helper consolidation must not change
+    /// `broadcast_deliveries` accounting: a bus-directed Query and a raw
+    /// Broadcast each count one delivery per alive non-sender device.
+    #[test]
+    fn broadcast_deliveries_accounting_unchanged() {
+        let (mut bus, nic, _, _) = setup();
+        assert_eq!(bus.stats().broadcast_deliveries, 0);
+        let mut fx = Vec::new();
+        // Bus-directed Query → rebroadcast helper → 2 deliveries.
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(6),
+                corr: CorrId::NONE,
+                payload: Payload::Query {
+                    pattern: "file:*".into(),
+                },
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.stats().broadcast_deliveries, 2);
+        // Raw broadcast → 2 more.
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Broadcast,
+                req: RequestId(7),
+                corr: CorrId::NONE,
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.stats().broadcast_deliveries, 4);
+        // Bus-directed Announce and Withdraw also go through the helper.
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(8),
+                corr: CorrId::NONE,
+                payload: Payload::Announce {
+                    service: ServiceDesc {
+                        id: ServiceId(1),
+                        name: "kvs".into(),
+                        resource: ResourceKind::Network,
+                    },
+                },
+            },
+            &mut fx,
+        );
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(9),
+                corr: CorrId::NONE,
+                payload: Payload::Withdraw {
+                    service: ServiceId(1),
+                },
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.stats().broadcast_deliveries, 8);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! | Notify | `Doorbell`, `ErrorNotify`, `ResetRequest/Done`, `DeviceFailed` | §2.3, §4 |
 
 use crate::ids::{ConnId, DeviceId, RequestId, ServiceId, Token};
-use crate::wire::{frame_check, WireError, WireReader, WireWriter};
+use crate::wire::{frame_check, varint_len, WireError, WireReader, WireWriter};
 use lastcpu_sim::CorrId;
 
 /// Message destination.
@@ -357,8 +357,28 @@ pub struct Envelope {
 
 impl Envelope {
     /// Encoded size in bytes (used for cost accounting).
+    ///
+    /// Alias of [`encoded_len`](Self::encoded_len); kept for callers that
+    /// predate the analytic size computation.
     pub fn wire_len(&self) -> usize {
-        self.encode().len()
+        self.encoded_len()
+    }
+
+    /// Encoded size in bytes, computed **without** materializing the frame.
+    ///
+    /// The routing hot path only needs the wire size (for serialization-cost
+    /// and link-occupancy accounting); encoding every message just to call
+    /// `.len()` on the buffer was one allocation + full payload copy per
+    /// routed message. This mirrors [`encode`](Self::encode) field for
+    /// field — the `encoded_len_matches_encode_for_all_variants` regression
+    /// test locks the two together.
+    pub fn encoded_len(&self) -> usize {
+        let dst = match self.dst {
+            Dst::Device(_) => 1 + 4,
+            Dst::Bus | Dst::Broadcast => 1,
+        };
+        // src + dst + req + corr + payload + 4-byte frame check sequence.
+        4 + dst + 8 + 8 + payload_encoded_len(&self.payload) + 4
     }
 
     /// Encodes to the wire format. The frame ends with a 4-byte frame check
@@ -684,6 +704,49 @@ fn encode_payload(w: &mut WireWriter, p: &Payload) {
     }
 }
 
+/// Size of a length-prefixed byte field: varint length prefix + the bytes.
+fn field_len(n: usize) -> usize {
+    varint_len(n as u64) + n
+}
+
+/// Encoded size of one payload, mirroring [`encode_payload`] field for
+/// field. Every arm is `1` (the tag byte) plus the fixed widths of its
+/// fields; only strings and byte blobs are data-dependent.
+fn payload_encoded_len(p: &Payload) -> usize {
+    match p {
+        Payload::Hello { name, kind } => 1 + field_len(name.len()) + field_len(kind.len()),
+        Payload::HelloAck { .. } => 1 + 4,
+        Payload::Heartbeat | Payload::Bye | Payload::ResetRequest | Payload::ResetDone => 1,
+        Payload::Announce { service } => 1 + service_desc_len(service),
+        Payload::Withdraw { .. } => 1 + 2,
+        Payload::Query { pattern } => 1 + field_len(pattern.len()),
+        Payload::QueryHit { service, .. } => 1 + 4 + service_desc_len(service),
+        Payload::OpenRequest { params, .. } => 1 + 2 + 16 + field_len(params.len()),
+        Payload::OpenResponse { params, .. } => 1 + 1 + 8 + 8 + field_len(params.len()),
+        Payload::CloseRequest { .. } => 1 + 8,
+        Payload::CloseResponse { .. } => 1 + 1,
+        Payload::MemAlloc { .. } => 1 + 4 + 8 + 8 + 1,
+        Payload::MemAllocResponse { .. } => 1 + 1 + 8,
+        Payload::MemFree { .. } => 1 + 8,
+        Payload::MemFreeResponse { .. } => 1 + 1,
+        Payload::Share { .. } => 1 + 8 + 4 + 4 + 8 + 1,
+        Payload::ShareResponse { .. } => 1 + 1,
+        Payload::RegisterController { .. } => 1 + 1,
+        Payload::BusAck { .. } => 1 + 1,
+        Payload::MapInstruction { .. } => 1 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 1,
+        Payload::MapComplete { .. } => 1 + 1 + 8 + 8,
+        Payload::Doorbell { .. } => 1 + 8 + 8,
+        Payload::ErrorNotify { detail, .. } => 1 + 1 + 8 + field_len(detail.len()),
+        Payload::DeviceFailed { .. } => 1 + 4,
+        Payload::AppData { data, .. } => 1 + 8 + field_len(data.len()),
+    }
+}
+
+/// Encoded size of a [`ServiceDesc`], mirroring [`encode_service_desc`].
+fn service_desc_len(s: &ServiceDesc) -> usize {
+    2 + field_len(s.name.len()) + 1
+}
+
 fn decode_payload(r: &mut WireReader<'_>) -> Result<Payload, WireError> {
     Ok(match r.u8()? {
         0 => Payload::Hello {
@@ -877,8 +940,10 @@ mod tests {
         assert_eq!(back, env);
     }
 
-    #[test]
-    fn all_payload_variants_round_trip() {
+    /// One instance of every payload variant (kept exhaustive by the
+    /// `match` in `payload_encoded_len`: adding a variant without extending
+    /// this list will fail the round-trip or the encoded-len regression).
+    fn all_variants() -> Vec<Payload> {
         let svc = ServiceDesc {
             id: ServiceId(3),
             name: "file:/data/kv.db".into(),
@@ -982,8 +1047,54 @@ mod tests {
                 data: vec![0xAB; 100],
             },
         ];
-        for v in variants {
+        variants
+    }
+
+    #[test]
+    fn all_payload_variants_round_trip() {
+        for v in all_variants() {
             round_trip(v);
+        }
+    }
+
+    /// Regression lock between the analytic `encoded_len` and the real
+    /// encoder: they must agree for every payload variant, every `Dst`
+    /// shape, and data-dependent fields long enough to need multi-byte
+    /// varint length prefixes.
+    #[test]
+    fn encoded_len_matches_encode_for_all_variants() {
+        let mut payloads = all_variants();
+        // Field lengths straddling the 1-byte/2-byte varint boundary (128).
+        for n in [0usize, 1, 127, 128, 300, 5000] {
+            payloads.push(Payload::AppData {
+                conn: ConnId(1),
+                data: vec![0x5A; n],
+            });
+            payloads.push(Payload::Query {
+                pattern: "q".repeat(n),
+            });
+            payloads.push(Payload::ErrorNotify {
+                code: ErrorCode::Protocol,
+                conn: ConnId(0),
+                detail: "d".repeat(n),
+            });
+        }
+        for p in payloads {
+            for dst in [Dst::Device(DeviceId(9)), Dst::Bus, Dst::Broadcast] {
+                let env = Envelope {
+                    src: DeviceId(7),
+                    dst,
+                    req: RequestId(42),
+                    corr: CorrId(3),
+                    payload: p.clone(),
+                };
+                assert_eq!(
+                    env.encoded_len(),
+                    env.encode().len(),
+                    "encoded_len mismatch for {} to {dst:?}",
+                    env.payload.kind_name()
+                );
+            }
         }
     }
 

@@ -97,6 +97,18 @@ pub fn frame_check(body: &[u8]) -> u32 {
     h
 }
 
+/// Number of bytes [`WireWriter::varint`] emits for `v`, without emitting
+/// them. Used by `Envelope::encoded_len` to compute wire sizes on the
+/// routing path without materializing the frame.
+pub fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
 /// Append-only encoder.
 #[derive(Default)]
 pub struct WireWriter {

@@ -2,7 +2,7 @@
 
 use lastcpu_bus::{BusCostModel, RetryConfig};
 use lastcpu_net::NetCostModel;
-use lastcpu_sim::{FaultPlan, SimDuration};
+use lastcpu_sim::{FaultPlan, QueueEngine, SimDuration};
 
 /// Configuration of the emulated machine.
 #[derive(Debug, Clone)]
@@ -41,6 +41,10 @@ pub struct SystemConfig {
     /// enable this so lost/corrupted requests are retransmitted instead of
     /// wedging the requester.
     pub rpc_retry: Option<RetryConfig>,
+    /// Which data structure backs the event queue. The timing wheel is the
+    /// default; the binary heap is retained as the E9 `--engine heap`
+    /// baseline. Both produce bit-identical runs.
+    pub queue_engine: QueueEngine,
 }
 
 impl Default for SystemConfig {
@@ -58,6 +62,7 @@ impl Default for SystemConfig {
             trace: true,
             fault_plan: None,
             rpc_retry: None,
+            queue_engine: QueueEngine::Wheel,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lastcpu_bus::bus::DeviceState;
 use lastcpu_bus::{
@@ -34,9 +35,12 @@ enum Event {
     /// Power-on self-test of one device.
     Start(usize),
     /// A message reaches the bus for processing.
-    BusMsg(Envelope),
+    ///
+    /// `Arc`-shared so routing, fault filtering, and delivery pass one
+    /// allocation around instead of deep-cloning the payload per hop.
+    BusMsg(Arc<Envelope>),
     /// A message is delivered to a device.
-    Deliver { idx: usize, env: Envelope },
+    Deliver { idx: usize, env: Arc<Envelope> },
     /// A device timer fires.
     Timer {
         idx: usize,
@@ -89,7 +93,7 @@ enum Event {
 
 /// A unit of work waiting in a device's ingress FIFO.
 enum Work {
-    Msg(Envelope),
+    Msg(Arc<Envelope>),
     Timer(u64, CorrId),
     Net(Frame, CorrId),
 }
@@ -341,7 +345,7 @@ impl System {
             sweep_at: None,
         });
         System {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_engine(config.queue_engine),
             bus,
             dram: Dram::new(config.dram_bytes),
             slots: Vec::new(),
@@ -889,8 +893,8 @@ impl System {
         &mut self,
         now: SimTime,
         idx: usize,
-        env: Envelope,
-    ) -> Option<(Envelope, SimDuration)> {
+        env: Arc<Envelope>,
+    ) -> Option<(Arc<Envelope>, SimDuration)> {
         let f = &mut self.slots[idx].faults;
         if f.drop_rem == 0 && f.corrupt_rem == 0 && f.delay_rem == 0 {
             return Some((env, SimDuration::ZERO)); // fast path: nothing armed
@@ -909,6 +913,10 @@ impl System {
         if f.corrupt_rem > 0 {
             f.corrupt_rem -= 1;
             let rng = f.corrupt_rng.get_or_insert_with(|| DetRng::new(0xC0_22_09));
+            // The corruption point is the one place on the delivery path
+            // that genuinely needs the frame bytes (to flip a wire bit and
+            // re-run the FNV-1a frame check); everywhere else sizes come
+            // from `encoded_len()` without materializing the frame.
             let mut bytes = env.encode();
             let bit = rng.below(bytes.len() as u64 * 8);
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
@@ -929,7 +937,7 @@ impl System {
                             corrupted.payload.kind_name()
                         )),
                     );
-                    Some((corrupted, SimDuration::ZERO))
+                    Some((Arc::new(corrupted), SimDuration::ZERO))
                 }
                 Err(_) => {
                     // The envelope's frame check sequence catches the flip;
@@ -1005,6 +1013,7 @@ impl System {
                         );
                     }
                     // Retransmissions traverse the same faulty wire.
+                    let env = Arc::new(env);
                     let filtered = match src_idx {
                         Some(idx) => self.wire_fault_filter(send_at, idx, env),
                         None => Some((env, SimDuration::ZERO)),
@@ -1049,8 +1058,13 @@ impl System {
                             payload,
                         };
                         if let Some(&idx) = self.by_id.get(&env.src) {
-                            self.queue
-                                .schedule_at(now, Event::Deliver { idx, env: fail });
+                            self.queue.schedule_at(
+                                now,
+                                Event::Deliver {
+                                    idx,
+                                    env: Arc::new(fail),
+                                },
+                            );
                         }
                     }
                 }
@@ -1123,6 +1137,11 @@ impl System {
                 self.slots[idx].met.msgs.incr();
                 self.trace_envelope(now, idx, &env);
                 let corr = env.corr;
+                // Devices take ownership of their message. A unicast
+                // delivery holds the last reference here, so this is a
+                // move out of the `Arc`, not a copy; only broadcast
+                // recipients (shared refcount > 1) pay a clone.
+                let env = Arc::try_unwrap(env).unwrap_or_else(|shared| (*shared).clone());
                 self.dispatch(idx, now, corr, move |d, ctx| d.on_message(ctx, env));
             }
             Work::Timer(token, corr) => {
@@ -1241,14 +1260,14 @@ impl System {
                     rpc.tracker.track(t, &env);
                 }
                 self.arm_rpc_sweep();
-                let Some((env, extra)) = self.wire_fault_filter(t, idx, env) else {
+                let Some((env, extra)) = self.wire_fault_filter(t, idx, Arc::new(env)) else {
                     return;
                 };
                 // One hop to the bus; processing/latency modelled by the
                 // bus's own cost model when it emits deliveries.
                 let mut hop = self.config.bus_cost.hop_latency + extra;
                 if let Some(link) = self.shared_link.as_mut() {
-                    hop += link.occupy(t, env.wire_len() as u64);
+                    hop += link.occupy(t, env.encoded_len() as u64);
                     self.met.link_control_msgs.incr();
                 }
                 self.queue.schedule_at(t + hop, Event::BusMsg(env));
@@ -1279,8 +1298,13 @@ impl System {
                 }
                 self.met.doorbells.incr();
                 if let Some(&to_idx) = self.by_id.get(&to) {
-                    self.queue
-                        .schedule_at(t + lat, Event::Deliver { idx: to_idx, env });
+                    self.queue.schedule_at(
+                        t + lat,
+                        Event::Deliver {
+                            idx: to_idx,
+                            env: Arc::new(env),
+                        },
+                    );
                 }
             }
             Action::SetTimer { delay, token } => {
@@ -1319,7 +1343,7 @@ impl System {
                 BusEffect::Deliver { to, env, latency } => {
                     let mut lat = latency;
                     if let Some(link) = self.shared_link.as_mut() {
-                        lat += link.occupy(now, env.wire_len() as u64);
+                        lat += link.occupy(now, env.encoded_len() as u64);
                     }
                     if let Some(&idx) = self.by_id.get(&to) {
                         // Destination-side wire faults: a reply eaten here

@@ -324,6 +324,11 @@ pub struct SmartSsd {
     work: VecDeque<ConnId>,
     poll_armed: bool,
     stats: SsdStats,
+    /// Reused descriptor-walk buffers: the serve loop pops every chain into
+    /// this one `DescChain` and reads request bytes into this one `Vec`, so
+    /// steady-state request service allocates nothing for the walk itself.
+    scratch_chain: DescChain,
+    scratch_req: Vec<u8>,
 }
 
 impl SmartSsd {
@@ -340,6 +345,12 @@ impl SmartSsd {
             work: VecDeque::new(),
             poll_armed: false,
             stats: SsdStats::default(),
+            scratch_chain: DescChain {
+                head: 0,
+                readable: Vec::new(),
+                writable: Vec::new(),
+            },
+            scratch_req: Vec::new(),
         };
         ssd.monitor.add_service(
             ServiceDesc {
@@ -631,12 +642,13 @@ impl SmartSsd {
         let mut drained = false;
         let mut failed = false;
         for _ in 0..quantum {
+            // Pop into the reusable scratch chain: no per-request Vec pair.
             let popped = {
                 let mut view = ctx.dma_view(pasid);
-                queue.pop(&mut view)
+                queue.pop_into(&mut view, &mut self.scratch_chain)
             };
             match popped {
-                Ok(Some(chain)) => {
+                Ok(true) => {
                     match Self::serve_request(
                         &mut self.fs,
                         &mut self.stats,
@@ -645,7 +657,8 @@ impl SmartSsd {
                         ctx,
                         pasid,
                         &file,
-                        &chain,
+                        &self.scratch_chain,
+                        &mut self.scratch_req,
                     ) {
                         Ok(()) => {
                             state.served += 1;
@@ -657,7 +670,7 @@ impl SmartSsd {
                         }
                     }
                 }
-                Ok(None) => {
+                Ok(false) => {
                     drained = true;
                     break;
                 }
@@ -692,13 +705,16 @@ impl SmartSsd {
         pasid: Pasid,
         file: &str,
         chain: &DescChain,
+        req_buf: &mut Vec<u8>,
     ) -> Result<(), QueueError> {
         ctx.busy(config.per_request_overhead);
-        let request = {
+        {
             let mut view = ctx.dma_view(pasid);
-            queue.read_request(&mut view, chain)?
-        };
-        let response = match FileOp::decode(&request) {
+            // Gather into the reusable request buffer (capacity persists
+            // across requests; segments are read in place).
+            queue.read_request_into(&mut view, chain, req_buf)?;
+        }
+        let response = match FileOp::decode(req_buf) {
             Some(FileOp::Read { offset, len }) => {
                 let mut buf = vec![0u8; len as usize];
                 match fs.read(file, offset, &mut buf) {

@@ -136,14 +136,21 @@ impl KvEngine {
         self.cursor += rec.len() as u64;
         self.stats.log_bytes += rec.len() as u64;
         let value_off = offset + HEADER + key.len() as u64;
-        if let Some(old) = self.index.insert(
-            key.to_vec(),
-            ValueRef {
-                offset: value_off,
-                len: value.len() as u32,
-            },
-        ) {
-            self.stats.dead_bytes += HEADER + key.len() as u64 + old.len as u64;
+        let vref = ValueRef {
+            offset: value_off,
+            len: value.len() as u32,
+        };
+        // Overwrites update in place through a borrowed-key lookup; the key
+        // is copied into the index only when it is genuinely new, so a
+        // steady-state overwrite workload allocates nothing here.
+        match self.index.get_mut(key) {
+            Some(old) => {
+                self.stats.dead_bytes += HEADER + key.len() as u64 + old.len as u64;
+                *old = vref;
+            }
+            None => {
+                self.index.insert(key.to_vec(), vref);
+            }
         }
         Ok((offset, rec))
     }

@@ -145,11 +145,7 @@ pub struct KvsResponse {
 impl KvsResponse {
     /// Encodes to frame payload bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
-        w.u8(self.status.to_u8());
-        w.u64(self.id);
-        w.bytes(&self.value);
-        w.finish()
+        encode_response(self.id, self.status, &self.value)
     }
 
     /// Decodes from frame payload bytes.
@@ -161,6 +157,18 @@ impl KvsResponse {
         r.expect_end().ok()?;
         Some(KvsResponse { id, status, value })
     }
+}
+
+/// Encodes a response directly from a borrowed value, without building a
+/// [`KvsResponse`] first. The server's cache-hit fast path uses this to
+/// serialize straight out of the value cache — no intermediate copy of the
+/// value bytes.
+pub fn encode_response(id: u64, status: KvsStatus, value: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u8(status.to_u8());
+    w.u64(id);
+    w.bytes(value);
+    w.finish()
 }
 
 #[cfg(test)]

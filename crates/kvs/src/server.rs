@@ -23,7 +23,7 @@ use lastcpu_net::PortId;
 use lastcpu_sim::{CounterHandle, SimDuration};
 
 use crate::engine::{KvEngine, LogScanner};
-use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
+use crate::proto::{encode_response, KvsRequest, KvsResponse, KvsStatus};
 
 /// Rebuild read chunk.
 const REBUILD_CHUNK: u32 = 2048;
@@ -183,23 +183,30 @@ impl ValueCache {
         }
     }
 
-    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
-        self.map.get(key).cloned()
+    /// Borrowed-value lookup: the hot GET path serializes the response
+    /// straight from this reference instead of cloning the value out.
+    fn get(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.map.get(key)
     }
 
     fn insert(&mut self, key: &[u8], value: Vec<u8>) {
         if self.capacity == 0 {
             return;
         }
-        if !self.map.contains_key(key) {
-            if self.map.len() >= self.capacity {
-                if let Some(victim) = self.order.pop_front() {
-                    self.map.remove(&victim);
-                }
-            }
-            self.order.push_back(key.to_vec());
+        // Updating an existing entry is allocation-free; the key is copied
+        // only when it is new to the cache.
+        if let Some(slot) = self.map.get_mut(key) {
+            *slot = value;
+            return;
         }
-        self.map.insert(key.to_vec(), value);
+        if self.map.len() >= self.capacity {
+            if let Some(victim) = self.order.pop_front() {
+                self.map.remove(&victim);
+            }
+        }
+        let key = key.to_vec();
+        self.order.push_back(key.clone());
+        self.map.insert(key, value);
     }
 
     fn remove(&mut self, key: &[u8]) {
@@ -461,15 +468,9 @@ impl KvsServer {
                         if let Some(met) = &self.met {
                             met.cache_hits.incr();
                         }
-                        out.push((
-                            src,
-                            KvsResponse {
-                                id,
-                                status: KvsStatus::Ok,
-                                value: v,
-                            }
-                            .encode(),
-                        ));
+                        // Serialize straight from the borrowed cache value:
+                        // no intermediate clone into a KvsResponse.
+                        out.push((src, encode_response(id, KvsStatus::Ok, v)));
                         continue;
                     }
                     match self.engine.get(&key) {
@@ -873,13 +874,13 @@ mod tests {
         c.insert(b"b", vec![2]);
         c.insert(b"c", vec![3]); // evicts a
         assert_eq!(c.get(b"a"), None);
-        assert_eq!(c.get(b"b"), Some(vec![2]));
-        assert_eq!(c.get(b"c"), Some(vec![3]));
+        assert_eq!(c.get(b"b").cloned(), Some(vec![2]));
+        assert_eq!(c.get(b"c").cloned(), Some(vec![3]));
         c.remove(b"b");
         assert_eq!(c.get(b"b"), None);
         // Updating an existing key does not evict.
         c.insert(b"c", vec![9]);
-        assert_eq!(c.get(b"c"), Some(vec![9]));
+        assert_eq!(c.get(b"c").cloned(), Some(vec![9]));
     }
 
     #[test]

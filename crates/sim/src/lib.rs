@@ -43,7 +43,7 @@ pub mod trace;
 
 pub use fault::{BackoffPolicy, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{CounterHandle, GaugeHandle, HistogramHandle, MetricsHub};
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{EventQueue, QueueEngine, ScheduledEvent};
 pub use record::{CorrId, TraceData, TraceRecord};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, StatsRegistry};

@@ -392,8 +392,34 @@ impl VirtqueueDevice {
 
     /// Pops the next request chain, if any.
     pub fn pop<M: QueueMemory>(&mut self, mem: &mut M) -> Result<Option<DescChain>, QueueError> {
+        let mut chain = DescChain {
+            head: 0,
+            readable: Vec::new(),
+            writable: Vec::new(),
+        };
+        Ok(if self.pop_into(mem, &mut chain)? {
+            Some(chain)
+        } else {
+            None
+        })
+    }
+
+    /// Pops the next request chain into `chain`, reusing its segment-vector
+    /// capacity. Returns `Ok(false)` when no request is pending (the chain
+    /// contents are then unspecified).
+    ///
+    /// This is the allocation-free variant of [`pop`](Self::pop): a device
+    /// loop that pops thousands of chains can hold one `DescChain` and walk
+    /// descriptors without a pair of fresh `Vec`s per request.
+    pub fn pop_into<M: QueueMemory>(
+        &mut self,
+        mem: &mut M,
+        chain: &mut DescChain,
+    ) -> Result<bool, QueueError> {
+        chain.readable.clear();
+        chain.writable.clear();
         if self.pending(mem)? == 0 {
-            return Ok(None);
+            return Ok(false);
         }
         let slot = self.layout.slot(self.last_avail);
         let mut head_b = [0u8; 2];
@@ -402,8 +428,9 @@ impl VirtqueueDevice {
         if head >= self.layout.size {
             return Err(QueueError::Corrupt("avail head out of range"));
         }
-        let mut readable = Vec::new();
-        let mut writable = Vec::new();
+        chain.head = head;
+        let readable = &mut chain.readable;
+        let writable = &mut chain.writable;
         let mut i = head;
         let mut hops = 0u32;
         loop {
@@ -460,11 +487,7 @@ impl VirtqueueDevice {
                     j = e.next;
                 }
                 self.last_avail = self.last_avail.wrapping_add(1);
-                return Ok(Some(DescChain {
-                    head,
-                    readable,
-                    writable,
-                }));
+                return Ok(true);
             }
             if d.flags & DESC_F_WRITE != 0 {
                 writable.push((d.addr, d.len));
@@ -483,11 +506,7 @@ impl VirtqueueDevice {
             i = d.next;
         }
         self.last_avail = self.last_avail.wrapping_add(1);
-        Ok(Some(DescChain {
-            head,
-            readable,
-            writable,
-        }))
+        Ok(true)
     }
 
     /// Reads and concatenates a chain's readable segments.
@@ -496,13 +515,29 @@ impl VirtqueueDevice {
         mem: &mut M,
         chain: &DescChain,
     ) -> Result<Vec<u8>, QueueError> {
-        let mut out = Vec::with_capacity(chain.readable_len() as usize);
-        for &(va, len) in &chain.readable {
-            let mut buf = vec![0u8; len as usize];
-            mem.read(va, &mut buf)?;
-            out.extend_from_slice(&buf);
-        }
+        let mut out = Vec::new();
+        self.read_request_into(mem, chain, &mut out)?;
         Ok(out)
+    }
+
+    /// Reads and concatenates a chain's readable segments into `out`,
+    /// clearing it first and reusing its capacity. Each segment is read
+    /// directly into its slice of `out` — no per-segment staging buffer.
+    pub fn read_request_into<M: QueueMemory>(
+        &self,
+        mem: &mut M,
+        chain: &DescChain,
+        out: &mut Vec<u8>,
+    ) -> Result<(), QueueError> {
+        out.clear();
+        out.resize(chain.readable_len() as usize, 0);
+        let mut off = 0usize;
+        for &(va, len) in &chain.readable {
+            let end = off + len as usize;
+            mem.read(va, &mut out[off..end])?;
+            off = end;
+        }
+        Ok(())
     }
 
     /// Scatters `data` into a chain's writable segments.

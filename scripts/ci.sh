@@ -8,6 +8,12 @@
 #                        non-empty, well-formed artifacts
 #   5. fault smoke test  e4_failures fault matrix replays from three seeds
 #                        and exports retry/recovery metrics
+#   6. engine smoke test e9_engine_throughput (reduced sizes) produces a
+#                        well-formed BENCH_e9.json with nonzero events/sec
+#                        for both queue engines
+#
+# Set CI_CRITERION=1 to additionally run the criterion host-time benches
+# (opt-in: they are measurements, not pass/fail gates, and take minutes).
 #
 # Everything runs offline; the workspace has no crates.io dependencies.
 
@@ -80,5 +86,42 @@ for seed in 0xE4 7 1984; do
     }
 done
 echo "    3 seeds replayed; retry + recovery_latency metrics present"
+
+echo "==> engine-throughput smoke test (e9_engine_throughput, reduced)"
+# Reduced sizes keep this to a couple of seconds; the full run is a
+# measurement, not a gate. Both engines must produce nonzero throughput
+# and identical system-phase event counts (engine-independent determinism).
+cargo run --offline --release -q -p lastcpu-bench --bin e9_engine_throughput -- \
+    --queue-ops 200000 --queue-depth 8192 --virtual-ms 100 --repeat 1 \
+    --out "$tmp/BENCH_e9.json" >/dev/null
+[ -s "$tmp/BENCH_e9.json" ] || { echo "FAIL: empty BENCH_e9.json"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e9.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "e9" and d["schema_version"] == 1, d.keys()
+engines = d["engines"]
+assert set(engines) == {"wheel", "heap"}, engines.keys()
+for name, e in engines.items():
+    for phase in ("queue", "system"):
+        s = e[phase]
+        assert s["events"] > 0, (name, phase)
+        assert s["events_per_sec"] > 0, (name, phase)
+        assert s["ns_per_event"] > 0, (name, phase)
+assert engines["wheel"]["system"]["events"] == engines["heap"]["system"]["events"], \
+    "engines diverged: system phase event counts differ"
+q = d["wheel_over_heap"]["queue"]
+print(f"    BENCH_e9.json well-formed; wheel/heap queue churn {q:.2f}x")
+PY
+else
+    grep -q '"events_per_sec"' "$tmp/BENCH_e9.json" || {
+        echo "FAIL: no events_per_sec in BENCH_e9.json"; exit 1;
+    }
+fi
+
+if [ "${CI_CRITERION:-0}" = "1" ]; then
+    echo "==> criterion host-time benches (opt-in via CI_CRITERION=1)"
+    cargo bench --offline -p lastcpu-bench
+fi
 
 echo "CI OK"
