@@ -42,7 +42,7 @@ pub mod system;
 pub use config::SystemConfig;
 pub use host::{HostAction, HostCtx, NetHost};
 pub use memctl_dev::MemCtlDevice;
-pub use system::{DeviceHandle, System};
+pub use system::{DeviceHandle, System, TunnelDelivery};
 
 // Re-export the crates a system assembler needs, so downstream code can
 // depend on `lastcpu-core` alone.

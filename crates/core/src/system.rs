@@ -98,6 +98,23 @@ enum Work {
     Net(Frame, CorrId),
 }
 
+/// A frame that reached one of the machine's *tunnel ports* — switch ports
+/// owned by an embedding rack fabric rather than by a local device or host.
+/// The fabric drains these after every step and carries them to another
+/// machine (or to the rack directory), preserving the correlation id so a
+/// causal trace spans machines end to end.
+#[derive(Debug, Clone)]
+pub struct TunnelDelivery {
+    /// When the frame finished traversing this machine's edge switch.
+    pub at: SimTime,
+    /// The tunnel port it was delivered to.
+    pub port: PortId,
+    /// The frame (its `src` is the local sender's port).
+    pub frame: Frame,
+    /// Correlation id of the activity the frame belongs to.
+    pub corr: CorrId,
+}
+
 /// Pre-registered per-device metric handles (`{subsystem}.{name}.*` keys), so
 /// hot-path updates are a `Cell` add with no map lookup.
 struct SlotMetrics {
@@ -313,6 +330,11 @@ pub struct System {
     fault_events: Vec<FaultEvent>,
     /// RPC timeout/retry machinery (when configured).
     rpc: Option<RpcState>,
+    /// Switch ports owned by an embedding rack fabric (see
+    /// [`System::add_tunnel_port`]).
+    tunnel_ports: std::collections::HashSet<PortId>,
+    /// Frames delivered to tunnel ports, awaiting [`System::drain_tunnel`].
+    tunnel_out: Vec<TunnelDelivery>,
 }
 
 impl System {
@@ -363,6 +385,8 @@ impl System {
             memctl_id: None,
             fault_events,
             rpc,
+            tunnel_ports: std::collections::HashSet::new(),
+            tunnel_out: Vec::new(),
             config,
         }
     }
@@ -498,6 +522,80 @@ impl System {
     /// The network port of a device, if it has one.
     pub fn device_port(&self, h: DeviceHandle) -> Option<PortId> {
         self.slots[h.idx].port
+    }
+
+    /// The network port of a device looked up by bus address (the rack
+    /// fabric's directory resolves bus registry entries to ports this way).
+    pub fn port_of(&self, id: DeviceId) -> Option<PortId> {
+        self.by_id.get(&id).and_then(|&idx| self.slots[idx].port)
+    }
+
+    // --- Fabric embedding -------------------------------------------------
+    //
+    // A rack fabric (`lastcpu-fabric`) co-simulates many `System` machines
+    // under one global clock. Each machine exposes *tunnel ports* — switch
+    // ports owned by the fabric — plus fine-grained stepping so the fabric
+    // can interleave machines deterministically.
+
+    /// Adds a switch port owned by an embedding fabric. Frames delivered to
+    /// it (after traversing this machine's edge switch like any other
+    /// traffic) are exported via [`System::drain_tunnel`] instead of being
+    /// handed to a device or host.
+    pub fn add_tunnel_port(&mut self) -> PortId {
+        let p = self.switch.add_port();
+        self.tunnel_ports.insert(p);
+        p
+    }
+
+    /// Takes the frames that reached tunnel ports since the last drain.
+    pub fn drain_tunnel(&mut self) -> Vec<TunnelDelivery> {
+        std::mem::take(&mut self.tunnel_out)
+    }
+
+    /// Injects a frame arriving from outside the machine (an inter-machine
+    /// link). The frame enters this machine's edge switch at `at` and pays
+    /// the ordinary store-and-forward costs to reach `frame.dst`; `corr` is
+    /// preserved so causal traces span machines.
+    pub fn inject_frame(&mut self, at: SimTime, frame: Frame, corr: CorrId) {
+        let at = at.max(self.now());
+        if self.trace.is_enabled() {
+            self.trace.emit_data(
+                at,
+                "net",
+                corr,
+                TraceData::Text(format!(
+                    "frame enters from fabric link for port {} ({} B)",
+                    frame.dst.0,
+                    frame.payload.len()
+                )),
+            );
+        }
+        self.route_frame(at, frame, corr);
+    }
+
+    /// The firing time of this machine's next pending event, if any. The
+    /// fabric's global scheduler advances whichever machine is earliest.
+    pub fn peek_next_at(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops and handles exactly one event; returns its firing time. The
+    /// fabric steps machines one event at a time so cross-machine causality
+    /// is never reordered.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let ev = self.queue.pop()?;
+        let at = ev.at;
+        self.handle(at, ev.event);
+        Some(at)
+    }
+
+    /// Rebases the correlation-id allocator to start at `base` (at least
+    /// 1). The fabric gives every machine a disjoint namespace — machine
+    /// `m` allocates from `(m+1) << 40` — so a correlation id is unique
+    /// rack-wide and a Chrome trace merged across machines never aliases
+    /// two activities.
+    pub fn set_corr_base(&mut self, base: u64) {
+        self.next_corr = base.max(1);
     }
 
     // --- Introspection --------------------------------------------------
@@ -737,7 +835,29 @@ impl System {
                 self.dispatch(idx, now, corr, |d, ctx| d.on_reset(ctx));
             }
             Event::NetDeliver { port, frame, corr } => {
-                if let Some(&idx) = self.port_to_slot.get(&port) {
+                if self.tunnel_ports.contains(&port) {
+                    // The port belongs to an embedding rack fabric: the
+                    // frame leaves this machine. The fabric drains it after
+                    // this step and models the inter-machine link.
+                    if self.trace.is_enabled() {
+                        self.trace.emit_data(
+                            now,
+                            "net",
+                            corr,
+                            TraceData::Text(format!(
+                                "frame exits to fabric link via port {} ({} B)",
+                                port.0,
+                                frame.payload.len()
+                            )),
+                        );
+                    }
+                    self.tunnel_out.push(TunnelDelivery {
+                        at: now,
+                        port,
+                        frame,
+                        corr,
+                    });
+                } else if let Some(&idx) = self.port_to_slot.get(&port) {
                     self.feed(idx, now, Work::Net(frame, corr));
                 } else if let Some(&hidx) = self.port_to_host.get(&port) {
                     self.dispatch_host(hidx, now, corr, move |h, ctx| h.on_frame(ctx, frame));

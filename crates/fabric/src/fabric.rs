@@ -1,0 +1,854 @@
+//! The rack fabric: N machines, one clock, modeled inter-machine links.
+
+use std::collections::HashMap;
+
+use lastcpu_core::{System, TunnelDelivery};
+use lastcpu_net::{Frame, NetCostModel, PortId};
+use lastcpu_sim::{
+    CorrId, CounterHandle, EventQueue, FaultEvent, FaultKind, FaultPlan, GaugeHandle, MetricsHub,
+    SimDuration, SimTime, TraceSink,
+};
+
+use crate::proto::{DirEndpoint, DirMsg};
+
+/// A machine's index in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub u32);
+
+/// Fabric configuration.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Seed for fabric-level randomness (reserved; the fabric itself is
+    /// currently fully deterministic, but the seed participates in trace
+    /// metadata and future jittered links).
+    pub seed: u64,
+    /// Inter-machine link timing. Defaults model a 25 GbE spine: 40 ps/B
+    /// line rate on each uplink/downlink, 600 ns spine switch latency,
+    /// 2 µs propagation.
+    pub link_cost: NetCostModel,
+    /// Period of the directory synchronization sweep (federated SSDP).
+    pub sync_interval: SimDuration,
+    /// Latency of an in-band directory query answer (the controller sits
+    /// on the spine, one hop away).
+    pub dir_latency: SimDuration,
+    /// Optional whole-machine fault schedule. Targets are machine names
+    /// (`"m0"`, `"m1"`, …): `Drop`/`Delay` act on that machine's links,
+    /// `Crash`/`Hang` kill the machine.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            seed: 0xFAB,
+            link_cost: NetCostModel {
+                per_byte_ps: 40,
+                switch_latency: SimDuration::from_nanos(600),
+                propagation: SimDuration::from_micros(2),
+            },
+            sync_interval: SimDuration::from_micros(250),
+            dir_latency: SimDuration::from_nanos(500),
+            fault_plan: None,
+        }
+    }
+}
+
+/// One rack-directory entry (home-machine view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Home machine.
+    pub machine: u32,
+    /// Qualified name: `"m{machine}/{device-name}"`.
+    pub name: String,
+    /// Device kind from the home bus registry.
+    pub kind: String,
+    /// The endpoint's port on its home machine's edge switch.
+    pub port: PortId,
+}
+
+/// The far side of a proxy port: a specific port on a specific machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RemotePeer {
+    machine: u32,
+    port: PortId,
+}
+
+/// Per-machine link fault state (consumed counts, like the bus layer).
+#[derive(Debug, Default)]
+struct LinkFaults {
+    drop_remaining: u32,
+    delay_remaining: u32,
+    delay_extra: SimDuration,
+}
+
+struct MachineSlot {
+    name: String,
+    sys: System,
+    dead: bool,
+    /// When this machine's uplink / downlink finish their current frame.
+    up_busy: SimTime,
+    down_busy: SimTime,
+    /// Proxy ports on this machine's edge switch, by remote peer.
+    proxy: HashMap<RemotePeer, PortId>,
+    /// Reverse map: local tunnel port -> the remote peer it represents.
+    proxy_rev: HashMap<PortId, RemotePeer>,
+    /// Tunnel port answering in-band directory queries.
+    dir_port: PortId,
+    faults: LinkFaults,
+    link_bytes: CounterHandle,
+    link_frames: CounterHandle,
+}
+
+enum FabricEvent {
+    /// A frame finishes crossing a link (or a directory reply returns) and
+    /// enters `machine`'s edge switch.
+    Deliver {
+        machine: usize,
+        frame: Frame,
+        corr: CorrId,
+    },
+    /// Periodic directory synchronization sweep.
+    DirSync,
+    /// A scheduled whole-machine fault (index into `Fabric::faults`).
+    Fault(usize),
+}
+
+/// N CPU-less machines co-simulated under one deterministic clock.
+///
+/// See the crate docs for the interleaving and tunneling model. Typical
+/// assembly:
+///
+/// ```ignore
+/// let mut fab = Fabric::new(FabricConfig::default());
+/// let m0 = fab.add_machine("m0", system0);
+/// let m1 = fab.add_machine("m1", system1);
+/// fab.power_on();
+/// fab.run_for(SimDuration::from_millis(10));
+/// ```
+pub struct Fabric {
+    cfg: FabricConfig,
+    machines: Vec<MachineSlot>,
+    queue: EventQueue<FabricEvent>,
+    now: SimTime,
+    directory: Vec<DirEntry>,
+    dir_epoch: u64,
+    faults: Vec<FaultEvent>,
+    metrics: MetricsHub,
+    // Pre-registered fabric metrics.
+    m_frames_forwarded: CounterHandle,
+    m_frames_dropped: CounterHandle,
+    m_frames_delayed: CounterHandle,
+    m_bytes: CounterHandle,
+    m_dir_queries: CounterHandle,
+    m_dir_syncs: CounterHandle,
+    m_dir_removals: CounterHandle,
+    m_faults_applied: CounterHandle,
+    g_dir_epoch: GaugeHandle,
+    g_machines_dead: GaugeHandle,
+}
+
+impl Fabric {
+    /// An empty fabric.
+    pub fn new(cfg: FabricConfig) -> Self {
+        let metrics = MetricsHub::new();
+        let m_frames_forwarded = metrics.counter_handle("fabric.frames_forwarded");
+        let m_frames_dropped = metrics.counter_handle("fabric.frames_dropped");
+        let m_frames_delayed = metrics.counter_handle("fabric.frames_delayed");
+        let m_bytes = metrics.counter_handle("fabric.bytes");
+        let m_dir_queries = metrics.counter_handle("fabric.dir.queries");
+        let m_dir_syncs = metrics.counter_handle("fabric.dir.syncs");
+        let m_dir_removals = metrics.counter_handle("fabric.dir.removals");
+        let m_faults_applied = metrics.counter_handle("fabric.faults_applied");
+        let g_dir_epoch = metrics.gauge_handle("fabric.dir_epoch");
+        let g_machines_dead = metrics.gauge_handle("fabric.machines_dead");
+        Fabric {
+            cfg,
+            machines: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            directory: Vec::new(),
+            dir_epoch: 0,
+            faults: Vec::new(),
+            metrics,
+            m_frames_forwarded,
+            m_frames_dropped,
+            m_frames_delayed,
+            m_bytes,
+            m_dir_queries,
+            m_dir_syncs,
+            m_dir_removals,
+            m_faults_applied,
+            g_dir_epoch,
+            g_machines_dead,
+        }
+    }
+
+    /// The fabric's configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Fabric-level metrics (link/dir/fault counters; per-machine
+    /// `fabric.link.m{i}.*`).
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Current global virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Adds a machine. The fabric rebases the machine's correlation-id
+    /// allocator to `(index + 1) << 40` so ids are rack-unique, and opens
+    /// the machine's directory port.
+    pub fn add_machine(&mut self, name: impl Into<String>, mut sys: System) -> MachineId {
+        let idx = self.machines.len();
+        sys.set_corr_base(((idx as u64) + 1) << 40);
+        let dir_port = sys.add_tunnel_port();
+        let link_bytes = self
+            .metrics
+            .counter_handle(&format!("fabric.link.m{idx}.bytes"));
+        let link_frames = self
+            .metrics
+            .counter_handle(&format!("fabric.link.m{idx}.frames"));
+        self.machines.push(MachineSlot {
+            name: name.into(),
+            sys,
+            dead: false,
+            up_busy: SimTime::ZERO,
+            down_busy: SimTime::ZERO,
+            proxy: HashMap::new(),
+            proxy_rev: HashMap::new(),
+            dir_port,
+            faults: LinkFaults::default(),
+            link_bytes,
+            link_frames,
+        });
+        MachineId(idx as u32)
+    }
+
+    /// The machine's `System`.
+    pub fn machine(&self, m: MachineId) -> &System {
+        &self.machines[m.0 as usize].sys
+    }
+
+    /// The machine's `System`, mutably.
+    pub fn machine_mut(&mut self, m: MachineId) -> &mut System {
+        &mut self.machines[m.0 as usize].sys
+    }
+
+    /// The machine's name.
+    pub fn machine_name(&self, m: MachineId) -> &str {
+        &self.machines[m.0 as usize].name
+    }
+
+    /// Whether the machine has been killed.
+    pub fn is_dead(&self, m: MachineId) -> bool {
+        self.machines[m.0 as usize].dead
+    }
+
+    /// The port on machine `on` that answers [`DirMsg::Query`] frames.
+    pub fn directory_port(&self, on: MachineId) -> PortId {
+        self.machines[on.0 as usize].dir_port
+    }
+
+    /// Opens (or returns the existing) proxy port on machine `on` that
+    /// tunnels to `(to, to_port)`. Frames a local host or device sends to
+    /// the returned port cross the inter-machine link and arrive at
+    /// `to_port` on machine `to`, with their source rewritten to the
+    /// symmetric proxy so replies find their way back.
+    pub fn open_tunnel(&mut self, on: MachineId, to: MachineId, to_port: PortId) -> PortId {
+        self.proxy_port(on.0 as usize, to.0, to_port)
+    }
+
+    /// The current rack directory snapshot.
+    pub fn directory(&self) -> &[DirEntry] {
+        &self.directory
+    }
+
+    /// The directory epoch (bumps on membership change).
+    pub fn dir_epoch(&self) -> u64 {
+        self.dir_epoch
+    }
+
+    /// Kills a whole machine: the fabric stops stepping it and drops all
+    /// traffic to or from it. The next directory sweep withdraws its
+    /// endpoints, which is what remote routers fail over on.
+    pub fn kill_machine(&mut self, m: MachineId) {
+        let slot = &mut self.machines[m.0 as usize];
+        if !slot.dead {
+            slot.dead = true;
+            self.g_machines_dead.add(1);
+        }
+    }
+
+    /// Powers on every machine, starts the directory sweep, and schedules
+    /// the fault plan.
+    pub fn power_on(&mut self) {
+        for slot in &mut self.machines {
+            slot.sys.power_on();
+        }
+        self.queue.schedule_now(FabricEvent::DirSync);
+        if let Some(plan) = self.cfg.fault_plan.clone() {
+            for ev in plan.events() {
+                let at = ev.at;
+                self.faults.push(ev);
+                self.queue
+                    .schedule_at(at, FabricEvent::Fault(self.faults.len() - 1));
+            }
+        }
+    }
+
+    /// Runs the co-simulation until `deadline`; returns events processed
+    /// (fabric events + machine events).
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            // Earliest pending event across the fabric queue and all alive
+            // machines. Ties break fabric-first, then lowest machine index
+            // (strict `<` below), which fixes the interleaving.
+            let mut next: Option<(SimTime, Option<usize>)> =
+                self.queue.peek_time().map(|t| (t, None));
+            for i in 0..self.machines.len() {
+                if self.machines[i].dead {
+                    continue;
+                }
+                if let Some(t) = self.machines[i].sys.peek_next_at() {
+                    if next.map_or(true, |(bt, _)| t < bt) {
+                        next = Some((t, Some(i)));
+                    }
+                }
+            }
+            let Some((t, who)) = next else { break };
+            if t > deadline {
+                break;
+            }
+            self.now = t;
+            match who {
+                None => {
+                    let ev = self.queue.pop().expect("peeked event vanished");
+                    self.handle(ev.at, ev.event);
+                }
+                Some(i) => {
+                    self.machines[i].sys.step();
+                    self.drain_machine(i);
+                }
+            }
+            n += 1;
+        }
+        self.now = self.now.max(deadline);
+        n
+    }
+
+    /// Runs for `d` from the current global time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+
+    /// A rack-wide trace: every machine's retained records merged into one
+    /// sink, each source prefixed with its machine name (`"m1/bus"`), in
+    /// global time order (ties by machine index — the interleaving order).
+    ///
+    /// Because [`add_machine`](Self::add_machine) rebases every machine's
+    /// correlation-id allocator to a disjoint range, a correlation id is
+    /// rack-unique, so exporting the merged sink with
+    /// [`trace_chrome`](lastcpu_sim::export::trace_chrome) draws one async
+    /// span per activity even when the activity hops machines: a request
+    /// tunneled from `m0` to `m1` keeps its id across the link (the fabric
+    /// carries it through [`TunnelDelivery`] and re-injects it) and its
+    /// records on both machines merge into a single cross-machine span.
+    pub fn merged_trace(&self) -> TraceSink {
+        let total: usize = self.machines.iter().map(|s| s.sys.trace().len()).sum();
+        let mut records: Vec<(usize, &lastcpu_sim::TraceRecord)> = Vec::with_capacity(total);
+        for (m, slot) in self.machines.iter().enumerate() {
+            records.extend(slot.sys.trace().events().map(|r| (m, r)));
+        }
+        records.sort_by_key(|&(m, r)| (r.at, m));
+        let mut out = TraceSink::bounded(total.max(1));
+        for (m, r) in records {
+            out.emit_data(
+                r.at,
+                format!("{}/{}", self.machines[m].name, r.source),
+                r.corr,
+                r.data.clone(),
+            );
+        }
+        out
+    }
+
+    // --- internals --------------------------------------------------------
+
+    fn proxy_port(&mut self, on: usize, machine: u32, port: PortId) -> PortId {
+        let peer = RemotePeer { machine, port };
+        if let Some(&p) = self.machines[on].proxy.get(&peer) {
+            return p;
+        }
+        let p = self.machines[on].sys.add_tunnel_port();
+        self.machines[on].proxy.insert(peer, p);
+        self.machines[on].proxy_rev.insert(p, peer);
+        p
+    }
+
+    /// Forwards everything machine `i` pushed onto its tunnel ports.
+    fn drain_machine(&mut self, i: usize) {
+        let deliveries = self.machines[i].sys.drain_tunnel();
+        for d in deliveries {
+            if d.port == self.machines[i].dir_port {
+                self.answer_dir_query(i, d);
+            } else if let Some(&peer) = self.machines[i].proxy_rev.get(&d.port) {
+                self.forward(i, peer, d);
+            } else {
+                // A tunnel port the fabric does not know (cannot happen for
+                // fabric-created ports; defensive).
+                self.m_frames_dropped.incr();
+            }
+        }
+    }
+
+    /// Crosses the inter-machine link from `a` to `peer.machine`.
+    fn forward(&mut self, a: usize, peer: RemotePeer, d: TunnelDelivery) {
+        let b = peer.machine as usize;
+        if self.machines[a].dead || self.machines[b].dead {
+            self.m_frames_dropped.incr();
+            return;
+        }
+        // Link faults: a `Drop` on either endpoint consumes the frame; a
+        // `Delay` on either endpoint adds its extra latency.
+        if self.machines[a].faults.drop_remaining > 0 {
+            self.machines[a].faults.drop_remaining -= 1;
+            self.m_frames_dropped.incr();
+            return;
+        }
+        if self.machines[b].faults.drop_remaining > 0 {
+            self.machines[b].faults.drop_remaining -= 1;
+            self.m_frames_dropped.incr();
+            return;
+        }
+        let mut extra = SimDuration::ZERO;
+        if self.machines[a].faults.delay_remaining > 0 {
+            self.machines[a].faults.delay_remaining -= 1;
+            extra = extra.saturating_add(self.machines[a].faults.delay_extra);
+        }
+        if self.machines[b].faults.delay_remaining > 0 {
+            self.machines[b].faults.delay_remaining -= 1;
+            extra = extra.saturating_add(self.machines[b].faults.delay_extra);
+        }
+        if extra > SimDuration::ZERO {
+            self.m_frames_delayed.incr();
+        }
+        // Timing: serialize onto a's uplink (queuing behind its previous
+        // frame), cross the spine, serialize onto b's downlink (ditto),
+        // then propagate. Both links run at `link_cost` line rate.
+        let wire = d.frame.wire_len();
+        let tx = self.cfg.link_cost.serialize(wire);
+        let up_start = self.machines[a].up_busy.max(d.at);
+        let up_done = up_start + tx;
+        self.machines[a].up_busy = up_done;
+        let at_spine = up_done + self.cfg.link_cost.switch_latency;
+        let down_start = self.machines[b].down_busy.max(at_spine);
+        let down_done = down_start + tx;
+        self.machines[b].down_busy = down_done;
+        let deliver = down_done + self.cfg.link_cost.propagation + extra;
+        // The frame re-enters b with its source rewritten to b's proxy for
+        // the original sender, so replies tunnel back symmetrically.
+        let src_on_b = self.proxy_port(b, a as u32, d.frame.src);
+        let frame = Frame::unicast(src_on_b, peer.port, d.frame.payload);
+        self.m_frames_forwarded.incr();
+        self.m_bytes.add(wire);
+        self.machines[a].link_bytes.add(wire);
+        self.machines[a].link_frames.incr();
+        self.machines[b].link_bytes.add(wire);
+        self.machines[b].link_frames.incr();
+        self.queue.schedule_at(
+            deliver,
+            FabricEvent::Deliver {
+                machine: b,
+                frame,
+                corr: d.corr,
+            },
+        );
+    }
+
+    /// Answers an in-band directory query from machine `q`.
+    fn answer_dir_query(&mut self, q: usize, d: TunnelDelivery) {
+        self.m_dir_queries.incr();
+        let Ok(DirMsg::Query { .. }) = DirMsg::decode(&d.frame.payload) else {
+            self.m_frames_dropped.incr();
+            return;
+        };
+        let snapshot = self.directory.clone();
+        let mut endpoints = Vec::with_capacity(snapshot.len());
+        for e in &snapshot {
+            let port = if e.machine as usize == q {
+                e.port
+            } else {
+                self.proxy_port(q, e.machine, e.port)
+            };
+            endpoints.push(DirEndpoint {
+                name: e.name.clone(),
+                kind: e.kind.clone(),
+                machine: e.machine,
+                port: port.0,
+            });
+        }
+        let reply = DirMsg::Reply {
+            epoch: self.dir_epoch,
+            endpoints,
+        }
+        .encode();
+        let frame = Frame::unicast(self.machines[q].dir_port, d.frame.src, reply);
+        self.queue.schedule_at(
+            d.at + self.cfg.dir_latency,
+            FabricEvent::Deliver {
+                machine: q,
+                frame,
+                corr: d.corr,
+            },
+        );
+    }
+
+    /// Rebuilds the rack directory from every alive machine's bus registry.
+    fn sync_directory(&mut self, now: SimTime) {
+        self.m_dir_syncs.incr();
+        let mut fresh: Vec<DirEntry> = Vec::new();
+        for (i, slot) in self.machines.iter().enumerate() {
+            if slot.dead {
+                continue;
+            }
+            let entries: Vec<(String, String, Option<PortId>)> = slot
+                .sys
+                .bus()
+                .alive()
+                .map(|e| (e.name.clone(), e.kind.clone(), slot.sys.port_of(e.id)))
+                .collect();
+            for (name, kind, port) in entries {
+                if let Some(port) = port {
+                    fresh.push(DirEntry {
+                        machine: i as u32,
+                        name: format!("m{i}/{name}"),
+                        kind,
+                        port,
+                    });
+                }
+            }
+        }
+        let removed = self
+            .directory
+            .iter()
+            .filter(|old| !fresh.iter().any(|n| n.name == old.name))
+            .count() as u64;
+        if removed > 0 {
+            self.m_dir_removals.add(removed);
+        }
+        if fresh != self.directory {
+            self.dir_epoch += 1;
+            self.g_dir_epoch.set(self.dir_epoch as i64);
+            self.directory = fresh;
+        }
+        self.queue
+            .schedule_at(now + self.cfg.sync_interval, FabricEvent::DirSync);
+    }
+
+    fn apply_fault(&mut self, idx: usize) {
+        let ev = self.faults[idx].clone();
+        let Some(m) = self.machines.iter().position(|s| s.name == ev.target) else {
+            return;
+        };
+        self.m_faults_applied.incr();
+        match ev.kind {
+            FaultKind::Crash | FaultKind::Hang => self.kill_machine(MachineId(m as u32)),
+            FaultKind::Drop { count } | FaultKind::Corrupt { count } => {
+                // Corrupted inter-machine frames fail their FCS and are
+                // dropped; both kinds consume frames on this machine's link.
+                self.machines[m].faults.drop_remaining += count;
+            }
+            FaultKind::Delay { count, extra_ns } => {
+                self.machines[m].faults.delay_remaining += count;
+                self.machines[m].faults.delay_extra = SimDuration::from_nanos(extra_ns);
+            }
+            // Device-level faults have no whole-machine meaning here.
+            FaultKind::SlowDown { .. } | FaultKind::IommuStorm { .. } => {}
+        }
+    }
+
+    fn handle(&mut self, at: SimTime, ev: FabricEvent) {
+        match ev {
+            FabricEvent::Deliver {
+                machine,
+                frame,
+                corr,
+            } => {
+                if self.machines[machine].dead {
+                    self.m_frames_dropped.incr();
+                } else {
+                    self.machines[machine].sys.inject_frame(at, frame, corr);
+                }
+            }
+            FabricEvent::DirSync => self.sync_directory(at),
+            FabricEvent::Fault(idx) => self.apply_fault(idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastcpu_core::{HostCtx, NetHost, SystemConfig};
+
+    /// Echoes every frame back to its source.
+    struct Echo;
+    impl NetHost for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {}
+        fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame) {
+            ctx.net_tx(frame.src, frame.payload);
+        }
+    }
+
+    /// Sends one payload to `target` at start; records reply times.
+    struct Pinger {
+        target: PortId,
+        payload: Vec<u8>,
+        replies: Vec<(SimTime, Vec<u8>)>,
+    }
+    impl NetHost for Pinger {
+        fn name(&self) -> &str {
+            "pinger"
+        }
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.net_tx(self.target, self.payload.clone());
+        }
+        fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame) {
+            self.replies.push((ctx.now, frame.payload));
+        }
+    }
+
+    fn quiet_sys(seed: u64) -> System {
+        System::new(SystemConfig {
+            seed,
+            ..SystemConfig::default()
+        })
+    }
+
+    fn two_machine_ping(seed: u64) -> (SimTime, u64) {
+        let mut fab = Fabric::new(FabricConfig::default());
+        let m0 = fab.add_machine("m0", quiet_sys(seed));
+        let m1 = fab.add_machine("m1", quiet_sys(seed + 1));
+        let echo_port = fab.machine_mut(m1).add_host(Box::new(Echo));
+        let tunnel = fab.open_tunnel(m0, m1, echo_port);
+        let pinger = Pinger {
+            target: tunnel,
+            payload: vec![7; 64],
+            replies: Vec::new(),
+        };
+        let ping_port = fab.machine_mut(m0).add_host(Box::new(pinger));
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(5));
+        let host = fab
+            .machine(m0)
+            .host_as::<Pinger>(ping_port)
+            .expect("pinger present");
+        assert_eq!(host.replies.len(), 1, "exactly one echo reply");
+        assert_eq!(host.replies[0].1, vec![7; 64]);
+        (host.replies[0].0, fab.metrics().counter("fabric.bytes"))
+    }
+
+    #[test]
+    fn cross_machine_echo_round_trips() {
+        let (at, bytes) = two_machine_ping(11);
+        // Two link crossings, each paying ≥ switch latency + propagation.
+        assert!(at >= SimTime::from_nanos(2 * (600 + 2000)));
+        assert_eq!(bytes, 2 * (64 + lastcpu_net::FRAME_OVERHEAD_BYTES));
+    }
+
+    #[test]
+    fn co_simulation_is_deterministic() {
+        assert_eq!(two_machine_ping(42), two_machine_ping(42));
+    }
+
+    #[test]
+    fn dead_machine_drops_traffic() {
+        let mut fab = Fabric::new(FabricConfig::default());
+        let m0 = fab.add_machine("m0", quiet_sys(1));
+        let m1 = fab.add_machine("m1", quiet_sys(2));
+        let echo_port = fab.machine_mut(m1).add_host(Box::new(Echo));
+        let tunnel = fab.open_tunnel(m0, m1, echo_port);
+        let ping_port = fab.machine_mut(m0).add_host(Box::new(Pinger {
+            target: tunnel,
+            payload: vec![1],
+            replies: Vec::new(),
+        }));
+        fab.kill_machine(m1);
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(5));
+        let host = fab.machine(m0).host_as::<Pinger>(ping_port).unwrap();
+        assert!(host.replies.is_empty());
+        assert!(fab.metrics().counter("fabric.frames_dropped") >= 1);
+        assert_eq!(fab.metrics().gauge("fabric.machines_dead"), 1);
+    }
+
+    #[test]
+    fn fault_plan_crash_kills_machine_mid_run() {
+        let mut plan = FaultPlan::new(9);
+        plan.inject(SimTime::from_nanos(2_000_000), "m1", FaultKind::Crash);
+        let mut fab = Fabric::new(FabricConfig {
+            fault_plan: Some(plan),
+            ..FabricConfig::default()
+        });
+        let m0 = fab.add_machine("m0", quiet_sys(1));
+        let m1 = fab.add_machine("m1", quiet_sys(2));
+        let _ = m0;
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(5));
+        assert!(fab.is_dead(m1));
+        assert_eq!(fab.metrics().counter("fabric.faults_applied"), 1);
+    }
+
+    #[test]
+    fn directory_query_round_trips_in_band() {
+        // No devices registered -> empty directory, but the protocol and
+        // the fabric answer path still round-trip.
+        struct DirProbe {
+            dir: PortId,
+            reply: Option<DirMsg>,
+        }
+        impl NetHost for DirProbe {
+            fn name(&self) -> &str {
+                "dir-probe"
+            }
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.net_tx(self.dir, DirMsg::Query { epoch_hint: 0 }.encode());
+            }
+            fn on_frame(&mut self, _ctx: &mut HostCtx<'_>, frame: Frame) {
+                self.reply = Some(DirMsg::decode(&frame.payload).unwrap());
+            }
+        }
+        let mut fab = Fabric::new(FabricConfig::default());
+        let m0 = fab.add_machine("m0", quiet_sys(5));
+        let dir = fab.directory_port(m0);
+        let port = fab
+            .machine_mut(m0)
+            .add_host(Box::new(DirProbe { dir, reply: None }));
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(1));
+        let probe = fab.machine(m0).host_as::<DirProbe>(port).unwrap();
+        match &probe.reply {
+            Some(DirMsg::Reply { endpoints, .. }) => assert!(endpoints.is_empty()),
+            other => panic!("expected reply, got {other:?}"),
+        }
+        assert_eq!(fab.metrics().counter("fabric.dir.queries"), 1);
+        assert!(fab.metrics().counter("fabric.dir.syncs") >= 1);
+    }
+
+    #[test]
+    fn correlation_ids_span_machines_in_the_merged_trace() {
+        // A ping tunneled m0 -> m1 must keep its correlation id across the
+        // link: the merged trace shows the same id on both machines' tracks
+        // (sources prefixed "m0/" and "m1/"), and the two machines' id
+        // ranges never alias thanks to the per-machine corr rebase.
+        let mut fab = Fabric::new(FabricConfig::default());
+        let mk = |seed| {
+            System::new(SystemConfig {
+                seed,
+                trace: true,
+                ..SystemConfig::default()
+            })
+        };
+        let m0 = fab.add_machine("m0", mk(21));
+        let m1 = fab.add_machine("m1", mk(22));
+        let echo_port = fab.machine_mut(m1).add_host(Box::new(Echo));
+        let tunnel = fab.open_tunnel(m0, m1, echo_port);
+        let _ = fab.machine_mut(m0).add_host(Box::new(Pinger {
+            target: tunnel,
+            payload: vec![9; 32],
+            replies: Vec::new(),
+        }));
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(5));
+        let merged = fab.merged_trace();
+        assert!(!merged.is_empty());
+        let mut spans_both = 0;
+        let corrs: std::collections::BTreeSet<u64> = merged
+            .events()
+            .filter(|r| r.corr.is_some())
+            .map(|r| r.corr.0)
+            .collect();
+        for &c in &corrs {
+            let on_m0 = merged
+                .by_corr(CorrId(c))
+                .any(|r| r.source.starts_with("m0/"));
+            let on_m1 = merged
+                .by_corr(CorrId(c))
+                .any(|r| r.source.starts_with("m1/"));
+            if on_m0 && on_m1 {
+                spans_both += 1;
+            }
+        }
+        assert!(
+            spans_both >= 1,
+            "at least the ping's correlation id must appear on both machines"
+        );
+        // Rack-unique id namespaces: every traced id sits in some machine's
+        // rebased range (machine m mints from (m+1) << 40), and the ping —
+        // minted on m0 — sits in m0's.
+        assert!(corrs.iter().all(|&c| c >= 1 << 40));
+        assert!(corrs.iter().any(|&c| (1 << 40..2 << 40).contains(&c)));
+    }
+
+    #[test]
+    fn link_serialization_queues_on_shared_uplink() {
+        // Two large frames leaving m0 back-to-back must serialize on m0's
+        // uplink: the second reply arrives later than the first by at
+        // least one transmission time.
+        struct DoublePing {
+            t1: PortId,
+            t2: PortId,
+            replies: Vec<SimTime>,
+        }
+        impl NetHost for DoublePing {
+            fn name(&self) -> &str {
+                "double"
+            }
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.net_tx(self.t1, vec![0; 9000]);
+                ctx.net_tx(self.t2, vec![0; 9000]);
+            }
+            fn on_frame(&mut self, ctx: &mut HostCtx<'_>, _frame: Frame) {
+                self.replies.push(ctx.now);
+            }
+        }
+        let mut fab = Fabric::new(FabricConfig::default());
+        let m0 = fab.add_machine("m0", quiet_sys(1));
+        let m1 = fab.add_machine("m1", quiet_sys(2));
+        let m2 = fab.add_machine("m2", quiet_sys(3));
+        let e1 = fab.machine_mut(m1).add_host(Box::new(Echo));
+        let e2 = fab.machine_mut(m2).add_host(Box::new(Echo));
+        let t1 = fab.open_tunnel(m0, m1, e1);
+        let t2 = fab.open_tunnel(m0, m2, e2);
+        let port = fab.machine_mut(m0).add_host(Box::new(DoublePing {
+            t1,
+            t2,
+            replies: Vec::new(),
+        }));
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(10));
+        let host = fab.machine(m0).host_as::<DoublePing>(port).unwrap();
+        assert_eq!(host.replies.len(), 2);
+        let gap = host.replies[1].since(host.replies[0]);
+        let tx = fab.config().link_cost.serialize_frame(9000);
+        assert!(
+            gap >= tx,
+            "second frame must queue behind the first on the shared uplink \
+             (gap {gap:?} < tx {tx:?})"
+        );
+    }
+}

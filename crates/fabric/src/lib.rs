@@ -1,0 +1,52 @@
+//! `lastcpu-fabric`: rack-scale co-simulation of CPU-less machines.
+//!
+//! The paper's end-to-end example exposes a KVS "to other machines over the
+//! network" (§3); every experiment through E9 nevertheless ran a *single*
+//! emulated machine behind one edge switch. This crate supplies the missing
+//! scale-out dimension: a [`Fabric`] instantiates N independent
+//! [`lastcpu_core::System`] machines under one deterministic global clock,
+//! connects their NICs through modeled inter-machine links, and federates
+//! SSDP-style discovery so a service registered on one machine is routable
+//! from any other.
+//!
+//! Three design decisions keep the co-simulation bit-identical from a seed:
+//!
+//! 1. **Conservative interleaving.** The fabric advances whichever event —
+//!    its own (link deliveries, directory syncs, fault injections) or any
+//!    machine's — is globally earliest, one event at a time. Ties break
+//!    fabric-first, then by ascending machine index. Machines interact
+//!    *only* through fabric-delivered frames, which always pay at least one
+//!    link latency, so no machine can observe another's same-instant state.
+//! 2. **Transparent tunnels.** Each machine's edge switch grows fabric-owned
+//!    *proxy ports*, one per remote peer the machine talks to. A frame sent
+//!    to a proxy port crosses the inter-machine link (per-link line-rate
+//!    serialization on both the uplink and the downlink, spine latency,
+//!    propagation — the same [`NetCostModel`] semantics the edge switch
+//!    uses) and re-enters the remote machine with its source rewritten to
+//!    the *remote* machine's proxy port for the original sender. Replies
+//!    are symmetric, so unmodified device firmware (the smart-NIC KVS app)
+//!    serves remote clients without knowing the rack exists.
+//! 3. **Rack-unique correlation ids.** Machine `m` allocates correlation
+//!    ids from base `(m+1) << 40`, and the fabric threads the id through
+//!    inter-machine frames, so a merged Chrome trace spans machines without
+//!    aliasing.
+//!
+//! Whole-machine faults reuse the PR-2 [`lastcpu_sim::FaultPlan`] with
+//! machine names (`"m3"`) as targets: `Drop`/`Delay` apply to that
+//! machine's links, `Crash`/`Hang` kill the machine outright (the fabric
+//! stops stepping it and drops its traffic), which is what the E10
+//! fail-over scenario measures.
+//!
+//! [`HashRing`] — the consistent-hash ring the KVS shard router builds over
+//! discovered endpoints — lives here too, so placement policy and fabric
+//! evolve together.
+//!
+//! [`NetCostModel`]: lastcpu_net::NetCostModel
+
+pub mod fabric;
+pub mod proto;
+pub mod ring;
+
+pub use fabric::{DirEntry, Fabric, FabricConfig, MachineId};
+pub use proto::{DirEndpoint, DirMsg};
+pub use ring::HashRing;

@@ -1,0 +1,226 @@
+//! Consistent-hash ring over named endpoints.
+//!
+//! The shard router places keys on rack endpoints with a classic
+//! virtual-node consistent-hash ring. Determinism matters more here than
+//! raw speed — the ring must be identical on every machine that builds it
+//! from the same membership, *regardless of the order* endpoints were
+//! discovered in — so the ring keeps its member list sorted by name and
+//! rebuilds its point table on every membership change (memberships are
+//! tiny: a handful of machines times a few services).
+//!
+//! Hash function: FNV-1a 64 with a 64-bit avalanche finalizer
+//! (dependency-free, stable across platforms). Plain FNV-1a is a poor ring
+//! hash: workload keys differ only in their trailing digits, and FNV's
+//! last-byte mixing leaves such inputs clustered in a tiny arc of the
+//! 64-bit space (a 40-key `key000000NN` set spans ~0.02% of the ring and
+//! lands on one member). The finalizer (the murmur3/splitmix fmix step)
+//! restores avalanche so sequential keys spread uniformly.
+
+/// FNV-1a 64-bit hash of `bytes`, finalized for avalanche.
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each member contributes `vnodes` points at `hash("{name}#{v}")`; a key
+/// owns the first point clockwise from `hash(key)`. [`HashRing::replicas`]
+/// continues clockwise collecting *distinct* members, which is how the KVS
+/// picks an R-way replica set.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: u32,
+    /// Member names, kept sorted (insertion-order independence).
+    nodes: Vec<String>,
+    /// `(point_hash, index into nodes)`, sorted by `(hash, index)`.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// An empty ring with `vnodes` virtual nodes per member (min 1).
+    pub fn new(vnodes: u32) -> Self {
+        HashRing {
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Member names, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a member; returns false if it was already present.
+    pub fn insert(&mut self, name: &str) -> bool {
+        match self.nodes.binary_search_by(|n| n.as_str().cmp(name)) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.nodes.insert(pos, name.to_string());
+                self.rebuild();
+                true
+            }
+        }
+    }
+
+    /// Removes a member; returns false if it was absent.
+    pub fn remove(&mut self, name: &str) -> bool {
+        match self.nodes.binary_search_by(|n| n.as_str().cmp(name)) {
+            Ok(pos) => {
+                self.nodes.remove(pos);
+                self.rebuild();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        for (idx, name) in self.nodes.iter().enumerate() {
+            for v in 0..self.vnodes {
+                let point = hash64(format!("{name}#{v}").as_bytes());
+                self.points.push((point, idx));
+            }
+        }
+        self.points.sort_unstable();
+    }
+
+    /// The member owning `key`, or `None` if the ring is empty.
+    pub fn primary(&self, key: &[u8]) -> Option<&str> {
+        self.replicas(key, 1).into_iter().next()
+    }
+
+    /// Up to `r` distinct members for `key`, clockwise from its hash: the
+    /// first entry is the primary, the rest are replicas in fail-over
+    /// order.
+    pub fn replicas(&self, key: &[u8], r: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        if self.points.is_empty() || r == 0 {
+            return out;
+        }
+        let h = hash64(key);
+        // First point clockwise from `h`; wrap past the last point to 0.
+        let mut start = self.points.partition_point(|&(p, _)| p < h);
+        if start == self.points.len() {
+            start = 0;
+        }
+        let want = r.min(self.nodes.len());
+        for off in 0..self.points.len() {
+            let (_, idx) = self.points[(start + off) % self.points.len()];
+            let name = self.nodes[idx].as_str();
+            if !out.contains(&name) {
+                out.push(name);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn empty_ring_has_no_owner() {
+        let ring = HashRing::new(64);
+        assert!(ring.primary(b"x").is_none());
+        assert!(ring.replicas(b"x", 3).is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut ring = HashRing::new(64);
+        ring.insert("m0/kvs");
+        for i in 0..100 {
+            assert_eq!(ring.primary(&key(i)), Some("m0/kvs"));
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_ordered() {
+        let mut ring = HashRing::new(64);
+        for m in 0..4 {
+            ring.insert(&format!("m{m}/kvs"));
+        }
+        for i in 0..200 {
+            let reps = ring.replicas(&key(i), 3);
+            assert_eq!(reps.len(), 3);
+            let mut uniq = reps.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas must be distinct");
+            assert_eq!(reps[0], ring.primary(&key(i)).unwrap());
+        }
+    }
+
+    #[test]
+    fn replicas_clamped_to_membership() {
+        let mut ring = HashRing::new(16);
+        ring.insert("a");
+        ring.insert("b");
+        assert_eq!(ring.replicas(b"k", 5).len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let names = ["m2/kvs", "m0/kvs", "m3/kvs", "m1/kvs"];
+        let mut fwd = HashRing::new(64);
+        for n in names {
+            fwd.insert(n);
+        }
+        let mut rev = HashRing::new(64);
+        for n in names.iter().rev() {
+            rev.insert(n);
+        }
+        for i in 0..500 {
+            assert_eq!(fwd.replicas(&key(i), 3), rev.replicas(&key(i), 3));
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_keys_owned_by_the_removed_node() {
+        let mut ring = HashRing::new(64);
+        for m in 0..5 {
+            ring.insert(&format!("m{m}/kvs"));
+        }
+        let before: Vec<_> = (0..500)
+            .map(|i| ring.primary(&key(i)).unwrap().to_string())
+            .collect();
+        ring.remove("m2/kvs");
+        for (i, prev) in before.iter().enumerate() {
+            let now = ring.primary(&key(i as u64)).unwrap();
+            if prev != "m2/kvs" {
+                assert_eq!(now, prev, "key {i} moved although its owner survived");
+            } else {
+                assert_ne!(now, "m2/kvs");
+            }
+        }
+    }
+}

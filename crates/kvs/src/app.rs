@@ -36,6 +36,11 @@ impl KvsNicApp {
         self.server.key_count()
     }
 
+    /// Whether `key` is live in the index (rack-audit hook).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.server.contains(key)
+    }
+
     fn transmit(env: &mut NicEnv<'_, '_>, responses: Vec<(lastcpu_net::PortId, Vec<u8>)>) {
         let Some(port) = env.ctx.port else { return };
         for (dst, payload) in responses {

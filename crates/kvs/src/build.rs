@@ -7,11 +7,13 @@ use lastcpu_devices::fs::FlashFs;
 use lastcpu_devices::ftl::Ftl;
 use lastcpu_devices::nic::SmartNic;
 use lastcpu_devices::ssd::{SmartSsd, SsdConfig};
+use lastcpu_fabric::{Fabric, FabricConfig, MachineId};
 use lastcpu_mem::Pasid;
 use lastcpu_net::PortId;
 
 use crate::app::KvsNicApp;
 use crate::cpu_app::KvsCpuApp;
+use crate::router::{RouterConfig, ShardRouterHost};
 use crate::server::ServerConfig;
 
 /// An assembled machine running the KVS.
@@ -159,6 +161,107 @@ pub fn build_hybrid_kvs(
         frontend: cpu,
         ssd,
         kvs_port,
+    }
+}
+
+/// An assembled rack (E10): M CPU-less machines — each a full §3 deployment
+/// with smart NIC + smart SSD + memory controller — co-simulated under one
+/// [`Fabric`], each carrying a [`ShardRouterHost`] that shards the key space
+/// over every KVS frontend in the rack with R-way replication.
+///
+/// The rack is not yet powered on; attach clients to
+/// [`router_ports`](Self::router_ports) (via
+/// `fabric.machine_mut(m).add_host(..)`), then call `fabric.power_on()`.
+pub struct RackSetup {
+    /// The co-simulation.
+    pub fabric: Fabric,
+    /// Machine ids in index order (`machines[i]` is `"m{i}"`).
+    pub machines: Vec<MachineId>,
+    /// Per-machine KVS frontend (the smart NIC).
+    pub frontends: Vec<DeviceHandle>,
+    /// Per-machine shard-router port — point clients here.
+    pub router_ports: Vec<PortId>,
+}
+
+impl RackSetup {
+    /// The shard router on machine `i`.
+    pub fn router(&self, i: usize) -> &ShardRouterHost {
+        self.fabric
+            .machine(self.machines[i])
+            .host_as(self.router_ports[i])
+            .expect("router present")
+    }
+
+    /// The KVS frontend NIC on machine `i`.
+    pub fn nic(&self, i: usize) -> &SmartNic<KvsNicApp> {
+        self.fabric
+            .machine(self.machines[i])
+            .device_as(self.frontends[i])
+            .expect("NIC present")
+    }
+
+    /// The acked-write audit at the heart of E10: keys some *alive* router
+    /// acknowledged a PUT for that no alive machine's index holds. With
+    /// R ≥ 2 this must stay 0 across any single machine crash; with R = 1
+    /// a crash loses the victim's shard.
+    pub fn lost_acked_keys(&self) -> usize {
+        let alive: Vec<usize> = (0..self.machines.len())
+            .filter(|&i| !self.fabric.is_dead(self.machines[i]))
+            .collect();
+        let mut lost = 0;
+        for &r in &alive {
+            for key in self.router(r).acked_put_keys() {
+                if !alive.iter().any(|&i| self.nic(i).app().contains(key)) {
+                    lost += 1;
+                }
+            }
+        }
+        lost
+    }
+}
+
+/// Builds an E10 rack: `machines` CPU-less KVS deployments under one fabric,
+/// with a shard router per machine configured for `replication`-way writes.
+/// Machine `i` runs `base` with its seed offset by `i` (so machines draw
+/// from distinct deterministic streams).
+pub fn build_rack_kvs(
+    fabric_config: FabricConfig,
+    machines: usize,
+    replication: usize,
+    base: SystemConfig,
+) -> RackSetup {
+    let mut fabric = Fabric::new(fabric_config);
+    let mut ids = Vec::with_capacity(machines);
+    let mut frontends = Vec::with_capacity(machines);
+    let mut router_ports = Vec::with_capacity(machines);
+    for i in 0..machines {
+        let setup = build_cpuless_kvs(
+            SystemConfig {
+                seed: base.seed + i as u64,
+                ..base.clone()
+            },
+            SsdConfig::default(),
+            ServerConfig::default(),
+        );
+        frontends.push(setup.frontend);
+        let m = fabric.add_machine(format!("m{i}"), setup.system);
+        let dir_port = fabric.directory_port(m);
+        let router_port = fabric
+            .machine_mut(m)
+            .add_host(Box::new(ShardRouterHost::new(RouterConfig {
+                dir_port,
+                replication,
+                name: format!("router{i}"),
+                ..RouterConfig::default()
+            })));
+        ids.push(m);
+        router_ports.push(router_port);
+    }
+    RackSetup {
+        fabric,
+        machines: ids,
+        frontends,
+        router_ports,
     }
 }
 

@@ -20,6 +20,9 @@
 //!   with YCSB-style knobs (read fraction, Zipfian skew, value size),
 //!   recording end-to-end latencies.
 //! - [`build`]: one-call assembly of both deployments.
+//! - [`router`]: the rack-scale shard router ([`router::ShardRouterHost`])
+//!   — consistent-hash placement over fabric-discovered endpoints with
+//!   R-way replication and machine-crash fail-over (E10).
 
 pub mod app;
 pub mod build;
@@ -27,11 +30,15 @@ pub mod client;
 pub mod cpu_app;
 pub mod engine;
 pub mod proto;
+pub mod router;
 pub mod server;
 
 pub use app::KvsNicApp;
-pub use build::{build_baseline_kvs, build_cpuless_kvs, build_hybrid_kvs, KvsSetup};
+pub use build::{
+    build_baseline_kvs, build_cpuless_kvs, build_hybrid_kvs, build_rack_kvs, KvsSetup, RackSetup,
+};
 pub use client::{KvsClientHost, WorkloadConfig};
 pub use cpu_app::KvsCpuApp;
 pub use engine::KvEngine;
+pub use router::{RouterConfig, RouterStats, ShardRouterHost};
 pub use server::{KvsServer, ServerConfig, ServerState, ServerStats};

@@ -1,0 +1,693 @@
+//! Rack-scale shard router: consistent hashing + R-way replication.
+//!
+//! A [`ShardRouterHost`] is the client-side entry point of the rack KVS. It
+//! speaks the ordinary [`proto`](crate::proto) on its switch port, so an
+//! unmodified [`KvsClientHost`](crate::client::KvsClientHost) drives it
+//! exactly like a single server — but behind the port, the router:
+//!
+//! 1. **Discovers the rack.** It periodically queries the fabric's in-band
+//!    directory ([`DirMsg::Query`] to the machine's directory port) and
+//!    keeps a [`HashRing`] over every `smart-nic` KVS endpoint in the rack,
+//!    local or remote (remote endpoints arrive pre-translated to fabric
+//!    proxy ports, so routing to them is just `net_tx`).
+//! 2. **Shards by key.** A GET goes to the key's primary; PUT/DELETE fan
+//!    out to the key's full R-way replica set (`ring.replicas(key, R)`) and
+//!    are acknowledged to the client only when **every** current replica
+//!    has acknowledged — the no-lost-acknowledged-writes invariant E10
+//!    checks: once the client sees `Ok`, R machines hold the record, so any
+//!    single machine crash leaves at least R−1 copies.
+//! 3. **Fails over.** Sub-requests that time out, or whose target vanishes
+//!    from the directory (the fabric withdraws a crashed machine's
+//!    endpoints on its next sweep — the heartbeat/recovery machinery at
+//!    rack granularity), are re-dispatched against the *recomputed* replica
+//!    set. The consistent-hash ring guarantees only the dead machine's keys
+//!    move (`fabric.router.rebalance_moves` counts them).
+//!
+//! Determinism: all request bookkeeping lives in `BTreeMap`/`BTreeSet`
+//! (iteration order is data-, not allocation-, dependent), sweeps walk
+//! pendings in sequence order, and replica sets come from the ring, which
+//! is membership-order independent. Two same-seed runs replay bit-identically.
+//!
+//! [`DirMsg::Query`]: lastcpu_fabric::DirMsg::Query
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use lastcpu_core::{HostCtx, NetHost};
+use lastcpu_fabric::{DirMsg, HashRing};
+use lastcpu_net::{Frame, PortId};
+use lastcpu_sim::{CounterHandle, GaugeHandle, SimDuration, SimTime};
+
+use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
+
+/// Timer token for the periodic tick (directory refresh + timeout sweep).
+const TOKEN_TICK: u64 = 1;
+
+/// Sub-request ids the router mints start here. Client-chosen ids are small
+/// monotone counters, so the two id spaces can never collide and a frame
+/// that decodes as both a request and a response (the wire layouts alias)
+/// is disambiguated by its id range.
+pub const SUB_ID_BASE: u64 = 1 << 62;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The local machine's fabric directory port ([`Fabric::directory_port`]).
+    ///
+    /// [`Fabric::directory_port`]: lastcpu_fabric::Fabric::directory_port
+    pub dir_port: PortId,
+    /// Directory `kind` of the endpoints to shard over (`"smart-nic"`).
+    pub service_kind: String,
+    /// Replication factor R (clamped to ≥ 1; effective R is bounded by the
+    /// number of live endpoints).
+    pub replication: usize,
+    /// Virtual nodes per endpoint on the hash ring.
+    pub vnodes: u32,
+    /// Tick period: directory re-query + pending-request timeout sweep.
+    pub tick: SimDuration,
+    /// Age after which an unanswered sub-request is re-dispatched.
+    pub sub_timeout: SimDuration,
+    /// Re-dispatch budget per client request before giving up with
+    /// [`KvsStatus::Unavailable`].
+    pub max_retries: u32,
+    /// Host name (traces, stats).
+    pub name: String,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            dir_port: PortId(0),
+            service_kind: "smart-nic".into(),
+            replication: 1,
+            vnodes: 64,
+            tick: SimDuration::from_micros(1000),
+            sub_timeout: SimDuration::from_micros(5000),
+            max_retries: 24,
+            name: "router".into(),
+        }
+    }
+}
+
+/// Operation class of a pending client request.
+enum Op {
+    Get,
+    Put { value: Vec<u8> },
+    Delete,
+}
+
+/// One sub-request to one replica.
+struct Sub {
+    /// Endpoint name (`"m2/nic0"`).
+    target: String,
+    /// Router-minted id (≥ [`SUB_ID_BASE`]).
+    id: u64,
+    /// When it was (last) transmitted.
+    sent_at: SimTime,
+    /// `Some(status)` once answered; `None` while waiting.
+    ack: Option<KvsStatus>,
+}
+
+/// A client request being served.
+struct PendingReq {
+    client: PortId,
+    client_id: u64,
+    key: Vec<u8>,
+    op: Op,
+    subs: Vec<Sub>,
+    /// Re-dispatch count (0 = initial dispatch only).
+    attempts: u32,
+    /// Marked by acks/timeouts; the sweep re-dispatches marked requests.
+    needs_redispatch: bool,
+}
+
+/// Router counters, inspectable without the metrics hub.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RouterStats {
+    /// Client requests accepted.
+    pub requests: u64,
+    /// Sub-requests routed to shard endpoints.
+    pub hits: u64,
+    /// Re-dispatches (timeout, replica loss, or transient rejection).
+    pub failovers: u64,
+    /// Requests abandoned after `max_retries` re-dispatches.
+    pub give_ups: u64,
+    /// Acked keys whose primary moved across directory epochs.
+    pub rebalance_moves: u64,
+    /// Directory epochs observed.
+    pub epoch: u64,
+}
+
+/// Pre-registered `fabric.router.*` handles on the machine's metrics hub.
+struct HubMetrics {
+    requests: CounterHandle,
+    hits: CounterHandle,
+    failovers: CounterHandle,
+    give_ups: CounterHandle,
+    rebalance_moves: CounterHandle,
+    dir_refreshes: CounterHandle,
+    epoch: GaugeHandle,
+    endpoints: GaugeHandle,
+}
+
+impl HubMetrics {
+    fn register(hub: &lastcpu_sim::MetricsHub) -> Self {
+        HubMetrics {
+            requests: hub.counter_handle("fabric.router.requests"),
+            hits: hub.counter_handle("fabric.router.hits"),
+            failovers: hub.counter_handle("fabric.router.failovers"),
+            give_ups: hub.counter_handle("fabric.router.give_ups"),
+            rebalance_moves: hub.counter_handle("fabric.router.rebalance_moves"),
+            dir_refreshes: hub.counter_handle("fabric.router.dir_refreshes"),
+            epoch: hub.gauge_handle("fabric.router.epoch"),
+            endpoints: hub.gauge_handle("fabric.router.endpoints"),
+        }
+    }
+}
+
+/// The shard router host.
+pub struct ShardRouterHost {
+    config: RouterConfig,
+    ring: HashRing,
+    /// Endpoint name → port reachable from this machine.
+    endpoints: BTreeMap<String, PortId>,
+    /// Last directory epoch seen.
+    epoch: u64,
+    next_sub_id: u64,
+    next_seq: u64,
+    /// Pending client requests by arrival sequence.
+    pending: BTreeMap<u64, PendingReq>,
+    /// Sub-request id → pending sequence.
+    sub_index: HashMap<u64, u64>,
+    /// Keys whose PUT the router has acknowledged to a client. The E10
+    /// crash scenario audits these against surviving machines' indices.
+    acked_puts: BTreeSet<Vec<u8>>,
+    stats: RouterStats,
+    met: Option<HubMetrics>,
+}
+
+impl ShardRouterHost {
+    /// Creates a router; attach it to a fabric machine with
+    /// [`System::add_host`](lastcpu_core::System::add_host).
+    pub fn new(config: RouterConfig) -> Self {
+        let vnodes = config.vnodes;
+        ShardRouterHost {
+            config,
+            ring: HashRing::new(vnodes),
+            endpoints: BTreeMap::new(),
+            epoch: 0,
+            next_sub_id: SUB_ID_BASE,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            sub_index: HashMap::new(),
+            acked_puts: BTreeSet::new(),
+            stats: RouterStats::default(),
+            met: None,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Whether the router has discovered at least one shard endpoint.
+    pub fn is_ready(&self) -> bool {
+        !self.ring.is_empty()
+    }
+
+    /// Shard endpoints currently on the ring, sorted by name.
+    pub fn endpoint_names(&self) -> Vec<&str> {
+        self.ring.nodes().iter().map(|s| s.as_str()).collect()
+    }
+
+    /// Keys whose PUT has been acknowledged to a client (sorted — the set
+    /// is a `BTreeSet`, so iteration is deterministic).
+    pub fn acked_put_keys(&self) -> &BTreeSet<Vec<u8>> {
+        &self.acked_puts
+    }
+
+    /// Effective replication factor (configured R, at least 1).
+    fn r(&self) -> usize {
+        self.config.replication.max(1)
+    }
+
+    fn query_directory(&self, ctx: &mut HostCtx<'_>) {
+        ctx.net_tx(
+            self.config.dir_port,
+            DirMsg::Query {
+                epoch_hint: self.epoch,
+            }
+            .encode(),
+        );
+    }
+
+    /// Installs a directory reply: rebuild the ring, count rebalance moves,
+    /// and mark pendings whose in-flight targets vanished for immediate
+    /// re-dispatch (machine-crash fail-over path).
+    fn install_directory(
+        &mut self,
+        ctx: &mut HostCtx<'_>,
+        epoch: u64,
+        eps: Vec<lastcpu_fabric::DirEndpoint>,
+    ) {
+        if let Some(met) = &self.met {
+            met.dir_refreshes.incr();
+        }
+        let mut fresh: BTreeMap<String, PortId> = BTreeMap::new();
+        for ep in eps {
+            if ep.kind == self.config.service_kind {
+                fresh.insert(ep.name, PortId(ep.port));
+            }
+        }
+        if fresh == self.endpoints && epoch == self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        self.stats.epoch = epoch;
+        if let Some(met) = &self.met {
+            met.epoch.set(epoch as i64);
+            met.endpoints.set(fresh.len() as i64);
+        }
+        let membership_changed = fresh.keys().ne(self.endpoints.keys());
+        if membership_changed {
+            let mut ring = HashRing::new(self.config.vnodes);
+            for name in fresh.keys() {
+                ring.insert(name);
+            }
+            // Rebalance accounting: how many acknowledged keys changed
+            // primary? The consistent-hash property tests bound this by
+            // ~K/N per single join/leave.
+            let moves = self
+                .acked_puts
+                .iter()
+                .filter(|k| {
+                    let old = self.ring.primary(k);
+                    let new = ring.primary(k);
+                    old.is_some() && new.is_some() && old != new
+                })
+                .count() as u64;
+            if moves > 0 {
+                self.stats.rebalance_moves += moves;
+                if let Some(met) = &self.met {
+                    met.rebalance_moves.add(moves);
+                }
+            }
+            self.ring = ring;
+        }
+        self.endpoints = fresh;
+        if membership_changed {
+            // Fail over in-flight work addressed to departed endpoints now
+            // rather than waiting out the sub-timeout.
+            let seqs: Vec<u64> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| {
+                    p.subs
+                        .iter()
+                        .any(|s| s.ack.is_none() && !self.endpoints.contains_key(&s.target))
+                })
+                .map(|(&seq, _)| seq)
+                .collect();
+            for seq in seqs {
+                if let Some(p) = self.pending.get_mut(&seq) {
+                    p.needs_redispatch = true;
+                }
+                self.redispatch(ctx, seq);
+            }
+        }
+    }
+
+    fn mint_sub(&mut self) -> u64 {
+        let id = self.next_sub_id;
+        self.next_sub_id += 1;
+        id
+    }
+
+    /// Sends one sub-request to `target`; registers it under `seq`.
+    fn issue_sub(&mut self, ctx: &mut HostCtx<'_>, seq: u64, target: String) {
+        let port = self.endpoints[&target];
+        let id = self.mint_sub();
+        let p = self.pending.get_mut(&seq).expect("pending exists");
+        let req = match &p.op {
+            Op::Get => KvsRequest::Get {
+                id,
+                key: p.key.clone(),
+            },
+            Op::Put { value } => KvsRequest::Put {
+                id,
+                key: p.key.clone(),
+                value: value.clone(),
+            },
+            Op::Delete => KvsRequest::Delete {
+                id,
+                key: p.key.clone(),
+            },
+        };
+        p.subs.push(Sub {
+            target,
+            id,
+            sent_at: ctx.now,
+            ack: None,
+        });
+        self.sub_index.insert(id, seq);
+        self.stats.hits += 1;
+        if let Some(met) = &self.met {
+            met.hits.incr();
+        }
+        ctx.net_tx(port, req.encode());
+    }
+
+    /// Drops a pending request and unregisters its outstanding subs.
+    fn drop_pending(&mut self, seq: u64) -> Option<PendingReq> {
+        let p = self.pending.remove(&seq)?;
+        for sub in &p.subs {
+            self.sub_index.remove(&sub.id);
+        }
+        Some(p)
+    }
+
+    fn respond(ctx: &mut HostCtx<'_>, p: &PendingReq, status: KvsStatus, value: Vec<u8>) {
+        ctx.net_tx(
+            p.client,
+            KvsResponse {
+                id: p.client_id,
+                status,
+                value,
+            }
+            .encode(),
+        );
+    }
+
+    /// (Re-)dispatches `seq` against the current replica set. Initial
+    /// dispatch and fail-over share this path; only the latter counts as a
+    /// fail-over and burns retry budget.
+    fn redispatch(&mut self, ctx: &mut HostCtx<'_>, seq: u64) {
+        let r = self.r();
+        let max_retries = self.config.max_retries;
+        // Phase 1: budget bookkeeping (short borrow of the pending entry).
+        let (key, initial, over_budget) = {
+            let Some(p) = self.pending.get_mut(&seq) else {
+                return;
+            };
+            if !p.needs_redispatch {
+                return;
+            }
+            p.needs_redispatch = false;
+            let initial = p.subs.is_empty();
+            if !initial {
+                p.attempts += 1;
+            }
+            (p.key.clone(), initial, p.attempts > max_retries)
+        };
+        if !initial {
+            self.stats.failovers += 1;
+            if let Some(met) = &self.met {
+                met.failovers.incr();
+            }
+        }
+        if over_budget {
+            self.stats.give_ups += 1;
+            if let Some(met) = &self.met {
+                met.give_ups.incr();
+            }
+            let p = self.drop_pending(seq).expect("pending exists");
+            Self::respond(ctx, &p, KvsStatus::Unavailable, vec![]);
+            return;
+        }
+        let reps: Vec<String> = self
+            .ring
+            .replicas(&key, r)
+            .into_iter()
+            .map(String::from)
+            .collect();
+        if reps.is_empty() {
+            // No endpoints at all (rack-wide outage); keep the request
+            // parked. The next sweep retries and the budget bounds it.
+            self.pending
+                .get_mut(&seq)
+                .expect("pending")
+                .needs_redispatch = true;
+            return;
+        }
+        // Phase 2: cancel stale subs, compute what to (re)issue.
+        let is_get = matches!(self.pending[&seq].op, Op::Get);
+        let (cancelled, to_issue) = {
+            let p = self.pending.get_mut(&seq).expect("pending exists");
+            if is_get {
+                // One replica at a time, rotating on each attempt so a dead
+                // or recovering primary is skipped.
+                let cancelled: Vec<u64> = p
+                    .subs
+                    .iter()
+                    .filter(|s| s.ack.is_none())
+                    .map(|s| s.id)
+                    .collect();
+                p.subs.retain(|s| s.ack.is_some());
+                let target = reps[p.attempts as usize % reps.len()].clone();
+                (cancelled, vec![target])
+            } else {
+                // Keep successful acks from targets still in the replica
+                // set; everything else is cancelled and the uncovered
+                // replicas get fresh subs.
+                let keep = |s: &Sub| {
+                    matches!(s.ack, Some(KvsStatus::Ok) | Some(KvsStatus::NotFound))
+                        && reps.contains(&s.target)
+                };
+                let cancelled: Vec<u64> =
+                    p.subs.iter().filter(|s| !keep(s)).map(|s| s.id).collect();
+                p.subs.retain(keep);
+                let missing: Vec<String> = reps
+                    .iter()
+                    .filter(|rep| !p.subs.iter().any(|s| &s.target == *rep))
+                    .cloned()
+                    .collect();
+                (cancelled, missing)
+            }
+        };
+        for id in cancelled {
+            self.sub_index.remove(&id);
+        }
+        for target in to_issue {
+            self.issue_sub(ctx, seq, target);
+        }
+        if !is_get {
+            self.check_write_done(ctx, seq);
+        }
+    }
+
+    /// Completes a PUT/DELETE if every current replica has acknowledged.
+    fn check_write_done(&mut self, ctx: &mut HostCtx<'_>, seq: u64) {
+        let Some(p) = self.pending.get(&seq) else {
+            return;
+        };
+        let reps = self.ring.replicas(&p.key, self.r());
+        if reps.is_empty() {
+            return;
+        }
+        let covered = reps.iter().all(|r| {
+            p.subs.iter().any(|s| {
+                s.target == *r && matches!(s.ack, Some(KvsStatus::Ok | KvsStatus::NotFound))
+            })
+        });
+        if !covered {
+            return;
+        }
+        let any_ok = p.subs.iter().any(|s| s.ack == Some(KvsStatus::Ok));
+        let p = self.drop_pending(seq).expect("pending exists");
+        match p.op {
+            Op::Put { .. } => {
+                self.acked_puts.insert(p.key.clone());
+                Self::respond(ctx, &p, KvsStatus::Ok, vec![]);
+            }
+            Op::Delete => {
+                self.acked_puts.remove(&p.key);
+                // NotFound on every replica is an honest miss; Ok anywhere
+                // means the tombstone landed.
+                let status = if any_ok {
+                    KvsStatus::Ok
+                } else {
+                    KvsStatus::NotFound
+                };
+                Self::respond(ctx, &p, status, vec![]);
+            }
+            Op::Get => unreachable!("check_write_done is write-only"),
+        }
+    }
+
+    /// A replica answered sub-request `id`.
+    fn on_ack(&mut self, ctx: &mut HostCtx<'_>, resp: KvsResponse) {
+        let Some(seq) = self.sub_index.remove(&resp.id) else {
+            return; // late answer to a cancelled sub
+        };
+        let is_get = {
+            let Some(p) = self.pending.get_mut(&seq) else {
+                return;
+            };
+            let Some(sub) = p.subs.iter_mut().find(|s| s.id == resp.id) else {
+                return;
+            };
+            sub.ack = Some(resp.status);
+            matches!(p.op, Op::Get)
+        };
+        match resp.status {
+            KvsStatus::Ok | KvsStatus::NotFound if is_get => {
+                let p = self.drop_pending(seq).expect("pending exists");
+                Self::respond(ctx, &p, resp.status, resp.value);
+            }
+            KvsStatus::Error => {
+                // Terminal server-side failure; propagate.
+                let p = self.drop_pending(seq).expect("pending exists");
+                Self::respond(ctx, &p, KvsStatus::Error, vec![]);
+            }
+            KvsStatus::Busy | KvsStatus::Unavailable => {
+                // Transient (overload / mid-recovery): re-dispatch on the
+                // next sweep so the target gets a tick's worth of air.
+                if let Some(p) = self.pending.get_mut(&seq) {
+                    p.needs_redispatch = true;
+                }
+            }
+            _ => self.check_write_done(ctx, seq),
+        }
+    }
+
+    /// A client request arrived.
+    fn on_client(&mut self, ctx: &mut HostCtx<'_>, src: PortId, req: KvsRequest) {
+        self.stats.requests += 1;
+        if let Some(met) = &self.met {
+            met.requests.incr();
+        }
+        if self.ring.is_empty() {
+            // Rack not discovered yet: tell the client to back off, same as
+            // a booting single server would.
+            ctx.net_tx(
+                src,
+                KvsResponse {
+                    id: req.id(),
+                    status: KvsStatus::Busy,
+                    value: vec![],
+                }
+                .encode(),
+            );
+            return;
+        }
+        let (client_id, key, op) = match req {
+            KvsRequest::Get { id, key } => (id, key, Op::Get),
+            KvsRequest::Put { id, key, value } => (id, key, Op::Put { value }),
+            KvsRequest::Delete { id, key } => (id, key, Op::Delete),
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            seq,
+            PendingReq {
+                client: src,
+                client_id,
+                key,
+                op,
+                subs: Vec::new(),
+                attempts: 0,
+                needs_redispatch: true,
+            },
+        );
+        self.redispatch(ctx, seq);
+    }
+
+    /// Periodic sweep: re-query the directory, re-dispatch timed-out or
+    /// transiently rejected sub-requests.
+    fn sweep(&mut self, ctx: &mut HostCtx<'_>) {
+        self.query_directory(ctx);
+        let now = ctx.now;
+        let base = self.config.sub_timeout;
+        let seqs: Vec<u64> = self
+            .pending
+            .iter_mut()
+            .filter_map(|(&seq, p)| {
+                // Exponential backoff: each fail-over doubles the patience
+                // (capped at 32x). Without this, a loaded rack whose RTT
+                // momentarily exceeds the base timeout melts down: every
+                // sweep cancels in-flight subs and reissues them, which adds
+                // load, which lengthens RTT, which times out more subs.
+                let timeout = base.saturating_mul(1u64 << p.attempts.min(5));
+                let timed_out = p
+                    .subs
+                    .iter()
+                    .any(|s| s.ack.is_none() && now.since(s.sent_at) >= timeout);
+                if timed_out {
+                    p.needs_redispatch = true;
+                }
+                if p.needs_redispatch {
+                    Some(seq)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for seq in seqs {
+            self.redispatch(ctx, seq);
+        }
+    }
+}
+
+impl NetHost for ShardRouterHost {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.met = Some(HubMetrics::register(ctx.stats));
+        self.query_directory(ctx);
+        ctx.set_timer(self.config.tick, TOKEN_TICK);
+    }
+
+    fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame) {
+        // 1. Directory replies (magic-tagged, and only ever from the
+        //    directory port).
+        if frame.src == self.config.dir_port && DirMsg::sniff(&frame.payload) {
+            if let Ok(DirMsg::Reply { epoch, endpoints }) = DirMsg::decode(&frame.payload) {
+                self.install_directory(ctx, epoch, endpoints);
+            }
+            return;
+        }
+        // 2. Replica acks: the request/response wire layouts alias, so a
+        //    response is recognized by its id being one the router minted.
+        if let Some(resp) = KvsResponse::decode(&frame.payload) {
+            if resp.id >= SUB_ID_BASE && self.sub_index.contains_key(&resp.id) {
+                self.on_ack(ctx, resp);
+                return;
+            }
+        }
+        // 3. Client requests.
+        if let Some(req) = KvsRequest::decode(&frame.payload) {
+            self.on_client(ctx, frame.src, req);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        if token != TOKEN_TICK {
+            return;
+        }
+        self.sweep(ctx);
+        ctx.set_timer(self.config.tick, TOKEN_TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_id_base_clears_client_id_space() {
+        // Client ids count up from 1; the router mints from 1 << 62. A
+        // century of simulated requests cannot bridge the gap.
+        const { assert!(SUB_ID_BASE > u64::MAX / 4) }
+    }
+
+    #[test]
+    fn fresh_router_is_not_ready() {
+        let r = ShardRouterHost::new(RouterConfig::default());
+        assert!(!r.is_ready());
+        assert!(r.endpoint_names().is_empty());
+        assert_eq!(r.stats().requests, 0);
+        assert!(r.acked_put_keys().is_empty());
+    }
+}

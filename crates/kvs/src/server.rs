@@ -286,6 +286,12 @@ impl KvsServer {
         self.engine.len()
     }
 
+    /// Whether `key` is live in the in-memory index. The E10 crash audit
+    /// uses this to check acknowledged writes against surviving replicas.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.engine.get(key).is_some()
+    }
+
     /// Starts the setup pipeline (call once registered on the bus).
     pub fn start(&mut self, ctx: &mut DeviceCtx<'_>, monitor: &mut Monitor) {
         self.met = Some(HubCounters::register(ctx.stats));

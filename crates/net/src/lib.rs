@@ -15,6 +15,16 @@ pub mod switch;
 
 pub use switch::{NetCostModel, PortId, Switch, SwitchStats};
 
+/// Fixed per-frame header overhead on the wire, in bytes: an Ethernet-ish
+/// header (dst/src addresses + ethertype) plus the frame check sequence.
+///
+/// Every component that accounts for frame bytes — [`Frame::wire_len`], the
+/// switch's byte counters, [`NetCostModel::serialize_frame`], and the
+/// rack fabric's inter-machine links — shares this constant, so changing
+/// the modeled header cost cannot desynchronize the cost model from the
+/// accounting.
+pub const FRAME_OVERHEAD_BYTES: u64 = 18;
+
 /// A network frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -33,9 +43,9 @@ impl Frame {
         Frame { src, dst, payload }
     }
 
-    /// On-wire length in bytes (payload + fixed header overhead).
+    /// On-wire length in bytes (payload + [`FRAME_OVERHEAD_BYTES`]).
     pub fn wire_len(&self) -> u64 {
-        self.payload.len() as u64 + 18 // Ethernet-ish header + FCS
+        self.payload.len() as u64 + FRAME_OVERHEAD_BYTES
     }
 }
 
@@ -46,6 +56,30 @@ mod tests {
     #[test]
     fn wire_len_includes_header() {
         let f = Frame::unicast(PortId(1), PortId(2), vec![0; 100]);
-        assert_eq!(f.wire_len(), 118);
+        assert_eq!(f.wire_len(), 100 + FRAME_OVERHEAD_BYTES);
+        assert_eq!(f.wire_len(), 118, "regression: 18-byte header + FCS");
+    }
+
+    #[test]
+    fn empty_frame_still_pays_header() {
+        let f = Frame::unicast(PortId(1), PortId(2), Vec::new());
+        assert_eq!(f.wire_len(), FRAME_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn cost_model_serialize_frame_matches_wire_len() {
+        // Regression for the shared-constant contract: serializing "a frame
+        // of payload length L" through the cost model must charge exactly
+        // the bytes `wire_len` reports, for payloads across the varint /
+        // jumbo range.
+        let cost = NetCostModel::default();
+        for len in [0usize, 1, 63, 64, 1500, 9000] {
+            let f = Frame::unicast(PortId(1), PortId(2), vec![0; len]);
+            assert_eq!(
+                cost.serialize_frame(len as u64),
+                cost.serialize(f.wire_len()),
+                "payload len {len}"
+            );
+        }
     }
 }

@@ -43,6 +43,14 @@ impl NetCostModel {
     pub fn serialize(&self, bytes: u64) -> SimDuration {
         SimDuration::from_nanos(bytes.saturating_mul(self.per_byte_ps) / 1000)
     }
+
+    /// Time to clock a frame with `payload_bytes` of payload onto the wire,
+    /// including the fixed [`crate::FRAME_OVERHEAD_BYTES`] header overhead —
+    /// the same constant [`crate::Frame::wire_len`] reports, so cost and
+    /// accounting can never drift apart.
+    pub fn serialize_frame(&self, payload_bytes: u64) -> SimDuration {
+        self.serialize(payload_bytes.saturating_add(crate::FRAME_OVERHEAD_BYTES))
+    }
 }
 
 /// Switch counters.

@@ -11,6 +11,10 @@
 #   6. engine smoke test e9_engine_throughput (reduced sizes) produces a
 #                        well-formed BENCH_e9.json with nonzero events/sec
 #                        for both queue engines
+#   7. rack smoke test   e10_rack_scaleout (2 machines, reduced ops): a
+#                        same-seed double run yields byte-identical
+#                        BENCH_e10.json, and the machine-kill audit keeps
+#                        every acked write at R=2
 #
 # Set CI_CRITERION=1 to additionally run the criterion host-time benches
 # (opt-in: they are measurements, not pass/fail gates, and take minutes).
@@ -116,6 +120,46 @@ PY
 else
     grep -q '"events_per_sec"' "$tmp/BENCH_e9.json" || {
         echo "FAIL: no events_per_sec in BENCH_e9.json"; exit 1;
+    }
+fi
+
+echo "==> rack smoke test (e10_rack_scaleout, 2 machines, double run)"
+# Reduced matrix: 2 machines, R in {1,2}, 120 ops/client. The crash cells
+# run too (kill m1, audit acked writes). Rack determinism is a whole-file
+# property: two same-seed runs must produce byte-identical artifacts.
+e10_flags=(--machines 1,2 --replication 1,2 --ops 120 --keys 60)
+cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
+    "${e10_flags[@]}" --out "$tmp/BENCH_e10_a.json" >/dev/null
+cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
+    "${e10_flags[@]}" --out "$tmp/BENCH_e10_b.json" >/dev/null
+cmp -s "$tmp/BENCH_e10_a.json" "$tmp/BENCH_e10_b.json" || {
+    echo "FAIL: same-seed BENCH_e10.json runs differ"; exit 1;
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e10_a.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "e10" and d["schema_version"] == 1, d.keys()
+for c in d["scaling"]:
+    assert c["done"], f"scaling cell incomplete: {c}"
+    assert c["ops"] == 120 * c["machines"], c
+    assert c["agg_ops_per_sec"] > 0 and c["p99_us"] > 0, c
+    if c["machines"] > 1:
+        assert c["fabric_bytes"] > 0, f"no fabric traffic: {c}"
+crash = {c["replication"]: c for c in d["crash"]}
+assert crash, "no crash cells"
+for r, c in crash.items():
+    assert c["done"], f"crash cell incomplete: {c}"
+    assert c["acked_keys"] > 0, c
+r1, r2 = crash[1], crash[2]
+assert r2["lost_acked_keys"] == 0, f"R=2 lost acked writes: {r2}"
+assert r1["lost_acked_keys"] > 0, f"R=1 control lost nothing: {r1}"
+print(f"    byte-identical double run; crash audit: R=1 lost "
+      f"{r1['lost_acked_keys']}/{r1['acked_keys']} acked keys, R=2 lost 0")
+PY
+else
+    grep -q '"lost_acked_keys"' "$tmp/BENCH_e10_a.json" || {
+        echo "FAIL: no crash audit in BENCH_e10.json"; exit 1;
     }
 fi
 

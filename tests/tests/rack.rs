@@ -1,0 +1,224 @@
+//! Rack-scale end-to-end tests: the fabric co-simulation driving a sharded,
+//! replicated CPU-less KVS (the machinery behind experiment E10).
+//!
+//! Every machine in the rack is a full §3 deployment (smart NIC, smart SSD
+//! and memory controller, no CPU) plus a [`ShardRouterHost`] that discovers
+//! the rack through the fabric's in-band directory and shards client
+//! requests over every `smart-nic` endpoint with R-way replication.
+//!
+//! [`ShardRouterHost`]: lastcpu_kvs::ShardRouterHost
+
+use lastcpu_fabric::FabricConfig;
+use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
+use lastcpu_kvs::{build_rack_kvs, RackSetup};
+use lastcpu_net::PortId;
+use lastcpu_sim::SimDuration;
+
+/// A [`RackSetup`] with one closed-loop client per machine aimed at the
+/// *local* shard router.
+struct Rack {
+    setup: RackSetup,
+    client_ports: Vec<PortId>,
+}
+
+fn build_rack(machines: usize, replication: usize, seed: u64, workload: &WorkloadConfig) -> Rack {
+    let mut setup = build_rack_kvs(
+        FabricConfig::default(),
+        machines,
+        replication,
+        lastcpu_core::SystemConfig {
+            seed,
+            trace: false,
+            ..lastcpu_core::SystemConfig::default()
+        },
+    );
+    let mut client_ports = Vec::new();
+    for i in 0..machines {
+        let m = setup.machines[i];
+        let router_port = setup.router_ports[i];
+        let client_port = setup
+            .fabric
+            .machine_mut(m)
+            .add_host(Box::new(KvsClientHost::new(
+                router_port,
+                WorkloadConfig {
+                    stats_prefix: format!("c{i}"),
+                    ..workload.clone()
+                },
+            )));
+        client_ports.push(client_port);
+    }
+    Rack {
+        setup,
+        client_ports,
+    }
+}
+
+impl Rack {
+    fn len(&self) -> usize {
+        self.setup.machines.len()
+    }
+
+    fn client(&self, i: usize) -> &KvsClientHost {
+        self.setup
+            .fabric
+            .machine(self.setup.machines[i])
+            .host_as(self.client_ports[i])
+            .expect("client present")
+    }
+
+    /// Runs in 10 ms slices until every client finishes or `cap` elapses.
+    fn run_to_completion(&mut self, cap: SimDuration) {
+        let deadline = self.setup.fabric.now() + cap;
+        while self.setup.fabric.now() < deadline {
+            self.setup.fabric.run_for(SimDuration::from_millis(10));
+            if self.all_done() {
+                break;
+            }
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        (0..self.len()).all(|i| self.client(i).is_done())
+    }
+}
+
+fn small_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        keys: 40,
+        theta: 0.9,
+        read_fraction: 0.8,
+        value_size: 64,
+        outstanding: 4,
+        total_ops: 200,
+        preload: true,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn rack_serves_a_sharded_replicated_workload() {
+    let mut rack = build_rack(3, 2, 0xE10, &small_workload());
+    rack.setup.fabric.power_on();
+    rack.run_to_completion(SimDuration::from_secs(10));
+
+    for i in 0..3 {
+        let c = rack.client(i);
+        assert!(c.is_done(), "client {i} incomplete: {} ops", c.ops_done());
+        assert_eq!(c.errors(), 0, "client {i} saw errors");
+        let r = rack.setup.router(i);
+        assert_eq!(r.endpoint_names().len(), 3, "router {i} discovered rack");
+        assert!(r.stats().requests > 0 && r.stats().hits > 0);
+    }
+    // R = 2 over a shared 40-key space: every key lives on exactly two
+    // machines, so the rack holds 80 records (the probe key is never stored).
+    let total: usize = (0..3).map(|i| rack.setup.nic(i).app().key_count()).sum();
+    assert_eq!(total, 80, "each key replicated on exactly R=2 machines");
+    // The shards are spread: no machine holds everything, none is empty.
+    for i in 0..3 {
+        let n = rack.setup.nic(i).app().key_count();
+        assert!(n > 0 && n < 80, "machine {i} holds {n}/80 records");
+    }
+    // Cross-machine traffic actually crossed the fabric.
+    let fab = &rack.setup.fabric;
+    assert!(fab.metrics().counter("fabric.frames_forwarded") > 0);
+    assert!(fab.metrics().counter("fabric.bytes") > 0);
+    // Routers pre-registered their hub metrics on their machines.
+    let hub = fab.machine(rack.setup.machines[0]).stats();
+    assert!(hub.counter("fabric.router.requests") > 0);
+    assert!(hub.gauge("fabric.router.endpoints") == 3);
+}
+
+#[test]
+fn replicated_rack_survives_machine_crash_without_losing_acked_writes() {
+    // Load everything (R = 2), then kill a machine and audit: every key any
+    // router acknowledged must still be held by a surviving machine.
+    let wl = WorkloadConfig {
+        read_fraction: 1.0, // after preload, pure GETs
+        ..small_workload()
+    };
+    let mut rack = build_rack(3, 2, 0x51, &wl);
+    rack.setup.fabric.power_on();
+    rack.run_to_completion(SimDuration::from_secs(10));
+    assert!(rack.all_done(), "pre-crash workload incomplete");
+    assert_eq!(rack.setup.lost_acked_keys(), 0);
+
+    let victim = rack.setup.machines[1];
+    rack.setup.fabric.kill_machine(victim);
+    // Let the directory sweep withdraw the machine and the routers refresh.
+    rack.setup.fabric.run_for(SimDuration::from_millis(5));
+
+    assert_eq!(
+        rack.setup.lost_acked_keys(),
+        0,
+        "R=2 must keep every acknowledged write despite one crash"
+    );
+    for i in [0usize, 2] {
+        assert_eq!(
+            rack.setup.router(i).endpoint_names().len(),
+            2,
+            "router {i} saw the withdrawal"
+        );
+    }
+    assert!(rack.setup.fabric.metrics().counter("fabric.dir.removals") >= 1);
+}
+
+#[test]
+fn unreplicated_rack_loses_acked_writes_on_crash() {
+    // The control: R = 1 stores each key exactly once, so killing a machine
+    // loses the acked writes whose only copy it held.
+    let wl = WorkloadConfig {
+        read_fraction: 1.0,
+        ..small_workload()
+    };
+    let mut rack = build_rack(3, 1, 0x51, &wl);
+    rack.setup.fabric.power_on();
+    rack.run_to_completion(SimDuration::from_secs(10));
+    assert!(rack.all_done(), "pre-crash workload incomplete");
+    let held_by_victim = rack.setup.nic(1).app().key_count();
+    assert!(held_by_victim > 0, "victim holds some shard");
+
+    rack.setup.fabric.kill_machine(rack.setup.machines[1]);
+    rack.setup.fabric.run_for(SimDuration::from_millis(5));
+
+    let lost = rack.setup.lost_acked_keys();
+    assert!(
+        lost > 0,
+        "R=1 must lose the victim's shard ({held_by_victim} keys on it)"
+    );
+}
+
+#[test]
+fn rack_runs_are_bit_identical() {
+    let run = |seed: u64| {
+        let mut rack = build_rack(2, 2, seed, &small_workload());
+        rack.setup.fabric.power_on();
+        rack.run_to_completion(SimDuration::from_secs(10));
+        assert!(rack.all_done());
+        let mut fp = String::new();
+        for (k, v) in rack.setup.fabric.metrics().counters() {
+            fp.push_str(&format!("{k}={v};"));
+        }
+        for i in 0..2 {
+            let s = rack.setup.router(i).stats();
+            fp.push_str(&format!(
+                "r{i}:{}/{}/{}/{}/{};",
+                s.requests, s.hits, s.failovers, s.give_ups, s.rebalance_moves
+            ));
+            fp.push_str(&format!("c{i}:{};", rack.client(i).ops_done()));
+            fp.push_str(&format!("k{i}:{};", rack.setup.nic(i).app().key_count()));
+            for (k, v) in rack
+                .setup
+                .fabric
+                .machine(rack.setup.machines[i])
+                .stats()
+                .counters()
+            {
+                fp.push_str(&format!("m{i}.{k}={v};"));
+            }
+        }
+        fp
+    };
+    assert_eq!(run(7), run(7), "same seed, same rack, same bytes");
+    assert_ne!(run(7), run(8), "different seed perturbs the run");
+}

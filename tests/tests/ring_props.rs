@@ -1,0 +1,153 @@
+//! Property tests for the fabric's consistent-hash ring (DESIGN.md §10).
+//!
+//! The shard router leans on three ring invariants:
+//!
+//! 1. **Determinism**: placement is a pure function of the membership set —
+//!    insertion order, removals-then-reinserts, and the process's hash-map
+//!    iteration order must not perturb it (two routers that agree on the
+//!    directory must agree on every key).
+//! 2. **Balance**: with enough virtual nodes no member owns a grossly
+//!    outsized share of a key space.
+//! 3. **Minimal disruption**: a join or leave only moves the keys it has
+//!    to — on the order of K/N, never a wholesale reshuffle.
+
+use std::collections::BTreeMap;
+
+use lastcpu_fabric::HashRing;
+use proptest::prelude::*;
+
+const VNODES: u32 = 64;
+
+/// Membership drawn from a small closed universe (a 16-bit occupancy
+/// mask, padded so there are always at least two members).
+fn member_names() -> impl Strategy<Value = Vec<String>> {
+    (1u16..=u16::MAX).prop_map(|mask| {
+        let mut members: Vec<String> = (0..16)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| format!("m{i}"))
+            .collect();
+        if members.len() < 2 {
+            members.push("m16".to_string());
+        }
+        members
+    })
+}
+
+fn keys(n: usize) -> Vec<Vec<u8>> {
+    // Sequential keys on purpose: the densest-clustering input a client
+    // generates, and exactly the shape that exposed the need for an
+    // avalanche finalizer on top of FNV-1a.
+    (0..n).map(|i| format!("key{i:08}").into_bytes()).collect()
+}
+
+fn ring_of(members: &[String]) -> HashRing {
+    let mut ring = HashRing::new(VNODES);
+    for m in members {
+        ring.insert(m);
+    }
+    ring
+}
+
+fn placement(ring: &HashRing, keys: &[Vec<u8>], r: usize) -> Vec<Vec<String>> {
+    keys.iter()
+        .map(|k| ring.replicas(k, r).into_iter().map(String::from).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Placement depends only on the membership *set*: any insertion order,
+    /// including one that detours through extra members later removed,
+    /// yields bit-identical replica lists.
+    fn placement_is_membership_deterministic(
+        members in member_names(),
+        perm_seed in 0u64..1000,
+        r in 1usize..=3,
+    ) {
+        let base = ring_of(&members);
+
+        // A cheap seeded Fisher-Yates permutation of the insert order.
+        let mut shuffled = members.clone();
+        let mut s = perm_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in (1..shuffled.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            shuffled.swap(i, (s as usize) % (i + 1));
+        }
+        let mut detour = HashRing::new(VNODES);
+        detour.insert("impostor");
+        for m in &shuffled {
+            detour.insert(m);
+        }
+        detour.remove("impostor");
+
+        let ks = keys(128);
+        prop_assert_eq!(placement(&base, &ks, r), placement(&detour, &ks, r));
+        prop_assert_eq!(base.nodes(), detour.nodes());
+    }
+
+    /// With 64 vnodes each member's share of a sequential key space stays
+    /// within a loose constant factor of fair: no member is starved, none
+    /// owns more than 3x its fair share.
+    fn ownership_is_balanced_within_bound(members in member_names()) {
+        let ring = ring_of(&members);
+        let ks = keys(2048);
+        let mut owned: BTreeMap<String, usize> =
+            members.iter().map(|m| (m.clone(), 0)).collect();
+        for k in &ks {
+            *owned.get_mut(ring.primary(k).unwrap()).unwrap() += 1;
+        }
+        let fair = ks.len() as f64 / members.len() as f64;
+        for (m, n) in owned {
+            prop_assert!(
+                (n as f64) < 3.0 * fair,
+                "{m} owns {n}/{} keys ({}x fair share)",
+                ks.len(),
+                n as f64 / fair
+            );
+            prop_assert!(n > 0, "{m} owns nothing out of {} keys", ks.len());
+        }
+    }
+
+    /// A single join or leave relocates only the keys consistent hashing
+    /// says it must: about K/N of the primaries, bounded here by
+    /// 2.5 * K/(N+1) + slack; every key that does move on a join moves TO
+    /// the joiner, and on a leave moves OFF the leaver.
+    fn join_and_leave_move_few_keys(
+        members in member_names(),
+        joiner in 100u8..120,
+    ) {
+        let joiner = format!("m{joiner}");
+        let ks = keys(2048);
+        let before = ring_of(&members);
+        let mut after = ring_of(&members);
+        after.insert(&joiner);
+
+        let n_after = members.len() + 1;
+        let budget = (2.5 * ks.len() as f64 / n_after as f64) as usize + 16;
+
+        // Join: moved keys all land on the joiner.
+        let mut moved = 0usize;
+        for k in &ks {
+            let a = before.primary(k).unwrap();
+            let b = after.primary(k).unwrap();
+            if a != b {
+                moved += 1;
+                prop_assert_eq!(b, joiner.as_str(), "key moved somewhere other than the joiner");
+            }
+        }
+        prop_assert!(
+            moved <= budget,
+            "join moved {moved}/{} keys, budget {budget} (N={n_after})",
+            ks.len()
+        );
+
+        // Leave is the mirror image: removing the joiner restores the old
+        // placement exactly, so only its keys move back.
+        let mut restored = after.clone();
+        restored.remove(&joiner);
+        prop_assert_eq!(placement(&restored, &ks, 2), placement(&before, &ks, 2));
+    }
+}
