@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use lastcpu_sim::{CorrId, SimDuration, SimTime};
 
+use crate::audit::{BusAudit, BusAuditRecord, BusVerdict, DenyReason, PrivOpKind, SecurityPolicy};
 use crate::cost::BusCostModel;
 use crate::ids::{DeviceId, RequestId};
 use crate::message::{Dst, Envelope, ErrorCode, MapOp, Payload, ResourceKind, ServiceDesc, Status};
@@ -152,6 +153,9 @@ pub struct BusStats {
     pub map_ops: u64,
     /// Requests denied by privilege checks.
     pub denials: u64,
+    /// Messages shed by the flood limiter (see
+    /// [`SecurityPolicy::flood_limit`]).
+    pub flood_dropped: u64,
     /// Device failures detected (heartbeat timeout or explicit).
     pub failures: u64,
 }
@@ -191,6 +195,12 @@ pub struct SystemBus {
     /// Correlation id of the message currently being handled; stamped onto
     /// every reply, broadcast, and IOMMU-programming effect it causes.
     cur_corr: CorrId,
+    /// Privileged-operation audit (E11); `None` until enabled.
+    audit: Option<BusAudit>,
+    /// Opt-in hardening policy; the default changes nothing.
+    policy: SecurityPolicy,
+    /// Flood-limiter state: per-sender (window start, messages in window).
+    flood: HashMap<DeviceId, (SimTime, u32)>,
 }
 
 impl Default for SystemBus {
@@ -211,6 +221,59 @@ impl SystemBus {
             heartbeat_timeout: SimDuration::from_millis(10),
             stats: BusStats::default(),
             cur_corr: CorrId::NONE,
+            audit: None,
+            policy: SecurityPolicy::default(),
+            flood: HashMap::new(),
+        }
+    }
+
+    /// Enables the privileged-operation audit ([`BusAudit`]), keeping at
+    /// most `cap` verdict records. Idempotent.
+    pub fn enable_audit(&mut self, cap: usize) {
+        if self.audit.is_none() {
+            self.audit = Some(BusAudit::new(cap));
+        }
+    }
+
+    /// The audit record, if [`SystemBus::enable_audit`] was called.
+    pub fn audit(&self) -> Option<&BusAudit> {
+        self.audit.as_ref()
+    }
+
+    /// Mutable audit access (the event core drains verdict records here).
+    pub fn audit_mut(&mut self) -> Option<&mut BusAudit> {
+        self.audit.as_mut()
+    }
+
+    /// Installs a hardening policy. The default [`SecurityPolicy`] changes
+    /// nothing; see [`SecurityPolicy::hardened`] for the E11 settings.
+    pub fn set_security_policy(&mut self, policy: SecurityPolicy) {
+        self.policy = policy;
+    }
+
+    /// The hardening policy in effect.
+    pub fn security_policy(&self) -> SecurityPolicy {
+        self.policy
+    }
+
+    fn audit_record(
+        &mut self,
+        src: DeviceId,
+        op: PrivOpKind,
+        resource: Option<ResourceKind>,
+        target: Option<DeviceId>,
+        verdict: BusVerdict,
+        reason: Option<DenyReason>,
+    ) {
+        if let Some(a) = self.audit.as_mut() {
+            a.record(BusAuditRecord {
+                src,
+                op,
+                resource,
+                target,
+                verdict,
+                reason,
+            });
         }
     }
 
@@ -366,9 +429,66 @@ impl SystemBus {
             e.last_seen = now;
         }
 
+        // Flood limiter (opt-in policy): a per-sender cap on control-plane
+        // messages per window. Excess messages are shed silently — the
+        // attacker gets no reply to amplify — but every shed message is
+        // audited and counted, so the defence is provable.
+        if let Some(limit) = self.policy.flood_limit {
+            if matches!(env.dst, Dst::Bus | Dst::Broadcast) {
+                let window = self.policy.flood_window;
+                let slot = self.flood.entry(env.src).or_insert((now, 0));
+                if now.since(slot.0) >= window {
+                    *slot = (now, 0);
+                }
+                slot.1 += 1;
+                if slot.1 > limit {
+                    self.stats.flood_dropped += 1;
+                    self.audit_record(
+                        env.src,
+                        PrivOpKind::Control,
+                        None,
+                        None,
+                        BusVerdict::RateLimited,
+                        Some(DenyReason::FloodLimited),
+                    );
+                    return;
+                }
+            }
+        }
+
         match env.dst {
             Dst::Bus => self.handle_bus_directed(now, &env, bytes, fx),
             Dst::Device(target) => {
+                // Discovery-spoof defence (opt-in policy, the second half of
+                // the shadow-announce check): owners answer `Query`
+                // broadcasts *directly* with `QueryHit`, so a spoofed hit
+                // would capture a discovery client without ever touching
+                // the announce directory. Under the policy, a `QueryHit`
+                // must (a) name its own sender as the offering device and
+                // (b) name a service that sender has announced. Spoofs are
+                // shed silently — a reply would tell the attacker which
+                // names are live — but every one is audited.
+                if self.policy.deny_shadow_announce {
+                    if let Payload::QueryHit { device, service } = &env.payload {
+                        let legit = *device == env.src
+                            && self
+                                .devices
+                                .get(&env.src)
+                                .is_some_and(|e| e.services.iter().any(|s| s.name == service.name));
+                        if !legit {
+                            self.stats.denials += 1;
+                            self.audit_record(
+                                env.src,
+                                PrivOpKind::Announce,
+                                Some(service.resource),
+                                Some(*device),
+                                BusVerdict::Denied,
+                                Some(DenyReason::ShadowAnnounce),
+                            );
+                            return;
+                        }
+                    }
+                }
                 let alive = self
                     .devices
                     .get(&target)
@@ -457,6 +577,39 @@ impl SystemBus {
                 self.fan_out_failure(src, bytes, fx);
             }
             Payload::Announce { service } => {
+                // Shadowing defence (opt-in policy): refuse to let one
+                // device announce a service *name* another alive device is
+                // currently announcing. Stops spoofed/replayed SSDP
+                // announcements from capturing a victim's discovery
+                // clients.
+                if self.policy.deny_shadow_announce {
+                    let shadowed = self.devices.values().any(|e| {
+                        e.id != src
+                            && e.state == DeviceState::Alive
+                            && e.services.iter().any(|s| s.name == service.name)
+                    });
+                    if shadowed {
+                        self.stats.denials += 1;
+                        self.audit_record(
+                            src,
+                            PrivOpKind::Announce,
+                            Some(service.resource),
+                            None,
+                            BusVerdict::Denied,
+                            Some(DenyReason::ShadowAnnounce),
+                        );
+                        self.reply(
+                            bytes,
+                            src,
+                            req,
+                            Payload::BusAck {
+                                status: Status::Denied,
+                            },
+                            fx,
+                        );
+                        return;
+                    }
+                }
                 if let Some(e) = self.devices.get_mut(&src) {
                     e.services.retain(|s| s.id != service.id);
                     e.services.push(service.clone());
@@ -504,6 +657,19 @@ impl SystemBus {
                         Status::Denied
                     }
                 };
+                let (verdict, reason) = if status == Status::Ok {
+                    (BusVerdict::Allowed, None)
+                } else {
+                    (BusVerdict::Denied, Some(DenyReason::ControllerTaken))
+                };
+                self.audit_record(
+                    src,
+                    PrivOpKind::RegisterController,
+                    Some(resource),
+                    None,
+                    verdict,
+                    reason,
+                );
                 self.reply(bytes, src, req, Payload::BusAck { status }, fx);
             }
             Payload::MapInstruction {
@@ -529,6 +695,14 @@ impl SystemBus {
             _ => {
                 // Anything else aimed at the bus is a protocol violation.
                 self.stats.denials += 1;
+                self.audit_record(
+                    src,
+                    PrivOpKind::Control,
+                    None,
+                    None,
+                    BusVerdict::Denied,
+                    Some(DenyReason::BadRequest),
+                );
                 self.reply(
                     bytes,
                     src,
@@ -558,10 +732,47 @@ impl SystemBus {
         perms: u8,
         fx: &mut Vec<BusEffect>,
     ) {
+        // Hardening (E11 finding): IOMMU page tables translate to physical
+        // DRAM, so only the *memory* resource class can legitimately
+        // instruct them. Before this check, a device could claim a vacant
+        // class (Compute/Storage/Network) via `RegisterController` — first
+        // claim wins — and then use it as a deputy to program arbitrary
+        // DRAM mappings into any IOMMU. Denied before the controller check:
+        // a non-Memory map instruction is a protocol violation no matter
+        // who sends it.
+        if resource != ResourceKind::Memory {
+            self.stats.denials += 1;
+            self.audit_record(
+                src,
+                PrivOpKind::MapInstruction,
+                Some(resource),
+                Some(device),
+                BusVerdict::Denied,
+                Some(DenyReason::ResourceNotMemory),
+            );
+            self.reply(
+                bytes,
+                src,
+                req,
+                Payload::BusAck {
+                    status: Status::Denied,
+                },
+                fx,
+            );
+            return;
+        }
         // Privilege check: only the registered controller of this resource
         // class may instruct mappings (§2.2 "Address Translation").
         if self.controllers.get(&resource) != Some(&src) {
             self.stats.denials += 1;
+            self.audit_record(
+                src,
+                PrivOpKind::MapInstruction,
+                Some(resource),
+                Some(device),
+                BusVerdict::Denied,
+                Some(DenyReason::NotController),
+            );
             self.reply(
                 bytes,
                 src,
@@ -584,6 +795,18 @@ impl SystemBus {
             MapOp::Unmap => self.devices.contains_key(&device),
         };
         if !target_ok || pages == 0 {
+            self.audit_record(
+                src,
+                PrivOpKind::MapInstruction,
+                Some(resource),
+                Some(device),
+                BusVerdict::Denied,
+                Some(if pages == 0 {
+                    DenyReason::BadRequest
+                } else {
+                    DenyReason::TargetNotFound
+                }),
+            );
             self.reply(
                 bytes,
                 src,
@@ -600,6 +823,14 @@ impl SystemBus {
             return;
         }
         self.stats.map_ops += 1;
+        self.audit_record(
+            src,
+            PrivOpKind::MapInstruction,
+            Some(resource),
+            Some(device),
+            BusVerdict::Allowed,
+            None,
+        );
         match op {
             MapOp::Map => fx.push(BusEffect::ProgramMap {
                 device,
@@ -1507,5 +1738,251 @@ mod tests {
         assert!(s.messages >= 4); // 3 hellos + this one
         assert!(s.bytes > 0);
         assert!(s.unicasts >= 4);
+    }
+
+    /// Regression for the E11 confused-deputy finding: claiming a *vacant*
+    /// resource class must not grant the power to program IOMMU mappings.
+    #[test]
+    fn vacant_class_controller_cannot_instruct_maps() {
+        let (mut bus, nic, ssd, mc) = setup();
+        register_memctl(&mut bus, mc);
+        bus.enable_audit(16);
+        let mut fx = Vec::new();
+        // The attacker successfully claims the vacant Compute class…
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(2),
+                corr: CorrId::NONE,
+                payload: Payload::RegisterController {
+                    resource: ResourceKind::Compute,
+                },
+            },
+            &mut fx,
+        );
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver { env, .. }
+                if matches!(env.payload, Payload::BusAck { status: Status::Ok })
+        ));
+        fx.clear();
+        // …but a MapInstruction under that class must be denied: only the
+        // Memory class can instruct DRAM translations.
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: nic,
+                dst: Dst::Bus,
+                req: RequestId(3),
+                corr: CorrId::NONE,
+                payload: Payload::MapInstruction {
+                    resource: ResourceKind::Compute,
+                    op: MapOp::Map,
+                    device: ssd,
+                    pasid: 7,
+                    va: 0x7000,
+                    pa: 0x1000,
+                    pages: 1,
+                    perms: 3,
+                },
+            },
+            &mut fx,
+        );
+        assert!(
+            !fx.iter().any(|e| matches!(e, BusEffect::ProgramMap { .. })),
+            "no IOMMU programming may result"
+        );
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver { to, env, .. }
+                if *to == nic
+                    && matches!(env.payload, Payload::BusAck { status: Status::Denied })
+        ));
+        let rec = *bus.audit().unwrap().records().last().unwrap();
+        assert_eq!(rec.op, PrivOpKind::MapInstruction);
+        assert_eq!(rec.verdict, BusVerdict::Denied);
+        assert_eq!(rec.reason, Some(DenyReason::ResourceNotMemory));
+    }
+
+    #[test]
+    fn map_instruction_verdicts_are_audited() {
+        let (mut bus, nic, ssd, mc) = setup();
+        bus.enable_audit(16);
+        register_memctl(&mut bus, mc);
+        let mut fx = Vec::new();
+        bus.handle(SimTime::ZERO, map_instruction(nic, ssd), &mut fx); // denied
+        bus.handle(SimTime::ZERO, map_instruction(mc, ssd), &mut fx); // allowed
+        let audit = bus.audit().unwrap();
+        assert_eq!(audit.denied(), 1);
+        // RegisterController(memctl) + the legitimate map.
+        assert_eq!(audit.allowed(), 2);
+        let denied = audit.records()[1];
+        assert_eq!(denied.src, nic);
+        assert_eq!(denied.reason, Some(DenyReason::NotController));
+        let allowed = audit.records()[2];
+        assert_eq!(allowed.src, mc);
+        assert_eq!(allowed.verdict, BusVerdict::Allowed);
+        assert_eq!(allowed.target, Some(ssd));
+    }
+
+    #[test]
+    fn shadow_announce_denied_under_policy() {
+        let (mut bus, nic, ssd, _) = setup();
+        bus.enable_audit(16);
+        bus.set_security_policy(SecurityPolicy {
+            deny_shadow_announce: true,
+            ..SecurityPolicy::default()
+        });
+        let svc = |id: u16| ServiceDesc {
+            id: ServiceId(id),
+            name: "kvs:frontend".into(),
+            resource: ResourceKind::Network,
+        };
+        let announce = |src: DeviceId, id: u16| Envelope {
+            src,
+            dst: Dst::Bus,
+            req: RequestId(1),
+            corr: CorrId::NONE,
+            payload: Payload::Announce { service: svc(id) },
+        };
+        let mut fx = Vec::new();
+        bus.handle(SimTime::ZERO, announce(nic, 1), &mut fx);
+        assert!(bus
+            .device(nic)
+            .unwrap()
+            .services
+            .iter()
+            .any(|s| s.name == "kvs:frontend"));
+        fx.clear();
+        // A different device announcing the same *name* is refused…
+        bus.handle(SimTime::ZERO, announce(ssd, 2), &mut fx);
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver { to, env, .. }
+                if *to == ssd
+                    && matches!(env.payload, Payload::BusAck { status: Status::Denied })
+        ));
+        assert!(bus.device(ssd).unwrap().services.is_empty());
+        let rec = *bus.audit().unwrap().records().last().unwrap();
+        assert_eq!(rec.reason, Some(DenyReason::ShadowAnnounce));
+        fx.clear();
+        // …while the owner can re-announce (refresh) its own service.
+        bus.handle(SimTime::ZERO, announce(nic, 1), &mut fx);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            BusEffect::Deliver { env, .. }
+                if matches!(env.payload, Payload::Announce { .. })
+        )));
+    }
+
+    #[test]
+    fn spoofed_query_hits_are_shed_and_audited_under_policy() {
+        let (mut bus, nic, ssd, mc) = setup();
+        bus.enable_audit(16);
+        bus.set_security_policy(SecurityPolicy {
+            deny_shadow_announce: true,
+            ..SecurityPolicy::default()
+        });
+        let svc = ServiceDesc {
+            id: ServiceId(1),
+            name: "file:/data/kv.db".into(),
+            resource: ResourceKind::Storage,
+        };
+        let mut fx = Vec::new();
+        // The SSD legitimately announces the file service.
+        bus.handle(
+            SimTime::ZERO,
+            Envelope {
+                src: ssd,
+                dst: Dst::Bus,
+                req: RequestId(1),
+                corr: CorrId::NONE,
+                payload: Payload::Announce {
+                    service: svc.clone(),
+                },
+            },
+            &mut fx,
+        );
+        fx.clear();
+        let hit = |src: DeviceId, claimed: DeviceId| Envelope {
+            src,
+            dst: Dst::Device(nic),
+            req: RequestId(2),
+            corr: CorrId::NONE,
+            payload: Payload::QueryHit {
+                device: claimed,
+                service: svc.clone(),
+            },
+        };
+        // Spoof flavour 1: the NIC's discovery answer claims the *attacker*
+        // (mc here) offers the SSD's service — sender never announced it.
+        bus.handle(SimTime::ZERO, hit(mc, mc), &mut fx);
+        // Spoof flavour 2: forged provenance — sender names a *different*
+        // device as the offerer.
+        bus.handle(SimTime::ZERO, hit(mc, ssd), &mut fx);
+        assert!(fx.is_empty(), "spoofed hits are shed silently, got {fx:?}");
+        let audit = bus.audit().unwrap();
+        assert_eq!(audit.denied(), 2);
+        for rec in audit.records() {
+            assert_eq!(rec.op, PrivOpKind::Announce);
+            assert_eq!(rec.reason, Some(DenyReason::ShadowAnnounce));
+        }
+        // The true owner's answer for its own announced service passes.
+        bus.handle(SimTime::ZERO, hit(ssd, ssd), &mut fx);
+        assert!(matches!(
+            &fx[0],
+            BusEffect::Deliver { to, env, .. }
+                if *to == nic && matches!(env.payload, Payload::QueryHit { .. })
+        ));
+    }
+
+    #[test]
+    fn flood_limiter_sheds_and_audits_excess() {
+        let (mut bus, nic, ssd, _) = setup();
+        bus.enable_audit(16);
+        bus.set_security_policy(SecurityPolicy {
+            flood_limit: Some(3),
+            flood_window: SimDuration::from_micros(10),
+            ..SecurityPolicy::default()
+        });
+        fn hb(bus: &mut SystemBus, src: DeviceId, t: SimTime) {
+            let mut fx = Vec::new();
+            bus.handle(
+                t,
+                Envelope {
+                    src,
+                    dst: Dst::Bus,
+                    req: RequestId(0),
+                    corr: CorrId::NONE,
+                    payload: Payload::Heartbeat,
+                },
+                &mut fx,
+            );
+        }
+        let t0 = SimTime::ZERO;
+        for _ in 0..8 {
+            hb(&mut bus, nic, t0);
+        }
+        assert_eq!(bus.stats().flood_dropped, 5); // 8 sent, 3 allowed
+        assert_eq!(bus.audit().unwrap().rate_limited(), 5);
+        // Another sender is unaffected (the cap is per sender)…
+        let mut fx = Vec::new();
+        bus.handle(
+            t0,
+            Envelope {
+                src: ssd,
+                dst: Dst::Bus,
+                req: RequestId(0),
+                corr: CorrId::NONE,
+                payload: Payload::Heartbeat,
+            },
+            &mut fx,
+        );
+        assert_eq!(bus.stats().flood_dropped, 5);
+        // …and the window resets.
+        hb(&mut bus, nic, t0 + SimDuration::from_micros(10));
+        assert_eq!(bus.stats().flood_dropped, 5);
     }
 }

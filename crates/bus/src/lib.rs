@@ -31,7 +31,15 @@
 //! appends [`bus::BusEffect`]s for the surrounding simulator to apply. That
 //! keeps the crate independent of any particular device or memory model and
 //! makes every protocol rule unit-testable in isolation.
+//!
+//! For the E11 security evaluation, [`audit`] adds an opt-in record of
+//! every privileged-operation verdict plus hardening policy knobs
+//! (shadow-announce denial, flood limiting); see `DESIGN.md §11` for the
+//! threat model this evidence feeds.
 
+#![warn(missing_docs)]
+
+pub mod audit;
 pub mod bus;
 pub mod cost;
 pub mod ids;
@@ -39,6 +47,9 @@ pub mod message;
 pub mod retry;
 pub mod wire;
 
+pub use audit::{
+    BusAudit, BusAuditDelta, BusAuditRecord, BusVerdict, DenyReason, PrivOpKind, SecurityPolicy,
+};
 pub use bus::{BusEffect, BusError, SystemBus};
 pub use cost::BusCostModel;
 pub use ids::{ConnId, DeviceId, RequestId, ServiceId, Token};

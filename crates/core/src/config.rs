@@ -1,6 +1,6 @@
 //! System-wide configuration.
 
-use lastcpu_bus::{BusCostModel, RetryConfig};
+use lastcpu_bus::{BusCostModel, RetryConfig, SecurityPolicy};
 use lastcpu_net::NetCostModel;
 use lastcpu_sim::{FaultPlan, QueueEngine, SimDuration};
 
@@ -45,6 +45,17 @@ pub struct SystemConfig {
     /// default; the binary heap is retained as the E9 `--engine heap`
     /// baseline. Both produce bit-identical runs.
     pub queue_engine: QueueEngine,
+    /// Enable the E11 security audit: every DMA translation verdict and
+    /// every privileged bus operation is recorded (`sec.*` metrics plus
+    /// `security_denial` trace events), so denied accesses are *provably*
+    /// denied. Off by default — the audit is observation, and performance
+    /// experiments don't pay for it.
+    pub security_audit: bool,
+    /// Bus hardening policy (shadow-announce denial, control-flood
+    /// limiting). The default policy changes nothing; see
+    /// [`SecurityPolicy::hardened`] for the settings the E11 attack matrix
+    /// runs under.
+    pub security_policy: SecurityPolicy,
 }
 
 impl Default for SystemConfig {
@@ -63,6 +74,8 @@ impl Default for SystemConfig {
             fault_plan: None,
             rpc_retry: None,
             queue_engine: QueueEngine::Wheel,
+            security_audit: false,
+            security_policy: SecurityPolicy::default(),
         }
     }
 }

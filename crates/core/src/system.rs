@@ -115,6 +115,12 @@ pub struct TunnelDelivery {
     pub corr: CorrId,
 }
 
+/// Bound on retained audit detail records (denials / privileged-op
+/// verdicts) per audit when [`SystemConfig::security_audit`] is on. The
+/// exact verdict *counters* are unbounded; only detail records are capped,
+/// so an attacker cannot turn the audit into a memory-exhaustion vector.
+const SEC_AUDIT_CAP: usize = 4096;
+
 /// Pre-registered per-device metric handles (`{subsystem}.{name}.*` keys), so
 /// hot-path updates are a `Cell` add with no map lookup.
 struct SlotMetrics {
@@ -127,6 +133,8 @@ struct SlotMetrics {
     retries: CounterHandle,
     /// Down-to-re-registered latency of this device's recoveries.
     recovery_latency: HistogramHandle,
+    /// DMA translations denied for this device (E11 security audit).
+    sec_dma_denied: CounterHandle,
 }
 
 /// Maps a device kind string to the metric-key subsystem prefix.
@@ -151,6 +159,7 @@ fn slot_metrics(hub: &MetricsHub, kind: &str, name: &str) -> SlotMetrics {
         iommu_faults: hub.counter_handle(&format!("iommu.{name}.faults")),
         retries: hub.counter_handle(&format!("bus.{name}.retries")),
         recovery_latency: hub.histogram_handle(&format!("bus.{name}.recovery_latency")),
+        sec_dma_denied: hub.counter_handle(&format!("sec.{name}.dma_denied")),
     }
 }
 
@@ -171,6 +180,14 @@ struct SysMetrics {
     msgs_delayed: CounterHandle,
     rpc_retries: CounterHandle,
     rpc_give_ups: CounterHandle,
+    /// E11 security audit: DMA translation verdicts.
+    sec_dma_allowed: CounterHandle,
+    sec_dma_denied: CounterHandle,
+    /// E11 security audit: privileged bus-operation verdicts.
+    sec_privops_allowed: CounterHandle,
+    sec_privops_denied: CounterHandle,
+    /// E11 security audit: control messages shed by the flood limiter.
+    sec_flood_dropped: CounterHandle,
 }
 
 impl SysMetrics {
@@ -191,6 +208,11 @@ impl SysMetrics {
             msgs_delayed: hub.counter_handle("fault.msgs_delayed"),
             rpc_retries: hub.counter_handle("bus.rpc_retries"),
             rpc_give_ups: hub.counter_handle("bus.rpc_give_ups"),
+            sec_dma_allowed: hub.counter_handle("sec.dma_allowed"),
+            sec_dma_denied: hub.counter_handle("sec.dma_denied"),
+            sec_privops_allowed: hub.counter_handle("sec.privops_allowed"),
+            sec_privops_denied: hub.counter_handle("sec.privops_denied"),
+            sec_flood_dropped: hub.counter_handle("sec.flood_dropped"),
         }
     }
 }
@@ -340,7 +362,11 @@ pub struct System {
 impl System {
     /// Creates an empty machine.
     pub fn new(config: SystemConfig) -> Self {
-        let bus = SystemBus::new().with_cost_model(config.bus_cost);
+        let mut bus = SystemBus::new().with_cost_model(config.bus_cost);
+        bus.set_security_policy(config.security_policy);
+        if config.security_audit {
+            bus.enable_audit(SEC_AUDIT_CAP);
+        }
         let switch = Switch::new().with_cost_model(config.net_cost);
         let trace = if config.trace {
             TraceSink::default()
@@ -419,7 +445,7 @@ impl System {
         self.slots.push(Slot {
             id,
             device,
-            iommu: Iommu::new(self.config.iotlb_entries),
+            iommu: self.new_iommu(),
             rng: self.root_rng.split(id.0 as u64),
             next_req: 0,
             port: None,
@@ -435,6 +461,16 @@ impl System {
         DeviceHandle { id, idx }
     }
 
+    /// Builds a per-device IOMMU honouring the machine's IOTLB size and,
+    /// when [`SystemConfig::security_audit`] is set, the DMA audit.
+    fn new_iommu(&self) -> Iommu {
+        let mut mmu = Iommu::new(self.config.iotlb_entries);
+        if self.config.security_audit {
+            mmu.enable_audit(SEC_AUDIT_CAP);
+        }
+        mmu
+    }
+
     fn add_device_inner(&mut self, device: Box<dyn Device>, with_port: bool) -> DeviceHandle {
         let id = self.bus.attach(device.name(), device.kind());
         let idx = self.slots.len();
@@ -447,7 +483,7 @@ impl System {
         self.slots.push(Slot {
             id,
             device,
-            iommu: Iommu::new(self.config.iotlb_entries),
+            iommu: self.new_iommu(),
             rng: self.root_rng.split(id.0 as u64),
             next_req: 0,
             port,
@@ -482,7 +518,7 @@ impl System {
         self.slots.push(Slot {
             id,
             device: Box::new(dev),
-            iommu: Iommu::new(self.config.iotlb_entries),
+            iommu: self.new_iommu(),
             rng: self.root_rng.split(id.0 as u64),
             next_req: 0,
             port: None,
@@ -777,9 +813,11 @@ impl System {
                     }
                 }
                 let src = env.src;
+                let corr = env.corr;
                 let was_hello = matches!(env.payload, Payload::Hello { .. });
                 let mut fx = Vec::new();
                 self.bus.handle(now, env, &mut fx);
+                self.drain_bus_audit(now, corr);
                 self.apply_bus_effects(now, fx);
                 if was_hello {
                     self.note_possible_recovery(now, src);
@@ -1311,8 +1349,90 @@ impl System {
             slot.met.iommu_faults.add(faults.len() as u64);
             self.met.iommu_faults.add(faults.len() as u64);
         }
+        // E11 audit: convert this dispatch's DMA verdicts into `sec.*`
+        // metrics and `security_denial` trace events, exactly once.
+        if let Some(audit) = slot.iommu.audit_mut() {
+            let delta = audit.drain();
+            if delta.allowed > 0 {
+                self.met.sec_dma_allowed.add(delta.allowed);
+            }
+            if delta.denied > 0 {
+                self.met.sec_dma_denied.add(delta.denied);
+                slot.met.sec_dma_denied.add(delta.denied);
+            }
+            if self.trace.is_enabled() && !delta.records.is_empty() {
+                let name = slot.device.name().to_string();
+                for r in &delta.records {
+                    self.trace.emit_data(
+                        now,
+                        format!("sec.{name}"),
+                        corr,
+                        TraceData::SecurityDenial {
+                            device: name.clone(),
+                            check: "dma".to_string(),
+                            detail: format!(
+                                "pasid {} va {:#x} {:?}: {:?}",
+                                r.pasid.0,
+                                r.va.as_u64(),
+                                r.access,
+                                r.kind
+                            ),
+                        },
+                    );
+                }
+            }
+        }
         for a in actions {
             self.apply_action(idx, t, corr, a);
+        }
+    }
+
+    /// Converts freshly recorded bus-audit verdicts into `sec.*` metrics
+    /// and `security_denial` trace events (called after every
+    /// `bus.handle()`).
+    fn drain_bus_audit(&mut self, now: SimTime, corr: CorrId) {
+        let Some(delta) = self.bus.audit_mut().map(|a| a.drain()) else {
+            return;
+        };
+        if delta.allowed > 0 {
+            self.met.sec_privops_allowed.add(delta.allowed);
+        }
+        if delta.denied > 0 {
+            self.met.sec_privops_denied.add(delta.denied);
+        }
+        if delta.rate_limited > 0 {
+            self.met.sec_flood_dropped.add(delta.rate_limited);
+        }
+        if self.trace.is_enabled() {
+            for r in &delta.records {
+                if r.verdict == lastcpu_bus::BusVerdict::Allowed {
+                    continue;
+                }
+                let device = self
+                    .bus
+                    .device(r.src)
+                    .map(|e| e.name.clone())
+                    .unwrap_or_else(|| format!("{}", r.src));
+                let check = match r.op {
+                    lastcpu_bus::PrivOpKind::RegisterController => "register_controller",
+                    lastcpu_bus::PrivOpKind::MapInstruction => "map_instruction",
+                    lastcpu_bus::PrivOpKind::Announce => "announce",
+                    lastcpu_bus::PrivOpKind::Control => "control",
+                };
+                self.trace.emit_data(
+                    now,
+                    "sec.bus",
+                    corr,
+                    TraceData::SecurityDenial {
+                        device,
+                        check: check.to_string(),
+                        detail: format!(
+                            "{:?} (resource {:?}, target {:?})",
+                            r.reason, r.resource, r.target
+                        ),
+                    },
+                );
+            }
         }
     }
 

@@ -16,10 +16,14 @@
 //! measure the translation-overhead claim, and a walk-cost model charging
 //! one table-node access per level on a miss.
 
+#![warn(missing_docs)]
+
+pub mod audit;
 pub mod fault;
 pub mod tlb;
 pub mod unit;
 
+pub use audit::{AccessVerdict, DmaAudit, DmaAuditDelta, DmaDenialRecord};
 pub use fault::{AccessKind, IommuFault, IommuFaultKind};
 pub use tlb::{Iotlb, TlbStats};
 pub use unit::{Iommu, IommuCostModel, IommuStats, TranslationOutcome};

@@ -6,6 +6,7 @@ use std::fmt;
 use lastcpu_mem::{MapError, PageTable, Pasid, Perms, PhysAddr, TranslateError, VirtAddr};
 use lastcpu_sim::SimDuration;
 
+use crate::audit::{DmaAudit, DmaDenialRecord};
 use crate::fault::{AccessKind, IommuFault, IommuFaultKind};
 use crate::tlb::{Iotlb, TlbStats};
 
@@ -87,6 +88,7 @@ pub struct Iommu {
     cost: IommuCostModel,
     stats: IommuStats,
     last_fault: Option<IommuFault>,
+    audit: Option<DmaAudit>,
 }
 
 impl Iommu {
@@ -98,7 +100,26 @@ impl Iommu {
             cost: IommuCostModel::default(),
             stats: IommuStats::default(),
             last_fault: None,
+            audit: None,
         }
+    }
+
+    /// Enables the security audit ([`DmaAudit`]), keeping at most `cap`
+    /// denial records. Idempotent; existing audit state is kept.
+    pub fn enable_audit(&mut self, cap: usize) {
+        if self.audit.is_none() {
+            self.audit = Some(DmaAudit::new(cap));
+        }
+    }
+
+    /// The audit record, if [`Iommu::enable_audit`] was called.
+    pub fn audit(&self) -> Option<&DmaAudit> {
+        self.audit.as_ref()
+    }
+
+    /// Mutable audit access (the event core drains denial records here).
+    pub fn audit_mut(&mut self) -> Option<&mut DmaAudit> {
+        self.audit.as_mut()
     }
 
     /// Replaces the cost model.
@@ -199,6 +220,9 @@ impl Iommu {
         // (matches real hardware re-walk behaviour).
         if let Some((frame_pa, _perms)) = self.tlb.lookup(pasid, va, needed) {
             self.stats.translations += 1;
+            if let Some(a) = self.audit.as_mut() {
+                a.record_allowed();
+            }
             return Ok(TranslationOutcome {
                 pa: PhysAddr::new(frame_pa.as_u64() | va.page_offset()),
                 cost,
@@ -219,6 +243,9 @@ impl Iommu {
                     .saturating_mul(tr.walk_accesses as u64);
                 self.tlb.insert(pasid, va, tr.pa.page_base(), tr.perms);
                 self.stats.translations += 1;
+                if let Some(a) = self.audit.as_mut() {
+                    a.record_allowed();
+                }
                 Ok(TranslationOutcome {
                     pa: tr.pa,
                     cost,
@@ -252,7 +279,31 @@ impl Iommu {
         };
         self.stats.faults += 1;
         self.last_fault = Some(f);
+        if let Some(a) = self.audit.as_mut() {
+            a.record_denied(DmaDenialRecord {
+                pasid,
+                va,
+                access,
+                kind,
+            });
+        }
         f
+    }
+
+    /// Read-only translation oracle: would `access` be allowed *right now*?
+    ///
+    /// Returns the physical address the access would reach, or `None` if it
+    /// would fault. Unlike [`Iommu::translate`] this touches **nothing** —
+    /// no IOTLB fill or LRU update, no statistics, no fault register, no
+    /// audit record — so tests and the E11 security bench can use it to
+    /// prove an access is denied (or still allowed) without perturbing the
+    /// deterministic simulation state.
+    pub fn probe(&self, pasid: Pasid, va: VirtAddr, access: AccessKind) -> Option<PhysAddr> {
+        let table = self.tables.get(&pasid)?;
+        table
+            .translate(va, access.required_perms())
+            .ok()
+            .map(|tr| tr.pa)
     }
 
     /// The most recent fault, if any (a debug register, as on real units).

@@ -41,4 +41,4 @@ pub use client::{KvsClientHost, WorkloadConfig};
 pub use cpu_app::KvsCpuApp;
 pub use engine::KvEngine;
 pub use router::{RouterConfig, RouterStats, ShardRouterHost};
-pub use server::{KvsServer, ServerConfig, ServerState, ServerStats};
+pub use server::{KvsServer, ServerConfig, ServerState, ServerStats, VA_STRIDE};

@@ -34,7 +34,11 @@ const MAX_BACKLOG: usize = 512;
 /// VA — there is no unmap protocol for an owner that survived its peer — so
 /// each reconnect maps its fresh region at a fresh VA instead of aliasing
 /// the stale mapping.
-const VA_STRIDE: u64 = 0x0100_0000;
+///
+/// Public because the E11 security evaluation probes exactly these windows
+/// (generation `g` lives at `va_base + g * VA_STRIDE`): a rotated-away
+/// generation must be revoked, not merely unused.
+pub const VA_STRIDE: u64 = 0x0100_0000;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -87,7 +91,7 @@ pub enum ServerState {
     /// Serving requests.
     Ready,
     /// Lost a backing resource (peer death, setup failure). Transient: the
-    /// failure sites immediately call [`KvsServer::restart`], which answers
+    /// failure sites immediately call `KvsServer::restart`, which answers
     /// everything queued with [`KvsStatus::Unavailable`] and re-enters the
     /// discovery pipeline, so a revived SSD/memory controller brings the
     /// server back without outside intervention.

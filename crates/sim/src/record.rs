@@ -87,6 +87,18 @@ pub enum TraceData {
     QueueDoorbell { to: String, value: u64 },
     /// A device halted or was killed.
     DeviceFault { device: String, detail: String },
+    /// A security check refused an operation (E11 audit layer): a DMA
+    /// outside the accessor's mapped windows, a privileged bus operation
+    /// from a non-controller, a shadowed service announcement, or a
+    /// flood-limited control message.
+    SecurityDenial {
+        /// Device whose access or request was refused.
+        device: String,
+        /// Check that refused it, e.g. `"dma"`, `"map_instruction"`.
+        check: String,
+        /// Human-readable denial detail.
+        detail: String,
+    },
     /// Free-form annotation.
     Text(String),
 }
@@ -123,6 +135,11 @@ impl fmt::Display for TraceData {
                 write!(f, "doorbell -> {to}: value {value:#x}")
             }
             TraceData::DeviceFault { device: _, detail } => write!(f, "{detail}"),
+            TraceData::SecurityDenial {
+                device,
+                check,
+                detail,
+            } => write!(f, "denied [{check}] {device}: {detail}"),
             TraceData::Text(s) => write!(f, "{s}"),
         }
     }
@@ -142,6 +159,7 @@ impl TraceData {
             TraceData::DmaGrant { .. } => "dma_grant",
             TraceData::QueueDoorbell { .. } => "queue_doorbell",
             TraceData::DeviceFault { .. } => "device_fault",
+            TraceData::SecurityDenial { .. } => "security_denial",
             TraceData::Text(_) => "text",
         }
     }

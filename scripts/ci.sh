@@ -15,6 +15,12 @@
 #                        same-seed double run yields byte-identical
 #                        BENCH_e10.json, and the machine-kill audit keeps
 #                        every acked write at R=2
+#   8. docs gate         cargo doc --no-deps with rustdoc warnings as
+#                        errors, plus an explicit doctest run
+#   9. security smoke    e11_security (one seed, reduced ops): a same-seed
+#                        double run yields byte-identical BENCH_e11.json,
+#                        every hardened row reports leaked == 0 and an
+#                        intact workload (any leak fails CI)
 #
 # Set CI_CRITERION=1 to additionally run the criterion host-time benches
 # (opt-in: they are measurements, not pass/fail gates, and take minutes).
@@ -35,6 +41,12 @@ cargo build --offline --release
 
 echo "==> tier-1: cargo test -q"
 cargo test --offline -q
+
+echo "==> docs gate: cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
+
+echo "==> docs gate: doctests"
+cargo test --offline -q --doc
 
 echo "==> observability smoke test (f2_init_sequence)"
 tmp="$(mktemp -d)"
@@ -160,6 +172,50 @@ PY
 else
     grep -q '"lost_acked_keys"' "$tmp/BENCH_e10_a.json" || {
         echo "FAIL: no crash audit in BENCH_e10.json"; exit 1;
+    }
+fi
+
+echo "==> security smoke test (e11_security, one seed, double run)"
+# Reduced matrix: one seed (3601 = 0xE11), 120 ops, 2-machine rack at R=2.
+# The gate is the paper's isolation claim made executable: every hardened
+# row must report leaked == 0 with an intact workload, and two same-seed
+# runs must produce byte-identical artifacts.
+e11_flags=(--seeds 3601 --ops 120 --keys 40 --machines 2 --replication 2)
+cargo run --offline --release -q -p lastcpu-bench --bin e11_security -- \
+    "${e11_flags[@]}" --out "$tmp/BENCH_e11_a.json" >/dev/null
+cargo run --offline --release -q -p lastcpu-bench --bin e11_security -- \
+    "${e11_flags[@]}" --out "$tmp/BENCH_e11_b.json" >/dev/null
+cmp -s "$tmp/BENCH_e11_a.json" "$tmp/BENCH_e11_b.json" || {
+    echo "FAIL: same-seed BENCH_e11.json runs differ"; exit 1;
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e11_a.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "e11" and d["schema_version"] == 1, d.keys()
+assert d["leaked_total_hardened"] == 0, \
+    f"SECURITY LEAK: leaked_total_hardened = {d['leaked_total_hardened']}"
+hardened = [c for c in d["single"] if c["policy"] == "hardened"]
+assert hardened, "no hardened single-machine cells"
+for c in hardened:
+    assert c["leaked_total"] == 0, f"leak in single cell: {c}"
+    assert c["integrity_ok"], f"workload integrity violated: {c}"
+    assert c["client_errors"] == 0, c
+    kinds = {a["kind"] for a in c["attacks"]}
+    assert kinds == {"wild-dma", "stale-generation", "confused-deputy",
+                     "ssdp-spoof", "control-flood"}, kinds
+assert d["rack"], "no rack cells"
+for c in d["rack"]:
+    assert c["leaked_total"] == 0, f"leak in rack cell: {c}"
+    assert c["clients_done"] and c["client_errors"] == 0, c
+    assert c["lost_acked_keys"] == 0, c
+blocked = sum(a["blocked"] for c in hardened for a in c["attacks"])
+print(f"    byte-identical double run; 0 leaks, {blocked} blocked "
+      f"verdicts audited (single + rack)")
+PY
+else
+    grep -q '"leaked_total_hardened": 0' "$tmp/BENCH_e11_a.json" || {
+        echo "FAIL: leaked_total_hardened != 0 in BENCH_e11.json"; exit 1;
     }
 fi
 
