@@ -22,28 +22,40 @@
 //! `EXPERIMENTS.md`. The JSON carries events/sec, ns/event and
 //! allocations/event per phase per engine, plus wheel-over-heap speedups
 //! when both engines run.
+//!
+//! With `--profile` the run also prints a per-scope allocation attribution
+//! table (which `subsystem.site` the allocations/event figure comes from);
+//! `--profile-out <path>` dumps the full profile snapshot as JSON. Profiling
+//! is excluded from the headline numbers' contract: run without `--profile`
+//! when comparing against recorded baselines.
 
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use lastcpu_bench::Table;
+use lastcpu_bench::{ObsArgs, Table};
 use lastcpu_core::SystemConfig;
 use lastcpu_kvs::build_cpuless_kvs;
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
 use lastcpu_kvs::server::ServerConfig;
-use lastcpu_sim::{DetRng, EventQueue, QueueEngine, SimDuration};
+use lastcpu_sim::{export, profile, DetRng, EventQueue, QueueEngine, SimDuration};
 
 /// Counting allocator: allocations/event is a first-class metric here —
 /// the zero-copy envelope and buffer-reuse work shows up in this number.
+/// Every allocation is also forwarded to [`lastcpu_sim::profile::note_alloc`],
+/// so running with `--profile` attributes the total to `subsystem.site`
+/// scopes (the E12 attribution axis) at no cost when profiling is off.
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
-// SAFETY: delegates to the std system allocator; only adds a counter.
+// SAFETY: delegates to the std system allocator; only adds counters
+// (`note_alloc` is written to be callable from a global allocator: it never
+// allocates and tolerates TLS teardown).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        lastcpu_sim::profile::note_alloc(layout.size());
         unsafe { SystemAlloc.alloc(layout) }
     }
 
@@ -53,6 +65,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        lastcpu_sim::profile::note_alloc(new_size);
         unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
     }
 }
@@ -198,12 +211,19 @@ fn run_queue_phase(engine: QueueEngine, depth: usize, ops: u64) -> Sample {
 /// closed loops that the engine never idles, run for a fixed slice of
 /// virtual time. Events/sec here is the whole simulator — queue, bus
 /// routing, DMA, devices — per wall-clock second.
-fn run_system_phase(engine: QueueEngine, clients: usize, outstanding: usize, vms: u64) -> Sample {
-    let sys_config = SystemConfig {
+fn run_system_phase(
+    engine: QueueEngine,
+    clients: usize,
+    outstanding: usize,
+    vms: u64,
+    obs: &ObsArgs,
+) -> Sample {
+    let mut sys_config = SystemConfig {
         trace: false,
         queue_engine: engine,
         ..SystemConfig::default()
     };
+    obs.apply(&mut sys_config);
     let server = ServerConfig {
         cache_entries: 512,
         ..ServerConfig::default()
@@ -234,6 +254,8 @@ fn run_system_phase(engine: QueueEngine, clients: usize, outstanding: usize, vms
     let wall = t0.elapsed().as_secs_f64();
     let allocs = allocs_now() - allocs0;
     assert!(events > 0, "system made no progress");
+    // Sweep convention: dump after every run, last one wins on disk.
+    obs.dump(&setup.system);
     Sample {
         events,
         wall_seconds: wall,
@@ -243,6 +265,8 @@ fn run_system_phase(engine: QueueEngine, clients: usize, outstanding: usize, vms
 
 fn main() {
     let args = Args::parse();
+    let obs = ObsArgs::from_env();
+    obs.begin();
     println!("E9: engine throughput — wall-clock events/sec of the simulator core");
     println!(
         "    (queue churn depth {}, {} ops; system: {} clients x {} outstanding, {} ms virtual)",
@@ -267,18 +291,31 @@ fn main() {
         }
     };
     let mut results: Vec<(QueueEngine, Sample, Sample)> = Vec::new();
+    // Every run counts toward the profiler's attribution denominator, kept
+    // or not — the profiler accumulates across the whole process.
+    let mut total_events: u64 = 0;
     for &engine in &args.engines {
         let mut queue = run_queue_phase(engine, args.queue_depth, args.queue_ops);
-        let mut system = run_system_phase(engine, args.clients, args.outstanding, args.virtual_ms);
+        let mut system = run_system_phase(
+            engine,
+            args.clients,
+            args.outstanding,
+            args.virtual_ms,
+            &obs,
+        );
+        total_events += queue.events + system.events;
         for _ in 1..args.repeat {
-            queue = best(
-                queue,
-                run_queue_phase(engine, args.queue_depth, args.queue_ops),
+            let q = run_queue_phase(engine, args.queue_depth, args.queue_ops);
+            let s = run_system_phase(
+                engine,
+                args.clients,
+                args.outstanding,
+                args.virtual_ms,
+                &obs,
             );
-            system = best(
-                system,
-                run_system_phase(engine, args.clients, args.outstanding, args.virtual_ms),
-            );
+            total_events += q.events + s.events;
+            queue = best(queue, q);
+            system = best(system, s);
         }
         for (phase, s) in [("queue", &queue), ("system", &system)] {
             t.row_strings(vec![
@@ -293,6 +330,49 @@ fn main() {
         results.push((engine, queue, system));
     }
     t.print();
+
+    if obs.profile {
+        let snap = profile::snapshot();
+        println!();
+        println!("allocation attribution ({total_events} events across all runs):");
+        let mut pt = Table::new(&["scope", "allocs", "bytes", "allocs/event", "share"]);
+        let denom = total_events.max(1) as f64;
+        let total_allocs = snap.total_allocs().max(1) as f64;
+        let mut scopes: Vec<_> = snap.scopes.iter().filter(|s| s.allocs > 0).collect();
+        scopes.sort_by(|a, b| b.allocs.cmp(&a.allocs).then(a.name.cmp(b.name)));
+        for s in scopes {
+            pt.row_strings(vec![
+                s.name.into(),
+                s.allocs.to_string(),
+                s.alloc_bytes.to_string(),
+                format!("{:.3}", s.allocs as f64 / denom),
+                format!("{:.1}%", 100.0 * s.allocs as f64 / total_allocs),
+            ]);
+        }
+        pt.row_strings(vec![
+            "(unattributed)".into(),
+            snap.unattributed_allocs.to_string(),
+            snap.unattributed_bytes.to_string(),
+            format!("{:.3}", snap.unattributed_allocs as f64 / denom),
+            format!(
+                "{:.1}%",
+                100.0 * snap.unattributed_allocs as f64 / total_allocs
+            ),
+        ]);
+        pt.print();
+        println!(
+            "attributed: {:.1}% of {} allocations",
+            100.0 * snap.attributed_alloc_fraction(),
+            snap.total_allocs()
+        );
+        if let Some(path) = &obs.profile_out {
+            let body = export::profile_json(&snap, true);
+            match std::fs::write(path, &body) {
+                Ok(()) => println!("wrote profile to {path}"),
+                Err(e) => eprintln!("failed to write profile to {path}: {e}"),
+            }
+        }
+    }
 
     let speedups = match (
         results.iter().find(|(e, _, _)| *e == QueueEngine::Wheel),

@@ -22,9 +22,11 @@
 //! control-storm generators, allocation churners, DMA probes).
 
 pub mod drivers;
+pub mod json;
 pub mod obs;
 pub mod table;
 pub mod twotenant;
 
+pub use json::Json;
 pub use obs::ObsArgs;
 pub use table::Table;

@@ -1,6 +1,6 @@
 //! Observability CLI plumbing shared by every experiment binary.
 //!
-//! Every experiment accepts two optional flags:
+//! Every experiment accepts these optional flags:
 //!
 //! - `--trace-out <path>` — dump the protocol trace. A `.json` extension
 //!   selects Chrome `trace_event` format (loadable in Perfetto /
@@ -9,6 +9,12 @@
 //! - `--metrics-out <path>` — dump the metrics-hub snapshot. A `.json`
 //!   extension selects a JSON document; any other extension selects a
 //!   Prometheus-style text exposition.
+//! - `--profile` — enable the E12 attribution profiler (scoped allocation
+//!   accounting + hot-path span timing) for the run.
+//! - `--profile-out <path>` — dump the profile snapshot as JSON after the
+//!   run; implies `--profile`. Wall-clock fields are included (they are
+//!   host noise by definition; the dedicated `e12_attribution` binary has
+//!   a `--no-wall` mode for byte-stable artifacts).
 //!
 //! Unknown flags are ignored so experiments keep their own argument
 //! conventions. Requesting `--trace-out` also forces tracing on in the
@@ -17,18 +23,24 @@
 //!
 //! Sweep-style experiments build a fresh [`System`] per configuration;
 //! they dump after every run, so the artifact on disk describes the
-//! **last** configuration of the sweep.
+//! **last** configuration of the sweep. The profiler, by contrast, is
+//! process-wide (thread-local) state: its dump covers everything since
+//! [`ObsArgs::begin`].
 
 use lastcpu_core::{System, SystemConfig};
-use lastcpu_sim::export;
+use lastcpu_sim::{export, profile};
 
-/// Parsed `--trace-out` / `--metrics-out` arguments.
+/// Parsed observability arguments (see module docs).
 #[derive(Debug, Default, Clone)]
 pub struct ObsArgs {
     /// Trace dump destination, if requested.
     pub trace_out: Option<String>,
     /// Metrics dump destination, if requested.
     pub metrics_out: Option<String>,
+    /// Whether `--profile` (or `--profile-out`) was given.
+    pub profile: bool,
+    /// Profile dump destination, if requested.
+    pub profile_out: Option<String>,
 }
 
 impl ObsArgs {
@@ -45,6 +57,11 @@ impl ObsArgs {
             match a.as_str() {
                 "--trace-out" => out.trace_out = it.next(),
                 "--metrics-out" => out.metrics_out = it.next(),
+                "--profile" => out.profile = true,
+                "--profile-out" => {
+                    out.profile_out = it.next();
+                    out.profile = true;
+                }
                 _ => {}
             }
         }
@@ -53,13 +70,22 @@ impl ObsArgs {
 
     /// Whether any artifact was requested.
     pub fn any(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.profile_out.is_some()
     }
 
     /// Forces tracing on in `config` when a trace dump was requested.
     pub fn apply(&self, config: &mut SystemConfig) {
         if self.trace_out.is_some() {
             config.trace = true;
+        }
+    }
+
+    /// Arms the profiler when `--profile` was requested. Call once on the
+    /// measuring thread before the workload; a no-op otherwise.
+    pub fn begin(&self) {
+        if self.profile {
+            profile::reset();
+            profile::set_enabled(true);
         }
     }
 
@@ -82,6 +108,10 @@ impl ObsArgs {
                 export::metrics_prometheus(system.stats())
             };
             write_artifact(path, &body, "metrics");
+        }
+        if let Some(path) = &self.profile_out {
+            let body = export::profile_json(&profile::snapshot(), true);
+            write_artifact(path, &body, "profile");
         }
     }
 }
@@ -113,7 +143,20 @@ mod tests {
         assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
         assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
         assert!(a.any());
+        assert!(!a.profile);
         assert!(!ObsArgs::parse(Vec::new()).any());
+    }
+
+    #[test]
+    fn profile_out_implies_profile() {
+        let a = ObsArgs::parse(["--profile-out", "p.json"].map(String::from));
+        assert!(a.profile);
+        assert_eq!(a.profile_out.as_deref(), Some("p.json"));
+        assert!(a.any());
+        let b = ObsArgs::parse(["--profile"].map(String::from));
+        assert!(b.profile);
+        assert!(b.profile_out.is_none());
+        assert!(!b.any(), "--profile alone writes no artifact");
     }
 
     #[test]

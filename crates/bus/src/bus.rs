@@ -18,11 +18,10 @@
 //! 3. Failure of a device is broadcast to everyone, followed by a reset
 //!    attempt (§4 "Error Handling").
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use lastcpu_sim::{CorrId, SimDuration, SimTime};
+use lastcpu_sim::{CorrId, DetHashMap, SimDuration, SimTime};
 
 use crate::audit::{BusAudit, BusAuditRecord, BusVerdict, DenyReason, PrivOpKind, SecurityPolicy};
 use crate::cost::BusCostModel;
@@ -185,10 +184,10 @@ pub struct BusStats {
 /// assert!(matches!(fx[0], lastcpu_bus::BusEffect::Deliver { .. })); // HelloAck
 /// ```
 pub struct SystemBus {
-    devices: HashMap<DeviceId, DeviceEntry>,
+    devices: DetHashMap<DeviceId, DeviceEntry>,
     order: Vec<DeviceId>,
     next_id: u32,
-    controllers: HashMap<ResourceKind, DeviceId>,
+    controllers: DetHashMap<ResourceKind, DeviceId>,
     cost: BusCostModel,
     heartbeat_timeout: SimDuration,
     stats: BusStats,
@@ -200,7 +199,7 @@ pub struct SystemBus {
     /// Opt-in hardening policy; the default changes nothing.
     policy: SecurityPolicy,
     /// Flood-limiter state: per-sender (window start, messages in window).
-    flood: HashMap<DeviceId, (SimTime, u32)>,
+    flood: DetHashMap<DeviceId, (SimTime, u32)>,
 }
 
 impl Default for SystemBus {
@@ -213,17 +212,17 @@ impl SystemBus {
     /// A bus with default cost model and a 10 ms heartbeat timeout.
     pub fn new() -> Self {
         SystemBus {
-            devices: HashMap::new(),
+            devices: DetHashMap::default(),
             order: Vec::new(),
             next_id: 1, // 0 is the bus itself
-            controllers: HashMap::new(),
+            controllers: DetHashMap::default(),
             cost: BusCostModel::default(),
             heartbeat_timeout: SimDuration::from_millis(10),
             stats: BusStats::default(),
             cur_corr: CorrId::NONE,
             audit: None,
             policy: SecurityPolicy::default(),
-            flood: HashMap::new(),
+            flood: DetHashMap::default(),
         }
     }
 

@@ -385,6 +385,7 @@ impl Envelope {
     /// sequence over the body (see [`frame_check`]); corruption in flight is
     /// detected at decode and the frame dropped rather than misparsed.
     pub fn encode(&self) -> Vec<u8> {
+        let _prof = lastcpu_sim::profile::span("bus.encode");
         let mut w = WireWriter::new();
         w.u32(self.src.0);
         match self.dst {
@@ -407,6 +408,7 @@ impl Envelope {
     /// Decodes from the wire format, requiring the buffer to hold exactly
     /// one message and its frame check sequence.
     pub fn decode(buf: &[u8]) -> Result<Envelope, WireError> {
+        let _prof = lastcpu_sim::profile::span("bus.decode");
         let Some(body_len) = buf.len().checked_sub(4) else {
             return Err(WireError::Truncated);
         };

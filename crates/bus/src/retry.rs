@@ -27,11 +27,9 @@
 //! caller-provided [`DetRng`], so a seeded run replays its retry schedule
 //! bit-identically.
 
-use std::collections::HashMap;
-
 use crate::ids::{DeviceId, RequestId};
 use crate::message::{Dst, Envelope, Payload};
-use lastcpu_sim::{BackoffPolicy, DetRng, SimDuration, SimTime};
+use lastcpu_sim::{BackoffPolicy, DetHashMap, DetRng, SimDuration, SimTime};
 
 impl Payload {
     /// Whether this payload is a request that expects a matching reply,
@@ -160,7 +158,7 @@ pub struct RetryStats {
 #[derive(Debug, Default)]
 pub struct RpcTracker {
     config: RetryConfig,
-    pending: HashMap<(DeviceId, RequestId), PendingRpc>,
+    pending: DetHashMap<(DeviceId, RequestId), PendingRpc>,
     stats: RetryStats,
 }
 
@@ -169,7 +167,7 @@ impl RpcTracker {
     pub fn new(config: RetryConfig) -> Self {
         RpcTracker {
             config,
-            pending: HashMap::new(),
+            pending: DetHashMap::default(),
             stats: RetryStats::default(),
         }
     }

@@ -24,6 +24,15 @@ pub enum HostAction {
     },
     /// Emit a trace record.
     Trace(String),
+    /// Emit a critical-path stage mark (see [`lastcpu_sim::critpath`]).
+    Stage {
+        /// Milestone label (`client.issue`, `router.recv`, …).
+        stage: &'static str,
+        /// Primary join key.
+        id: u64,
+        /// Secondary disambiguator.
+        aux: u64,
+    },
 }
 
 /// Execution context of a host callback.
@@ -37,6 +46,10 @@ pub struct HostCtx<'a> {
     pub corr: CorrId,
     /// The system-wide metrics hub (hosts record end-to-end latencies).
     pub stats: &'a MetricsHub,
+    /// Whether the system's trace sink is collecting. Hosts use this to
+    /// skip building [`HostAction::Trace`] / [`HostAction::Stage`] payloads
+    /// on hot paths when nothing would record them.
+    pub tracing: bool,
     rng: &'a mut DetRng,
     actions: Vec<HostAction>,
 }
@@ -55,9 +68,17 @@ impl<'a> HostCtx<'a> {
             port,
             corr,
             stats,
+            tracing: false,
             rng,
             actions: Vec::new(),
         }
+    }
+
+    /// Marks the context as tracing-enabled (the simulator sets this from
+    /// the trace sink's state before each callback).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
     }
 
     /// The host's deterministic RNG.
@@ -79,6 +100,15 @@ impl<'a> HostCtx<'a> {
     /// Emits a trace record.
     pub fn trace(&mut self, what: impl Into<String>) {
         self.actions.push(HostAction::Trace(what.into()));
+    }
+
+    /// Emits a critical-path stage mark. A no-op while the trace sink is
+    /// disabled, so per-operation marks cost performance runs nothing.
+    #[inline]
+    pub fn stage(&mut self, stage: &'static str, id: u64, aux: u64) {
+        if self.tracing {
+            self.actions.push(HostAction::Stage { stage, id, aux });
+        }
     }
 
     /// Consumes the context. Called by the simulator only.
@@ -121,5 +151,28 @@ mod tests {
         assert!(matches!(&a[0], HostAction::NetTx(f) if f.src == PortId(3) && f.dst == PortId(9)));
         assert!(matches!(a[1], HostAction::SetTimer { token: 7, .. }));
         assert!(matches!(&a[2], HostAction::Trace(_)));
+    }
+
+    #[test]
+    fn stage_marks_follow_the_tracing_flag() {
+        let stats = MetricsHub::new();
+        let mut rng = DetRng::new(1);
+        let mut off = HostCtx::new(SimTime::ZERO, PortId(3), &stats, &mut rng, CorrId::NONE);
+        off.stage("client.issue", 1, 2);
+        assert!(off.finish().is_empty(), "marks dropped while not tracing");
+
+        let mut rng = DetRng::new(1);
+        let mut on = HostCtx::new(SimTime::ZERO, PortId(3), &stats, &mut rng, CorrId::NONE)
+            .with_tracing(true);
+        on.stage("client.issue", 1, 2);
+        let a = on.finish();
+        assert!(matches!(
+            a[0],
+            HostAction::Stage {
+                stage: "client.issue",
+                id: 1,
+                aux: 2
+            }
+        ));
     }
 }

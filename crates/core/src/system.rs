@@ -1,7 +1,6 @@
 //! The machine: devices + bus + memory + network under one event loop.
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use lastcpu_bus::bus::DeviceState;
@@ -14,8 +13,9 @@ use lastcpu_iommu::{AccessKind, Iommu, IommuFault, IommuFaultKind};
 use lastcpu_mem::{Dram, MapError, Pasid, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
 use lastcpu_net::{Frame, PortId, Switch};
 use lastcpu_sim::{
-    CorrId, CounterHandle, DetRng, EventQueue, FaultEvent, FaultKind, GaugeHandle, HistogramHandle,
-    MetricsHub, SimDuration, SimTime, TraceData, TraceSink,
+    profile, CorrId, CounterHandle, DetHashMap, DetHashSet, DetRng, EventQueue, FaultEvent,
+    FaultKind, GaugeHandle, HistogramHandle, MetricsHub, SimDuration, SimTime, TraceData,
+    TraceSink,
 };
 
 use crate::config::SystemConfig;
@@ -89,6 +89,23 @@ enum Event {
     Fault(usize),
     /// Sweep the RPC tracker for lapsed reply deadlines.
     RetryCheck,
+}
+
+/// Maps an event to the profiling scope its handling is attributed to.
+/// Grouped by mechanism (the attribution table wants "where do the
+/// allocations come from", not one row per enum variant).
+fn scope_of(ev: &Event) -> &'static str {
+    match ev {
+        Event::Start(_) | Event::Reset { .. } => "engine.lifecycle",
+        Event::BusMsg(_) => "engine.bus_msg",
+        Event::Deliver { .. } => "engine.deliver",
+        Event::Timer { .. } => "engine.timer",
+        Event::Map { .. } | Event::Unmap { .. } => "engine.map",
+        Event::InboxPop(_) => "engine.inbox_pop",
+        Event::NetDeliver { .. } => "engine.net_deliver",
+        Event::HostStart(_) | Event::HostTimer { .. } => "engine.host",
+        Event::Liveness | Event::Fault(_) | Event::RetryCheck => "engine.maintenance",
+    }
 }
 
 /// A unit of work waiting in a device's ingress FIFO.
@@ -335,11 +352,11 @@ pub struct System {
     bus: SystemBus,
     dram: Dram,
     slots: Vec<Slot>,
-    by_id: HashMap<DeviceId, usize>,
+    by_id: DetHashMap<DeviceId, usize>,
     hosts: Vec<HostSlot>,
     switch: Switch,
-    port_to_slot: HashMap<PortId, usize>,
-    port_to_host: HashMap<PortId, usize>,
+    port_to_slot: DetHashMap<PortId, usize>,
+    port_to_host: DetHashMap<PortId, usize>,
     trace: TraceSink,
     stats: MetricsHub,
     met: SysMetrics,
@@ -354,7 +371,7 @@ pub struct System {
     rpc: Option<RpcState>,
     /// Switch ports owned by an embedding rack fabric (see
     /// [`System::add_tunnel_port`]).
-    tunnel_ports: std::collections::HashSet<PortId>,
+    tunnel_ports: DetHashSet<PortId>,
     /// Frames delivered to tunnel ports, awaiting [`System::drain_tunnel`].
     tunnel_out: Vec<TunnelDelivery>,
 }
@@ -397,11 +414,11 @@ impl System {
             bus,
             dram: Dram::new(config.dram_bytes),
             slots: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: DetHashMap::default(),
             hosts: Vec::new(),
             switch,
-            port_to_slot: HashMap::new(),
-            port_to_host: HashMap::new(),
+            port_to_slot: DetHashMap::default(),
+            port_to_host: DetHashMap::default(),
             trace,
             stats,
             met,
@@ -411,7 +428,7 @@ impl System {
             memctl_id: None,
             fault_events,
             rpc,
-            tunnel_ports: std::collections::HashSet::new(),
+            tunnel_ports: DetHashSet::default(),
             tunnel_out: Vec::new(),
             config,
         }
@@ -619,7 +636,10 @@ impl System {
     /// fabric steps machines one event at a time so cross-machine causality
     /// is never reordered.
     pub fn step(&mut self) -> Option<SimTime> {
-        let ev = self.queue.pop()?;
+        let ev = {
+            let _pop = profile::span("engine.pop");
+            self.queue.pop()?
+        };
         let at = ev.at;
         self.handle(at, ev.event);
         Some(at)
@@ -659,6 +679,14 @@ impl System {
     /// The protocol trace.
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// Raises (or lowers) the trace sink's retention bound. Offline
+    /// analyses that walk a whole run — e.g. [`lastcpu_sim::critpath`]
+    /// over an E12 rack phase — call this before `power_on` so the default
+    /// ring does not evict the records they join on.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
     }
 
     /// DRAM (content inspection in tests).
@@ -723,7 +751,12 @@ impl System {
     /// processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(ev) = self.queue.pop_until(deadline) {
+        loop {
+            let popped = {
+                let _pop = profile::span("engine.pop");
+                self.queue.pop_until(deadline)
+            };
+            let Some(ev) = popped else { break };
             self.handle(ev.at, ev.event);
             n += 1;
         }
@@ -741,7 +774,11 @@ impl System {
     pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events {
-            match self.queue.pop() {
+            let popped = {
+                let _pop = profile::span("engine.pop");
+                self.queue.pop()
+            };
+            match popped {
                 Some(ev) => {
                     self.handle(ev.at, ev.event);
                     n += 1;
@@ -793,6 +830,9 @@ impl System {
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
+        // Per-event attribution scope: every allocation and sim-ns charge
+        // below lands on this event family's row of the E12 table.
+        let _scope = profile::span(scope_of(&ev));
         match ev {
             Event::Start(idx) => {
                 let corr = self.fresh_corr();
@@ -877,6 +917,7 @@ impl System {
                     // The port belongs to an embedding rack fabric: the
                     // frame leaves this machine. The fabric drains it after
                     // this step and models the inter-machine link.
+                    let _tun = profile::span("fabric.tunnel_out");
                     if self.trace.is_enabled() {
                         self.trace.emit_data(
                             now,
@@ -1334,7 +1375,8 @@ impl System {
             &mut slot.next_req,
             corr,
             &self.stats,
-        );
+        )
+        .with_tracing(self.trace.is_enabled());
         f(slot.device.as_mut(), &mut ctx);
         let (actions, mut elapsed, faults) = ctx.finish();
         if slot.faults.slow_factor > 1 && now < slot.faults.slow_until {
@@ -1345,6 +1387,9 @@ impl System {
         slot.busy_until = now + elapsed;
         let t = slot.busy_until;
         slot.met.handler_ns.record(elapsed);
+        // The handler's modeled service time is the sim-ns cost of whatever
+        // event scope this dispatch ran under.
+        profile::charge_sim(elapsed.as_nanos());
         if !faults.is_empty() {
             slot.met.iommu_faults.add(faults.len() as u64);
             self.met.iommu_faults.add(faults.len() as u64);
@@ -1444,7 +1489,8 @@ impl System {
         f: impl FnOnce(&mut dyn NetHost, &mut HostCtx<'_>),
     ) {
         let hs = &mut self.hosts[hidx];
-        let mut ctx = HostCtx::new(now, hs.port, &self.stats, &mut hs.rng, corr);
+        let mut ctx = HostCtx::new(now, hs.port, &self.stats, &mut hs.rng, corr)
+            .with_tracing(self.trace.is_enabled());
         f(hs.host.as_mut(), &mut ctx);
         let actions = ctx.finish();
         for a in actions {
@@ -1457,6 +1503,11 @@ impl System {
                 HostAction::Trace(s) => {
                     let name = self.hosts[hidx].host.name().to_string();
                     self.trace.emit_data(now, name, corr, TraceData::Text(s));
+                }
+                HostAction::Stage { stage, id, aux } => {
+                    let name = self.hosts[hidx].host.name().to_string();
+                    self.trace
+                        .emit_data(now, name, corr, TraceData::Stage { stage, id, aux });
                 }
             }
         }
@@ -1555,6 +1606,11 @@ impl System {
             Action::Trace(s) => {
                 let name = self.slots[idx].device.name().to_string();
                 self.trace.emit_data(t, name, corr, TraceData::Text(s));
+            }
+            Action::Stage { stage, id, aux } => {
+                let name = self.slots[idx].device.name().to_string();
+                self.trace
+                    .emit_data(t, name, corr, TraceData::Stage { stage, id, aux });
             }
             Action::Halt { reason } => {
                 let id = self.slots[idx].id;

@@ -51,6 +51,15 @@ pub enum Action {
     NetTx(Frame),
     /// Emit a trace record.
     Trace(String),
+    /// Emit a critical-path stage mark (see `lastcpu_sim::critpath`).
+    Stage {
+        /// Milestone label (`server.recv`, `server.done`, …).
+        stage: &'static str,
+        /// Primary join key.
+        id: u64,
+        /// Secondary disambiguator.
+        aux: u64,
+    },
     /// The device declares itself failed (self-detected fatal error). The
     /// simulator tells the bus, which fences and broadcasts (§4).
     Halt {
@@ -75,6 +84,10 @@ pub struct DeviceCtx<'a> {
     /// counters/histograms here (keyed `subsystem.device.metric`); handles
     /// obtained once are plain `Cell` writes on the hot path.
     pub stats: &'a MetricsHub,
+    /// Whether the system's trace sink is collecting. Devices use this to
+    /// skip building [`Action::Trace`] / [`Action::Stage`] payloads on hot
+    /// paths when nothing would record them.
+    pub tracing: bool,
     iommu: &'a mut Iommu,
     dram: &'a mut Dram,
     rng: &'a mut DetRng,
@@ -108,6 +121,7 @@ impl<'a> DeviceCtx<'a> {
             port,
             corr,
             stats,
+            tracing: false,
             iommu,
             dram,
             rng,
@@ -116,6 +130,13 @@ impl<'a> DeviceCtx<'a> {
             actions: Vec::new(),
             faults: Vec::new(),
         }
+    }
+
+    /// Marks the context as tracing-enabled (the simulator sets this from
+    /// the trace sink's state before each callback).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
     }
 
     /// Consumes the context, returning queued actions, accumulated cost and
@@ -183,6 +204,15 @@ impl<'a> DeviceCtx<'a> {
     /// Emits a trace record.
     pub fn trace(&mut self, what: impl Into<String>) {
         self.actions.push(Action::Trace(what.into()));
+    }
+
+    /// Emits a critical-path stage mark. A no-op while the trace sink is
+    /// disabled, so per-operation marks cost performance runs nothing.
+    #[inline]
+    pub fn stage(&mut self, stage: &'static str, id: u64, aux: u64) {
+        if self.tracing {
+            self.actions.push(Action::Stage { stage, id, aux });
+        }
     }
 
     /// Declares the device failed.

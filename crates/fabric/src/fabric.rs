@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use lastcpu_core::{System, TunnelDelivery};
 use lastcpu_net::{Frame, NetCostModel, PortId};
 use lastcpu_sim::{
-    CorrId, CounterHandle, EventQueue, FaultEvent, FaultKind, FaultPlan, GaugeHandle, MetricsHub,
-    SimDuration, SimTime, TraceSink,
+    profile, CorrId, CounterHandle, EventQueue, FaultEvent, FaultKind, FaultPlan, GaugeHandle,
+    MetricsHub, SimDuration, SimTime, TraceData, TraceSink,
 };
 
 use crate::proto::{DirEndpoint, DirMsg};
@@ -134,6 +134,9 @@ pub struct Fabric {
     dir_epoch: u64,
     faults: Vec<FaultEvent>,
     metrics: MetricsHub,
+    /// Fabric-level trace (link-hop timing records). Off by default so the
+    /// throughput experiments pay only a branch per forwarded frame.
+    trace: TraceSink,
     // Pre-registered fabric metrics.
     m_frames_forwarded: CounterHandle,
     m_frames_dropped: CounterHandle,
@@ -161,6 +164,8 @@ impl Fabric {
         let m_faults_applied = metrics.counter_handle("fabric.faults_applied");
         let g_dir_epoch = metrics.gauge_handle("fabric.dir_epoch");
         let g_machines_dead = metrics.gauge_handle("fabric.machines_dead");
+        let mut trace = TraceSink::default();
+        trace.set_enabled(false);
         Fabric {
             cfg,
             machines: Vec::new(),
@@ -170,6 +175,7 @@ impl Fabric {
             dir_epoch: 0,
             faults: Vec::new(),
             metrics,
+            trace,
             m_frames_forwarded,
             m_frames_dropped,
             m_frames_delayed,
@@ -192,6 +198,27 @@ impl Fabric {
     /// `fabric.link.m{i}.*`).
     pub fn metrics(&self) -> &MetricsHub {
         &self.metrics
+    }
+
+    /// Turns fabric link-hop tracing on or off. When on, every forwarded
+    /// frame leaves one [`TraceData::LinkHop`] record carrying its
+    /// uplink/spine/downlink timing split, which
+    /// [`merged_trace`](Self::merged_trace) interleaves with the machine
+    /// traces so the E12 critical-path analyzer can attribute cross-machine
+    /// transit time to the actual link stages.
+    pub fn set_link_tracing(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// Raises (or lowers) the link-hop trace retention bound; see
+    /// [`TraceSink::set_capacity`].
+    pub fn set_link_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// The fabric's own trace (link-hop records only).
+    pub fn link_trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Current global virtual time.
@@ -365,20 +392,32 @@ impl Fabric {
     /// carries it through [`TunnelDelivery`] and re-injects it) and its
     /// records on both machines merge into a single cross-machine span.
     pub fn merged_trace(&self) -> TraceSink {
-        let total: usize = self.machines.iter().map(|s| s.sys.trace().len()).sum();
+        let total: usize = self
+            .machines
+            .iter()
+            .map(|s| s.sys.trace().len())
+            .sum::<usize>()
+            + self.trace.len();
+        let nmach = self.machines.len();
         let mut records: Vec<(usize, &lastcpu_sim::TraceRecord)> = Vec::with_capacity(total);
         for (m, slot) in self.machines.iter().enumerate() {
             records.extend(slot.sys.trace().events().map(|r| (m, r)));
         }
+        // Fabric link-hop records sort after same-time machine records.
+        records.extend(self.trace.events().map(|r| (nmach, r)));
         records.sort_by_key(|&(m, r)| (r.at, m));
         let mut out = TraceSink::bounded(total.max(1));
         for (m, r) in records {
-            out.emit_data(
-                r.at,
-                format!("{}/{}", self.machines[m].name, r.source),
-                r.corr,
-                r.data.clone(),
-            );
+            if m == nmach {
+                out.emit_data(r.at, r.source.clone(), r.corr, r.data.clone());
+            } else {
+                out.emit_data(
+                    r.at,
+                    format!("{}/{}", self.machines[m].name, r.source),
+                    r.corr,
+                    r.data.clone(),
+                );
+            }
         }
         out
     }
@@ -414,6 +453,7 @@ impl Fabric {
 
     /// Crosses the inter-machine link from `a` to `peer.machine`.
     fn forward(&mut self, a: usize, peer: RemotePeer, d: TunnelDelivery) {
+        let _prof = profile::span("fabric.forward");
         let b = peer.machine as usize;
         if self.machines[a].dead || self.machines[b].dead {
             self.m_frames_dropped.incr();
@@ -456,6 +496,32 @@ impl Fabric {
         let down_done = down_start + tx;
         self.machines[b].down_busy = down_done;
         let deliver = down_done + self.cfg.link_cost.propagation + extra;
+        // Attribution: the three stage durations below sum exactly to
+        // `deliver - d.at` (uplink queue+tx, spine switch+propagation+fault
+        // delay, downlink queue+tx), so the E12 analyzer's hop split can
+        // never exceed the observed transit window it is matched against.
+        let uplink_ns = up_done.as_nanos() - d.at.as_nanos();
+        let spine_ns = deliver.as_nanos() - down_done.as_nanos()
+            + self.cfg.link_cost.switch_latency.as_nanos();
+        let downlink_ns = down_done.as_nanos() - at_spine.as_nanos();
+        profile::charge_sim_to("fabric.uplink", uplink_ns);
+        profile::charge_sim_to("fabric.spine", spine_ns);
+        profile::charge_sim_to("fabric.downlink", downlink_ns);
+        if self.trace.is_enabled() {
+            self.trace.emit_data(
+                deliver,
+                "fabric",
+                d.corr,
+                TraceData::LinkHop {
+                    src_machine: a,
+                    dst_machine: b,
+                    bytes: wire,
+                    uplink_ns,
+                    spine_ns,
+                    downlink_ns,
+                },
+            );
+        }
         // The frame re-enters b with its source rewritten to b's proxy for
         // the original sender, so replies tunnel back symmetrically.
         let src_on_b = self.proxy_port(b, a as u32, d.frame.src);
@@ -673,6 +739,65 @@ mod tests {
     #[test]
     fn co_simulation_is_deterministic() {
         assert_eq!(two_machine_ping(42), two_machine_ping(42));
+    }
+
+    #[test]
+    fn link_hops_are_traced_when_enabled() {
+        let mut fab = Fabric::new(FabricConfig::default());
+        let m0 = fab.add_machine("m0", quiet_sys(3));
+        let m1 = fab.add_machine("m1", quiet_sys(4));
+        let echo_port = fab.machine_mut(m1).add_host(Box::new(Echo));
+        let tunnel = fab.open_tunnel(m0, m1, echo_port);
+        fab.machine_mut(m0).add_host(Box::new(Pinger {
+            target: tunnel,
+            payload: vec![9; 64],
+            replies: Vec::new(),
+        }));
+        fab.set_link_tracing(true);
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(5));
+        let merged = fab.merged_trace();
+        let hops: Vec<_> = merged
+            .events()
+            .filter_map(|r| match &r.data {
+                TraceData::LinkHop {
+                    src_machine,
+                    dst_machine,
+                    bytes,
+                    uplink_ns,
+                    spine_ns,
+                    downlink_ns,
+                } => Some((
+                    *src_machine,
+                    *dst_machine,
+                    *bytes,
+                    uplink_ns + spine_ns + downlink_ns,
+                )),
+                _ => None,
+            })
+            .collect();
+        // Request hop m0 -> m1 and echo reply hop m1 -> m0.
+        assert_eq!(hops.len(), 2, "hops: {hops:?}");
+        assert_eq!((hops[0].0, hops[0].1), (0, 1));
+        assert_eq!((hops[1].0, hops[1].1), (1, 0));
+        let wire = 64 + lastcpu_net::FRAME_OVERHEAD_BYTES;
+        let cost = &FabricConfig::default().link_cost;
+        let expect = 2 * cost.serialize(wire).as_nanos()
+            + cost.switch_latency.as_nanos()
+            + cost.propagation.as_nanos();
+        for h in &hops {
+            assert_eq!(h.2, wire);
+            // Uncontended links: the split is exactly 2×tx + switch + prop.
+            assert_eq!(h.3, expect);
+        }
+    }
+
+    #[test]
+    fn link_tracing_is_off_by_default() {
+        two_machine_ping(77); // exercises forward()
+        let fab = Fabric::new(FabricConfig::default());
+        assert!(!fab.link_trace().is_enabled());
+        assert!(fab.link_trace().is_empty());
     }
 
     #[test]

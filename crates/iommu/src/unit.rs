@@ -212,6 +212,7 @@ impl Iommu {
         va: VirtAddr,
         access: AccessKind,
     ) -> Result<TranslationOutcome, IommuFault> {
+        let _prof = lastcpu_sim::profile::span("iommu.translate");
         let needed = access.required_perms();
         let mut cost = self.cost.tlb_lookup;
         // The TLB only reports a hit when the cached permissions cover the

@@ -14,7 +14,7 @@
 //!
 //! A tombstone is `vlen == u32::MAX` with no value bytes.
 
-use std::collections::HashMap;
+use lastcpu_sim::DetHashMap;
 
 /// Tombstone marker.
 const TOMBSTONE: u32 = u32::MAX;
@@ -72,7 +72,7 @@ pub struct EngineStats {
 
 /// The index + log-head state of the store.
 pub struct KvEngine {
-    index: HashMap<Vec<u8>, ValueRef>,
+    index: DetHashMap<Vec<u8>, ValueRef>,
     /// Next append offset in the log file.
     cursor: u64,
     stats: EngineStats,
@@ -82,7 +82,7 @@ impl KvEngine {
     /// An empty engine with the log head at zero.
     pub fn new() -> Self {
         KvEngine {
-            index: HashMap::new(),
+            index: DetHashMap::default(),
             cursor: 0,
             stats: EngineStats::default(),
         }
@@ -103,6 +103,7 @@ impl KvEngine {
 
     /// Looks up where a key's value lives.
     pub fn get(&self, key: &[u8]) -> Option<ValueRef> {
+        let _prof = lastcpu_sim::profile::span("kvs.engine.get");
         self.index.get(key).copied()
     }
 
@@ -121,6 +122,7 @@ impl KvEngine {
     /// writes the bytes at the offset (through whatever storage path its
     /// deployment uses).
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(u64, Vec<u8>), EngineError> {
+        let _prof = lastcpu_sim::profile::span("kvs.engine.put");
         if key.len() > MAX_KEY {
             return Err(EngineError::KeyTooLong);
         }

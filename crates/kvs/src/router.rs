@@ -30,12 +30,16 @@
 //!
 //! [`DirMsg::Query`]: lastcpu_fabric::DirMsg::Query
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use lastcpu_sim::DetHashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use lastcpu_core::{HostCtx, NetHost};
 use lastcpu_fabric::{DirMsg, HashRing};
 use lastcpu_net::{Frame, PortId};
-use lastcpu_sim::{CounterHandle, GaugeHandle, SimDuration, SimTime};
+use lastcpu_sim::critpath::{
+    op_key, STAGE_ROUTER_ACK, STAGE_ROUTER_RECV, STAGE_ROUTER_RESPOND, STAGE_ROUTER_SUB,
+};
+use lastcpu_sim::{profile, CounterHandle, GaugeHandle, SimDuration, SimTime};
 
 use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
 
@@ -177,7 +181,7 @@ pub struct ShardRouterHost {
     /// Pending client requests by arrival sequence.
     pending: BTreeMap<u64, PendingReq>,
     /// Sub-request id → pending sequence.
-    sub_index: HashMap<u64, u64>,
+    sub_index: DetHashMap<u64, u64>,
     /// Keys whose PUT the router has acknowledged to a client. The E10
     /// crash scenario audits these against surviving machines' indices.
     acked_puts: BTreeSet<Vec<u8>>,
@@ -190,15 +194,22 @@ impl ShardRouterHost {
     /// [`System::add_host`](lastcpu_core::System::add_host).
     pub fn new(config: RouterConfig) -> Self {
         let vnodes = config.vnodes;
+        // Salt the sub-id stream with the machine's directory port so sub
+        // ids are unique *rack-wide*, not just per router — the E12
+        // critical-path analyzer joins server-side stage marks on them
+        // across a merged multi-machine trace. The salt lives in bits
+        // 40..56, so ids stay ≥ SUB_ID_BASE and the id-range triage in
+        // `on_frame` is unaffected.
+        let salt = ((config.dir_port.0 as u64) & 0xFFFF) << 40;
         ShardRouterHost {
             config,
             ring: HashRing::new(vnodes),
             endpoints: BTreeMap::new(),
             epoch: 0,
-            next_sub_id: SUB_ID_BASE,
+            next_sub_id: SUB_ID_BASE | salt,
             next_seq: 0,
             pending: BTreeMap::new(),
-            sub_index: HashMap::new(),
+            sub_index: DetHashMap::default(),
             acked_puts: BTreeSet::new(),
             stats: RouterStats::default(),
             met: None,
@@ -349,11 +360,13 @@ impl ShardRouterHost {
             sent_at: ctx.now,
             ack: None,
         });
+        let opk = op_key(p.client.0, p.client_id);
         self.sub_index.insert(id, seq);
         self.stats.hits += 1;
         if let Some(met) = &self.met {
             met.hits.incr();
         }
+        ctx.stage(STAGE_ROUTER_SUB, id, opk);
         ctx.net_tx(port, req.encode());
     }
 
@@ -367,6 +380,11 @@ impl ShardRouterHost {
     }
 
     fn respond(ctx: &mut HostCtx<'_>, p: &PendingReq, status: KvsStatus, value: Vec<u8>) {
+        ctx.stage(
+            STAGE_ROUTER_RESPOND,
+            op_key(p.client.0, p.client_id),
+            status as u64,
+        );
         ctx.net_tx(
             p.client,
             KvsResponse {
@@ -527,6 +545,7 @@ impl ShardRouterHost {
                 return;
             };
             sub.ack = Some(resp.status);
+            ctx.stage(STAGE_ROUTER_ACK, resp.id, op_key(p.client.0, p.client_id));
             matches!(p.op, Op::Get)
         };
         match resp.status {
@@ -577,6 +596,7 @@ impl ShardRouterHost {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
+        ctx.stage(STAGE_ROUTER_RECV, op_key(src.0, client_id), seq);
         self.pending.insert(
             seq,
             PendingReq {
@@ -640,6 +660,7 @@ impl NetHost for ShardRouterHost {
     }
 
     fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame) {
+        let _prof = profile::span("kvs.router.dispatch");
         // 1. Directory replies (magic-tagged, and only ever from the
         //    directory port).
         if frame.src == self.config.dir_port && DirMsg::sniff(&frame.payload) {

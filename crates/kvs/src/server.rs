@@ -11,7 +11,8 @@
 //! log, then serve. GETs read values from the SSD through the VIRTIO
 //! queue (unless the small NIC-local cache hits); PUTs append records.
 
-use std::collections::{HashMap, VecDeque};
+use lastcpu_sim::DetHashMap;
+use std::collections::VecDeque;
 
 use lastcpu_bus::{DeviceId, Token};
 use lastcpu_devices::device::DeviceCtx;
@@ -20,6 +21,7 @@ use lastcpu_devices::session::{FileSession, SessionEvent, SessionState};
 use lastcpu_devices::ssd::{FileOp, FileStatus, DOORBELL_WORK};
 use lastcpu_mem::Pasid;
 use lastcpu_net::PortId;
+use lastcpu_sim::critpath::{STAGE_SERVER_DONE, STAGE_SERVER_RECV};
 use lastcpu_sim::{CounterHandle, SimDuration};
 
 use crate::engine::{KvEngine, LogScanner};
@@ -173,7 +175,7 @@ impl HubCounters {
 
 /// A tiny LRU value cache (the NIC-local DRAM cache of KV-Direct).
 struct ValueCache {
-    map: HashMap<Vec<u8>, Vec<u8>>,
+    map: DetHashMap<Vec<u8>, Vec<u8>>,
     order: VecDeque<Vec<u8>>,
     capacity: usize,
 }
@@ -181,7 +183,7 @@ struct ValueCache {
 impl ValueCache {
     fn new(capacity: usize) -> Self {
         ValueCache {
-            map: HashMap::new(),
+            map: DetHashMap::default(),
             order: VecDeque::new(),
             capacity,
         }
@@ -233,7 +235,7 @@ pub struct KvsServer {
     file_size: u64,
     rebuild_next: u64,
     rebuild_inflight: u64,
-    inflight: HashMap<u16, Pending>,
+    inflight: DetHashMap<u16, Pending>,
     backlog: VecDeque<(PortId, KvsRequest)>,
     cache: ValueCache,
     stats: ServerStats,
@@ -265,7 +267,7 @@ impl KvsServer {
             file_size: 0,
             rebuild_next: 0,
             rebuild_inflight: 0,
-            inflight: HashMap::new(),
+            inflight: DetHashMap::default(),
             backlog: VecDeque::new(),
             cache,
             stats: ServerStats::default(),
@@ -398,6 +400,19 @@ impl KvsServer {
         out
     }
 
+    /// Pushes one response and emits its `server.done` critical-path mark
+    /// (every response path funnels through here so the E12 analyzer can
+    /// join the replica side of each operation).
+    fn respond(
+        ctx: &mut DeviceCtx<'_>,
+        out: &mut Vec<(PortId, Vec<u8>)>,
+        port: PortId,
+        resp: KvsResponse,
+    ) {
+        ctx.stage(STAGE_SERVER_DONE, resp.id, resp.status as u64);
+        out.push((port, resp.encode()));
+    }
+
     /// Handles one network request. Returns response payloads to transmit.
     pub fn on_request(
         &mut self,
@@ -406,6 +421,7 @@ impl KvsServer {
         req: KvsRequest,
     ) -> Vec<(PortId, Vec<u8>)> {
         let mut out = Vec::new();
+        ctx.stage(STAGE_SERVER_RECV, req.id(), 0);
         if self.state != ServerState::Ready {
             // `Unavailable` = lost a backing resource (recovery under way);
             // `Busy` = still starting up or overloaded. Clients treat the
@@ -416,15 +432,16 @@ impl KvsServer {
             } else {
                 KvsStatus::Busy
             };
-            out.push((
+            Self::respond(
+                ctx,
+                &mut out,
                 src,
                 KvsResponse {
                     id: req.id(),
                     status,
                     value: vec![],
-                }
-                .encode(),
-            ));
+                },
+            );
             return out;
         }
         ctx.busy(self.config.per_request_cost);
@@ -433,15 +450,16 @@ impl KvsServer {
             if let Some(met) = &self.met {
                 met.shed.incr();
             }
-            out.push((
+            Self::respond(
+                ctx,
+                &mut out,
                 src,
                 KvsResponse {
                     id: req.id(),
                     status: KvsStatus::Busy,
                     value: vec![],
-                }
-                .encode(),
-            ));
+                },
+            );
             return out;
         }
         self.backlog.push_back((src, req));
@@ -480,6 +498,7 @@ impl KvsServer {
                         }
                         // Serialize straight from the borrowed cache value:
                         // no intermediate clone into a KvsResponse.
+                        ctx.stage(STAGE_SERVER_DONE, id, KvsStatus::Ok as u64);
                         out.push((src, encode_response(id, KvsStatus::Ok, v)));
                         continue;
                     }
@@ -510,15 +529,16 @@ impl KvsServer {
                             if let Some(met) = &self.met {
                                 met.misses.incr();
                             }
-                            out.push((
+                            Self::respond(
+                                ctx,
+                                out,
                                 src,
                                 KvsResponse {
                                     id,
                                     status: KvsStatus::NotFound,
                                     value: vec![],
-                                }
-                                .encode(),
-                            ));
+                                },
+                            );
                         }
                     }
                 }
@@ -548,28 +568,30 @@ impl KvsServer {
                                     if let Some(met) = &self.met {
                                         met.shed.incr();
                                     }
-                                    out.push((
+                                    Self::respond(
+                                        ctx,
+                                        out,
                                         src,
                                         KvsResponse {
                                             id,
                                             status: KvsStatus::Busy,
                                             value: vec![],
-                                        }
-                                        .encode(),
-                                    ));
+                                        },
+                                    );
                                 }
                             }
                         }
                         Err(_) => {
-                            out.push((
+                            Self::respond(
+                                ctx,
+                                out,
                                 src,
                                 KvsResponse {
                                     id,
                                     status: KvsStatus::Error,
                                     value: vec![],
-                                }
-                                .encode(),
-                            ));
+                                },
+                            );
                         }
                     }
                 }
@@ -590,15 +612,16 @@ impl KvsServer {
                                     if let Some(met) = &self.met {
                                         met.shed.incr();
                                     }
-                                    out.push((
+                                    Self::respond(
+                                        ctx,
+                                        out,
                                         src,
                                         KvsResponse {
                                             id,
                                             status: KvsStatus::Busy,
                                             value: vec![],
-                                        }
-                                        .encode(),
-                                    ));
+                                        },
+                                    );
                                 }
                             }
                         }
@@ -611,26 +634,28 @@ impl KvsServer {
                             if let Some(met) = &self.met {
                                 met.misses.incr();
                             }
-                            out.push((
+                            Self::respond(
+                                ctx,
+                                out,
                                 src,
                                 KvsResponse {
                                     id,
                                     status: KvsStatus::NotFound,
                                     value: vec![],
-                                }
-                                .encode(),
-                            ));
+                                },
+                            );
                         }
                         Err(_) => {
-                            out.push((
+                            Self::respond(
+                                ctx,
+                                out,
                                 src,
                                 KvsResponse {
                                     id,
                                     status: KvsStatus::Error,
                                     value: vec![],
-                                }
-                                .encode(),
-                            ));
+                                },
+                            );
                         }
                     }
                 }
@@ -714,7 +739,7 @@ impl KvsServer {
                             value: vec![],
                         }
                     };
-                    out.push((port, resp.encode()));
+                    Self::respond(ctx, out, port, resp);
                 }
                 Pending::Put {
                     port,
@@ -740,7 +765,7 @@ impl KvsServer {
                             value: vec![],
                         }
                     };
-                    out.push((port, resp.encode()));
+                    Self::respond(ctx, out, port, resp);
                 }
                 Pending::Delete { port, id } => {
                     self.stats.deletes += 1;
@@ -756,7 +781,7 @@ impl KvsServer {
                         },
                         value: vec![],
                     };
-                    out.push((port, resp.encode()));
+                    Self::respond(ctx, out, port, resp);
                 }
                 Pending::Rebuild { len } => {
                     self.rebuild_inflight -= 1;
@@ -825,29 +850,31 @@ impl KvsServer {
                 Some(Pending::Rebuild { .. }) | None => continue,
             };
             self.note_unavailable();
-            out.push((
+            Self::respond(
+                ctx,
+                out,
                 port,
                 KvsResponse {
                     id,
                     status: KvsStatus::Unavailable,
                     value: vec![],
-                }
-                .encode(),
-            ));
+                },
+            );
         }
         self.inflight.clear();
         // Fail the backlog in arrival order.
         while let Some((port, req)) = self.backlog.pop_front() {
             self.note_unavailable();
-            out.push((
+            Self::respond(
+                ctx,
+                out,
                 port,
                 KvsResponse {
                     id: req.id(),
                     status: KvsStatus::Unavailable,
                     value: vec![],
-                }
-                .encode(),
-            ));
+                },
+            );
         }
         // Drop the dead session and the (now untrusted) index; the rebuild
         // scan will reconstruct it from the log on reconnect.

@@ -1,9 +1,8 @@
 //! A store-and-forward switch with per-egress-port serialization.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use lastcpu_sim::{SimDuration, SimTime};
+use lastcpu_sim::{DetHashMap, SimDuration, SimTime};
 
 use crate::Frame;
 
@@ -72,7 +71,7 @@ pub struct SwitchStats {
 pub struct Switch {
     ports: Vec<PortId>,
     next_port: u32,
-    busy_until: HashMap<PortId, SimTime>,
+    busy_until: DetHashMap<PortId, SimTime>,
     cost: NetCostModel,
     stats: SwitchStats,
 }
@@ -89,7 +88,7 @@ impl Switch {
         Switch {
             ports: Vec::new(),
             next_port: 1,
-            busy_until: HashMap::new(),
+            busy_until: DetHashMap::default(),
             cost: NetCostModel::default(),
             stats: SwitchStats::default(),
         }

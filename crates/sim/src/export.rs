@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use crate::metrics::MetricsHub;
+use crate::profile::ProfileSnapshot;
 use crate::record::TraceRecord;
 use crate::stats::Histogram;
 use crate::trace::TraceSink;
@@ -203,6 +204,51 @@ pub fn metrics_json(hub: &MetricsHub) -> String {
     )
 }
 
+/// A profile snapshot (see [`crate::profile::snapshot`]) as one JSON object.
+///
+/// Scopes are sorted by name so the output is diffable. When `include_wall`
+/// is false every wall-clock field is omitted: the remaining numbers are
+/// pure functions of the simulated run, so two same-seed runs export
+/// byte-identical documents (the E12 determinism gate relies on this).
+pub fn profile_json(snap: &ProfileSnapshot, include_wall: bool) -> String {
+    let mut scopes: Vec<_> = snap.scopes.iter().collect();
+    scopes.sort_by_key(|s| s.name);
+    let rows: Vec<String> = scopes
+        .iter()
+        .map(|s| {
+            let mut row = format!(
+                "\"{}\":{{\"allocs\":{},\"alloc_bytes\":{},\"spans\":{},\"sim_ns\":{}",
+                json_escape(s.name),
+                s.allocs,
+                s.alloc_bytes,
+                s.spans,
+                s.sim_ns
+            );
+            if include_wall {
+                row.push_str(&format!(
+                    ",\"wall_ns\":{},\"wall_root_ns\":{}",
+                    s.wall_ns, s.wall_root_ns
+                ));
+            }
+            row.push('}');
+            row
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"scopes\":{{{}}},",
+            "\"unattributed\":{{\"allocs\":{},\"alloc_bytes\":{}}},",
+            "\"total_allocs\":{},",
+            "\"attributed_alloc_fraction\":{:.6}}}\n"
+        ),
+        rows.join(","),
+        snap.unattributed_allocs,
+        snap.unattributed_bytes,
+        snap.total_allocs(),
+        snap.attributed_alloc_fraction(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +421,46 @@ mod tests {
         assert!(out.contains("# TYPE lastcpu_nic_nic0_queue_depth gauge"));
         assert!(out.contains("lastcpu_kvs_kvs0_latency_count 1"));
         assert!(out.contains("quantile=\"0.5\""));
+    }
+
+    #[test]
+    fn profile_json_sorts_scopes_and_gates_wall_fields() {
+        use crate::profile::ScopeStats;
+        let snap = ProfileSnapshot {
+            scopes: vec![
+                ScopeStats {
+                    name: "zeta.scope",
+                    allocs: 3,
+                    alloc_bytes: 96,
+                    spans: 2,
+                    wall_ns: 500,
+                    wall_root_ns: 400,
+                    sim_ns: 1_000,
+                    wall_hist: Histogram::new(),
+                },
+                ScopeStats {
+                    name: "alpha.scope",
+                    allocs: 1,
+                    alloc_bytes: 8,
+                    spans: 1,
+                    wall_ns: 100,
+                    wall_root_ns: 100,
+                    sim_ns: 0,
+                    wall_hist: Histogram::new(),
+                },
+            ],
+            unattributed_allocs: 1,
+            unattributed_bytes: 16,
+        };
+        let with_wall = profile_json(&snap, true);
+        check_json(with_wall.trim()).unwrap();
+        assert!(with_wall.contains("\"wall_ns\":500"));
+        assert!(with_wall.find("alpha.scope").unwrap() < with_wall.find("zeta.scope").unwrap());
+        let no_wall = profile_json(&snap, false);
+        check_json(no_wall.trim()).unwrap();
+        assert!(!no_wall.contains("wall"), "wall fields must be stripped");
+        assert!(no_wall.contains("\"total_allocs\":5"));
+        assert!(no_wall.contains("\"attributed_alloc_fraction\":0.800000"));
     }
 
     #[test]

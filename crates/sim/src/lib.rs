@@ -26,14 +26,21 @@
 //! - [`fault`]: deterministic fault plans ([`FaultPlan`]) and the shared
 //!   bounded-exponential [`BackoffPolicy`], so failure experiments replay
 //!   bit-identically from a seed.
+//! - [`dethash`]: [`DetHashMap`] / [`DetHashSet`] — seedless FNV-backed
+//!   maps for simulator state, so even *allocation counts* (which the
+//!   [`profile`] layer attributes per scope) are identical across
+//!   processes, not just simulation semantics.
 //!
 //! The substrate is intentionally single-threaded: determinism is worth more
 //! to an OS-design experiment than parallel speedup, and the simulated
 //! machine itself is highly concurrent regardless.
 
+pub mod critpath;
+pub mod dethash;
 pub mod export;
 pub mod fault;
 pub mod metrics;
+pub mod profile;
 pub mod queue;
 pub mod record;
 pub mod rng;
@@ -41,8 +48,11 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use critpath::CritPathReport;
+pub use dethash::{DetHashMap, DetHashSet};
 pub use fault::{BackoffPolicy, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{CounterHandle, GaugeHandle, HistogramHandle, MetricsHub};
+pub use profile::{AllocScope, ProfileSnapshot};
 pub use queue::{EventQueue, QueueEngine, ScheduledEvent};
 pub use record::{CorrId, TraceData, TraceRecord};
 pub use rng::DetRng;

@@ -84,6 +84,11 @@ impl HistogramHandle {
         self.0.borrow_mut().record_value(v);
     }
 
+    /// Merges a whole sample set.
+    pub fn merge(&self, other: &Histogram) {
+        self.0.borrow_mut().merge(other);
+    }
+
     /// A point-in-time copy.
     pub fn snapshot(&self) -> Histogram {
         self.0.borrow().clone()
@@ -116,35 +121,43 @@ impl MetricsHub {
     // --- handle registration (construction-time) ---------------------------
 
     /// The counter named `key`, creating it on first use.
+    ///
+    /// Existing keys are looked up by `&str` — no `String` is built. The
+    /// `BTreeMap::entry` spelling used here originally interned `key` on
+    /// *every* call, which made each by-key `incr`/`add`/`record` on a hot
+    /// path cost one heap allocation even after the metric existed (the
+    /// single largest contributor to E9's system-phase allocs/event).
     pub fn counter_handle(&self, key: &str) -> CounterHandle {
         let mut inner = self.inner.borrow_mut();
-        let cell = inner
-            .counters
-            .entry(key.to_string())
-            .or_insert_with(|| Rc::new(Cell::new(0)))
-            .clone();
+        if let Some(cell) = inner.counters.get(key) {
+            return CounterHandle(cell.clone());
+        }
+        let cell = Rc::new(Cell::new(0));
+        inner.counters.insert(key.to_string(), cell.clone());
         CounterHandle(cell)
     }
 
-    /// The gauge named `key`, creating it on first use.
+    /// The gauge named `key`, creating it on first use (allocation-free for
+    /// existing keys; see [`MetricsHub::counter_handle`]).
     pub fn gauge_handle(&self, key: &str) -> GaugeHandle {
         let mut inner = self.inner.borrow_mut();
-        let cell = inner
-            .gauges
-            .entry(key.to_string())
-            .or_insert_with(|| Rc::new(Cell::new(0)))
-            .clone();
+        if let Some(cell) = inner.gauges.get(key) {
+            return GaugeHandle(cell.clone());
+        }
+        let cell = Rc::new(Cell::new(0));
+        inner.gauges.insert(key.to_string(), cell.clone());
         GaugeHandle(cell)
     }
 
-    /// The histogram named `key`, creating it on first use.
+    /// The histogram named `key`, creating it on first use (allocation-free
+    /// for existing keys; see [`MetricsHub::counter_handle`]).
     pub fn histogram_handle(&self, key: &str) -> HistogramHandle {
         let mut inner = self.inner.borrow_mut();
-        let h = inner
-            .histograms
-            .entry(key.to_string())
-            .or_insert_with(|| Rc::new(RefCell::new(Histogram::new())))
-            .clone();
+        if let Some(h) = inner.histograms.get(key) {
+            return HistogramHandle(h.clone());
+        }
+        let h = Rc::new(RefCell::new(Histogram::new()));
+        inner.histograms.insert(key.to_string(), h.clone());
         HistogramHandle(h)
     }
 
@@ -178,6 +191,12 @@ impl MetricsHub {
     /// Records a raw value into histogram `key`, creating it on first use.
     pub fn record_value(&self, key: &str, v: u64) {
         self.histogram_handle(key).record_value(v);
+    }
+
+    /// Merges a whole sample set into histogram `key`, creating it on first
+    /// use (used by the profiler to publish per-scope span histograms).
+    pub fn merge_histogram(&self, key: &str, h: &Histogram) {
+        self.histogram_handle(key).merge(h);
     }
 
     // --- reading ------------------------------------------------------------
@@ -332,6 +351,41 @@ mod tests {
         g.set(i64::MAX);
         g.add(1);
         assert_eq!(g.get(), i64::MAX);
+    }
+
+    #[test]
+    fn handle_lookup_of_existing_key_does_not_reintern() {
+        // Regression for the hot-path allocation: fetching a handle for a
+        // key that already exists must return the same storage (and, by
+        // construction, never rebuilds the key String — the lookup goes
+        // through `BTreeMap::get(&str)`).
+        let hub = MetricsHub::new();
+        let a = hub.counter_handle("kvs.c0.gets");
+        let b = hub.counter_handle("kvs.c0.gets");
+        a.incr();
+        b.incr();
+        assert_eq!(hub.counter("kvs.c0.gets"), 2);
+        assert_eq!(hub.counters().len(), 1);
+
+        let ha = hub.histogram_handle("kvs.c0.lat");
+        let hb = hub.histogram_handle("kvs.c0.lat");
+        ha.record_value(1);
+        hb.record_value(2);
+        assert_eq!(hub.histogram("kvs.c0.lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_histogram_unions_samples() {
+        let hub = MetricsHub::new();
+        let mut h = Histogram::new();
+        h.record_value(10);
+        h.record_value(20);
+        hub.record_value("prof.span", 5);
+        hub.merge_histogram("prof.span", &h);
+        let got = hub.histogram("prof.span").unwrap();
+        assert_eq!(got.count(), 3);
+        assert_eq!(got.min().as_nanos(), 5);
+        assert_eq!(got.max().as_nanos(), 20);
     }
 
     #[test]

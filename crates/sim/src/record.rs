@@ -99,6 +99,38 @@ pub enum TraceData {
         /// Human-readable denial detail.
         detail: String,
     },
+    /// A critical-path stage boundary (E12 attribution layer). Workload
+    /// hosts emit one at each protocol milestone — `client.issue`,
+    /// `router.recv`, `router.sub`, `server.recv`, … — and the offline
+    /// analyzer in [`crate::critpath`] joins them on `(stage, id)` to
+    /// decompose an operation's end-to-end latency into named segments.
+    Stage {
+        /// Milestone label; by convention `role.event`.
+        stage: &'static str,
+        /// Primary join key (request id or globally-unique sub-request id).
+        id: u64,
+        /// Secondary disambiguator (e.g. the client's switch port, so
+        /// per-client request-id sequences cannot collide).
+        aux: u64,
+    },
+    /// One inter-machine hop through the rack fabric (E12 attribution
+    /// layer): the fabric's timing decomposition of a forwarded frame,
+    /// emitted at delivery time so the critical-path analyzer can split a
+    /// cross-machine transit into uplink / spine / downlink time.
+    LinkHop {
+        /// Source machine index.
+        src_machine: usize,
+        /// Destination machine index.
+        dst_machine: usize,
+        /// Frame wire length in bytes.
+        bytes: u64,
+        /// Queueing + serialization on the source machine's uplink, ns.
+        uplink_ns: u64,
+        /// Spine switching + propagation, ns.
+        spine_ns: u64,
+        /// Queueing + serialization on the destination downlink, ns.
+        downlink_ns: u64,
+    },
     /// Free-form annotation.
     Text(String),
 }
@@ -140,6 +172,20 @@ impl fmt::Display for TraceData {
                 check,
                 detail,
             } => write!(f, "denied [{check}] {device}: {detail}"),
+            TraceData::Stage { stage, id, aux } => {
+                write!(f, "stage {stage} id={id} aux={aux}")
+            }
+            TraceData::LinkHop {
+                src_machine,
+                dst_machine,
+                bytes,
+                uplink_ns,
+                spine_ns,
+                downlink_ns,
+            } => write!(
+                f,
+                "link hop m{src_machine} -> m{dst_machine} ({bytes} B, uplink {uplink_ns}ns, spine {spine_ns}ns, downlink {downlink_ns}ns)"
+            ),
             TraceData::Text(s) => write!(f, "{s}"),
         }
     }
@@ -160,6 +206,8 @@ impl TraceData {
             TraceData::QueueDoorbell { .. } => "queue_doorbell",
             TraceData::DeviceFault { .. } => "device_fault",
             TraceData::SecurityDenial { .. } => "security_denial",
+            TraceData::Stage { .. } => "stage",
+            TraceData::LinkHop { .. } => "link_hop",
             TraceData::Text(_) => "text",
         }
     }

@@ -98,6 +98,9 @@ impl Histogram {
     }
 
     /// Representative (geometric-ish midpoint) value for bucket `idx`.
+    /// Percentiles now interpolate between bucket edges instead; the
+    /// midpoint is kept for the bucket-layout regression tests.
+    #[cfg(test)]
     fn bucket_value(idx: usize) -> u64 {
         if idx < 2 {
             return idx as u64;
@@ -155,9 +158,26 @@ impl Histogram {
         }
     }
 
-    /// The `p`-th percentile (`0 < p <= 100`) as a duration.
+    /// Lower edge of bucket `idx` (the smallest value that maps to it).
+    fn bucket_lower(idx: usize) -> u64 {
+        if idx < 2 {
+            return idx as u64;
+        }
+        let pow = idx / SUB_BUCKETS;
+        let frac = idx % SUB_BUCKETS;
+        let base = 1u64 << pow;
+        base + (base >> 3).saturating_mul(frac as u64)
+    }
+
+    /// The `p`-th percentile (`0 <= p <= 100`) as a duration.
     ///
-    /// Exact for the min/max envelope; within ~9% inside.
+    /// Exact for the min/max envelope. Inside, the target rank is located in
+    /// its log bucket and then **interpolated within the bucket** by rank
+    /// position: a rank that lands `k`-th of `n` samples into bucket
+    /// `[lo, lo+width)` reports `lo + width*k/n` rather than the bucket's
+    /// fixed midpoint. The result can never be off by more than one bucket
+    /// width (≈9%), and tail percentiles (p99/p999) stop collapsing onto the
+    /// same midpoint when they share a bucket.
     pub fn percentile(&self, p: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;
@@ -168,14 +188,23 @@ impl Histogram {
             return self.max();
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank <= 1 {
+            // p→0 clamps its rank to the first sample: exactly the minimum.
+            return self.min();
+        }
         let mut seen = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
-            seen += c as u64;
-            if seen >= rank {
-                // Clamp the representative value into the observed envelope
-                // so p100 == max and p0 == min exactly.
-                return SimDuration::from_nanos(Self::bucket_value(idx).clamp(self.min, self.max));
+            let in_bucket = c as u64;
+            if seen + in_bucket >= rank {
+                let lo = Self::bucket_lower(idx);
+                let width = Self::bucket_lower(idx + 1).saturating_sub(lo);
+                let into = (rank - seen) as f64 / in_bucket as f64; // (0, 1]
+                let v = lo + (width as f64 * into).round() as u64;
+                // Clamp into the observed envelope so p100 == max and
+                // p0 == min stay exact even at the bucket boundaries.
+                return SimDuration::from_nanos(v.clamp(self.min, self.max));
             }
+            seen += in_bucket;
         }
         SimDuration::from_nanos(self.max)
     }
@@ -362,6 +391,44 @@ mod tests {
     }
 
     #[test]
+    fn tail_percentiles_interpolate_within_a_shared_bucket() {
+        // 989 fast samples and 11 slow ones spread inside one log bucket:
+        // p99 (rank 990) and p99.9 (rank 999) land in the same bucket but at
+        // different ranks, so interpolation must order them strictly instead
+        // of collapsing both onto the bucket midpoint.
+        let mut h = Histogram::new();
+        for _ in 0..989 {
+            h.record_value(1_000);
+        }
+        for i in 0..11u64 {
+            // 65536..73536: all inside the [65536, 73728) bucket.
+            h.record_value(65_536 + i * 800);
+        }
+        let p99 = h.percentile(99.0).as_nanos();
+        let p999 = h.percentile(99.9).as_nanos();
+        assert!(p99 < p999, "p99={p99} p999={p999}");
+        assert_eq!(h.percentile(100.0).as_nanos(), 65_536 + 10 * 800);
+        // Both stay within the slow cluster's bucket.
+        assert!((65_536..=73_536).contains(&p99), "p99={p99}");
+        assert!((65_536..=73_536).contains(&p999), "p999={p999}");
+    }
+
+    #[test]
+    fn interpolated_percentile_is_monotone_in_p() {
+        let mut h = Histogram::new();
+        for v in [1u64, 3, 9, 100, 101, 102, 4_000, 65_000, 1_000_000] {
+            h.record_value(v);
+        }
+        let mut prev = 0u64;
+        for tenth in 0..=1000u32 {
+            let p = tenth as f64 / 10.0;
+            let v = h.percentile(p).as_nanos();
+            assert!(v >= prev, "p={p}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
     fn counter_saturates_at_max() {
         let mut c = Counter::new();
         c.add(u64::MAX - 1);
@@ -508,6 +575,36 @@ mod proptests {
             // Mean inside the envelope.
             let mean = h.mean().as_nanos();
             prop_assert!(mean >= samples[0] && mean <= *samples.last().unwrap());
+        }
+
+        /// Bucket-boundary audit: at every percentile the histogram's
+        /// interpolated answer stays within one log-bucket width of the
+        /// exact sorted-sample percentile (same nearest-rank definition the
+        /// histogram uses).
+        #[test]
+        fn prop_percentile_within_one_bucket_of_exact(
+            mut samples in proptest::collection::vec(1u64..1_000_000_000, 1..400),
+            pct_tenths in 0u32..=1000,
+        ) {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record_value(s);
+            }
+            samples.sort_unstable();
+            let p = pct_tenths as f64 / 10.0;
+            let got = h.percentile(p).as_nanos();
+            let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+            let exact = samples[rank.min(samples.len()) - 1];
+            // One bucket width at `exact`: ≤ exact/8 once sub-bucketing is
+            // active (values ≥ 8); below that the layout is coarser (the
+            // [4, 8) range is one bucket), hence the +4 floor.
+            let width = exact / 8 + 4;
+            let lo = exact.saturating_sub(width);
+            let hi = exact.saturating_add(width);
+            prop_assert!(
+                (lo..=hi).contains(&got),
+                "p={p} got={got} exact={exact} width={width}"
+            );
         }
     }
 }

@@ -68,6 +68,20 @@ impl TraceSink {
         self.enabled = enabled;
     }
 
+    /// Grows (or shrinks) the retention bound. Existing records beyond the
+    /// new bound are evicted oldest-first; growth re-reserves the ring so
+    /// steady-state emission stays allocation-free. Offline analyses that
+    /// need every record of a long run (e.g. critical-path extraction over
+    /// a whole E12 rack phase) raise this before the run.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        let capacity = capacity.max(1);
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+        }
+        self.ring.reserve(capacity.saturating_sub(self.ring.len()));
+        self.capacity = capacity;
+    }
+
     /// Whether the sink is collecting.
     pub fn is_enabled(&self) -> bool {
         self.enabled
@@ -188,6 +202,23 @@ mod tests {
         assert!(t.ring.capacity() >= 4096, "capacity {}", t.ring.capacity());
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn set_capacity_evicts_oldest_and_rebounds() {
+        let mut t = TraceSink::bounded(8);
+        for i in 0..8u64 {
+            t.emit(SimTime::from_nanos(i), "s", i.to_string());
+        }
+        t.set_capacity(3);
+        let v: Vec<_> = t.events().map(|e| e.what()).collect();
+        assert_eq!(v, vec!["5", "6", "7"]);
+        t.set_capacity(16);
+        for i in 8..20u64 {
+            t.emit(SimTime::from_nanos(i), "s", i.to_string());
+        }
+        assert_eq!(t.len(), 15); // 3 survivors + 12 new, under the new bound
+        assert_eq!(t.total_emitted(), 20);
     }
 
     #[test]

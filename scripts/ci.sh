@@ -21,6 +21,17 @@
 #                        double run yields byte-identical BENCH_e11.json,
 #                        every hardened row reports leaked == 0 and an
 #                        intact workload (any leak fails CI)
+#  10. attribution smoke e12_attribution --no-wall (reduced sizes): a
+#                        same-seed double run yields byte-identical
+#                        BENCH_e12.json; the binary's own gates enforce
+#                        >= 95% allocation attribution and exact
+#                        critical-path segment sums; bench_diff compares
+#                        the two runs as an e12-aware smoke of the diff
+#                        tool itself
+#  11. regression diff   e9 double run on the same commit through
+#                        bench_diff: allocations/event are deterministic
+#                        and compared tightly; events/sec is host noise
+#                        and gets a relaxed tolerance
 #
 # Set CI_CRITERION=1 to additionally run the criterion host-time benches
 # (opt-in: they are measurements, not pass/fail gates, and take minutes).
@@ -218,6 +229,59 @@ else
         echo "FAIL: leaked_total_hardened != 0 in BENCH_e11.json"; exit 1;
     }
 fi
+
+echo "==> attribution smoke test (e12_attribution --no-wall, double run)"
+# Reduced sizes: 300 ms virtual system phase, 4-machine rack at R=2. With
+# --no-wall the artifact is pure virtual time + allocation counts, so two
+# same-seed runs must be byte-identical. The binary exits non-zero itself
+# when an attribution gate fails (< 95% allocations attributed, segment
+# sums off by > 5%, or an incomplete rack workload).
+e12_flags=(--virtual-ms 300 --machines 4 --replication 2 --rack-ops 100 --no-wall)
+cargo run --offline --release -q -p lastcpu-bench --bin e12_attribution -- \
+    "${e12_flags[@]}" --out "$tmp/BENCH_e12_a.json" >/dev/null
+cargo run --offline --release -q -p lastcpu-bench --bin e12_attribution -- \
+    "${e12_flags[@]}" --out "$tmp/BENCH_e12_b.json" >/dev/null
+cmp -s "$tmp/BENCH_e12_a.json" "$tmp/BENCH_e12_b.json" || {
+    echo "FAIL: same-seed BENCH_e12.json runs differ"; exit 1;
+}
+cargo run --offline --release -q -p lastcpu-bench --bin bench_diff -- \
+    "$tmp/BENCH_e12_a.json" "$tmp/BENCH_e12_b.json" | tail -1
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e12_a.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "e12" and d["schema_version"] == 1, d.keys()
+a = d["attribution"]
+assert a["attributed_alloc_fraction"] >= 0.95, a["attributed_alloc_fraction"]
+assert a["total_allocs"] > 0 and a["events"] > 0, a
+assert a["scopes"], "no named scopes"
+assert "wall_ns" not in a, "--no-wall artifact carries wall fields"
+cp = d["critical_path"]
+assert cp["done"] and cp["ops"] > 0, cp
+assert cp["worst_sum_error"] <= 0.05, cp["worst_sum_error"]
+assert cp["dominant_p99"] in {
+    "client_queue", "router_dispatch", "uplink", "spine", "downlink",
+    "local_delivery", "replica_service", "ack_aggregation",
+    "response_delivery"}, cp["dominant_p99"]
+for row in cp["rows"]:
+    total, segs = row["total_ns"], sum(row["segments"].values())
+    assert total == 0 or abs(segs - total) / total < 0.05, row
+print(f"    byte-identical double run; {a['attributed_alloc_fraction']:.1%} "
+      f"allocations attributed, p99 dominated by {cp['dominant_p99']}")
+PY
+fi
+
+echo "==> regression diff (e9 double run through bench_diff)"
+# Same commit, so allocations/event must match almost exactly (they are
+# deterministic); wall-clock throughput gets a relaxed 30% tolerance to
+# survive noisy CI hosts. Cross-commit comparisons use the defaults
+# (5% events/sec, +0.5 allocs/event) on a quiet machine.
+cargo run --offline --release -q -p lastcpu-bench --bin e9_engine_throughput -- \
+    --queue-ops 200000 --queue-depth 8192 --virtual-ms 100 --repeat 1 \
+    --out "$tmp/BENCH_e9_again.json" >/dev/null
+cargo run --offline --release -q -p lastcpu-bench --bin bench_diff -- \
+    --events-tol 30 --allocs-tol 0.001 \
+    "$tmp/BENCH_e9.json" "$tmp/BENCH_e9_again.json" | tail -1
 
 if [ "${CI_CRITERION:-0}" = "1" ]; then
     echo "==> criterion host-time benches (opt-in via CI_CRITERION=1)"
