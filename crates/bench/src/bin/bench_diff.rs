@@ -11,9 +11,15 @@
 //! - **e9** — per engine, per phase: `events_per_sec` may not drop more
 //!   than `--events-tol` percent (default 5); `allocs_per_event` may not
 //!   rise by more than `--allocs-tol` absolute (default 0.5).
-//! - **e10** — per matched `(machines, replication)` cell:
+//! - **e10** — per matched `(machines, replication, policy)` cell
+//!   (schema-v1 artifacts carry no policy and match as `"static"`):
 //!   `agg_ops_per_sec` may not drop more than `--events-tol` percent;
-//!   `p99_us` may not rise more than `--p99-tol` percent (default 10).
+//!   `p99_us` may not rise more than `--p99-tol` percent (default 10);
+//!   `failovers` may not exceed the baseline by more than the p99
+//!   tolerance plus a flat slack of 10 (the retry-storm tail gate).
+//!   Additionally, every candidate *crash* cell with R ≥ 2 must report
+//!   `lost_acked_keys = 0` — the durability invariant is absolute, not
+//!   a tolerance.
 //! - **e12** — `attributed_alloc_fraction` and `wall_coverage_fraction`
 //!   may not drop below the baseline by more than `--coverage-tol`
 //!   absolute (default 0.02); the critical-path `sum_error` may not rise
@@ -100,6 +106,36 @@ impl Diff {
         );
     }
 
+    /// Higher-is-worse event count (failovers): relative threshold plus a
+    /// flat slack so tiny baselines (0 or a handful) don't trip on noise-
+    /// scale absolute changes.
+    fn counter(&mut self, what: &str, base: f64, cand: f64) {
+        self.compared += 1;
+        let limit = base * (1.0 + self.tol.p99) + 10.0;
+        let verdict = if cand > limit {
+            self.regressions.push(format!(
+                "{what}: count {base:.0} -> {cand:.0} (limit {limit:.0})"
+            ));
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  {what}: {base:.0} -> {cand:.0} (limit {limit:.0}) {verdict}");
+    }
+
+    /// Invariant metric: any non-zero candidate value is a regression.
+    fn must_be_zero(&mut self, what: &str, cand: f64) {
+        self.compared += 1;
+        let verdict = if cand != 0.0 {
+            self.regressions
+                .push(format!("{what}: must be 0, got {cand:.0}"));
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  {what}: {cand:.0} {verdict}");
+    }
+
     /// Higher-is-better fraction with absolute threshold (coverage).
     fn coverage(&mut self, what: &str, base: f64, cand: f64) {
         self.compared += 1;
@@ -150,32 +186,54 @@ fn diff_e9(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
 }
 
 fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
-    let cells = |j: &Json| -> Vec<Json> {
-        j.get("scaling")
+    let cells = |j: &Json, section: &str| -> Vec<Json> {
+        j.get(section)
             .and_then(Json::as_arr)
             .map(<[Json]>::to_vec)
             .unwrap_or_default()
     };
-    let key = |c: &Json| -> Option<(u64, u64)> {
+    // Schema v1 predates the retry-policy ablation; its cells are what the
+    // v2 schema calls the "static" arm.
+    let key = |c: &Json| -> Option<(u64, u64, String)> {
         Some((
             c.get("machines")?.as_f64()? as u64,
             c.get("replication")?.as_f64()? as u64,
+            c.get("policy")
+                .and_then(Json::as_str)
+                .unwrap_or("static")
+                .to_string(),
         ))
     };
-    let cand_cells = cells(cand);
-    for b in cells(base) {
+    let cand_cells = cells(cand, "scaling");
+    for b in cells(base, "scaling") {
         let Some(k) = key(&b) else { continue };
-        let Some(c) = cand_cells.iter().find(|c| key(c) == Some(k)) else {
+        let Some(c) = cand_cells.iter().find(|c| key(c).as_ref() == Some(&k)) else {
             println!("  cell {k:?}: absent in candidate, skipped");
             continue;
         };
-        let what = format!("m{}r{}", k.0, k.1);
+        let what = format!("m{}r{}[{}]", k.0, k.1, k.2);
         d.throughput(
             &what,
             num(&b, "agg_ops_per_sec")?,
             num(c, "agg_ops_per_sec")?,
         );
         d.latency(&what, num(&b, "p99_us")?, num(c, "p99_us")?);
+        d.counter(
+            &format!("{what}.failovers"),
+            num(&b, "failovers")?,
+            num(c, "failovers")?,
+        );
+    }
+    // The durability audit is baseline-independent: no candidate crash run
+    // with R >= 2 may lose an acknowledged write, ever.
+    for c in cells(cand, "crash") {
+        let Some(k) = key(&c) else { continue };
+        if k.1 >= 2 {
+            d.must_be_zero(
+                &format!("crash.m{}r{}[{}].lost_acked_keys", k.0, k.1, k.2),
+                num(&c, "lost_acked_keys")?,
+            );
+        }
     }
     Ok(())
 }

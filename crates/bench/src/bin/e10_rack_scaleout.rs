@@ -19,6 +19,10 @@
 //!   promise: with R ≥ 2 **no acknowledged write is lost** (the replicated
 //!   copy survives on a live machine), while the R = 1 control loses the
 //!   victim's shard.
+//! - **Retry-policy ablation** — the whole matrix repeats per router
+//!   [`RetryPolicy`] arm (`static`, `adaptive`, `p2c`, `adaptive+p2c`),
+//!   isolating how much of the R = 3 tail is the static-timeout retry
+//!   storm versus fabric serialization (`--policies` narrows the sweep).
 //!
 //! Everything is virtual-time; two same-flag runs produce byte-identical
 //! JSON (`scripts/ci.sh` double-runs the smoke configuration and diffs).
@@ -32,13 +36,14 @@ use lastcpu_bench::Table;
 use lastcpu_core::SystemConfig;
 use lastcpu_fabric::FabricConfig;
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
-use lastcpu_kvs::{build_rack_kvs, RackSetup};
+use lastcpu_kvs::{build_rack_kvs_with_policy, RackSetup, RetryPolicy};
 use lastcpu_net::PortId;
 use lastcpu_sim::{export, Histogram, SimDuration};
 
 struct Args {
     machines: Vec<usize>,
     replication: Vec<usize>,
+    policies: Vec<RetryPolicy>,
     ops: u64,
     keys: u64,
     value_size: usize,
@@ -67,6 +72,7 @@ impl Args {
         let mut a = Args {
             machines: vec![1, 2, 4, 8],
             replication: vec![1, 2, 3],
+            policies: RetryPolicy::ALL.to_vec(),
             ops: 400,
             keys: 200,
             value_size: 128,
@@ -84,6 +90,16 @@ impl Args {
             match flag.as_str() {
                 "--machines" => a.machines = parse_list(&val(), "--machines"),
                 "--replication" => a.replication = parse_list(&val(), "--replication"),
+                "--policies" => {
+                    a.policies = val()
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(|p| {
+                            RetryPolicy::parse(p.trim())
+                                .unwrap_or_else(|| panic!("bad --policies arm: {p:?}"))
+                        })
+                        .collect();
+                }
                 "--ops" => a.ops = val().parse().expect("--ops"),
                 "--keys" => a.keys = val().parse().expect("--keys"),
                 "--value-size" => a.value_size = val().parse().expect("--value-size"),
@@ -99,7 +115,7 @@ impl Args {
         }
         a.machines.retain(|&m| m >= 1);
         a.replication.retain(|&r| r >= 1);
-        assert!(!a.machines.is_empty() && !a.replication.is_empty());
+        assert!(!a.machines.is_empty() && !a.replication.is_empty() && !a.policies.is_empty());
         a
     }
 }
@@ -111,8 +127,14 @@ struct Bench {
 }
 
 impl Bench {
-    fn build(args: &Args, machines: usize, replication: usize, read_fraction: f64) -> Bench {
-        let mut setup = build_rack_kvs(
+    fn build(
+        args: &Args,
+        machines: usize,
+        replication: usize,
+        policy: RetryPolicy,
+        read_fraction: f64,
+    ) -> Bench {
+        let mut setup = build_rack_kvs_with_policy(
             FabricConfig::default(),
             machines,
             replication,
@@ -121,6 +143,7 @@ impl Bench {
                 trace: args.trace_out.is_some(),
                 ..SystemConfig::default()
             },
+            policy,
         );
         let mut client_ports = Vec::new();
         for i in 0..machines {
@@ -236,6 +259,7 @@ impl Bench {
 struct ScaleCell {
     machines: usize,
     replication: usize,
+    policy: RetryPolicy,
     done: bool,
     ops: u64,
     agg_ops_per_sec: f64,
@@ -251,13 +275,15 @@ impl ScaleCell {
     fn json(&self) -> String {
         format!(
             concat!(
-                "{{\"machines\": {}, \"replication\": {}, \"done\": {}, \"ops\": {}, ",
+                "{{\"machines\": {}, \"replication\": {}, \"policy\": \"{}\", ",
+                "\"done\": {}, \"ops\": {}, ",
                 "\"agg_ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, ",
                 "\"fabric_bytes\": {}, \"frames_forwarded\": {}, ",
                 "\"failovers\": {}, \"give_ups\": {}}}"
             ),
             self.machines,
             self.replication,
+            self.policy,
             self.done,
             self.ops,
             self.agg_ops_per_sec,
@@ -275,6 +301,7 @@ impl ScaleCell {
 struct CrashCell {
     machines: usize,
     replication: usize,
+    policy: RetryPolicy,
     crash_at_ms: f64,
     done: bool,
     ops: u64,
@@ -291,13 +318,15 @@ impl CrashCell {
     fn json(&self) -> String {
         format!(
             concat!(
-                "{{\"machines\": {}, \"replication\": {}, \"crash_at_ms\": {:.3}, ",
+                "{{\"machines\": {}, \"replication\": {}, \"policy\": \"{}\", ",
+                "\"crash_at_ms\": {:.3}, ",
                 "\"done\": {}, \"ops\": {}, \"timeouts\": {}, \"unavailable\": {}, ",
                 "\"errors\": {}, \"give_ups\": {}, \"failovers\": {}, ",
                 "\"acked_keys\": {}, \"lost_acked_keys\": {}}}"
             ),
             self.machines,
             self.replication,
+            self.policy,
             self.crash_at_ms,
             self.done,
             self.ops,
@@ -314,14 +343,20 @@ impl CrashCell {
 
 const RUN_CAP: SimDuration = SimDuration::from_secs(60);
 
-fn run_scale_cell(args: &Args, machines: usize, replication: usize) -> ScaleCell {
-    let mut b = Bench::build(args, machines, replication, args.read_fraction);
+fn run_scale_cell(
+    args: &Args,
+    machines: usize,
+    replication: usize,
+    policy: RetryPolicy,
+) -> ScaleCell {
+    let mut b = Bench::build(args, machines, replication, policy, args.read_fraction);
     b.setup.fabric.power_on();
     let done = b.run_to_completion(RUN_CAP);
     let lat = b.latency();
     ScaleCell {
         machines,
         replication,
+        policy,
         done,
         ops: b.sum_clients(|c| c.ops_done()),
         agg_ops_per_sec: b.agg_ops_per_sec(),
@@ -334,11 +369,16 @@ fn run_scale_cell(args: &Args, machines: usize, replication: usize) -> ScaleCell
     }
 }
 
-fn run_crash_cell(args: &Args, machines: usize, replication: usize) -> (CrashCell, Bench) {
+fn run_crash_cell(
+    args: &Args,
+    machines: usize,
+    replication: usize,
+    policy: RetryPolicy,
+) -> (CrashCell, Bench) {
     // Pure-read measured phase: the preload's acknowledged PUTs are the
     // audited set, and nothing re-writes a lost key afterwards, so the
     // R = 1 control genuinely shows the loss.
-    let mut b = Bench::build(args, machines, replication, 1.0);
+    let mut b = Bench::build(args, machines, replication, policy, 1.0);
     b.setup.fabric.power_on();
     // Let every machine finish loading, then kill machine 1 (never the
     // machine a key-holding audit would trivially excuse — any index > 0
@@ -355,6 +395,7 @@ fn run_crash_cell(args: &Args, machines: usize, replication: usize) -> (CrashCel
     let cell = CrashCell {
         machines,
         replication,
+        policy,
         crash_at_ms: crash_at.as_nanos() as f64 / 1e6,
         done,
         ops: b.sum_clients(|c| c.ops_done()),
@@ -376,10 +417,19 @@ fn main() {
         "    (machines {:?}, replication {:?}, {} ops/client, {} keys, {}-B values, seed {:#x})",
         args.machines, args.replication, args.ops, args.keys, args.value_size, args.seed
     );
+    println!(
+        "    retry-policy arms: {}",
+        args.policies
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!();
 
-    // --- Phase A/B: the machines x replication sweep ---------------------
+    // --- Phase A/B: the policy x machines x replication sweep -------------
     let mut t = Table::new(&[
+        "policy",
         "machines",
         "R",
         "ops",
@@ -390,23 +440,26 @@ fn main() {
         "failovers",
     ]);
     let mut cells: Vec<ScaleCell> = Vec::new();
-    for &m in &args.machines {
-        for &r in &args.replication {
-            if r > m {
-                continue; // cannot hold R distinct replicas on < R machines
+    for &policy in &args.policies {
+        for &m in &args.machines {
+            for &r in &args.replication {
+                if r > m {
+                    continue; // cannot hold R distinct replicas on < R machines
+                }
+                let c = run_scale_cell(&args, m, r, policy);
+                t.row_strings(vec![
+                    policy.name().to_string(),
+                    m.to_string(),
+                    r.to_string(),
+                    c.ops.to_string(),
+                    format!("{:.0}", c.agg_ops_per_sec),
+                    format!("{:.1}", c.p50_us),
+                    format!("{:.1}", c.p99_us),
+                    format!("{:.2}", c.fabric_bytes as f64 / 1e6),
+                    c.failovers.to_string(),
+                ]);
+                cells.push(c);
             }
-            let c = run_scale_cell(&args, m, r);
-            t.row_strings(vec![
-                m.to_string(),
-                r.to_string(),
-                c.ops.to_string(),
-                format!("{:.0}", c.agg_ops_per_sec),
-                format!("{:.1}", c.p50_us),
-                format!("{:.1}", c.p99_us),
-                format!("{:.2}", c.fabric_bytes as f64 / 1e6),
-                c.failovers.to_string(),
-            ]);
-            cells.push(c);
         }
     }
     t.print();
@@ -419,6 +472,7 @@ fn main() {
         println!();
         println!("fail-over: kill m1 after load, audit acknowledged writes");
         let mut ct = Table::new(&[
+            "policy",
             "machines",
             "R",
             "crash ms",
@@ -428,23 +482,26 @@ fn main() {
             "acked",
             "lost acked",
         ]);
-        for &r in &args.replication {
-            if r > crash_m {
-                continue;
+        for &policy in &args.policies {
+            for &r in &args.replication {
+                if r > crash_m {
+                    continue;
+                }
+                let (c, b) = run_crash_cell(&args, crash_m, r, policy);
+                ct.row_strings(vec![
+                    policy.name().to_string(),
+                    c.machines.to_string(),
+                    c.replication.to_string(),
+                    format!("{:.2}", c.crash_at_ms),
+                    c.ops.to_string(),
+                    c.timeouts.to_string(),
+                    c.failovers.to_string(),
+                    c.acked_keys.to_string(),
+                    c.lost_acked_keys.to_string(),
+                ]);
+                crash_cells.push(c);
+                last_bench = Some(b);
             }
-            let (c, b) = run_crash_cell(&args, crash_m, r);
-            ct.row_strings(vec![
-                c.machines.to_string(),
-                c.replication.to_string(),
-                format!("{:.2}", c.crash_at_ms),
-                c.ops.to_string(),
-                c.timeouts.to_string(),
-                c.failovers.to_string(),
-                c.acked_keys.to_string(),
-                c.lost_acked_keys.to_string(),
-            ]);
-            crash_cells.push(c);
-            last_bench = Some(b);
         }
         ct.print();
     }
@@ -477,15 +534,21 @@ fn main() {
     }
 
     // --- JSON -------------------------------------------------------------
-    let mut body = String::from("{\n  \"experiment\": \"e10\",\n  \"schema_version\": 1,\n");
+    let mut body = String::from("{\n  \"experiment\": \"e10\",\n  \"schema_version\": 2,\n");
     body.push_str(&format!(
         concat!(
             "  \"config\": {{\"machines\": {:?}, \"replication\": {:?}, ",
+            "\"policies\": [{}], ",
             "\"ops_per_client\": {}, \"keys\": {}, \"value_size\": {}, ",
             "\"outstanding\": {}, \"read_fraction\": {:.3}, \"seed\": {}}},\n"
         ),
         args.machines,
         args.replication,
+        args.policies
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
         args.ops,
         args.keys,
         args.value_size,
@@ -519,5 +582,7 @@ fn main() {
     println!("expected shape: aggregate throughput grows with machines (each");
     println!("machine adds a frontend and a client); higher R costs extra link");
     println!("crossings per PUT; in the crash runs, R>=2 reports 0 lost acked");
-    println!("writes while the R=1 control loses the dead machine's shard.");
+    println!("writes while the R=1 control loses the dead machine's shard;");
+    println!("the adaptive+p2c arm collapses the static arm's 8xR=3 retry-");
+    println!("storm tail (p99, failovers) at equal or better throughput.");
 }

@@ -13,7 +13,7 @@ use lastcpu_net::PortId;
 
 use crate::app::KvsNicApp;
 use crate::cpu_app::KvsCpuApp;
-use crate::router::{RouterConfig, ShardRouterHost};
+use crate::router::{RetryPolicy, RouterConfig, ShardRouterHost};
 use crate::server::ServerConfig;
 
 /// An assembled machine running the KVS.
@@ -230,6 +230,24 @@ pub fn build_rack_kvs(
     replication: usize,
     base: SystemConfig,
 ) -> RackSetup {
+    build_rack_kvs_with_policy(
+        fabric_config,
+        machines,
+        replication,
+        base,
+        RetryPolicy::default(),
+    )
+}
+
+/// [`build_rack_kvs`] with an explicit router [`RetryPolicy`] — the E10
+/// ablation hook. Every router in the rack runs the same policy arm.
+pub fn build_rack_kvs_with_policy(
+    fabric_config: FabricConfig,
+    machines: usize,
+    replication: usize,
+    base: SystemConfig,
+    policy: RetryPolicy,
+) -> RackSetup {
     let mut fabric = Fabric::new(fabric_config);
     let mut ids = Vec::with_capacity(machines);
     let mut frontends = Vec::with_capacity(machines);
@@ -251,6 +269,7 @@ pub fn build_rack_kvs(
             .add_host(Box::new(ShardRouterHost::new(RouterConfig {
                 dir_port,
                 replication,
+                policy,
                 name: format!("router{i}"),
                 ..RouterConfig::default()
             })));

@@ -35,10 +35,11 @@ pub mod server;
 
 pub use app::KvsNicApp;
 pub use build::{
-    build_baseline_kvs, build_cpuless_kvs, build_hybrid_kvs, build_rack_kvs, KvsSetup, RackSetup,
+    build_baseline_kvs, build_cpuless_kvs, build_hybrid_kvs, build_rack_kvs,
+    build_rack_kvs_with_policy, KvsSetup, RackSetup,
 };
 pub use client::{KvsClientHost, WorkloadConfig};
 pub use cpu_app::KvsCpuApp;
 pub use engine::KvEngine;
-pub use router::{RouterConfig, RouterStats, ShardRouterHost};
+pub use router::{RetryPolicy, RouterConfig, RouterStats, ShardRouterHost};
 pub use server::{KvsServer, ServerConfig, ServerState, ServerStats, VA_STRIDE};

@@ -143,6 +143,29 @@ pub struct KvsResponse {
 }
 
 impl KvsResponse {
+    /// Builds a [`KvsStatus::Busy`] response carrying the server's current
+    /// queue depth (backlog + in-flight) in the value bytes. The depth is
+    /// the backpressure signal: a congestion-aware router scales its
+    /// re-dispatch deferral by it instead of retrying blind.
+    pub fn busy(id: u64, depth: u32) -> KvsResponse {
+        KvsResponse {
+            id,
+            status: KvsStatus::Busy,
+            value: depth.to_le_bytes().to_vec(),
+        }
+    }
+
+    /// The queue depth a [`KvsStatus::Busy`] response reported, if any.
+    /// Older/minimal Busy responses carry no payload; they read as `None`
+    /// and callers fall back to a default backoff.
+    pub fn busy_depth(&self) -> Option<u32> {
+        if self.status != KvsStatus::Busy {
+            return None;
+        }
+        let bytes: [u8; 4] = self.value.as_slice().try_into().ok()?;
+        Some(u32::from_le_bytes(bytes))
+    }
+
     /// Encodes to frame payload bytes.
     pub fn encode(&self) -> Vec<u8> {
         encode_response(self.id, self.status, &self.value)
@@ -219,5 +242,27 @@ mod tests {
     #[test]
     fn id_accessor() {
         assert_eq!(KvsRequest::Get { id: 5, key: vec![] }.id(), 5);
+    }
+
+    #[test]
+    fn busy_depth_round_trips() {
+        let resp = KvsResponse::busy(7, 513);
+        assert_eq!(resp.status, KvsStatus::Busy);
+        assert_eq!(resp.busy_depth(), Some(513));
+        let wire = KvsResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(wire.busy_depth(), Some(513));
+        // Legacy empty-payload Busy and non-Busy responses report no depth.
+        let legacy = KvsResponse {
+            id: 7,
+            status: KvsStatus::Busy,
+            value: vec![],
+        };
+        assert_eq!(legacy.busy_depth(), None);
+        let ok = KvsResponse {
+            id: 7,
+            status: KvsStatus::Ok,
+            value: 9u32.to_le_bytes().to_vec(),
+        };
+        assert_eq!(ok.busy_depth(), None);
     }
 }

@@ -10,9 +10,9 @@
 //!    keeps a [`HashRing`] over every `smart-nic` KVS endpoint in the rack,
 //!    local or remote (remote endpoints arrive pre-translated to fabric
 //!    proxy ports, so routing to them is just `net_tx`).
-//! 2. **Shards by key.** A GET goes to the key's primary; PUT/DELETE fan
-//!    out to the key's full R-way replica set (`ring.replicas(key, R)`) and
-//!    are acknowledged to the client only when **every** current replica
+//! 2. **Shards by key.** A GET goes to one of the key's replicas; PUT/DELETE
+//!    fan out to the key's full R-way replica set (`ring.replicas(key, R)`)
+//!    and are acknowledged to the client only when **every** current replica
 //!    has acknowledged — the no-lost-acknowledged-writes invariant E10
 //!    checks: once the client sees `Ok`, R machines hold the record, so any
 //!    single machine crash leaves at least R−1 copies.
@@ -22,11 +22,19 @@
 //!    rack granularity), are re-dispatched against the *recomputed* replica
 //!    set. The consistent-hash ring guarantees only the dead machine's keys
 //!    move (`fabric.router.rebalance_moves` counts them).
+//! 4. **Tracks congestion.** Every sub carries a send timestamp; acks feed a
+//!    per-endpoint RTT EWMA and outstanding-sub counts. The selectable
+//!    [`RetryPolicy`] arms use that state: power-of-two-choices replica
+//!    selection for GETs, load-aware write fan-out order, adaptive
+//!    (`max(base, k×ewma)`) timeouts, and Busy backpressure driven by the
+//!    queue depth servers report in their `Busy` responses.
 //!
 //! Determinism: all request bookkeeping lives in `BTreeMap`/`BTreeSet`
 //! (iteration order is data-, not allocation-, dependent), sweeps walk
 //! pendings in sequence order, and replica sets come from the ring, which
-//! is membership-order independent. Two same-seed runs replay bit-identically.
+//! is membership-order independent. The congestion state is itself a pure
+//! function of the event history (integer EWMA, no RNG, `BTreeMap`-ordered),
+//! so every policy arm replays bit-identically from the same seed.
 //!
 //! [`DirMsg::Query`]: lastcpu_fabric::DirMsg::Query
 
@@ -52,6 +60,74 @@ const TOKEN_TICK: u64 = 1;
 /// is disambiguated by its id range.
 pub const SUB_ID_BASE: u64 = 1 << 62;
 
+/// Retry/dispatch policy arm — the E10 ablation axis.
+///
+/// `Static` preserves the original behavior (fixed `sub_timeout`, blind
+/// rotation across replicas on retry). The other arms switch on the
+/// congestion machinery piecewise so the benefit decomposes:
+///
+/// - **adaptive** — timeouts stretch to `max(sub_timeout, k × ewma_rtt)` of
+///   the sub's target, and `Busy`/`Unavailable` acks defer the re-dispatch
+///   by the backpressure window instead of retrying on the very next tick.
+/// - **p2c** — GETs pick the less-loaded of two rotation candidates
+///   (outstanding subs, then RTT EWMA; ties resolve in rotation order, so
+///   the choice stays deterministic), and write fan-out issues subs to the
+///   least-loaded replicas first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryPolicy {
+    /// Fixed timeout + blind rotation (the pre-congestion-aware router).
+    Static,
+    /// Adaptive timeouts + Busy backpressure.
+    Adaptive,
+    /// Power-of-two-choices GET placement + load-aware write fan-out order.
+    P2c,
+    /// Both [`RetryPolicy::Adaptive`] and [`RetryPolicy::P2c`] (default).
+    #[default]
+    AdaptiveP2c,
+}
+
+impl RetryPolicy {
+    /// Every arm, in ablation order.
+    pub const ALL: [RetryPolicy; 4] = [
+        RetryPolicy::Static,
+        RetryPolicy::Adaptive,
+        RetryPolicy::P2c,
+        RetryPolicy::AdaptiveP2c,
+    ];
+
+    /// The flag/JSON spelling (`"static"`, `"adaptive"`, `"p2c"`,
+    /// `"adaptive+p2c"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RetryPolicy::Static => "static",
+            RetryPolicy::Adaptive => "adaptive",
+            RetryPolicy::P2c => "p2c",
+            RetryPolicy::AdaptiveP2c => "adaptive+p2c",
+        }
+    }
+
+    /// Parses the [`name`](Self::name) spelling.
+    pub fn parse(s: &str) -> Option<RetryPolicy> {
+        RetryPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Whether the adaptive-timeout/backpressure machinery is on.
+    fn adaptive(self) -> bool {
+        matches!(self, RetryPolicy::Adaptive | RetryPolicy::AdaptiveP2c)
+    }
+
+    /// Whether load-aware replica selection is on.
+    fn p2c(self) -> bool {
+        matches!(self, RetryPolicy::P2c | RetryPolicy::AdaptiveP2c)
+    }
+}
+
+impl std::fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Router configuration.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
@@ -68,11 +144,20 @@ pub struct RouterConfig {
     pub vnodes: u32,
     /// Tick period: directory re-query + pending-request timeout sweep.
     pub tick: SimDuration,
-    /// Age after which an unanswered sub-request is re-dispatched.
+    /// Age after which an unanswered sub-request is re-dispatched. Under an
+    /// adaptive policy this is the *floor*; the effective timeout is
+    /// `max(sub_timeout, rtt_multiplier × ewma_rtt(target))`.
     pub sub_timeout: SimDuration,
     /// Re-dispatch budget per client request before giving up with
     /// [`KvsStatus::Unavailable`].
     pub max_retries: u32,
+    /// Retry/dispatch policy arm.
+    pub policy: RetryPolicy,
+    /// Adaptive-timeout multiplier `k` in `max(sub_timeout, k × ewma_rtt)`.
+    pub rtt_multiplier: u64,
+    /// Base re-dispatch deferral after a `Busy`/`Unavailable` ack under an
+    /// adaptive policy, scaled up with the queue depth the server reported.
+    pub busy_backoff: SimDuration,
     /// Host name (traces, stats).
     pub name: String,
 }
@@ -87,6 +172,9 @@ impl Default for RouterConfig {
             tick: SimDuration::from_micros(1000),
             sub_timeout: SimDuration::from_micros(5000),
             max_retries: 24,
+            policy: RetryPolicy::default(),
+            rtt_multiplier: 4,
+            busy_backoff: SimDuration::from_micros(2000),
             name: "router".into(),
         }
     }
@@ -122,6 +210,22 @@ struct PendingReq {
     attempts: u32,
     /// Marked by acks/timeouts; the sweep re-dispatches marked requests.
     needs_redispatch: bool,
+    /// Backpressure: a marked request is not re-dispatched before this
+    /// instant (set by `Busy`/`Unavailable` acks under an adaptive policy;
+    /// a timeout or membership change overrides it).
+    defer_until: Option<SimTime>,
+}
+
+/// Per-endpoint congestion state, fed by ack timestamps.
+#[derive(Debug, Default, Clone, Copy)]
+struct EndpointLoad {
+    /// Subs sent and not yet answered (cancellations decrement too).
+    outstanding: u32,
+    /// Integer EWMA of sub RTT in ns (`new = (7·old + sample) / 8`);
+    /// 0 until the first sample.
+    ewma_rtt_ns: u64,
+    /// The endpoint reported `Busy`; avoid it until this instant.
+    busy_until: SimTime,
 }
 
 /// Router counters, inspectable without the metrics hub.
@@ -139,6 +243,14 @@ pub struct RouterStats {
     pub rebalance_moves: u64,
     /// Directory epochs observed.
     pub epoch: u64,
+    /// Directory replies received (including no-change replies).
+    pub dir_replies: u64,
+    /// Directory replies that actually installed a change.
+    pub dir_installs: u64,
+    /// Late replica responses to already-cancelled subs, dropped at triage.
+    pub late_acks: u64,
+    /// Re-dispatches deferred by `Busy`/`Unavailable` backpressure.
+    pub busy_deferrals: u64,
 }
 
 /// Pre-registered `fabric.router.*` handles on the machine's metrics hub.
@@ -148,7 +260,10 @@ struct HubMetrics {
     failovers: CounterHandle,
     give_ups: CounterHandle,
     rebalance_moves: CounterHandle,
-    dir_refreshes: CounterHandle,
+    dir_replies: CounterHandle,
+    dir_installs: CounterHandle,
+    late_acks: CounterHandle,
+    busy_deferrals: CounterHandle,
     epoch: GaugeHandle,
     endpoints: GaugeHandle,
 }
@@ -161,7 +276,10 @@ impl HubMetrics {
             failovers: hub.counter_handle("fabric.router.failovers"),
             give_ups: hub.counter_handle("fabric.router.give_ups"),
             rebalance_moves: hub.counter_handle("fabric.router.rebalance_moves"),
-            dir_refreshes: hub.counter_handle("fabric.router.dir_refreshes"),
+            dir_replies: hub.counter_handle("fabric.router.dir_replies"),
+            dir_installs: hub.counter_handle("fabric.router.dir_installs"),
+            late_acks: hub.counter_handle("fabric.router.late_acks"),
+            busy_deferrals: hub.counter_handle("fabric.router.busy_deferrals"),
             epoch: hub.gauge_handle("fabric.router.epoch"),
             endpoints: hub.gauge_handle("fabric.router.endpoints"),
         }
@@ -182,6 +300,8 @@ pub struct ShardRouterHost {
     pending: BTreeMap<u64, PendingReq>,
     /// Sub-request id → pending sequence.
     sub_index: DetHashMap<u64, u64>,
+    /// Per-endpoint congestion state (ordered, for deterministic iteration).
+    load: BTreeMap<String, EndpointLoad>,
     /// Keys whose PUT the router has acknowledged to a client. The E10
     /// crash scenario audits these against surviving machines' indices.
     acked_puts: BTreeSet<Vec<u8>>,
@@ -210,6 +330,7 @@ impl ShardRouterHost {
             next_seq: 0,
             pending: BTreeMap::new(),
             sub_index: DetHashMap::default(),
+            load: BTreeMap::new(),
             acked_puts: BTreeSet::new(),
             stats: RouterStats::default(),
             met: None,
@@ -261,8 +382,11 @@ impl ShardRouterHost {
         epoch: u64,
         eps: Vec<lastcpu_fabric::DirEndpoint>,
     ) {
+        // Replies and installs are distinct counters: most replies carry no
+        // change (the router re-queries every tick) and return below.
+        self.stats.dir_replies += 1;
         if let Some(met) = &self.met {
-            met.dir_refreshes.incr();
+            met.dir_replies.incr();
         }
         let mut fresh: BTreeMap<String, PortId> = BTreeMap::new();
         for ep in eps {
@@ -272,6 +396,10 @@ impl ShardRouterHost {
         }
         if fresh == self.endpoints && epoch == self.epoch {
             return;
+        }
+        self.stats.dir_installs += 1;
+        if let Some(met) = &self.met {
+            met.dir_installs.incr();
         }
         self.epoch = epoch;
         self.stats.epoch = epoch;
@@ -306,6 +434,11 @@ impl ShardRouterHost {
             self.ring = ring;
         }
         self.endpoints = fresh;
+        // Departed endpoints take their congestion state with them; a
+        // re-joining endpoint starts cold (its in-flight subs were
+        // cancelled below, so no outstanding count leaks).
+        let endpoints = &self.endpoints;
+        self.load.retain(|name, _| endpoints.contains_key(name));
         if membership_changed {
             // Fail over in-flight work addressed to departed endpoints now
             // rather than waiting out the sub-timeout.
@@ -338,6 +471,7 @@ impl ShardRouterHost {
     fn issue_sub(&mut self, ctx: &mut HostCtx<'_>, seq: u64, target: String) {
         let port = self.endpoints[&target];
         let id = self.mint_sub();
+        self.load.entry(target.clone()).or_default().outstanding += 1;
         let p = self.pending.get_mut(&seq).expect("pending exists");
         let req = match &p.op {
             Op::Get => KvsRequest::Get {
@@ -370,13 +504,87 @@ impl ShardRouterHost {
         ctx.net_tx(port, req.encode());
     }
 
+    /// Unregisters one sub: drops the id mapping and, if it was never
+    /// answered, releases its outstanding-load slot.
+    fn unregister_sub(&mut self, sub: &Sub) {
+        self.sub_index.remove(&sub.id);
+        if sub.ack.is_none() {
+            if let Some(l) = self.load.get_mut(&sub.target) {
+                l.outstanding = l.outstanding.saturating_sub(1);
+            }
+        }
+    }
+
     /// Drops a pending request and unregisters its outstanding subs.
     fn drop_pending(&mut self, seq: u64) -> Option<PendingReq> {
         let p = self.pending.remove(&seq)?;
         for sub in &p.subs {
-            self.sub_index.remove(&sub.id);
+            self.unregister_sub(sub);
         }
         Some(p)
+    }
+
+    /// Folds one ack RTT sample into the target's congestion state.
+    fn record_rtt(&mut self, target: &str, rtt: SimDuration) {
+        let l = self.load.entry(target.to_string()).or_default();
+        l.outstanding = l.outstanding.saturating_sub(1);
+        let sample = rtt.as_nanos();
+        l.ewma_rtt_ns = if l.ewma_rtt_ns == 0 {
+            sample
+        } else {
+            (7 * l.ewma_rtt_ns + sample) / 8
+        };
+    }
+
+    /// Load score for replica selection: busy endpoints last, then fewest
+    /// outstanding subs, then lowest RTT estimate. Purely a function of
+    /// recorded acks — no randomness, so selection replays exactly.
+    fn load_score(&self, target: &str, now: SimTime) -> (bool, u32, u64) {
+        let l = self.load.get(target).copied().unwrap_or_default();
+        (l.busy_until > now, l.outstanding, l.ewma_rtt_ns)
+    }
+
+    /// Picks the GET target among `reps` for the given attempt.
+    ///
+    /// All arms skip `avoid` — the targets of subs the *current* re-dispatch
+    /// just cancelled unacked. Without that, the rotation
+    /// `reps[attempts % len]` can land back on the endpoint that just timed
+    /// out when a directory epoch reordered the replica list (the original
+    /// retry bug). If every replica is excluded (R = 1), the rotation pick
+    /// stands — there is nowhere else to go.
+    fn choose_get_target(
+        &self,
+        reps: &[String],
+        attempts: u32,
+        avoid: &BTreeSet<String>,
+        now: SimTime,
+    ) -> String {
+        let n = reps.len();
+        let start = attempts as usize % n;
+        let rotation: Vec<&String> = (0..n).map(|i| &reps[(start + i) % n]).collect();
+        let fresh: Vec<&String> = rotation
+            .iter()
+            .copied()
+            .filter(|t| !avoid.contains(*t))
+            .collect();
+        let cands = if fresh.is_empty() { rotation } else { fresh };
+        if self.config.policy.p2c() && cands.len() >= 2 {
+            // Power of two choices over the first two rotation candidates;
+            // ties keep the rotation order (deterministic).
+            let (a, b) = (cands[0], cands[1]);
+            if self.load_score(b, now) < self.load_score(a, now) {
+                return b.clone();
+            }
+            return a.clone();
+        }
+        if self.config.policy.adaptive() {
+            // Skip endpoints inside their backpressure window when a
+            // non-busy alternative exists.
+            if let Some(t) = cands.iter().find(|t| !self.load_score(t, now).0) {
+                return (*t).clone();
+            }
+        }
+        cands[0].clone()
     }
 
     fn respond(ctx: &mut HostCtx<'_>, p: &PendingReq, status: KvsStatus, value: Vec<u8>) {
@@ -411,6 +619,7 @@ impl ShardRouterHost {
                 return;
             }
             p.needs_redispatch = false;
+            p.defer_until = None;
             let initial = p.subs.is_empty();
             if !initial {
                 p.attempts += 1;
@@ -447,44 +656,65 @@ impl ShardRouterHost {
                 .needs_redispatch = true;
             return;
         }
-        // Phase 2: cancel stale subs, compute what to (re)issue.
+        // Phase 2: cancel stale subs (GET: everything unacked; writes:
+        // everything but successful acks from targets still in the replica
+        // set), remembering what was just cancelled.
         let is_get = matches!(self.pending[&seq].op, Op::Get);
-        let (cancelled, to_issue) = {
+        let (cancelled, attempts) = {
             let p = self.pending.get_mut(&seq).expect("pending exists");
-            if is_get {
-                // One replica at a time, rotating on each attempt so a dead
-                // or recovering primary is skipped.
-                let cancelled: Vec<u64> = p
-                    .subs
-                    .iter()
-                    .filter(|s| s.ack.is_none())
-                    .map(|s| s.id)
-                    .collect();
-                p.subs.retain(|s| s.ack.is_some());
-                let target = reps[p.attempts as usize % reps.len()].clone();
-                (cancelled, vec![target])
-            } else {
-                // Keep successful acks from targets still in the replica
-                // set; everything else is cancelled and the uncovered
-                // replicas get fresh subs.
-                let keep = |s: &Sub| {
+            let keep = |s: &Sub| {
+                if is_get {
+                    s.ack.is_some()
+                } else {
                     matches!(s.ack, Some(KvsStatus::Ok) | Some(KvsStatus::NotFound))
                         && reps.contains(&s.target)
-                };
-                let cancelled: Vec<u64> =
-                    p.subs.iter().filter(|s| !keep(s)).map(|s| s.id).collect();
-                p.subs.retain(keep);
-                let missing: Vec<String> = reps
-                    .iter()
-                    .filter(|rep| !p.subs.iter().any(|s| &s.target == *rep))
-                    .cloned()
-                    .collect();
-                (cancelled, missing)
+                }
+            };
+            let mut cancelled = Vec::new();
+            let mut kept = Vec::new();
+            for s in p.subs.drain(..) {
+                if keep(&s) {
+                    kept.push(s);
+                } else {
+                    cancelled.push(s);
+                }
             }
+            p.subs = kept;
+            (cancelled, p.attempts)
         };
-        for id in cancelled {
-            self.sub_index.remove(&id);
+        // Targets whose sub this very re-dispatch cancelled while unacked:
+        // the retry must not re-target them (they just timed out or
+        // vanished), whatever the rotation arithmetic says.
+        let avoid: BTreeSet<String> = cancelled
+            .iter()
+            .filter(|s| s.ack.is_none())
+            .map(|s| s.target.clone())
+            .collect();
+        for s in &cancelled {
+            self.unregister_sub(s);
         }
+        // Phase 3: pick targets and issue.
+        let to_issue: Vec<String> = if is_get {
+            vec![self.choose_get_target(&reps, attempts, &avoid, ctx.now)]
+        } else {
+            let p = &self.pending[&seq];
+            let mut missing: Vec<String> = reps
+                .iter()
+                .filter(|rep| !p.subs.iter().any(|s| &s.target == *rep))
+                .cloned()
+                .collect();
+            if self.config.policy.p2c() {
+                // Load-aware fan-out order: least-loaded replicas get their
+                // subs (and thus uplink slots) first. Name-tiebreak keeps
+                // the order deterministic.
+                missing.sort_by(|a, b| {
+                    self.load_score(a, ctx.now)
+                        .cmp(&self.load_score(b, ctx.now))
+                        .then_with(|| a.cmp(b))
+                });
+            }
+            missing
+        };
         for target in to_issue {
             self.issue_sub(ctx, seq, target);
         }
@@ -537,17 +767,26 @@ impl ShardRouterHost {
         let Some(seq) = self.sub_index.remove(&resp.id) else {
             return; // late answer to a cancelled sub
         };
-        let is_get = {
+        let (is_get, target, rtt, first_ack) = {
             let Some(p) = self.pending.get_mut(&seq) else {
                 return;
             };
             let Some(sub) = p.subs.iter_mut().find(|s| s.id == resp.id) else {
                 return;
             };
+            let first_ack = sub.ack.is_none();
             sub.ack = Some(resp.status);
             ctx.stage(STAGE_ROUTER_ACK, resp.id, op_key(p.client.0, p.client_id));
-            matches!(p.op, Op::Get)
+            (
+                matches!(p.op, Op::Get),
+                sub.target.clone(),
+                ctx.now.since(sub.sent_at),
+                first_ack,
+            )
         };
+        if first_ack {
+            self.record_rtt(&target, rtt);
+        }
         match resp.status {
             KvsStatus::Ok | KvsStatus::NotFound if is_get => {
                 let p = self.drop_pending(seq).expect("pending exists");
@@ -559,10 +798,36 @@ impl ShardRouterHost {
                 Self::respond(ctx, &p, KvsStatus::Error, vec![]);
             }
             KvsStatus::Busy | KvsStatus::Unavailable => {
-                // Transient (overload / mid-recovery): re-dispatch on the
-                // next sweep so the target gets a tick's worth of air.
+                // Transient (overload / mid-recovery). Statically, retry on
+                // the next sweep. Under an adaptive policy the response is
+                // backpressure: mark the endpoint busy for a window scaled
+                // by the queue depth it reported and defer the re-dispatch
+                // until the window passes, instead of hammering it tickwise.
+                let defer = if self.config.policy.adaptive() {
+                    let depth = if resp.status == KvsStatus::Busy {
+                        resp.busy_depth().unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    let scale = 1 + (u64::from(depth) / 64).min(7);
+                    let until = ctx.now + self.config.busy_backoff.saturating_mul(scale);
+                    let l = self.load.entry(target.clone()).or_default();
+                    if until > l.busy_until {
+                        l.busy_until = until;
+                    }
+                    self.stats.busy_deferrals += 1;
+                    if let Some(met) = &self.met {
+                        met.busy_deferrals.incr();
+                    }
+                    Some(until)
+                } else {
+                    None
+                };
                 if let Some(p) = self.pending.get_mut(&seq) {
                     p.needs_redispatch = true;
+                    if let Some(until) = defer {
+                        p.defer_until = Some(p.defer_until.map_or(until, |d| d.max(until)));
+                    }
                 }
             }
             _ => self.check_write_done(ctx, seq),
@@ -607,6 +872,7 @@ impl ShardRouterHost {
                 subs: Vec::new(),
                 attempts: 0,
                 needs_redispatch: true,
+                defer_until: None,
             },
         );
         self.redispatch(ctx, seq);
@@ -618,6 +884,9 @@ impl ShardRouterHost {
         self.query_directory(ctx);
         let now = ctx.now;
         let base = self.config.sub_timeout;
+        let adaptive = self.config.policy.adaptive();
+        let mult = self.config.rtt_multiplier;
+        let load = &self.load;
         let seqs: Vec<u64> = self
             .pending
             .iter_mut()
@@ -627,15 +896,36 @@ impl ShardRouterHost {
                 // momentarily exceeds the base timeout melts down: every
                 // sweep cancels in-flight subs and reissues them, which adds
                 // load, which lengthens RTT, which times out more subs.
-                let timeout = base.saturating_mul(1u64 << p.attempts.min(5));
-                let timed_out = p
-                    .subs
-                    .iter()
-                    .any(|s| s.ack.is_none() && now.since(s.sent_at) >= timeout);
+                let backoff = 1u64 << p.attempts.min(5);
+                let timed_out = p.subs.iter().any(|s| {
+                    if s.ack.is_some() {
+                        return false;
+                    }
+                    // Adaptive arm: a loaded endpoint earns patience
+                    // proportional to its measured RTT, so in-flight work
+                    // that is *about to complete* is not cancelled just
+                    // because the rack is warm. The static floor still
+                    // bounds cold endpoints.
+                    let mut timeout = base;
+                    if adaptive {
+                        if let Some(l) = load.get(&s.target) {
+                            if l.ewma_rtt_ns > 0 {
+                                let est =
+                                    SimDuration::from_nanos(l.ewma_rtt_ns.saturating_mul(mult));
+                                if est > timeout {
+                                    timeout = est;
+                                }
+                            }
+                        }
+                    }
+                    now.since(s.sent_at) >= timeout.saturating_mul(backoff)
+                });
                 if timed_out {
+                    // A real timeout overrides any backpressure deferral.
                     p.needs_redispatch = true;
+                    p.defer_until = None;
                 }
-                if p.needs_redispatch {
+                if p.needs_redispatch && !p.defer_until.is_some_and(|d| now < d) {
                     Some(seq)
                 } else {
                     None
@@ -670,10 +960,22 @@ impl NetHost for ShardRouterHost {
             return;
         }
         // 2. Replica acks: the request/response wire layouts alias, so a
-        //    response is recognized by its id being one the router minted.
+        //    response is recognized by its id being in the router-minted
+        //    range. Anything in that range whose sub is gone is a *late*
+        //    answer to a cancelled sub and must be dropped here: letting it
+        //    fall through to the request parse would mint a ghost pending
+        //    request addressed back at a replica port (a NotFound response
+        //    re-parses as a valid Get request).
         if let Some(resp) = KvsResponse::decode(&frame.payload) {
-            if resp.id >= SUB_ID_BASE && self.sub_index.contains_key(&resp.id) {
-                self.on_ack(ctx, resp);
+            if resp.id >= SUB_ID_BASE {
+                if self.sub_index.contains_key(&resp.id) {
+                    self.on_ack(ctx, resp);
+                } else {
+                    self.stats.late_acks += 1;
+                    if let Some(met) = &self.met {
+                        met.late_acks.incr();
+                    }
+                }
                 return;
             }
         }
@@ -695,6 +997,9 @@ impl NetHost for ShardRouterHost {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lastcpu_core::HostAction;
+    use lastcpu_fabric::DirEndpoint;
+    use lastcpu_sim::{CorrId, DetRng, MetricsHub};
 
     #[test]
     fn sub_id_base_clears_client_id_space() {
@@ -710,5 +1015,366 @@ mod tests {
         assert!(r.endpoint_names().is_empty());
         assert_eq!(r.stats().requests, 0);
         assert!(r.acked_put_keys().is_empty());
+    }
+
+    #[test]
+    fn retry_policy_names_round_trip() {
+        for p in RetryPolicy::ALL {
+            assert_eq!(RetryPolicy::parse(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(RetryPolicy::parse("bogus"), None);
+        assert_eq!(RetryPolicy::default(), RetryPolicy::AdaptiveP2c);
+    }
+
+    // --- direct-drive harness -------------------------------------------
+
+    const DIR_PORT: PortId = PortId(900);
+    const ROUTER_PORT: PortId = PortId(1);
+    const CLIENT_PORT: PortId = PortId(5);
+
+    struct Harness {
+        router: ShardRouterHost,
+        hub: MetricsHub,
+        rng: DetRng,
+        now: SimTime,
+        epoch: u64,
+    }
+
+    impl Harness {
+        fn new(config: RouterConfig) -> Harness {
+            let mut h = Harness {
+                router: ShardRouterHost::new(RouterConfig {
+                    dir_port: DIR_PORT,
+                    ..config
+                }),
+                hub: MetricsHub::new(),
+                rng: DetRng::new(7),
+                now: SimTime::ZERO,
+                epoch: 0,
+            };
+            let mut ctx = HostCtx::new(h.now, ROUTER_PORT, &h.hub, &mut h.rng, CorrId::NONE);
+            h.router.on_start(&mut ctx);
+            ctx.finish();
+            h
+        }
+
+        fn frame(&mut self, src: PortId, payload: Vec<u8>) -> Vec<HostAction> {
+            let frame = Frame::unicast(src, ROUTER_PORT, payload);
+            let mut ctx = HostCtx::new(
+                self.now,
+                ROUTER_PORT,
+                &self.hub,
+                &mut self.rng,
+                CorrId::NONE,
+            );
+            self.router.on_frame(&mut ctx, frame);
+            ctx.finish()
+        }
+
+        /// Advances time and fires the periodic sweep.
+        fn tick_after(&mut self, dt: SimDuration) -> Vec<HostAction> {
+            self.now += dt;
+            let mut ctx = HostCtx::new(
+                self.now,
+                ROUTER_PORT,
+                &self.hub,
+                &mut self.rng,
+                CorrId::NONE,
+            );
+            self.router.on_timer(&mut ctx, TOKEN_TICK);
+            ctx.finish()
+        }
+
+        /// Feeds a directory reply listing `eps` as smart-nic endpoints.
+        fn install(&mut self, eps: &[(&str, u32)]) {
+            self.epoch += 1;
+            let reply = DirMsg::Reply {
+                epoch: self.epoch,
+                endpoints: eps
+                    .iter()
+                    .map(|&(name, port)| DirEndpoint {
+                        name: name.into(),
+                        kind: "smart-nic".into(),
+                        machine: 0,
+                        port,
+                    })
+                    .collect(),
+            };
+            self.frame(DIR_PORT, reply.encode());
+        }
+    }
+
+    /// KVS sub-requests (not directory queries) transmitted in `actions`,
+    /// as `(dst, request)` pairs.
+    fn subs_sent(actions: &[HostAction]) -> Vec<(PortId, KvsRequest)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                HostAction::NetTx(f) => KvsRequest::decode(&f.payload).map(|r| (f.dst, r)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn late_response_is_dropped_not_reparsed() {
+        let mut h = Harness::new(RouterConfig::default());
+        h.install(&[("m0/nic0", 10)]);
+        // A GET in flight, so the router is live and has one real pending.
+        let acts = h.frame(
+            CLIENT_PORT,
+            KvsRequest::Get {
+                id: 1,
+                key: b"k".to_vec(),
+            }
+            .encode(),
+        );
+        assert_eq!(subs_sent(&acts).len(), 1);
+        assert_eq!(h.router.stats().requests, 1);
+
+        // A late NotFound response to a sub the router no longer tracks.
+        // Its wire bytes alias a *valid* Get request — the ghost-request
+        // hazard this test pins down.
+        let late = KvsResponse {
+            id: SUB_ID_BASE | 0xDEAD,
+            status: KvsStatus::NotFound,
+            value: b"ghost-key".to_vec(),
+        };
+        let payload = late.encode();
+        assert!(
+            KvsRequest::decode(&payload).is_some(),
+            "test premise: the late response must alias a request"
+        );
+        let acts = h.frame(PortId(10), payload);
+        assert!(acts.is_empty(), "late ack must be dropped, got {acts:?}");
+        assert_eq!(
+            h.router.stats().requests,
+            1,
+            "no ghost pending request minted"
+        );
+        assert_eq!(h.router.stats().late_acks, 1);
+        assert_eq!(h.hub.counter("fabric.router.late_acks"), 1);
+    }
+
+    #[test]
+    fn dir_replies_and_installs_count_differently() {
+        let mut h = Harness::new(RouterConfig::default());
+        h.install(&[("m0/nic0", 10)]);
+        assert_eq!(h.router.stats().dir_replies, 1);
+        assert_eq!(h.router.stats().dir_installs, 1);
+        // The same directory again, same epoch: a reply, not an install.
+        let reply = DirMsg::Reply {
+            epoch: h.epoch,
+            endpoints: vec![DirEndpoint {
+                name: "m0/nic0".into(),
+                kind: "smart-nic".into(),
+                machine: 0,
+                port: 10,
+            }],
+        };
+        h.frame(DIR_PORT, reply.encode());
+        assert_eq!(h.router.stats().dir_replies, 2);
+        assert_eq!(h.router.stats().dir_installs, 1, "no-change reply counted");
+        // Epoch bump with identical membership still installs (epoch moves).
+        h.install(&[("m0/nic0", 10)]);
+        assert_eq!(h.router.stats().dir_replies, 3);
+        assert_eq!(h.router.stats().dir_installs, 2);
+        assert_eq!(h.hub.counter("fabric.router.dir_replies"), 3);
+        assert_eq!(h.hub.counter("fabric.router.dir_installs"), 2);
+    }
+
+    #[test]
+    fn get_retry_skips_the_just_timed_out_target() {
+        // Reproduces the rotation bug: a directory epoch reorders the
+        // replica list between dispatch and retry, so the blind
+        // `reps[attempts % len]` lands back on the endpoint that just timed
+        // out. Static policy — the skip is a bugfix on every arm.
+        let cfg = RouterConfig {
+            replication: 2,
+            policy: RetryPolicy::Static,
+            ..RouterConfig::default()
+        };
+        // Find a key whose replica list under {A,B} starts with A, and
+        // under {A,B,C} is exactly [C, A] — then attempt 1 of the rotation
+        // picks index 1 = A, the target that just timed out.
+        let ring_of = |names: &[&str]| {
+            let mut ring = HashRing::new(cfg.vnodes);
+            for n in names {
+                ring.insert(n);
+            }
+            ring
+        };
+        let (a, b, c) = ("m0/nic0", "m1/nic0", "m2/nic0");
+        let two = ring_of(&[a, b]);
+        let three = ring_of(&[a, b, c]);
+        let key = (0u32..10_000)
+            .map(|i| format!("key{i}").into_bytes())
+            .find(|k| two.replicas(k, 2) == vec![a, b] && three.replicas(k, 2) == vec![c, a])
+            .expect("such a key exists");
+
+        let mut h = Harness::new(cfg);
+        h.install(&[(a, 10), (b, 11)]);
+        let acts = h.frame(
+            CLIENT_PORT,
+            KvsRequest::Get {
+                id: 1,
+                key: key.clone(),
+            }
+            .encode(),
+        );
+        assert_eq!(subs_sent(&acts), {
+            let sent = subs_sent(&acts);
+            assert_eq!(sent[0].0, PortId(10), "initial dispatch goes to A");
+            sent
+        });
+        // C joins; A stays alive so nothing is force-redispatched.
+        h.install(&[(a, 10), (b, 11), (c, 12)]);
+        // Let the sub to A time out (base 5 ms, attempts 0) and sweep.
+        let acts = h.tick_after(SimDuration::from_micros(6000));
+        let sent = subs_sent(&acts);
+        assert_eq!(sent.len(), 1, "one retry issued");
+        assert_ne!(sent[0].0, PortId(10), "retry must not re-target A");
+        assert_eq!(sent[0].0, PortId(12), "rotation skip lands on C");
+        assert_eq!(h.router.stats().failovers, 1);
+    }
+
+    #[test]
+    fn busy_ack_defers_redispatch_under_adaptive_policy() {
+        let cfg = RouterConfig {
+            policy: RetryPolicy::Adaptive,
+            ..RouterConfig::default()
+        };
+        let tick = cfg.tick;
+        let backoff = cfg.busy_backoff;
+        assert!(
+            backoff > tick,
+            "test relies on the deferral spanning a tick"
+        );
+        let mut h = Harness::new(cfg);
+        h.install(&[("m0/nic0", 10)]);
+        let acts = h.frame(
+            CLIENT_PORT,
+            KvsRequest::Put {
+                id: 1,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }
+            .encode(),
+        );
+        let sent = subs_sent(&acts);
+        assert_eq!(sent.len(), 1);
+        let sub_id = sent[0].1.id();
+
+        // The server reports Busy with a shallow queue.
+        h.frame(PortId(10), KvsResponse::busy(sub_id, 3).encode());
+        assert_eq!(h.router.stats().busy_deferrals, 1);
+
+        // Next tick falls inside the backpressure window: no reissue.
+        let acts = h.tick_after(tick);
+        assert!(
+            subs_sent(&acts).is_empty(),
+            "redispatch deferred while the endpoint is busy"
+        );
+        assert_eq!(h.router.stats().failovers, 0);
+
+        // Once the window passes, the sweep reissues exactly once.
+        let acts = h.tick_after(backoff);
+        assert_eq!(subs_sent(&acts).len(), 1);
+        assert_eq!(h.router.stats().failovers, 1);
+        assert_eq!(h.router.stats().give_ups, 0);
+    }
+
+    #[test]
+    fn busy_storm_stays_bounded_without_give_ups() {
+        // A server under depth pressure answers Busy to every sub. The
+        // adaptive arm must keep retrying at the backpressure cadence —
+        // bounded fail-overs, no give-ups — instead of burning the whole
+        // retry budget tick by tick.
+        let cfg = RouterConfig {
+            policy: RetryPolicy::Adaptive,
+            ..RouterConfig::default()
+        };
+        let tick = cfg.tick;
+        let backoff = cfg.busy_backoff;
+        let mut h = Harness::new(cfg);
+        h.install(&[("m0/nic0", 10)]);
+        let acts = h.frame(
+            CLIENT_PORT,
+            KvsRequest::Put {
+                id: 1,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }
+            .encode(),
+        );
+        let mut last_sub = subs_sent(&acts)[0].1.id();
+
+        let storm_rounds = 10;
+        for _ in 0..storm_rounds {
+            // Deep queue: depth 512 stretches the deferral window.
+            h.frame(PortId(10), KvsResponse::busy(last_sub, 512).encode());
+            // Sweep every tick until the deferral expires and a reissue
+            // appears; the window is depth-scaled, so allow several ticks.
+            let mut reissued = None;
+            for _ in 0..64 {
+                let acts = h.tick_after(tick);
+                let sent = subs_sent(&acts);
+                if !sent.is_empty() {
+                    reissued = Some(sent[0].1.id());
+                    break;
+                }
+            }
+            last_sub = reissued.expect("storm retry reissued within the window");
+        }
+        // Finally the server drains and accepts.
+        h.frame(
+            PortId(10),
+            KvsResponse {
+                id: last_sub,
+                status: KvsStatus::Ok,
+                value: vec![],
+            }
+            .encode(),
+        );
+        let st = h.router.stats();
+        assert_eq!(st.give_ups, 0, "backpressure must not exhaust the budget");
+        assert_eq!(st.failovers, storm_rounds, "one fail-over per storm round");
+        assert_eq!(st.busy_deferrals, storm_rounds);
+        assert!(h.router.acked_put_keys().contains(&b"k".to_vec()));
+        let _ = backoff;
+    }
+
+    #[test]
+    fn p2c_picks_the_less_loaded_replica() {
+        let cfg = RouterConfig {
+            replication: 2,
+            policy: RetryPolicy::P2c,
+            ..RouterConfig::default()
+        };
+        let mut h = Harness::new(cfg);
+        h.install(&[("m0/nic0", 10), ("m1/nic0", 11)]);
+        // First GET: both replicas idle, tie keeps rotation order.
+        let acts = h.frame(
+            CLIENT_PORT,
+            KvsRequest::Get {
+                id: 1,
+                key: b"k".to_vec(),
+            }
+            .encode(),
+        );
+        let first = subs_sent(&acts)[0].0;
+        // Second GET for the same key while the first sub is outstanding:
+        // p2c must pick the other replica.
+        let acts = h.frame(
+            CLIENT_PORT,
+            KvsRequest::Get {
+                id: 2,
+                key: b"k".to_vec(),
+            }
+            .encode(),
+        );
+        let second = subs_sent(&acts)[0].0;
+        assert_ne!(first, second, "p2c spreads load across the replica pair");
     }
 }

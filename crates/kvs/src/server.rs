@@ -413,6 +413,12 @@ impl KvsServer {
         out.push((port, resp.encode()));
     }
 
+    /// Current queue depth (backlogged + in-flight requests), reported in
+    /// `Busy` responses as the backpressure signal.
+    fn queue_depth(&self) -> u32 {
+        (self.backlog.len() + self.inflight.len()) as u32
+    }
+
     /// Handles one network request. Returns response payloads to transmit.
     pub fn on_request(
         &mut self,
@@ -426,22 +432,20 @@ impl KvsServer {
             // `Unavailable` = lost a backing resource (recovery under way);
             // `Busy` = still starting up or overloaded. Clients treat the
             // former as "back off longer".
-            let status = if self.recovering || self.state == ServerState::Failed {
+            // Busy responses carry the current queue depth so a
+            // congestion-aware router can scale its backoff instead of
+            // retrying blind ([`KvsResponse::busy`]).
+            let resp = if self.recovering || self.state == ServerState::Failed {
                 self.note_unavailable();
-                KvsStatus::Unavailable
-            } else {
-                KvsStatus::Busy
-            };
-            Self::respond(
-                ctx,
-                &mut out,
-                src,
                 KvsResponse {
                     id: req.id(),
-                    status,
+                    status: KvsStatus::Unavailable,
                     value: vec![],
-                },
-            );
+                }
+            } else {
+                KvsResponse::busy(req.id(), self.queue_depth())
+            };
+            Self::respond(ctx, &mut out, src, resp);
             return out;
         }
         ctx.busy(self.config.per_request_cost);
@@ -450,16 +454,8 @@ impl KvsServer {
             if let Some(met) = &self.met {
                 met.shed.incr();
             }
-            Self::respond(
-                ctx,
-                &mut out,
-                src,
-                KvsResponse {
-                    id: req.id(),
-                    status: KvsStatus::Busy,
-                    value: vec![],
-                },
-            );
+            let resp = KvsResponse::busy(req.id(), self.queue_depth());
+            Self::respond(ctx, &mut out, src, resp);
             return out;
         }
         self.backlog.push_back((src, req));
@@ -568,16 +564,8 @@ impl KvsServer {
                                     if let Some(met) = &self.met {
                                         met.shed.incr();
                                     }
-                                    Self::respond(
-                                        ctx,
-                                        out,
-                                        src,
-                                        KvsResponse {
-                                            id,
-                                            status: KvsStatus::Busy,
-                                            value: vec![],
-                                        },
-                                    );
+                                    let depth = (self.backlog.len() + self.inflight.len()) as u32;
+                                    Self::respond(ctx, out, src, KvsResponse::busy(id, depth));
                                 }
                             }
                         }
@@ -612,16 +600,8 @@ impl KvsServer {
                                     if let Some(met) = &self.met {
                                         met.shed.incr();
                                     }
-                                    Self::respond(
-                                        ctx,
-                                        out,
-                                        src,
-                                        KvsResponse {
-                                            id,
-                                            status: KvsStatus::Busy,
-                                            value: vec![],
-                                        },
-                                    );
+                                    let depth = (self.backlog.len() + self.inflight.len()) as u32;
+                                    Self::respond(ctx, out, src, KvsResponse::busy(id, depth));
                                 }
                             }
                         }
@@ -1059,6 +1039,44 @@ mod tests {
             let mut out2 = Vec::new();
             server.drain(&mut ctx, &mut out2); // no session: early return keeps flag
             assert!(server.recovering);
+        }
+
+        #[test]
+        fn busy_responses_report_queue_depth() {
+            let mut fix = Fix::new();
+            let mut monitor = Monitor::new();
+            let mut server = KvsServer::new(ServerConfig::default(), Pasid(1));
+            let mut ctx = fix.ctx();
+            server.start(&mut ctx, &mut monitor);
+            // Fake a loaded Ready server: a full backlog plus in-flight work.
+            server.state = ServerState::Ready;
+            for i in 0..MAX_BACKLOG {
+                server.backlog.push_back((
+                    PortId(7),
+                    KvsRequest::Get {
+                        id: i as u64,
+                        key: b"k".to_vec(),
+                    },
+                ));
+            }
+            server.inflight.insert(
+                4,
+                Pending::Get {
+                    port: PortId(7),
+                    id: 9000,
+                },
+            );
+            let out = server.on_request(
+                &mut ctx,
+                PortId(7),
+                KvsRequest::Get {
+                    id: 9001,
+                    key: b"k".to_vec(),
+                },
+            );
+            let resp = KvsResponse::decode(&out[0].1).unwrap();
+            assert_eq!(resp.status, KvsStatus::Busy);
+            assert_eq!(resp.busy_depth(), Some(MAX_BACKLOG as u32 + 1));
         }
     }
 }

@@ -11,10 +11,14 @@
 #   6. engine smoke test e9_engine_throughput (reduced sizes) produces a
 #                        well-formed BENCH_e9.json with nonzero events/sec
 #                        for both queue engines
-#   7. rack smoke test   e10_rack_scaleout (2 machines, reduced ops): a
+#   7. rack smoke test   e10_rack_scaleout (2 machines, reduced ops, the
+#                        static and adaptive+p2c retry-policy arms): a
 #                        same-seed double run yields byte-identical
 #                        BENCH_e10.json, and the machine-kill audit keeps
-#                        every acked write at R=2
+#                        every acked write at R=2 under both arms; then a
+#                        tail smoke runs the full 8-machine R=3 cell under
+#                        adaptive+p2c and fails if its p99 exceeds 2x the
+#                        R=2 baseline or any acked write is lost
 #   8. docs gate         cargo doc --no-deps with rustdoc warnings as
 #                        errors, plus an explicit doctest run
 #   9. security smoke    e11_security (one seed, reduced ops): a same-seed
@@ -147,10 +151,13 @@ else
 fi
 
 echo "==> rack smoke test (e10_rack_scaleout, 2 machines, double run)"
-# Reduced matrix: 2 machines, R in {1,2}, 120 ops/client. The crash cells
-# run too (kill m1, audit acked writes). Rack determinism is a whole-file
-# property: two same-seed runs must produce byte-identical artifacts.
-e10_flags=(--machines 1,2 --replication 1,2 --ops 120 --keys 60)
+# Reduced matrix: 2 machines, R in {1,2}, 120 ops/client, under both the
+# static and the congestion-aware (adaptive+p2c) retry-policy arms. The
+# crash cells run too (kill m1, audit acked writes). Rack determinism is a
+# whole-file property: two same-seed runs must produce byte-identical
+# artifacts — per policy arm, since the arms are part of the artifact.
+e10_flags=(--machines 1,2 --replication 1,2 --ops 120 --keys 60
+           --policies static,adaptive+p2c)
 cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
     "${e10_flags[@]}" --out "$tmp/BENCH_e10_a.json" >/dev/null
 cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
@@ -162,28 +169,56 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - "$tmp/BENCH_e10_a.json" <<'PY'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["experiment"] == "e10" and d["schema_version"] == 1, d.keys()
+assert d["experiment"] == "e10" and d["schema_version"] == 2, d.keys()
+policies = {c["policy"] for c in d["scaling"]}
+assert policies == {"static", "adaptive+p2c"}, policies
 for c in d["scaling"]:
     assert c["done"], f"scaling cell incomplete: {c}"
     assert c["ops"] == 120 * c["machines"], c
     assert c["agg_ops_per_sec"] > 0 and c["p99_us"] > 0, c
     if c["machines"] > 1:
         assert c["fabric_bytes"] > 0, f"no fabric traffic: {c}"
-crash = {c["replication"]: c for c in d["crash"]}
+crash = {(c["policy"], c["replication"]): c for c in d["crash"]}
 assert crash, "no crash cells"
-for r, c in crash.items():
+for c in crash.values():
     assert c["done"], f"crash cell incomplete: {c}"
     assert c["acked_keys"] > 0, c
-r1, r2 = crash[1], crash[2]
-assert r2["lost_acked_keys"] == 0, f"R=2 lost acked writes: {r2}"
-assert r1["lost_acked_keys"] > 0, f"R=1 control lost nothing: {r1}"
-print(f"    byte-identical double run; crash audit: R=1 lost "
+for pol in ("static", "adaptive+p2c"):
+    r1, r2 = crash[(pol, 1)], crash[(pol, 2)]
+    assert r2["lost_acked_keys"] == 0, f"R=2 lost acked writes: {r2}"
+    assert r1["lost_acked_keys"] > 0, f"R=1 control lost nothing: {r1}"
+r1 = crash[("adaptive+p2c", 1)]
+print(f"    byte-identical double run; crash audit per arm: R=1 lost "
       f"{r1['lost_acked_keys']}/{r1['acked_keys']} acked keys, R=2 lost 0")
 PY
 else
     grep -q '"lost_acked_keys"' "$tmp/BENCH_e10_a.json" || {
         echo "FAIL: no crash audit in BENCH_e10.json"; exit 1;
     }
+fi
+
+echo "==> rack tail smoke test (e10, 8 machines, R=3, adaptive+p2c)"
+# The ISSUE-7 acceptance cell at full size: the congestion-aware arm must
+# keep the 8xR=3 tail within 2x the 8xR=2 baseline of the same run (the
+# static arm sits ~9x above it), and the crash audit must hold at R>=2.
+cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
+    --machines 8 --replication 2,3 --policies adaptive+p2c \
+    --out "$tmp/BENCH_e10_tail.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e10_tail.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+cell = {c["replication"]: c for c in d["scaling"]}
+r2, r3 = cell[2], cell[3]
+assert r3["done"] and r2["done"], (r2, r3)
+assert r3["p99_us"] <= 2 * r2["p99_us"], \
+    f"8xR=3 tail regressed: p99 {r3['p99_us']}us > 2x R=2 {r2['p99_us']}us"
+for c in d["crash"]:
+    if c["replication"] >= 2:
+        assert c["lost_acked_keys"] == 0, f"lost acked writes: {c}"
+print(f"    adaptive+p2c 8xR=3: p99 {r3['p99_us']:.0f}us vs R=2 "
+      f"{r2['p99_us']:.0f}us, {r3['failovers']} failovers, 0 lost acked")
+PY
 fi
 
 echo "==> security smoke test (e11_security, one seed, double run)"

@@ -10,7 +10,7 @@
 
 use lastcpu_fabric::FabricConfig;
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
-use lastcpu_kvs::{build_rack_kvs, RackSetup};
+use lastcpu_kvs::{build_rack_kvs_with_policy, RackSetup, RetryPolicy};
 use lastcpu_net::PortId;
 use lastcpu_sim::SimDuration;
 
@@ -22,7 +22,23 @@ struct Rack {
 }
 
 fn build_rack(machines: usize, replication: usize, seed: u64, workload: &WorkloadConfig) -> Rack {
-    let mut setup = build_rack_kvs(
+    build_rack_policy(
+        machines,
+        replication,
+        seed,
+        workload,
+        RetryPolicy::default(),
+    )
+}
+
+fn build_rack_policy(
+    machines: usize,
+    replication: usize,
+    seed: u64,
+    workload: &WorkloadConfig,
+    policy: RetryPolicy,
+) -> Rack {
+    let mut setup = build_rack_kvs_with_policy(
         FabricConfig::default(),
         machines,
         replication,
@@ -31,6 +47,7 @@ fn build_rack(machines: usize, replication: usize, seed: u64, workload: &Workloa
             trace: false,
             ..lastcpu_core::SystemConfig::default()
         },
+        policy,
     );
     let mut client_ports = Vec::new();
     for i in 0..machines {
@@ -188,37 +205,74 @@ fn unreplicated_rack_loses_acked_writes_on_crash() {
     );
 }
 
+/// Full-state fingerprint of a completed rack run: every fabric counter,
+/// every router stat, every machine-hub counter, client progress, and
+/// per-machine key counts. Two runs with equal fingerprints took the same
+/// event path.
+fn run_fingerprint(seed: u64, policy: RetryPolicy) -> String {
+    let mut rack = build_rack_policy(2, 2, seed, &small_workload(), policy);
+    rack.setup.fabric.power_on();
+    rack.run_to_completion(SimDuration::from_secs(10));
+    assert!(rack.all_done(), "workload incomplete under {policy}");
+    let mut fp = String::new();
+    for (k, v) in rack.setup.fabric.metrics().counters() {
+        fp.push_str(&format!("{k}={v};"));
+    }
+    for i in 0..2 {
+        let s = rack.setup.router(i).stats();
+        fp.push_str(&format!(
+            "r{i}:{}/{}/{}/{}/{}/{}/{}/{}/{};",
+            s.requests,
+            s.hits,
+            s.failovers,
+            s.give_ups,
+            s.rebalance_moves,
+            s.dir_replies,
+            s.dir_installs,
+            s.late_acks,
+            s.busy_deferrals
+        ));
+        fp.push_str(&format!("c{i}:{};", rack.client(i).ops_done()));
+        fp.push_str(&format!("k{i}:{};", rack.setup.nic(i).app().key_count()));
+        for (k, v) in rack
+            .setup
+            .fabric
+            .machine(rack.setup.machines[i])
+            .stats()
+            .counters()
+        {
+            fp.push_str(&format!("m{i}.{k}={v};"));
+        }
+    }
+    fp
+}
+
 #[test]
 fn rack_runs_are_bit_identical() {
-    let run = |seed: u64| {
-        let mut rack = build_rack(2, 2, seed, &small_workload());
-        rack.setup.fabric.power_on();
-        rack.run_to_completion(SimDuration::from_secs(10));
-        assert!(rack.all_done());
-        let mut fp = String::new();
-        for (k, v) in rack.setup.fabric.metrics().counters() {
-            fp.push_str(&format!("{k}={v};"));
-        }
-        for i in 0..2 {
-            let s = rack.setup.router(i).stats();
-            fp.push_str(&format!(
-                "r{i}:{}/{}/{}/{}/{};",
-                s.requests, s.hits, s.failovers, s.give_ups, s.rebalance_moves
-            ));
-            fp.push_str(&format!("c{i}:{};", rack.client(i).ops_done()));
-            fp.push_str(&format!("k{i}:{};", rack.setup.nic(i).app().key_count()));
-            for (k, v) in rack
-                .setup
-                .fabric
-                .machine(rack.setup.machines[i])
-                .stats()
-                .counters()
-            {
-                fp.push_str(&format!("m{i}.{k}={v};"));
-            }
-        }
-        fp
-    };
+    let run = |seed: u64| run_fingerprint(seed, RetryPolicy::default());
     assert_eq!(run(7), run(7), "same seed, same rack, same bytes");
     assert_ne!(run(7), run(8), "different seed perturbs the run");
+}
+
+#[test]
+fn every_retry_policy_replays_bit_identically() {
+    // Property sweep over the policy x seed grid: the congestion machinery
+    // (EWMA timeouts, p2c selection, Busy deferral) must stay a pure
+    // function of the event history — same seed, same arm, same bytes.
+    // Different seeds must still perturb every arm (the fingerprint is not
+    // trivially constant).
+    for policy in RetryPolicy::ALL {
+        for seed in [7u64, 0xE10, 1984] {
+            assert_eq!(
+                run_fingerprint(seed, policy),
+                run_fingerprint(seed, policy),
+                "policy {policy} seed {seed:#x} diverged on replay"
+            );
+        }
+        assert_ne!(
+            run_fingerprint(7, policy),
+            run_fingerprint(8, policy),
+            "policy {policy} fingerprint insensitive to seed"
+        );
+    }
 }
