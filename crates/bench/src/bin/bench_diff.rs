@@ -11,8 +11,9 @@
 //! - **e9** — per engine, per phase: `events_per_sec` may not drop more
 //!   than `--events-tol` percent (default 5); `allocs_per_event` may not
 //!   rise by more than `--allocs-tol` absolute (default 0.5).
-//! - **e10** — per matched `(machines, replication, policy)` cell
-//!   (schema-v1 artifacts carry no policy and match as `"static"`):
+//! - **e10** — per matched `(machines, replication, policy, threads)` cell
+//!   (schema-v1 artifacts carry no policy and match as `"static"`;
+//!   pre-v3 artifacts carry no thread count and match as `1`):
 //!   `agg_ops_per_sec` may not drop more than `--events-tol` percent;
 //!   `p99_us` may not rise more than `--p99-tol` percent (default 10);
 //!   `failovers` may not exceed the baseline by more than the p99
@@ -24,6 +25,11 @@
 //!   may not drop below the baseline by more than `--coverage-tol`
 //!   absolute (default 0.02); the critical-path `sum_error` may not rise
 //!   above `--p99-tol` percent of total.
+//! - **e13** — per matched `threads` cell: `events` and the determinism
+//!   `digest` must be *exactly* equal (virtual-time results are
+//!   deterministic — any drift is a regression, not noise);
+//!   `events_per_sec`, when both artifacts carry wall metrics, may not
+//!   drop more than `--events-tol` percent.
 //!
 //! Wall-clock metrics are host noise; CI double-runs of the same commit
 //! should pass a relaxed `--events-tol` (see `ci.sh`), while cross-commit
@@ -136,6 +142,19 @@ impl Diff {
         println!("  {what}: {cand:.0} {verdict}");
     }
 
+    /// Deterministic metric: the candidate must equal the baseline exactly.
+    fn identical(&mut self, what: &str, base: &str, cand: &str) {
+        self.compared += 1;
+        let verdict = if base != cand {
+            self.regressions
+                .push(format!("{what}: {base} -> {cand} (must be identical)"));
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  {what}: {base} -> {cand} {verdict}");
+    }
+
     /// Higher-is-better fraction with absolute threshold (coverage).
     fn coverage(&mut self, what: &str, base: f64, cand: f64) {
         self.compared += 1;
@@ -193,8 +212,9 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
             .unwrap_or_default()
     };
     // Schema v1 predates the retry-policy ablation; its cells are what the
-    // v2 schema calls the "static" arm.
-    let key = |c: &Json| -> Option<(u64, u64, String)> {
+    // v2 schema calls the "static" arm. Pre-v3 cells predate the parallel
+    // fabric and always ran single-threaded.
+    let key = |c: &Json| -> Option<(u64, u64, String, u64)> {
         Some((
             c.get("machines")?.as_f64()? as u64,
             c.get("replication")?.as_f64()? as u64,
@@ -202,6 +222,7 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
                 .and_then(Json::as_str)
                 .unwrap_or("static")
                 .to_string(),
+            c.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64,
         ))
     };
     let cand_cells = cells(cand, "scaling");
@@ -211,7 +232,7 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
             println!("  cell {k:?}: absent in candidate, skipped");
             continue;
         };
-        let what = format!("m{}r{}[{}]", k.0, k.1, k.2);
+        let what = format!("m{}r{}[{}]t{}", k.0, k.1, k.2, k.3);
         d.throughput(
             &what,
             num(&b, "agg_ops_per_sec")?,
@@ -230,9 +251,55 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
         let Some(k) = key(&c) else { continue };
         if k.1 >= 2 {
             d.must_be_zero(
-                &format!("crash.m{}r{}[{}].lost_acked_keys", k.0, k.1, k.2),
+                &format!("crash.m{}r{}[{}]t{}.lost_acked_keys", k.0, k.1, k.2, k.3),
                 num(&c, "lost_acked_keys")?,
             );
+        }
+    }
+    Ok(())
+}
+
+fn diff_e13(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
+    let cells = |j: &Json| -> Vec<Json> {
+        j.get("cells")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    let key = |c: &Json| -> Option<u64> { Some(c.get("threads")?.as_f64()? as u64) };
+    let cand_cells = cells(cand);
+    for b in cells(base) {
+        let Some(k) = key(&b) else { continue };
+        let Some(c) = cand_cells.iter().find(|c| key(c) == Some(k)) else {
+            println!("  cell threads={k}: absent in candidate, skipped");
+            continue;
+        };
+        let what = format!("threads{k}");
+        // Virtual-time results are deterministic: the event count and the
+        // determinism digest must be bitwise equal, never "close".
+        d.identical(
+            &format!("{what}.events"),
+            &format!("{:.0}", num(&b, "events")?),
+            &format!("{:.0}", num(c, "events")?),
+        );
+        let digest = |j: &Json| {
+            j.get("digest")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        d.identical(&format!("{what}.digest"), &digest(&b), &digest(c));
+        // Wall throughput is host noise; only compare when both artifacts
+        // measured it (`--no-wall` omits it for byte-identical CI reruns).
+        match (b.path("events_per_sec"), c.path("events_per_sec")) {
+            (Some(bb), Some(cc)) => {
+                let (bb, cc) = (
+                    bb.as_f64().ok_or("bad events_per_sec")?,
+                    cc.as_f64().ok_or("bad events_per_sec")?,
+                );
+                d.throughput(&what, bb, cc);
+            }
+            _ => println!("  {what}: wall metrics absent, throughput skipped"),
         }
     }
     Ok(())
@@ -328,6 +395,7 @@ fn run() -> Result<i32, String> {
         "e9" => diff_e9(&mut d, &base, &cand)?,
         "e10" => diff_e10(&mut d, &base, &cand)?,
         "e12" => diff_e12(&mut d, &base, &cand)?,
+        "e13" => diff_e13(&mut d, &base, &cand)?,
         other => return Err(format!("unsupported experiment {other:?}")),
     }
     if d.compared == 0 {

@@ -26,6 +26,9 @@
 //!
 //! Everything is virtual-time; two same-flag runs produce byte-identical
 //! JSON (`scripts/ci.sh` double-runs the smoke configuration and diffs).
+//! `--threads N` steps the rack on N fabric worker threads — the windowed
+//! scheduler makes the results bit-identical to `--threads 1`, so CI also
+//! diffs a 1-vs-4-thread pair; only wall-clock time may change.
 //!
 //! Writes `BENCH_e10.json` (override with `--out`); schema in
 //! `EXPERIMENTS.md`. `--trace-out` dumps the *merged* rack trace of the last
@@ -50,6 +53,7 @@ struct Args {
     outstanding: usize,
     read_fraction: f64,
     seed: u64,
+    threads: usize,
     out: String,
     no_crash: bool,
     trace_out: Option<String>,
@@ -79,6 +83,7 @@ impl Args {
             outstanding: 8,
             read_fraction: 0.95,
             seed: 0xE10,
+            threads: 1,
             out: "BENCH_e10.json".into(),
             no_crash: false,
             trace_out: None,
@@ -106,6 +111,7 @@ impl Args {
                 "--outstanding" => a.outstanding = val().parse().expect("--outstanding"),
                 "--read-fraction" => a.read_fraction = val().parse().expect("--read-fraction"),
                 "--seed" => a.seed = val().parse().expect("--seed"),
+                "--threads" => a.threads = val().parse().expect("--threads"),
                 "--out" => a.out = val(),
                 "--no-crash" => a.no_crash = true,
                 "--trace-out" => a.trace_out = it.next(),
@@ -135,7 +141,10 @@ impl Bench {
         read_fraction: f64,
     ) -> Bench {
         let mut setup = build_rack_kvs_with_policy(
-            FabricConfig::default(),
+            FabricConfig {
+                threads: args.threads,
+                ..FabricConfig::default()
+            },
             machines,
             replication,
             SystemConfig {
@@ -260,6 +269,7 @@ struct ScaleCell {
     machines: usize,
     replication: usize,
     policy: RetryPolicy,
+    threads: usize,
     done: bool,
     ops: u64,
     agg_ops_per_sec: f64,
@@ -276,7 +286,7 @@ impl ScaleCell {
         format!(
             concat!(
                 "{{\"machines\": {}, \"replication\": {}, \"policy\": \"{}\", ",
-                "\"done\": {}, \"ops\": {}, ",
+                "\"threads\": {}, \"done\": {}, \"ops\": {}, ",
                 "\"agg_ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, ",
                 "\"fabric_bytes\": {}, \"frames_forwarded\": {}, ",
                 "\"failovers\": {}, \"give_ups\": {}}}"
@@ -284,6 +294,7 @@ impl ScaleCell {
             self.machines,
             self.replication,
             self.policy,
+            self.threads,
             self.done,
             self.ops,
             self.agg_ops_per_sec,
@@ -302,6 +313,7 @@ struct CrashCell {
     machines: usize,
     replication: usize,
     policy: RetryPolicy,
+    threads: usize,
     crash_at_ms: f64,
     done: bool,
     ops: u64,
@@ -319,7 +331,7 @@ impl CrashCell {
         format!(
             concat!(
                 "{{\"machines\": {}, \"replication\": {}, \"policy\": \"{}\", ",
-                "\"crash_at_ms\": {:.3}, ",
+                "\"threads\": {}, \"crash_at_ms\": {:.3}, ",
                 "\"done\": {}, \"ops\": {}, \"timeouts\": {}, \"unavailable\": {}, ",
                 "\"errors\": {}, \"give_ups\": {}, \"failovers\": {}, ",
                 "\"acked_keys\": {}, \"lost_acked_keys\": {}}}"
@@ -327,6 +339,7 @@ impl CrashCell {
             self.machines,
             self.replication,
             self.policy,
+            self.threads,
             self.crash_at_ms,
             self.done,
             self.ops,
@@ -357,6 +370,7 @@ fn run_scale_cell(
         machines,
         replication,
         policy,
+        threads: args.threads,
         done,
         ops: b.sum_clients(|c| c.ops_done()),
         agg_ops_per_sec: b.agg_ops_per_sec(),
@@ -396,6 +410,7 @@ fn run_crash_cell(
         machines,
         replication,
         policy,
+        threads: args.threads,
         crash_at_ms: crash_at.as_nanos() as f64 / 1e6,
         done,
         ops: b.sum_clients(|c| c.ops_done()),
@@ -534,13 +549,14 @@ fn main() {
     }
 
     // --- JSON -------------------------------------------------------------
-    let mut body = String::from("{\n  \"experiment\": \"e10\",\n  \"schema_version\": 2,\n");
+    let mut body = String::from("{\n  \"experiment\": \"e10\",\n  \"schema_version\": 3,\n");
     body.push_str(&format!(
         concat!(
             "  \"config\": {{\"machines\": {:?}, \"replication\": {:?}, ",
             "\"policies\": [{}], ",
             "\"ops_per_client\": {}, \"keys\": {}, \"value_size\": {}, ",
-            "\"outstanding\": {}, \"read_fraction\": {:.3}, \"seed\": {}}},\n"
+            "\"outstanding\": {}, \"read_fraction\": {:.3}, \"seed\": {}, ",
+            "\"threads\": {}}},\n"
         ),
         args.machines,
         args.replication,
@@ -554,7 +570,8 @@ fn main() {
         args.value_size,
         args.outstanding,
         args.read_fraction,
-        args.seed
+        args.seed,
+        args.threads
     ));
     body.push_str("  \"scaling\": [\n");
     for (i, c) in cells.iter().enumerate() {

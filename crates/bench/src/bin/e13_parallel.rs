@@ -1,0 +1,347 @@
+//! E13 — parallel fabric execution: the same rack, stepped on 1..N worker
+//! threads, must produce bit-identical results and (on a multi-core host)
+//! near-linear wall-clock speedup.
+//!
+//! The windowed fabric scheduler (DESIGN.md §13) partitions machines across
+//! OS threads but runs the *same* conservative time-window schedule at any
+//! thread count, so parallelism is pure mechanism: it may change how fast
+//! the simulation runs, never what it computes. E13 measures both halves of
+//! that claim on an 8-machine rack KVS:
+//!
+//! - **Determinism** — for each thread count the run's event count and a
+//!   digest over the fabric metrics, every machine's metrics hub, pool
+//!   activity, per-machine key counts and the acked-write audit are
+//!   recorded; the binary *hard-asserts* they are identical across thread
+//!   counts before writing the artifact.
+//! - **Scaling** — events per wall-second per thread count. Wall clock is
+//!   host noise, so `--no-wall` omits it (CI double-runs the no-wall
+//!   configuration and byte-compares the JSON). When the host has >= 4
+//!   cores and wall metrics are on, the run *gates* on the 4-thread
+//!   speedup (default >= 3x over single-threaded; tune or disable with
+//!   `--min-speedup`); on smaller hosts the gate is reported as skipped —
+//!   a 1-core container cannot exhibit parallel speedup.
+//!
+//! Writes `BENCH_e13.json` (override with `--out`); schema in
+//! `EXPERIMENTS.md`.
+
+use lastcpu_bench::Table;
+use lastcpu_core::SystemConfig;
+use lastcpu_fabric::FabricConfig;
+use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
+use lastcpu_kvs::{build_rack_kvs_with_policy, RackSetup, RetryPolicy};
+use lastcpu_net::PortId;
+use lastcpu_sim::{export, SimDuration};
+
+struct Args {
+    threads: Vec<usize>,
+    machines: usize,
+    replication: usize,
+    ops: u64,
+    keys: u64,
+    value_size: usize,
+    outstanding: usize,
+    seed: u64,
+    wall: bool,
+    min_speedup: f64,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut a = Args {
+            threads: vec![1, 2, 4],
+            machines: 8,
+            replication: 2,
+            ops: 400,
+            keys: 200,
+            value_size: 128,
+            outstanding: 8,
+            seed: 0xE13,
+            wall: true,
+            min_speedup: 3.0,
+            out: "BENCH_e13.json".into(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = || it.next().unwrap_or_default();
+            match flag.as_str() {
+                "--threads" => {
+                    a.threads = val()
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(|p| p.trim().parse().unwrap_or_else(|_| panic!("bad --threads")))
+                        .collect();
+                }
+                "--machines" => a.machines = val().parse().expect("--machines"),
+                "--replication" => a.replication = val().parse().expect("--replication"),
+                "--ops" => a.ops = val().parse().expect("--ops"),
+                "--keys" => a.keys = val().parse().expect("--keys"),
+                "--value-size" => a.value_size = val().parse().expect("--value-size"),
+                "--outstanding" => a.outstanding = val().parse().expect("--outstanding"),
+                "--seed" => a.seed = val().parse().expect("--seed"),
+                "--no-wall" => a.wall = false,
+                "--min-speedup" => a.min_speedup = val().parse().expect("--min-speedup"),
+                "--out" => a.out = val(),
+                _ => {} // same convention as the other experiments
+            }
+        }
+        assert!(!a.threads.is_empty() && a.machines >= 1);
+        a
+    }
+}
+
+/// FNV-1a over a string, hex-encoded — the determinism digest folds several
+/// large deterministic exports into one comparable token.
+fn fnv1a(h: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+struct Cell {
+    threads: usize,
+    events: u64,
+    virtual_ns: u64,
+    digest: String,
+    ops: u64,
+    wall_seconds: Option<f64>,
+}
+
+impl Cell {
+    fn events_per_sec(&self) -> Option<f64> {
+        Some(self.events as f64 / self.wall_seconds?)
+    }
+
+    fn json(&self) -> String {
+        let mut s = format!(
+            concat!(
+                "{{\"threads\": {}, \"events\": {}, \"virtual_ns\": {}, ",
+                "\"ops\": {}, \"digest\": \"{}\""
+            ),
+            self.threads, self.events, self.virtual_ns, self.ops, self.digest
+        );
+        if let (Some(w), Some(eps)) = (self.wall_seconds, self.events_per_sec()) {
+            s.push_str(&format!(
+                ", \"wall_seconds\": {w:.6}, \"events_per_sec\": {eps:.1}"
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+struct Bench {
+    setup: RackSetup,
+    client_ports: Vec<PortId>,
+}
+
+impl Bench {
+    fn client(&self, i: usize) -> &KvsClientHost {
+        self.setup
+            .fabric
+            .machine(self.setup.machines[i])
+            .host_as(self.client_ports[i])
+            .expect("client present")
+    }
+
+    fn all_done(&self) -> bool {
+        (0..self.client_ports.len()).all(|i| self.client(i).is_done())
+    }
+}
+
+fn run_cell(args: &Args, threads: usize) -> Cell {
+    let mut setup = build_rack_kvs_with_policy(
+        FabricConfig {
+            threads,
+            ..FabricConfig::default()
+        },
+        args.machines,
+        args.replication,
+        SystemConfig {
+            seed: args.seed,
+            trace: false,
+            ..SystemConfig::default()
+        },
+        RetryPolicy::default(),
+    );
+    let mut client_ports = Vec::new();
+    for i in 0..args.machines {
+        let m = setup.machines[i];
+        let router_port = setup.router_ports[i];
+        let port = setup
+            .fabric
+            .machine_mut(m)
+            .add_host(Box::new(KvsClientHost::new(
+                router_port,
+                WorkloadConfig {
+                    keys: args.keys,
+                    theta: 0.99,
+                    read_fraction: 0.95,
+                    value_size: args.value_size,
+                    outstanding: args.outstanding,
+                    total_ops: args.ops,
+                    preload: true,
+                    stats_prefix: format!("c{i}"),
+                    ..WorkloadConfig::default()
+                },
+            )));
+        client_ports.push(port);
+    }
+    let mut b = Bench {
+        setup,
+        client_ports,
+    };
+
+    b.setup.fabric.power_on();
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
+    let deadline = b.setup.fabric.now() + SimDuration::from_secs(60);
+    while b.setup.fabric.now() < deadline {
+        events += b.setup.fabric.run_for(SimDuration::from_millis(10));
+        if b.all_done() {
+            break;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    assert!(b.all_done(), "workload incomplete at threads={threads}");
+
+    // Determinism digest: every deterministic observable of the run. A
+    // divergence between thread counts lands here before it could hide in
+    // aggregate throughput numbers.
+    let fab = &b.setup.fabric;
+    let mut h = 0xcbf29ce484222325u64;
+    fnv1a(&mut h, &export::metrics_json(fab.metrics()));
+    for i in 0..args.machines {
+        let m = b.setup.machines[i];
+        fnv1a(&mut h, &export::metrics_json(fab.machine(m).stats()));
+        fnv1a(&mut h, &format!("{:?}", fab.machine(m).pool().stats()));
+        fnv1a(&mut h, &format!("k{}", b.setup.nic(i).app().key_count()));
+    }
+    fnv1a(&mut h, &format!("lost{}", b.setup.lost_acked_keys()));
+
+    Cell {
+        threads,
+        events,
+        virtual_ns: b.setup.fabric.now().as_nanos(),
+        digest: format!("{h:016x}"),
+        ops: (0..args.machines).map(|i| b.client(i).ops_done()).sum(),
+        wall_seconds: args.wall.then_some(wall),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("E13: parallel fabric — same rack on 1..N worker threads");
+    println!(
+        "    ({} machines, R={}, {} ops/client, seed {:#x}, host cores {})",
+        args.machines, args.replication, args.ops, args.seed, host_cores
+    );
+    println!();
+
+    let cells: Vec<Cell> = args.threads.iter().map(|&t| run_cell(&args, t)).collect();
+
+    let mut t = Table::new(&["threads", "events", "virtual ms", "digest", "Mev/s wall"]);
+    for c in &cells {
+        t.row_strings(vec![
+            c.threads.to_string(),
+            c.events.to_string(),
+            format!("{:.2}", c.virtual_ns as f64 / 1e6),
+            c.digest.clone(),
+            c.events_per_sec()
+                .map_or("-".into(), |e| format!("{:.2}", e / 1e6)),
+        ]);
+    }
+    t.print();
+
+    // --- The determinism contract is a hard assert, not a report ----------
+    let base = &cells[0];
+    for c in &cells[1..] {
+        assert_eq!(
+            (c.events, c.virtual_ns, &c.digest),
+            (base.events, base.virtual_ns, &base.digest),
+            "threads={} diverged from threads={}: the windowed scheduler \
+             leaked nondeterminism",
+            c.threads,
+            base.threads
+        );
+    }
+    println!();
+    println!(
+        "determinism: {} thread counts, identical events ({}) and digest ({})",
+        cells.len(),
+        base.events,
+        base.digest
+    );
+
+    // --- The scaling gate, where the host can express it -------------------
+    let speedup = (args.wall && cells.len() >= 2)
+        .then(|| {
+            let one = cells.iter().find(|c| c.threads == 1)?;
+            let best = cells.iter().rev().find(|c| c.threads >= 4)?;
+            Some(best.events_per_sec()? / one.events_per_sec()?)
+        })
+        .flatten();
+    let mut failed = false;
+    if let Some(s) = speedup {
+        if host_cores >= 4 {
+            let ok = s >= args.min_speedup;
+            println!(
+                "scaling: {s:.2}x at >=4 threads over 1 (gate >= {:.1}x) {}",
+                args.min_speedup,
+                if ok { "ok" } else { "FAIL" }
+            );
+            failed = !ok;
+        } else {
+            println!(
+                "scaling: {s:.2}x at >=4 threads over 1 (gate skipped: host \
+                 has {host_cores} core(s), parallel speedup is unobservable)"
+            );
+        }
+    }
+
+    let mut body = String::from("{\n  \"experiment\": \"e13\",\n  \"schema_version\": 1,\n");
+    body.push_str(&format!(
+        concat!(
+            "  \"config\": {{\"machines\": {}, \"replication\": {}, ",
+            "\"ops_per_client\": {}, \"keys\": {}, \"value_size\": {}, ",
+            "\"outstanding\": {}, \"seed\": {}, \"wall\": {}}},\n"
+        ),
+        args.machines,
+        args.replication,
+        args.ops,
+        args.keys,
+        args.value_size,
+        args.outstanding,
+        args.seed,
+        args.wall
+    ));
+    body.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    body.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        body.push_str(&format!(
+            "    {}{}\n",
+            c.json(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]");
+    if let (Some(s), true) = (speedup, host_cores >= 4) {
+        body.push_str(&format!(",\n  \"speedup_over_single\": {s:.3}"));
+    }
+    body.push_str("\n}\n");
+    match std::fs::write(&args.out, &body) {
+        Ok(()) => println!("\nwrote {}", args.out),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", args.out),
+    }
+
+    println!();
+    println!("expected shape: bit-identical events/digest at every thread");
+    println!("count (parallelism is mechanism, not semantics); events/sec");
+    println!("grows with threads on a multi-core host, bounded by the");
+    println!("lookahead-window barrier frequency.");
+    if failed {
+        std::process::exit(1);
+    }
+}

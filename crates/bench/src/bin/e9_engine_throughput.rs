@@ -388,15 +388,18 @@ fn main() {
         _ => None,
     };
 
-    let mut body = String::from("{\n  \"experiment\": \"e9\",\n  \"schema_version\": 1,\n");
+    let mut body = String::from("{\n  \"experiment\": \"e9\",\n  \"schema_version\": 2,\n");
     body.push_str(&format!(
         "  \"config\": {{\"queue_depth\": {}, \"queue_ops\": {}, \"clients\": {}, \"outstanding\": {}, \"virtual_ms\": {}, \"repeat\": {}}},\n",
         args.queue_depth, args.queue_ops, args.clients, args.outstanding, args.virtual_ms, args.repeat
     ));
     body.push_str("  \"engines\": {\n");
     for (i, (engine, queue, system)) in results.iter().enumerate() {
+        // E9 is a single-machine experiment; `threads` records the fabric
+        // worker count the schema shares with E10/E13 (always 1 here) so
+        // `bench_diff` can key cells uniformly across experiments.
         body.push_str(&format!(
-            "    \"{}\": {{\"queue\": {}, \"system\": {}}}{}\n",
+            "    \"{}\": {{\"threads\": 1, \"queue\": {}, \"system\": {}}}{}\n",
             engine.name(),
             queue.json(),
             system.json(),

@@ -121,6 +121,12 @@ impl WireWriter {
         Self::default()
     }
 
+    /// A writer that appends into `buf` (typically a recycled pool buffer),
+    /// so hot-path encoders reuse storage instead of allocating per message.
+    pub fn with_buf(buf: Vec<u8>) -> Self {
+        WireWriter { buf }
+    }
+
     /// Finishes encoding, returning the bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -274,11 +280,17 @@ impl<'a> WireReader<'a> {
 
     /// Reads a length-prefixed byte blob.
     pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        Ok(self.bytes_ref()?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte blob, borrowed from the input. The
+    /// zero-alloc decode paths use this to inspect keys/values in place.
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.varint()?;
         if len as usize > MAX_FIELD_LEN {
             return Err(WireError::FieldTooLong { len });
         }
-        Ok(self.take(len as usize)?.to_vec())
+        self.take(len as usize)
     }
 
     /// Reads a length-prefixed UTF-8 string.

@@ -8,7 +8,7 @@
 //! over the network" (§3).
 
 use lastcpu_net::{Frame, PortId};
-use lastcpu_sim::{CorrId, DetRng, MetricsHub, SimDuration, SimTime};
+use lastcpu_sim::{BufPool, Bytes, CorrId, DetRng, MetricsHub, SimDuration, SimTime};
 
 /// Effects a host queues during a callback.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +51,7 @@ pub struct HostCtx<'a> {
     /// on hot paths when nothing would record them.
     pub tracing: bool,
     rng: &'a mut DetRng,
+    pool: Option<&'a BufPool>,
     actions: Vec<HostAction>,
 }
 
@@ -70,6 +71,7 @@ impl<'a> HostCtx<'a> {
             stats,
             tracing: false,
             rng,
+            pool: None,
             actions: Vec::new(),
         }
     }
@@ -81,13 +83,47 @@ impl<'a> HostCtx<'a> {
         self
     }
 
+    /// Attaches the machine's payload-buffer pool (simulator only).
+    pub fn with_pool(mut self, pool: &'a BufPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Seeds the action buffer with a reusable scratch `Vec` (simulator
+    /// only; the simulator stores the `Vec` back after draining it, so the
+    /// per-callback allocation disappears).
+    pub fn with_scratch(mut self, actions: Vec<HostAction>) -> Self {
+        debug_assert!(actions.is_empty());
+        self.actions = actions;
+        self
+    }
+
     /// The host's deterministic RNG.
     pub fn rng(&mut self) -> &mut DetRng {
         self.rng
     }
 
+    /// An empty payload buffer, drawn from the machine's pool when one is
+    /// attached. Encode into it and pass it to [`HostCtx::net_tx`]; the
+    /// storage recycles when the frame is consumed at the receiver.
+    pub fn take_buf(&self) -> Bytes {
+        match self.pool {
+            Some(p) => p.take(),
+            None => Bytes::new(),
+        }
+    }
+
+    /// A payload buffer pre-filled with `len` copies of `byte` (pooled when
+    /// a pool is attached).
+    pub fn take_buf_filled(&self, byte: u8, len: usize) -> Bytes {
+        match self.pool {
+            Some(p) => p.take_filled(byte, len),
+            None => vec![byte; len].into(),
+        }
+    }
+
     /// Queues a frame for transmission.
-    pub fn net_tx(&mut self, dst: PortId, payload: Vec<u8>) {
+    pub fn net_tx(&mut self, dst: PortId, payload: impl Into<Bytes>) {
         let frame = Frame::unicast(self.port, dst, payload);
         self.actions.push(HostAction::NetTx(frame));
     }

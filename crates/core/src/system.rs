@@ -13,9 +13,9 @@ use lastcpu_iommu::{AccessKind, Iommu, IommuFault, IommuFaultKind};
 use lastcpu_mem::{Dram, MapError, Pasid, Perms, PhysAddr, VirtAddr, PAGE_SIZE};
 use lastcpu_net::{Frame, PortId, Switch};
 use lastcpu_sim::{
-    profile, CorrId, CounterHandle, DetHashMap, DetHashSet, DetRng, EventQueue, FaultEvent,
-    FaultKind, GaugeHandle, HistogramHandle, MetricsHub, SimDuration, SimTime, TraceData,
-    TraceSink,
+    profile, BufPool, CorrId, CounterHandle, DetHashMap, DetHashSet, DetRng, EventQueue,
+    FaultEvent, FaultKind, GaugeHandle, HistogramHandle, MetricsHub, SimDuration, SimTime,
+    TraceData, TraceSink,
 };
 
 use crate::config::SystemConfig;
@@ -256,6 +256,11 @@ struct Slot {
     met: SlotMetrics,
     /// Armed fault-injection state (all zero/idle on a fault-free run).
     faults: SlotFaults,
+    /// Reusable action buffer, lent to each `DeviceCtx` and reclaimed after
+    /// its effects apply, so steady-state dispatch allocates nothing.
+    scratch_actions: Vec<Action>,
+    /// Reusable fault buffer (same lifecycle as `scratch_actions`).
+    scratch_faults: Vec<IommuFault>,
 }
 
 /// Per-slot fault-injection state, armed by [`Event::Fault`] and consumed
@@ -310,6 +315,8 @@ struct HostSlot {
     host: Box<dyn NetHost>,
     port: PortId,
     rng: DetRng,
+    /// Reusable action buffer (see `Slot::scratch_actions`).
+    scratch_actions: Vec<HostAction>,
 }
 
 /// Shared-interconnect state for the conflated-planes configuration (E6).
@@ -374,6 +381,11 @@ pub struct System {
     tunnel_ports: DetHashSet<PortId>,
     /// Frames delivered to tunnel ports, awaiting [`System::drain_tunnel`].
     tunnel_out: Vec<TunnelDelivery>,
+    /// Payload-buffer pool for the zero-alloc delivery path. Devices and
+    /// hosts encode into buffers drawn from here (via
+    /// `DeviceCtx::take_buf` / `HostCtx::take_buf`); the storage recycles
+    /// when the consuming endpoint drops the frame.
+    pool: BufPool,
 }
 
 impl System {
@@ -430,6 +442,7 @@ impl System {
             rpc,
             tunnel_ports: DetHashSet::default(),
             tunnel_out: Vec::new(),
+            pool: BufPool::new(),
             config,
         }
     }
@@ -473,6 +486,8 @@ impl System {
             pop_armed: false,
             met,
             faults: SlotFaults::default(),
+            scratch_actions: Vec::new(),
+            scratch_faults: Vec::new(),
         });
         self.by_id.insert(id, idx);
         DeviceHandle { id, idx }
@@ -511,6 +526,8 @@ impl System {
             pop_armed: false,
             met,
             faults: SlotFaults::default(),
+            scratch_actions: Vec::new(),
+            scratch_faults: Vec::new(),
         });
         self.by_id.insert(id, idx);
         DeviceHandle { id, idx }
@@ -546,6 +563,8 @@ impl System {
             pop_armed: false,
             met,
             faults: SlotFaults::default(),
+            scratch_actions: Vec::new(),
+            scratch_faults: Vec::new(),
         });
         self.by_id.insert(id, idx);
         self.memctl_id = Some(id);
@@ -567,7 +586,12 @@ impl System {
         let port = self.switch.add_port();
         let hidx = self.hosts.len();
         let rng = self.root_rng.split(0x8000_0000 | hidx as u64);
-        self.hosts.push(HostSlot { host, port, rng });
+        self.hosts.push(HostSlot {
+            host,
+            port,
+            rng,
+            scratch_actions: Vec::new(),
+        });
         self.port_to_host.insert(port, hidx);
         port
     }
@@ -603,6 +627,25 @@ impl System {
     /// Takes the frames that reached tunnel ports since the last drain.
     pub fn drain_tunnel(&mut self) -> Vec<TunnelDelivery> {
         std::mem::take(&mut self.tunnel_out)
+    }
+
+    /// Moves the frames that reached tunnel ports into `out` (appended),
+    /// reusing the caller's buffer instead of allocating a fresh `Vec` per
+    /// drain. The fabric steps every machine once per scheduling round, so
+    /// the per-round `drain_tunnel` allocation shows up at rack scale.
+    pub fn drain_tunnel_into(&mut self, out: &mut Vec<TunnelDelivery>) {
+        out.append(&mut self.tunnel_out);
+    }
+
+    /// Whether any tunnel deliveries are waiting to be drained.
+    pub fn has_tunnel_out(&self) -> bool {
+        !self.tunnel_out.is_empty()
+    }
+
+    /// The machine's payload-buffer pool (for diagnostics and the `--profile`
+    /// straggler report).
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// Injects a frame arriving from outside the machine (an inter-machine
@@ -1365,6 +1408,8 @@ impl System {
         if slot.halted {
             return;
         }
+        let scratch_actions = std::mem::take(&mut slot.scratch_actions);
+        let scratch_faults = std::mem::take(&mut slot.scratch_faults);
         let mut ctx = DeviceCtx::new(
             now,
             slot.id,
@@ -1376,9 +1421,11 @@ impl System {
             corr,
             &self.stats,
         )
-        .with_tracing(self.trace.is_enabled());
+        .with_tracing(self.trace.is_enabled())
+        .with_pool(&self.pool)
+        .with_scratch(scratch_actions, scratch_faults);
         f(slot.device.as_mut(), &mut ctx);
-        let (actions, mut elapsed, faults) = ctx.finish();
+        let (mut actions, mut elapsed, mut faults) = ctx.finish();
         if slot.faults.slow_factor > 1 && now < slot.faults.slow_until {
             // An active slow-down fault stretches the firmware's service
             // time (thermal throttling, background housekeeping).
@@ -1427,9 +1474,22 @@ impl System {
                 }
             }
         }
-        for a in actions {
-            self.apply_action(idx, t, corr, a);
+        {
+            // Named sub-scope: allocations while applying device effects
+            // (event scheduling, routing) attribute to `engine.apply`
+            // instead of the dispatching event's generic scope.
+            let _sp = profile::span("engine.apply");
+            for a in actions.drain(..) {
+                self.apply_action(idx, t, corr, a);
+            }
         }
+        // Hand the (now empty) scratch buffers back to the slot. No
+        // reentrant dispatch happens inside `apply_action` (effects become
+        // scheduled events), so the slot's buffers were untouched meanwhile.
+        faults.clear();
+        let slot = &mut self.slots[idx];
+        slot.scratch_actions = actions;
+        slot.scratch_faults = faults;
     }
 
     /// Converts freshly recorded bus-audit verdicts into `sec.*` metrics
@@ -1489,11 +1549,14 @@ impl System {
         f: impl FnOnce(&mut dyn NetHost, &mut HostCtx<'_>),
     ) {
         let hs = &mut self.hosts[hidx];
+        let scratch = std::mem::take(&mut hs.scratch_actions);
         let mut ctx = HostCtx::new(now, hs.port, &self.stats, &mut hs.rng, corr)
-            .with_tracing(self.trace.is_enabled());
+            .with_tracing(self.trace.is_enabled())
+            .with_pool(&self.pool)
+            .with_scratch(scratch);
         f(hs.host.as_mut(), &mut ctx);
-        let actions = ctx.finish();
-        for a in actions {
+        let mut actions = ctx.finish();
+        for a in actions.drain(..) {
             match a {
                 HostAction::NetTx(frame) => self.route_frame(now, frame, corr),
                 HostAction::SetTimer { delay, token } => {
@@ -1511,11 +1574,22 @@ impl System {
                 }
             }
         }
+        self.hosts[hidx].scratch_actions = actions;
     }
 
     fn route_frame(&mut self, at: SimTime, frame: Frame, corr: CorrId) {
-        // `route` computes per-recipient delivery times including egress
-        // queueing, which is how network contention becomes real.
+        // The switch computes per-recipient delivery times including egress
+        // queueing, which is how network contention becomes real. Unicast —
+        // the hot path — moves the frame into its single delivery event;
+        // only broadcast pays the allocating route + per-recipient clones.
+        if frame.dst != PortId::BROADCAST {
+            if let Some(deliver_at) = self.switch.route_unicast(at, &frame) {
+                let port = frame.dst;
+                self.queue
+                    .schedule_at(deliver_at, Event::NetDeliver { port, frame, corr });
+            }
+            return;
+        }
         for (port, deliver_at) in self.switch.route(at, &frame) {
             self.queue.schedule_at(
                 deliver_at,

@@ -16,7 +16,7 @@ use lastcpu_bus::{ConnId, DeviceId, Dst, Envelope, Payload, RequestId};
 use lastcpu_iommu::{AccessKind, Iommu, IommuFault};
 use lastcpu_mem::{Dram, Pasid, VirtAddr};
 use lastcpu_net::{Frame, PortId};
-use lastcpu_sim::{CorrId, DetRng, MetricsHub, SimDuration, SimTime};
+use lastcpu_sim::{BufPool, Bytes, CorrId, DetRng, MetricsHub, SimDuration, SimTime};
 use lastcpu_virtio::{MemFault, QueueMemory};
 
 /// An outgoing effect queued by a device handler.
@@ -92,6 +92,7 @@ pub struct DeviceCtx<'a> {
     dram: &'a mut Dram,
     rng: &'a mut DetRng,
     next_req: &'a mut u64,
+    pool: Option<&'a BufPool>,
     /// Accumulated handler cost.
     elapsed: SimDuration,
     /// Queued effects.
@@ -126,6 +127,7 @@ impl<'a> DeviceCtx<'a> {
             dram,
             rng,
             next_req,
+            pool: None,
             elapsed: SimDuration::ZERO,
             actions: Vec::new(),
             faults: Vec::new(),
@@ -137,6 +139,42 @@ impl<'a> DeviceCtx<'a> {
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
         self
+    }
+
+    /// Attaches the machine's payload-buffer pool (simulator only).
+    pub fn with_pool(mut self, pool: &'a BufPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Seeds the action/fault buffers with reusable scratch `Vec`s
+    /// (simulator only; the simulator stores the `Vec`s back after
+    /// draining them, so the per-handler allocations disappear).
+    pub fn with_scratch(mut self, actions: Vec<Action>, faults: Vec<IommuFault>) -> Self {
+        debug_assert!(actions.is_empty() && faults.is_empty());
+        self.actions = actions;
+        self.faults = faults;
+        self
+    }
+
+    /// An empty payload buffer, drawn from the machine's pool when one is
+    /// attached. Encode into it and hand it to [`DeviceCtx::net_tx`] (via
+    /// [`Frame::unicast`]); the storage recycles when the frame is consumed
+    /// at the receiver.
+    pub fn take_buf(&self) -> Bytes {
+        match self.pool {
+            Some(p) => p.take(),
+            None => Bytes::new(),
+        }
+    }
+
+    /// A payload buffer initialized with a copy of `src` (pooled when a
+    /// pool is attached).
+    pub fn take_buf_copy(&self, src: &[u8]) -> Bytes {
+        match self.pool {
+            Some(p) => p.take_copy(src),
+            None => src.into(),
+        }
     }
 
     /// Consumes the context, returning queued actions, accumulated cost and

@@ -128,6 +128,9 @@ impl<A: NicApp + 'static> Device for SmartNic<A> {
     }
 
     fn on_message(&mut self, ctx: &mut DeviceCtx<'_>, env: Envelope) {
+        // Named sub-scope: the monitor's event vector and session
+        // bookkeeping attribute as `nic.on_msg` in the E9 table.
+        let _sp = lastcpu_sim::profile::span("nic.on_msg");
         let events = self.monitor.handle(ctx, &env);
         for ev in events {
             // The app starts once registration completes, so its first

@@ -22,6 +22,12 @@ pub struct FabricConfig {
     /// currently fully deterministic, but the seed participates in trace
     /// metadata and future jittered links).
     pub seed: u64,
+    /// Number of OS worker threads that step machines inside each
+    /// conservative time window. `1` (the default) runs every machine on
+    /// the calling thread; any value shares the *same* windowed schedule,
+    /// so results — merged traces, metrics, per-machine pool activity —
+    /// are bit-identical across thread counts.
+    pub threads: usize,
     /// Inter-machine link timing. Defaults model a 25 GbE spine: 40 ps/B
     /// line rate on each uplink/downlink, 600 ns spine switch latency,
     /// 2 µs propagation.
@@ -41,6 +47,7 @@ impl Default for FabricConfig {
     fn default() -> Self {
         FabricConfig {
             seed: 0xFAB,
+            threads: 1,
             link_cost: NetCostModel {
                 per_byte_ps: 40,
                 switch_latency: SimDuration::from_nanos(600),
@@ -97,20 +104,57 @@ struct MachineSlot {
     faults: LinkFaults,
     link_bytes: CounterHandle,
     link_frames: CounterHandle,
+    /// Tunnel output drained at the end of each window — a per-machine
+    /// scratch buffer reused across windows so the steady-state barrier
+    /// allocates nothing.
+    pending: Vec<TunnelDelivery>,
+    /// Events this machine processed in the last window (filled by the
+    /// worker that stepped it; summed at the barrier).
+    window_steps: u64,
 }
 
-enum FabricEvent {
-    /// A frame finishes crossing a link (or a directory reply returns) and
-    /// enters `machine`'s edge switch.
-    Deliver {
-        machine: usize,
-        frame: Frame,
-        corr: CorrId,
-    },
-    /// Periodic directory synchronization sweep.
-    DirSync,
-    /// A scheduled whole-machine fault (index into `Fabric::faults`).
-    Fault(usize),
+/// A frame that finished crossing an inter-machine link (or a directory
+/// reply) and enters `machine`'s edge switch at its scheduled time.
+struct LinkDelivery {
+    machine: usize,
+    frame: Frame,
+    corr: CorrId,
+}
+
+/// Hands a disjoint chunk of machines to one worker thread for a window.
+///
+/// `MachineSlot` is not `Send`: a machine's `System` holds `Rc`-based
+/// metrics/trace handles, and the slot itself carries handles into the
+/// fabric's hub. Sending is still sound here because (a) each slot is
+/// visited by exactly one worker per window and `&mut` access is exclusive,
+/// (b) a `System`'s `Rc` graph is confined to that machine — `System::new`
+/// builds its own hub and sink, and device handles never cross machines —
+/// and (c) the fabric-hub handles on the slot are neither cloned, dropped,
+/// nor read during a window (they are only touched by `forward`, which runs
+/// serially at barriers while no worker is live; `thread::scope` parks the
+/// owning thread until every worker exits).
+struct SendSlots<'a>(&'a mut [MachineSlot]);
+// SAFETY: see the struct docs — exclusive per-window slot ownership plus
+// machine-confined Rc graphs make the cross-thread move race-free.
+unsafe impl Send for SendSlots<'_> {}
+
+/// Steps one machine through the conservative window `[.., w_end)`, then
+/// drains its tunnel output into its own scratch. Runs on a worker thread
+/// when the fabric is configured with `threads > 1`.
+fn run_machine_window(slot: &mut MachineSlot, w_end: SimTime) {
+    slot.window_steps = 0;
+    if slot.dead {
+        return;
+    }
+    while let Some(t) = slot.sys.peek_next_at() {
+        if t >= w_end {
+            break;
+        }
+        slot.sys.step();
+        slot.window_steps += 1;
+    }
+    let MachineSlot { sys, pending, .. } = slot;
+    sys.drain_tunnel_into(pending);
 }
 
 /// N CPU-less machines co-simulated under one deterministic clock.
@@ -128,11 +172,24 @@ enum FabricEvent {
 pub struct Fabric {
     cfg: FabricConfig,
     machines: Vec<MachineSlot>,
-    queue: EventQueue<FabricEvent>,
+    /// Frames in flight between machines. Unlike machine events, these are
+    /// *injections*: they only need to reach the target machine before its
+    /// window covers their timestamp, so they are folded into window starts
+    /// rather than bounding the windows.
+    queue: EventQueue<LinkDelivery>,
     now: SimTime,
     directory: Vec<DirEntry>,
     dir_epoch: u64,
+    /// When the next directory sweep is due (periodic; `None` before
+    /// power-on). Sweeps read global machine state, so they are control
+    /// points: every window is capped at the next one.
+    next_sync: Option<SimTime>,
+    /// The fault plan, sorted by firing time; `fault_cursor` marks the next
+    /// one due. Faults are control points like sweeps.
     faults: Vec<FaultEvent>,
+    fault_cursor: usize,
+    /// Barrier merge scratch, reused across windows.
+    merge_scratch: Vec<(u32, TunnelDelivery)>,
     metrics: MetricsHub,
     /// Fabric-level trace (link-hop timing records). Off by default so the
     /// throughput experiments pay only a branch per forwarded frame.
@@ -173,7 +230,10 @@ impl Fabric {
             now: SimTime::ZERO,
             directory: Vec::new(),
             dir_epoch: 0,
+            next_sync: None,
             faults: Vec::new(),
+            fault_cursor: 0,
+            merge_scratch: Vec::new(),
             metrics,
             trace,
             m_frames_forwarded,
@@ -256,6 +316,8 @@ impl Fabric {
             faults: LinkFaults::default(),
             link_bytes,
             link_frames,
+            pending: Vec::new(),
+            window_steps: 0,
         });
         MachineId(idx as u32)
     }
@@ -315,62 +377,197 @@ impl Fabric {
         }
     }
 
-    /// Powers on every machine, starts the directory sweep, and schedules
-    /// the fault plan.
+    /// Sets the number of worker threads used inside each conservative time
+    /// window (equivalent to [`FabricConfig::threads`]). Any value produces
+    /// bit-identical results; more threads only change wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads.max(1);
+    }
+
+    /// Powers on every machine, arms the directory sweep, and sorts the
+    /// fault plan into its firing order.
     pub fn power_on(&mut self) {
         for slot in &mut self.machines {
             slot.sys.power_on();
         }
-        self.queue.schedule_now(FabricEvent::DirSync);
+        self.next_sync = Some(self.now);
         if let Some(plan) = self.cfg.fault_plan.clone() {
-            for ev in plan.events() {
-                let at = ev.at;
-                self.faults.push(ev);
-                self.queue
-                    .schedule_at(at, FabricEvent::Fault(self.faults.len() - 1));
-            }
+            self.faults.extend(plan.events());
+            // Stable by firing time: equal-time faults keep plan order.
+            self.faults.sort_by_key(|ev| ev.at);
         }
+    }
+
+    /// The conservative lookahead: the minimum virtual time any machine's
+    /// output needs before it can influence a machine again (itself
+    /// included). Inter-machine frames pay at least the spine switch plus
+    /// propagation; directory replies return after `dir_latency`. Machines
+    /// are mutually invisible inside any window shorter than this, which is
+    /// what lets a window run them concurrently.
+    fn lookahead(&self) -> SimDuration {
+        let link = self.cfg.link_cost.switch_latency + self.cfg.link_cost.propagation;
+        let l = link.min(self.cfg.dir_latency);
+        assert!(
+            l > SimDuration::ZERO,
+            "windowed fabric execution needs a nonzero minimum link latency \
+             (switch_latency + propagation, and dir_latency, must be > 0)"
+        );
+        l
     }
 
     /// Runs the co-simulation until `deadline`; returns events processed
     /// (fabric events + machine events).
+    ///
+    /// Execution is windowed and conservative: time advances in windows of
+    /// at most one lookahead (the minimum cross-machine link latency:
+    /// serialization plus propagation), capped at the next
+    /// directory sweep or scheduled fault (which must observe a globally
+    /// consistent instant). Within a window every machine is independent —
+    /// frames produced inside it cannot be delivered before the window
+    /// ends — so machines step concurrently on
+    /// [`FabricConfig::threads`] workers, then a serial barrier merges
+    /// their tunnel output in `(timestamp, machine, production-order)`
+    /// order and crosses the links. `threads = 1` runs the *same* schedule
+    /// inline, so any thread count replays bit-identically from a seed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        let mut n = 0;
+        let lookahead = self.lookahead();
+        let mut n = 0u64;
         loop {
-            // Earliest pending event across the fabric queue and all alive
-            // machines. Ties break fabric-first, then lowest machine index
-            // (strict `<` below), which fixes the interleaving.
-            let mut next: Option<(SimTime, Option<usize>)> =
-                self.queue.peek_time().map(|t| (t, None));
-            for i in 0..self.machines.len() {
-                if self.machines[i].dead {
+            // Earliest actionable instant across control points (sweep,
+            // fault), in-flight link deliveries, and machine events.
+            let mut t0: Option<SimTime> = self.queue.peek_time();
+            let mut fold = |t: Option<SimTime>| {
+                t0 = match (t0, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            };
+            fold(self.next_sync);
+            fold(self.faults.get(self.fault_cursor).map(|ev| ev.at));
+            for slot in &mut self.machines {
+                if slot.dead {
                     continue;
                 }
-                if let Some(t) = self.machines[i].sys.peek_next_at() {
-                    if next.map_or(true, |(bt, _)| t < bt) {
-                        next = Some((t, Some(i)));
-                    }
-                }
+                let t = slot.sys.peek_next_at();
+                fold(t);
             }
-            let Some((t, who)) = next else { break };
-            if t > deadline {
+            let Some(t0) = t0 else { break };
+            if t0 > deadline {
                 break;
             }
-            self.now = t;
-            match who {
-                None => {
-                    let ev = self.queue.pop().expect("peeked event vanished");
-                    self.handle(ev.at, ev.event);
-                }
-                Some(i) => {
-                    self.machines[i].sys.step();
-                    self.drain_machine(i);
-                }
+            self.now = t0;
+
+            // Control points due exactly now, with every machine parked on
+            // events < t0 — the same consistency the old event-at-a-time
+            // interleaving gave them (fabric-first tie-break).
+            if self.next_sync == Some(t0) {
+                self.sync_directory(t0);
+                n += 1;
             }
-            n += 1;
+            while self
+                .faults
+                .get(self.fault_cursor)
+                .is_some_and(|ev| ev.at == t0)
+            {
+                self.apply_fault(self.fault_cursor);
+                self.fault_cursor += 1;
+                n += 1;
+            }
+
+            // The window: one lookahead, capped at the next control point
+            // and (inclusively) the deadline.
+            let mut w_end =
+                (t0 + lookahead).min(deadline.saturating_add(SimDuration::from_nanos(1)));
+            if let Some(t) = self.next_sync {
+                w_end = w_end.min(t);
+            }
+            if let Some(ev) = self.faults.get(self.fault_cursor) {
+                w_end = w_end.min(ev.at);
+            }
+
+            // Inject every link delivery landing inside the window. All of
+            // them were scheduled at earlier barriers: anything produced in
+            // *this* window arrives at `>= t0 + lookahead >= w_end`, and no
+            // machine has advanced past its injection time yet.
+            while self.queue.peek_time().is_some_and(|t| t < w_end) {
+                let ev = self.queue.pop().expect("peeked event vanished");
+                let d = ev.event;
+                if self.machines[d.machine].dead {
+                    self.m_frames_dropped.incr();
+                } else {
+                    self.machines[d.machine]
+                        .sys
+                        .inject_frame(ev.at, d.frame, d.corr);
+                }
+                n += 1;
+            }
+
+            // Step every machine through [t0, w_end) — concurrently when
+            // configured — then merge and forward their tunnel output.
+            n += self.run_window(w_end);
+            self.barrier();
         }
         self.now = self.now.max(deadline);
         n
+    }
+
+    /// Steps every machine through its events `< w_end`, on
+    /// [`FabricConfig::threads`] workers, and drains each machine's tunnel
+    /// output into its per-machine scratch. Returns total events stepped.
+    fn run_window(&mut self, w_end: SimTime) -> u64 {
+        let threads = self.cfg.threads.max(1).min(self.machines.len().max(1));
+        if threads <= 1 {
+            for slot in &mut self.machines {
+                run_machine_window(slot, w_end);
+            }
+        } else {
+            let chunk = self.machines.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for part in self.machines.chunks_mut(chunk) {
+                    let part = SendSlots(part);
+                    s.spawn(move || {
+                        // Rebind the whole wrapper: edition-2021 precise
+                        // captures would otherwise capture only the inner
+                        // `&mut [MachineSlot]`, sidestepping the `Send`
+                        // wrapper.
+                        let SendSlots(slots) = { part };
+                        for slot in slots.iter_mut() {
+                            run_machine_window(slot, w_end);
+                        }
+                    });
+                }
+            });
+        }
+        self.machines.iter().map(|s| s.window_steps).sum()
+    }
+
+    /// The serial barrier at a window's edge: merges every machine's tunnel
+    /// output into one deterministic order — by `(timestamp, machine)`,
+    /// stable, so each machine's own production order is preserved — and
+    /// crosses the inter-machine links. Runs with no worker live, so it may
+    /// touch all shared fabric state.
+    fn barrier(&mut self) {
+        let mut merged = std::mem::take(&mut self.merge_scratch);
+        debug_assert!(merged.is_empty());
+        for (i, slot) in self.machines.iter_mut().enumerate() {
+            for d in slot.pending.drain(..) {
+                merged.push((i as u32, d));
+            }
+        }
+        merged.sort_by_key(|&(m, ref d)| (d.at, m));
+        for (m, d) in merged.drain(..) {
+            let i = m as usize;
+            if d.port == self.machines[i].dir_port {
+                self.answer_dir_query(i, d);
+            } else if let Some(&peer) = self.machines[i].proxy_rev.get(&d.port) {
+                self.forward(i, peer, d);
+            } else {
+                // A tunnel port the fabric does not know (cannot happen for
+                // fabric-created ports; defensive).
+                self.m_frames_dropped.incr();
+            }
+        }
+        self.merge_scratch = merged;
     }
 
     /// Runs for `d` from the current global time.
@@ -433,22 +630,6 @@ impl Fabric {
         self.machines[on].proxy.insert(peer, p);
         self.machines[on].proxy_rev.insert(p, peer);
         p
-    }
-
-    /// Forwards everything machine `i` pushed onto its tunnel ports.
-    fn drain_machine(&mut self, i: usize) {
-        let deliveries = self.machines[i].sys.drain_tunnel();
-        for d in deliveries {
-            if d.port == self.machines[i].dir_port {
-                self.answer_dir_query(i, d);
-            } else if let Some(&peer) = self.machines[i].proxy_rev.get(&d.port) {
-                self.forward(i, peer, d);
-            } else {
-                // A tunnel port the fabric does not know (cannot happen for
-                // fabric-created ports; defensive).
-                self.m_frames_dropped.incr();
-            }
-        }
     }
 
     /// Crosses the inter-machine link from `a` to `peer.machine`.
@@ -534,7 +715,7 @@ impl Fabric {
         self.machines[b].link_frames.incr();
         self.queue.schedule_at(
             deliver,
-            FabricEvent::Deliver {
+            LinkDelivery {
                 machine: b,
                 frame,
                 corr: d.corr,
@@ -572,7 +753,7 @@ impl Fabric {
         let frame = Frame::unicast(self.machines[q].dir_port, d.frame.src, reply);
         self.queue.schedule_at(
             d.at + self.cfg.dir_latency,
-            FabricEvent::Deliver {
+            LinkDelivery {
                 machine: q,
                 frame,
                 corr: d.corr,
@@ -618,8 +799,7 @@ impl Fabric {
             self.g_dir_epoch.set(self.dir_epoch as i64);
             self.directory = fresh;
         }
-        self.queue
-            .schedule_at(now + self.cfg.sync_interval, FabricEvent::DirSync);
+        self.next_sync = Some(now + self.cfg.sync_interval);
     }
 
     fn apply_fault(&mut self, idx: usize) {
@@ -641,24 +821,6 @@ impl Fabric {
             }
             // Device-level faults have no whole-machine meaning here.
             FaultKind::SlowDown { .. } | FaultKind::IommuStorm { .. } => {}
-        }
-    }
-
-    fn handle(&mut self, at: SimTime, ev: FabricEvent) {
-        match ev {
-            FabricEvent::Deliver {
-                machine,
-                frame,
-                corr,
-            } => {
-                if self.machines[machine].dead {
-                    self.m_frames_dropped.incr();
-                } else {
-                    self.machines[machine].sys.inject_frame(at, frame, corr);
-                }
-            }
-            FabricEvent::DirSync => self.sync_directory(at),
-            FabricEvent::Fault(idx) => self.apply_fault(idx),
         }
     }
 }
@@ -694,7 +856,7 @@ mod tests {
             ctx.net_tx(self.target, self.payload.clone());
         }
         fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame) {
-            self.replies.push((ctx.now, frame.payload));
+            self.replies.push((ctx.now, frame.payload.to_vec()));
         }
     }
 
@@ -706,7 +868,14 @@ mod tests {
     }
 
     fn two_machine_ping(seed: u64) -> (SimTime, u64) {
-        let mut fab = Fabric::new(FabricConfig::default());
+        two_machine_ping_threads(seed, 1)
+    }
+
+    fn two_machine_ping_threads(seed: u64, threads: usize) -> (SimTime, u64) {
+        let mut fab = Fabric::new(FabricConfig {
+            threads,
+            ..FabricConfig::default()
+        });
         let m0 = fab.add_machine("m0", quiet_sys(seed));
         let m1 = fab.add_machine("m1", quiet_sys(seed + 1));
         let echo_port = fab.machine_mut(m1).add_host(Box::new(Echo));
@@ -739,6 +908,21 @@ mod tests {
     #[test]
     fn co_simulation_is_deterministic() {
         assert_eq!(two_machine_ping(42), two_machine_ping(42));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The windowed schedule is shared by every thread count, so the
+        // reply time and link byte counts must be identical whether the
+        // machines step inline or on worker threads.
+        let base = two_machine_ping_threads(42, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                two_machine_ping_threads(42, threads),
+                base,
+                "threads={threads} diverged from single-thread run"
+            );
+        }
     }
 
     #[test]

@@ -11,12 +11,20 @@
 //!
 //! Three design decisions keep the co-simulation bit-identical from a seed:
 //!
-//! 1. **Conservative interleaving.** The fabric advances whichever event —
-//!    its own (link deliveries, directory syncs, fault injections) or any
-//!    machine's — is globally earliest, one event at a time. Ties break
-//!    fabric-first, then by ascending machine index. Machines interact
-//!    *only* through fabric-delivered frames, which always pay at least one
-//!    link latency, so no machine can observe another's same-instant state.
+//! 1. **Conservative time windows.** Machines interact *only* through
+//!    fabric-delivered frames, which always pay at least one link latency
+//!    (and directory replies at least `dir_latency`). The fabric therefore
+//!    advances in windows no longer than that minimum — the *lookahead* —
+//!    within which every machine is provably independent and steps its own
+//!    events freely; at each window edge a serial barrier merges the
+//!    machines' tunnel output in `(timestamp, machine, production-order)`
+//!    order and crosses the links. Directory sweeps and scheduled faults
+//!    are control points that additionally cap windows, so they observe a
+//!    globally consistent instant. Because the *same* windowed schedule
+//!    runs whether machines step on one thread or on
+//!    [`FabricConfig::threads`] workers, any thread count replays
+//!    bit-identically from a seed — parallelism changes wall-clock time,
+//!    never results.
 //! 2. **Transparent tunnels.** Each machine's edge switch grows fabric-owned
 //!    *proxy ports*, one per remote peer the machine talks to. A frame sent
 //!    to a proxy port crosses the inter-machine link (per-link line-rate

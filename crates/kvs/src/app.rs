@@ -3,14 +3,19 @@
 use lastcpu_devices::monitor::MonitorEvent;
 use lastcpu_devices::nic::{NicApp, NicEnv};
 use lastcpu_mem::Pasid;
-use lastcpu_net::Frame;
+use lastcpu_net::{Frame, PortId};
+use lastcpu_sim::Bytes;
 
-use crate::proto::KvsRequest;
+use crate::proto::KvsRequestRef;
 use crate::server::{KvsServer, ServerConfig, ServerState, ServerStats};
 
 /// The NIC-hosted KVS application.
 pub struct KvsNicApp {
     server: KvsServer,
+    /// Reused response scratch: the server appends `(dst, payload)` pairs
+    /// here and `transmit` drains them, so steady-state request handling
+    /// never allocates an output vector.
+    out: Vec<(PortId, Bytes)>,
 }
 
 impl KvsNicApp {
@@ -18,6 +23,7 @@ impl KvsNicApp {
     pub fn new(config: ServerConfig, pasid: Pasid) -> Self {
         KvsNicApp {
             server: KvsServer::new(config, pasid),
+            out: Vec::new(),
         }
     }
 
@@ -41,9 +47,18 @@ impl KvsNicApp {
         self.server.contains(key)
     }
 
-    fn transmit(env: &mut NicEnv<'_, '_>, responses: Vec<(lastcpu_net::PortId, Vec<u8>)>) {
-        let Some(port) = env.ctx.port else { return };
-        for (dst, payload) in responses {
+    /// Enables or disables the server's zero-alloc GET fast path (test
+    /// hook; see [`KvsServer::set_fast_path`]).
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.server.set_fast_path(on);
+    }
+
+    fn transmit(env: &mut NicEnv<'_, '_>, responses: &mut Vec<(PortId, Bytes)>) {
+        let Some(port) = env.ctx.port else {
+            responses.clear();
+            return;
+        };
+        for (dst, payload) in responses.drain(..) {
             env.ctx.net_tx(Frame::unicast(port, dst, payload));
         }
     }
@@ -59,21 +74,43 @@ impl NicApp for KvsNicApp {
     }
 
     fn on_net(&mut self, env: &mut NicEnv<'_, '_>, frame: Frame) {
-        match KvsRequest::decode(&frame.payload) {
-            Some(req) => {
-                let out = self.server.on_request(env.ctx, frame.src, req);
-                Self::transmit(env, out);
-            }
-            None => {
-                // Not our protocol; a real NIC would fall through to the
-                // next classifier. Drop.
+        let Some(req) = KvsRequestRef::decode(&frame.payload) else {
+            // Not our protocol; a real NIC would fall through to the next
+            // classifier. Drop.
+            return;
+        };
+        if let Some(port) = env.ctx.port {
+            // Cache-hit GETs — the dominant shape — are answered without
+            // materializing an owned request or an intermediate Vec: the
+            // response serializes into a pooled buffer whose storage
+            // recycles when the client consumes the reply frame.
+            let _sp = lastcpu_sim::profile::span("kvs.app.fast_get");
+            let mut buf = env.ctx.take_buf();
+            if self.server.try_fast_get(env.ctx, &req, buf.vec_mut()) {
+                env.ctx.net_tx(Frame::unicast(port, frame.src, buf));
+                return;
             }
         }
+        // Slow path: the request must be materialized (owned key/value)
+        // because it may outlive the frame in the server's backlog — under
+        // storage-queue backpressure even cache-hit GETs queue here to keep
+        // FIFO response order. That `to_owned` is the remaining per-request
+        // allocation the E9 profile attributes to `kvs.app.enqueue`.
+        let _sp = lastcpu_sim::profile::span("kvs.app.enqueue");
+        let mut out = std::mem::take(&mut self.out);
+        debug_assert!(out.is_empty());
+        self.server
+            .on_request(env.ctx, frame.src, req.to_owned(), &mut out);
+        Self::transmit(env, &mut out);
+        self.out = out;
     }
 
     fn on_event(&mut self, env: &mut NicEnv<'_, '_>, ev: MonitorEvent) {
-        let out = self.server.on_event(env.ctx, env.monitor, &ev);
-        Self::transmit(env, out);
+        let mut out = std::mem::take(&mut self.out);
+        debug_assert!(out.is_empty());
+        self.server.on_event(env.ctx, env.monitor, &ev, &mut out);
+        Self::transmit(env, &mut out);
+        self.out = out;
     }
 
     fn on_reset(&mut self) {

@@ -11,7 +11,7 @@ use lastcpu_sim::{CounterHandle, DetHashMap, HistogramHandle, MetricsHub, SimDur
 
 use lastcpu_core::{HostCtx, NetHost};
 
-use crate::proto::{KvsRequest, KvsResponse, KvsStatus};
+use crate::proto::{encode_get_into, encode_put_into, KvsRequest, KvsResponseRef, KvsStatus};
 
 /// Retry/progress timer token.
 const TOKEN_TICK: u64 = 1;
@@ -114,6 +114,9 @@ pub struct KvsClientHost {
     timeouts: u64,
     started_at: Option<SimTime>,
     finished_at: Option<SimTime>,
+    /// Reusable PUT-value buffer: refilled per issue, so the steady-state
+    /// loop never allocates for values.
+    value_scratch: Vec<u8>,
 }
 
 impl KvsClientHost {
@@ -135,6 +138,7 @@ impl KvsClientHost {
             timeouts: 0,
             started_at: None,
             finished_at: None,
+            value_scratch: Vec::new(),
         }
     }
 
@@ -192,34 +196,69 @@ impl KvsClientHost {
         Some(self.ops_done as f64 / (e.as_nanos() as f64 / 1e9))
     }
 
-    fn key_bytes(k: u64) -> Vec<u8> {
-        format!("key{k:08}").into_bytes()
+    /// Formats `key{k:08}` into `buf` without allocating (the zero-pad
+    /// widens for keys past eight digits, matching `format!`). 23 bytes is
+    /// "key" plus the 20 digits of `u64::MAX`.
+    fn key_encode(k: u64, buf: &mut [u8; 23]) -> &[u8] {
+        let mut digits = 1usize;
+        let mut t = k;
+        while t >= 10 {
+            t /= 10;
+            digits += 1;
+        }
+        let len = 3 + digits.max(8);
+        buf[..3].copy_from_slice(b"key");
+        let mut v = k;
+        for b in buf[3..len].iter_mut().rev() {
+            *b = b'0' + (v % 10) as u8;
+            v /= 10;
+        }
+        &buf[..len]
     }
 
-    fn send(&mut self, ctx: &mut HostCtx<'_>, req: KvsRequest, is_read: bool) {
-        self.outstanding.insert(req.id(), (ctx.now, is_read));
-        ctx.net_tx(self.server, req.encode());
+    #[cfg(test)]
+    fn key_bytes(k: u64) -> Vec<u8> {
+        let mut buf = [0u8; 23];
+        Self::key_encode(k, &mut buf).to_vec()
+    }
+
+    /// Issues a GET, encoding straight into a pooled buffer.
+    fn send_get(&mut self, ctx: &mut HostCtx<'_>, id: u64, key: &[u8]) {
+        self.outstanding.insert(id, (ctx.now, true));
+        let mut buf = ctx.take_buf();
+        encode_get_into(id, key, buf.vec_mut());
+        ctx.net_tx(self.server, buf);
+    }
+
+    /// Issues a PUT with a `fill`-byte value, encoding straight into a
+    /// pooled buffer (the value materializes in a reusable scratch).
+    fn send_put(&mut self, ctx: &mut HostCtx<'_>, id: u64, key: &[u8], fill: u8) {
+        self.outstanding.insert(id, (ctx.now, false));
+        self.value_scratch.clear();
+        self.value_scratch.resize(self.config.value_size, fill);
+        let mut buf = ctx.take_buf();
+        encode_put_into(id, key, &self.value_scratch, buf.vec_mut());
+        ctx.net_tx(self.server, buf);
     }
 
     fn issue_one(&mut self, ctx: &mut HostCtx<'_>) {
         let id = self.next_id;
         self.next_id += 1;
+        let mut kb = [0u8; 23];
         match self.phase {
             Phase::Loading => {
-                let key = Self::key_bytes(self.load_next);
+                let key = Self::key_encode(self.load_next, &mut kb);
                 self.load_next += 1;
-                let value = vec![0xAB; self.config.value_size];
-                self.send(ctx, KvsRequest::Put { id, key, value }, false);
+                self.send_put(ctx, id, key, 0xAB);
             }
             Phase::Running => {
                 let k = ctx.rng().zipf(self.config.keys, self.config.theta);
-                let key = Self::key_bytes(k);
+                let key = Self::key_encode(k, &mut kb);
                 let is_read = ctx.rng().chance(self.config.read_fraction);
                 if is_read {
-                    self.send(ctx, KvsRequest::Get { id, key }, true);
+                    self.send_get(ctx, id, key);
                 } else {
-                    let value = vec![0xCD; self.config.value_size];
-                    self.send(ctx, KvsRequest::Put { id, key, value }, false);
+                    self.send_put(ctx, id, key, 0xCD);
                 }
                 ctx.stage(STAGE_CLIENT_ISSUE, op_key(ctx.port.0, id), is_read as u64);
                 self.ops_issued += 1;
@@ -293,7 +332,9 @@ impl NetHost for KvsClientHost {
     }
 
     fn on_frame(&mut self, ctx: &mut HostCtx<'_>, frame: Frame) {
-        let Some(resp) = KvsResponse::decode(&frame.payload) else {
+        // Borrowed decode: the client never needs an owned copy of the
+        // value bytes, so the hot completion path is allocation-free.
+        let Some(resp) = KvsResponseRef::decode(&frame.payload) else {
             return;
         };
         let Some((sent_at, is_read)) = self.outstanding.remove(&resp.id) else {
@@ -430,6 +471,27 @@ mod tests {
     fn key_bytes_are_stable_and_distinct() {
         assert_eq!(KvsClientHost::key_bytes(1), b"key00000001".to_vec());
         assert_ne!(KvsClientHost::key_bytes(1), KvsClientHost::key_bytes(2));
+    }
+
+    #[test]
+    fn key_encode_matches_format_macro() {
+        for k in [
+            0,
+            1,
+            9,
+            10,
+            99_999_999,
+            100_000_000,
+            1_234_567_890,
+            u64::MAX,
+        ] {
+            let mut buf = [0u8; 23];
+            assert_eq!(
+                KvsClientHost::key_encode(k, &mut buf),
+                format!("key{k:08}").as_bytes(),
+                "key {k}"
+            );
+        }
     }
 
     #[test]

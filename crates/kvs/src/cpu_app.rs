@@ -10,6 +10,7 @@ use lastcpu_baseline::{CpuApp, KernelEnv};
 use lastcpu_devices::monitor::MonitorEvent;
 use lastcpu_mem::Pasid;
 use lastcpu_net::PortId;
+use lastcpu_sim::Bytes;
 
 use crate::proto::KvsRequest;
 use crate::server::{KvsServer, ServerConfig, ServerState, ServerStats};
@@ -17,6 +18,8 @@ use crate::server::{KvsServer, ServerConfig, ServerState, ServerStats};
 /// The CPU-hosted KVS application.
 pub struct KvsCpuApp {
     server: KvsServer,
+    /// Reused response scratch (see [`crate::app::KvsNicApp`]).
+    out: Vec<(PortId, Bytes)>,
 }
 
 impl KvsCpuApp {
@@ -24,6 +27,7 @@ impl KvsCpuApp {
     pub fn new(config: ServerConfig, pasid: Pasid) -> Self {
         KvsCpuApp {
             server: KvsServer::new(config, pasid),
+            out: Vec::new(),
         }
     }
 
@@ -37,9 +41,11 @@ impl KvsCpuApp {
         self.server.stats()
     }
 
-    fn transmit(env: &mut KernelEnv<'_, '_>, responses: Vec<(PortId, Vec<u8>)>) {
-        for (dst, payload) in responses {
-            env.send_packet(dst, payload);
+    fn transmit(env: &mut KernelEnv<'_, '_>, responses: &mut Vec<(PortId, Bytes)>) {
+        for (dst, payload) in responses.drain(..) {
+            // The kernel egress path models a copy anyway (syscall + NIC
+            // DMA), so handing over an owned Vec is faithful to it.
+            env.send_packet(dst, payload.into_vec());
         }
     }
 }
@@ -55,13 +61,19 @@ impl CpuApp for KvsCpuApp {
 
     fn on_packet(&mut self, env: &mut KernelEnv<'_, '_>, src: PortId, payload: Vec<u8>) {
         if let Some(req) = KvsRequest::decode(&payload) {
-            let out = self.server.on_request(env.ctx, src, req);
-            Self::transmit(env, out);
+            let mut out = std::mem::take(&mut self.out);
+            debug_assert!(out.is_empty());
+            self.server.on_request(env.ctx, src, req, &mut out);
+            Self::transmit(env, &mut out);
+            self.out = out;
         }
     }
 
     fn on_event(&mut self, env: &mut KernelEnv<'_, '_>, ev: MonitorEvent) {
-        let out = self.server.on_event(env.ctx, env.monitor, &ev);
-        Self::transmit(env, out);
+        let mut out = std::mem::take(&mut self.out);
+        debug_assert!(out.is_empty());
+        self.server.on_event(env.ctx, env.monitor, &ev, &mut out);
+        Self::transmit(env, &mut out);
+        self.out = out;
     }
 }

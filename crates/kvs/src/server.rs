@@ -22,10 +22,11 @@ use lastcpu_devices::ssd::{FileOp, FileStatus, DOORBELL_WORK};
 use lastcpu_mem::Pasid;
 use lastcpu_net::PortId;
 use lastcpu_sim::critpath::{STAGE_SERVER_DONE, STAGE_SERVER_RECV};
-use lastcpu_sim::{CounterHandle, SimDuration};
+use lastcpu_sim::profile;
+use lastcpu_sim::{Bytes, CounterHandle, SimDuration};
 
 use crate::engine::{KvEngine, LogScanner};
-use crate::proto::{encode_response, KvsRequest, KvsResponse, KvsStatus};
+use crate::proto::{encode_response_into, KvsRequest, KvsRequestRef, KvsStatus};
 
 /// Rebuild read chunk.
 const REBUILD_CHUNK: u32 = 2048;
@@ -122,7 +123,7 @@ enum Pending {
 }
 
 /// Server counters.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
     /// GETs served.
     pub gets: u64,
@@ -132,6 +133,9 @@ pub struct ServerStats {
     pub deletes: u64,
     /// GETs answered from the local cache.
     pub cache_hits: u64,
+    /// Cache-hit GETs answered via the zero-alloc fast path (a subset of
+    /// `cache_hits`; zero when the fast path is disabled).
+    pub fast_gets: u64,
     /// Requests answered `Busy` due to backlog overflow.
     pub shed: u64,
     /// Requests answered `NotFound`.
@@ -248,6 +252,10 @@ pub struct KvsServer {
     /// Session incarnation counter; selects the VA window ([`VA_STRIDE`])
     /// the next session maps its shared region at.
     generation: u64,
+    /// Reused completion-payload buffer for the streaming drain loop.
+    comp_buf: Vec<u8>,
+    /// Whether `try_fast_get` may answer (test hook; defaults on).
+    fast_path: bool,
 }
 
 impl KvsServer {
@@ -274,7 +282,16 @@ impl KvsServer {
             met: None,
             recovering: false,
             generation: 0,
+            comp_buf: Vec::new(),
+            fast_path: true,
         }
+    }
+
+    /// Enables or disables the [`try_fast_get`](Self::try_fast_get) fast
+    /// path. Responses must be byte-identical either way — the differential
+    /// test flips this to hold the two paths to that contract.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
     }
 
     /// Current lifecycle state.
@@ -314,14 +331,15 @@ impl KvsServer {
         }
     }
 
-    /// Feeds a monitor event. Returns response payloads to transmit.
+    /// Feeds a monitor event, appending response payloads to transmit onto
+    /// `out` (an app-owned scratch vector, reused across events).
     pub fn on_event(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         monitor: &mut Monitor,
         ev: &MonitorEvent,
-    ) -> Vec<(PortId, Vec<u8>)> {
-        let mut out = Vec::new();
+        out: &mut Vec<(PortId, Bytes)>,
+    ) {
         if let Some(session) = self.session.as_mut() {
             match session.on_event(ctx, monitor, ev) {
                 Some(SessionEvent::Ready { file_size, .. }) => {
@@ -333,19 +351,19 @@ impl KvsServer {
                         self.state = ServerState::Rebuilding;
                         self.issue_rebuild_reads(ctx);
                     }
-                    return out;
+                    return;
                 }
                 Some(SessionEvent::Completions { .. }) => {
-                    self.drain(ctx, &mut out);
+                    self.drain(ctx, out);
                     if self.state == ServerState::Failed {
-                        self.restart(ctx, monitor, &mut out);
+                        self.restart(ctx, monitor, out);
                     }
-                    return out;
+                    return;
                 }
                 Some(SessionEvent::Failed { .. }) => {
                     self.state = ServerState::Failed;
-                    self.restart(ctx, monitor, &mut out);
-                    return out;
+                    self.restart(ctx, monitor, out);
+                    return;
                 }
                 None => {}
             }
@@ -397,20 +415,25 @@ impl KvsServer {
             }
             _ => {}
         }
-        out
     }
 
     /// Pushes one response and emits its `server.done` critical-path mark
     /// (every response path funnels through here so the E12 analyzer can
-    /// join the replica side of each operation).
+    /// join the replica side of each operation). The response serializes
+    /// straight from the borrowed value into a pooled buffer — no
+    /// intermediate `KvsResponse`, no per-response `Vec`.
     fn respond(
         ctx: &mut DeviceCtx<'_>,
-        out: &mut Vec<(PortId, Vec<u8>)>,
+        out: &mut Vec<(PortId, Bytes)>,
         port: PortId,
-        resp: KvsResponse,
+        id: u64,
+        status: KvsStatus,
+        value: &[u8],
     ) {
-        ctx.stage(STAGE_SERVER_DONE, resp.id, resp.status as u64);
-        out.push((port, resp.encode()));
+        ctx.stage(STAGE_SERVER_DONE, id, status as u64);
+        let mut buf = ctx.take_buf();
+        encode_response_into(id, status, value, buf.vec_mut());
+        out.push((port, buf));
     }
 
     /// Current queue depth (backlogged + in-flight requests), reported in
@@ -419,14 +442,18 @@ impl KvsServer {
         (self.backlog.len() + self.inflight.len()) as u32
     }
 
-    /// Handles one network request. Returns response payloads to transmit.
+    /// Handles one network request, appending response payloads onto `out`
+    /// (an app-owned scratch vector, reused across requests).
     pub fn on_request(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         src: PortId,
         req: KvsRequest,
-    ) -> Vec<(PortId, Vec<u8>)> {
-        let mut out = Vec::new();
+        out: &mut Vec<(PortId, Bytes)>,
+    ) {
+        // Named sub-scope: everything the fast path bypassed (PUTs,
+        // misses, shed) attributes here in the E9 table.
+        let _sp = profile::span("kvs.server.request");
         ctx.stage(STAGE_SERVER_RECV, req.id(), 0);
         if self.state != ServerState::Ready {
             // `Unavailable` = lost a backing resource (recovery under way);
@@ -435,18 +462,21 @@ impl KvsServer {
             // Busy responses carry the current queue depth so a
             // congestion-aware router can scale its backoff instead of
             // retrying blind ([`KvsResponse::busy`]).
-            let resp = if self.recovering || self.state == ServerState::Failed {
+            if self.recovering || self.state == ServerState::Failed {
                 self.note_unavailable();
-                KvsResponse {
-                    id: req.id(),
-                    status: KvsStatus::Unavailable,
-                    value: vec![],
-                }
+                Self::respond(ctx, out, src, req.id(), KvsStatus::Unavailable, &[]);
             } else {
-                KvsResponse::busy(req.id(), self.queue_depth())
-            };
-            Self::respond(ctx, &mut out, src, resp);
-            return out;
+                let depth = self.queue_depth();
+                Self::respond(
+                    ctx,
+                    out,
+                    src,
+                    req.id(),
+                    KvsStatus::Busy,
+                    &depth.to_le_bytes(),
+                );
+            }
+            return;
         }
         ctx.busy(self.config.per_request_cost);
         if self.backlog.len() >= MAX_BACKLOG {
@@ -454,17 +484,79 @@ impl KvsServer {
             if let Some(met) = &self.met {
                 met.shed.incr();
             }
-            let resp = KvsResponse::busy(req.id(), self.queue_depth());
-            Self::respond(ctx, &mut out, src, resp);
-            return out;
+            let depth = self.queue_depth();
+            Self::respond(
+                ctx,
+                out,
+                src,
+                req.id(),
+                KvsStatus::Busy,
+                &depth.to_le_bytes(),
+            );
+            return;
         }
         self.backlog.push_back((src, req));
-        self.pump(ctx, &mut out);
-        out
+        self.pump(ctx, out);
+    }
+
+    /// Zero-alloc fast path for the dominant request shape: a GET whose key
+    /// is hot in the value cache, arriving while the server is `Ready` with
+    /// an empty backlog and storage-queue space free (the exact conditions
+    /// under which [`KvsServer::on_request`] would answer it inline from
+    /// the cache). Replicates the slow path's effects — stage marks, busy
+    /// charge, counters — and serializes the response into `buf` (typically
+    /// a pooled buffer) straight from the borrowed key and cached value.
+    ///
+    /// Returns `true` when handled; `false` means the caller must fall back
+    /// to [`KvsServer::on_request`] with an owned request.
+    pub fn try_fast_get(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        req: &KvsRequestRef<'_>,
+        buf: &mut Vec<u8>,
+    ) -> bool {
+        if !self.fast_path {
+            return false;
+        }
+        let KvsRequestRef::Get { id, key } = *req else {
+            return false;
+        };
+        if self.state != ServerState::Ready || !self.backlog.is_empty() {
+            return false;
+        }
+        // `pump` only answers requests while the storage client has queue
+        // space; without it this GET would backlog, so take the slow path.
+        let Some(session) = self.session.as_mut() else {
+            return false;
+        };
+        let Some((client, _)) = session.client_mut() else {
+            return false;
+        };
+        if !client.can_submit() {
+            return false;
+        }
+        let Some(v) = self.cache.get(key) else {
+            return false;
+        };
+        // Same effects, in the same order, as on_request → pump for this
+        // shape (the differential test in `tests/` holds the two paths
+        // byte-identical).
+        ctx.stage(STAGE_SERVER_RECV, id, 0);
+        ctx.busy(self.config.per_request_cost);
+        self.stats.gets += 1;
+        self.stats.cache_hits += 1;
+        self.stats.fast_gets += 1;
+        if let Some(met) = &self.met {
+            met.gets.incr();
+            met.cache_hits.incr();
+        }
+        ctx.stage(STAGE_SERVER_DONE, id, KvsStatus::Ok as u64);
+        encode_response_into(id, KvsStatus::Ok, v, buf);
+        true
     }
 
     /// Submits backlogged requests while queue space allows.
-    fn pump(&mut self, ctx: &mut DeviceCtx<'_>, out: &mut Vec<(PortId, Vec<u8>)>) {
+    fn pump(&mut self, ctx: &mut DeviceCtx<'_>, out: &mut Vec<(PortId, Bytes)>) {
         let Some(session) = self.session.as_mut() else {
             return;
         };
@@ -494,8 +586,7 @@ impl KvsServer {
                         }
                         // Serialize straight from the borrowed cache value:
                         // no intermediate clone into a KvsResponse.
-                        ctx.stage(STAGE_SERVER_DONE, id, KvsStatus::Ok as u64);
-                        out.push((src, encode_response(id, KvsStatus::Ok, v)));
+                        Self::respond(ctx, out, src, id, KvsStatus::Ok, v);
                         continue;
                     }
                     match self.engine.get(&key) {
@@ -525,16 +616,7 @@ impl KvsServer {
                             if let Some(met) = &self.met {
                                 met.misses.incr();
                             }
-                            Self::respond(
-                                ctx,
-                                out,
-                                src,
-                                KvsResponse {
-                                    id,
-                                    status: KvsStatus::NotFound,
-                                    value: vec![],
-                                },
-                            );
+                            Self::respond(ctx, out, src, id, KvsStatus::NotFound, &[]);
                         }
                     }
                 }
@@ -565,21 +647,19 @@ impl KvsServer {
                                         met.shed.incr();
                                     }
                                     let depth = (self.backlog.len() + self.inflight.len()) as u32;
-                                    Self::respond(ctx, out, src, KvsResponse::busy(id, depth));
+                                    Self::respond(
+                                        ctx,
+                                        out,
+                                        src,
+                                        id,
+                                        KvsStatus::Busy,
+                                        &depth.to_le_bytes(),
+                                    );
                                 }
                             }
                         }
                         Err(_) => {
-                            Self::respond(
-                                ctx,
-                                out,
-                                src,
-                                KvsResponse {
-                                    id,
-                                    status: KvsStatus::Error,
-                                    value: vec![],
-                                },
-                            );
+                            Self::respond(ctx, out, src, id, KvsStatus::Error, &[]);
                         }
                     }
                 }
@@ -601,7 +681,14 @@ impl KvsServer {
                                         met.shed.incr();
                                     }
                                     let depth = (self.backlog.len() + self.inflight.len()) as u32;
-                                    Self::respond(ctx, out, src, KvsResponse::busy(id, depth));
+                                    Self::respond(
+                                        ctx,
+                                        out,
+                                        src,
+                                        id,
+                                        KvsStatus::Busy,
+                                        &depth.to_le_bytes(),
+                                    );
                                 }
                             }
                         }
@@ -614,28 +701,10 @@ impl KvsServer {
                             if let Some(met) = &self.met {
                                 met.misses.incr();
                             }
-                            Self::respond(
-                                ctx,
-                                out,
-                                src,
-                                KvsResponse {
-                                    id,
-                                    status: KvsStatus::NotFound,
-                                    value: vec![],
-                                },
-                            );
+                            Self::respond(ctx, out, src, id, KvsStatus::NotFound, &[]);
                         }
                         Err(_) => {
-                            Self::respond(
-                                ctx,
-                                out,
-                                src,
-                                KvsResponse {
-                                    id,
-                                    status: KvsStatus::Error,
-                                    value: vec![],
-                                },
-                            );
+                            Self::respond(ctx, out, src, id, KvsStatus::Error, &[]);
                         }
                     }
                 }
@@ -679,24 +748,38 @@ impl KvsServer {
         }
     }
 
-    /// Drains storage completions, producing network responses.
-    fn drain(&mut self, ctx: &mut DeviceCtx<'_>, out: &mut Vec<(PortId, Vec<u8>)>) {
-        let Some(session) = self.session.as_mut() else {
-            return;
-        };
+    /// Pops completions one at a time into `comp_buf` and answers each.
+    /// Event and response order is identical to the old collect-then-process
+    /// shape: completions come off the same virtqueue in the same order, and
+    /// nothing here submits new work mid-loop.
+    fn drain_completions(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        out: &mut Vec<(PortId, Bytes)>,
+        comp_buf: &mut Vec<u8>,
+    ) {
         let pasid = self.pasid;
-        let mut done = Vec::new();
-        if let Some((client, _)) = session.client_mut() {
-            let mut view = ctx.dma_view(pasid);
-            match client.completions(&mut view) {
-                Ok(c) => done = c,
+        loop {
+            // Re-borrow the session each iteration: the arms below need the
+            // rest of `self` (stats, cache, scanner) between pops.
+            let Some(session) = self.session.as_mut() else {
+                return;
+            };
+            let Some((client, _)) = session.client_mut() else {
+                return;
+            };
+            let popped = {
+                let mut view = ctx.dma_view(pasid);
+                client.next_completion(&mut view, comp_buf)
+            };
+            let (head, status) = match popped {
+                Ok(Some(c)) => c,
+                Ok(None) => return,
                 Err(_) => {
                     self.state = ServerState::Failed;
                     return;
                 }
-            }
-        }
-        for (head, status, payload) in done {
+            };
             let Some(pending) = self.inflight.remove(&head) else {
                 continue;
             };
@@ -706,20 +789,11 @@ impl KvsServer {
                     if let Some(met) = &self.met {
                         met.gets.incr();
                     }
-                    let resp = if status == FileStatus::Ok {
-                        KvsResponse {
-                            id,
-                            status: KvsStatus::Ok,
-                            value: payload,
-                        }
+                    if status == FileStatus::Ok {
+                        Self::respond(ctx, out, port, id, KvsStatus::Ok, comp_buf);
                     } else {
-                        KvsResponse {
-                            id,
-                            status: KvsStatus::Error,
-                            value: vec![],
-                        }
-                    };
-                    Self::respond(ctx, out, port, resp);
+                        Self::respond(ctx, out, port, id, KvsStatus::Error, &[]);
+                    }
                 }
                 Pending::Put {
                     port,
@@ -731,42 +805,29 @@ impl KvsServer {
                     if let Some(met) = &self.met {
                         met.puts.incr();
                     }
-                    let resp = if status == FileStatus::Ok {
+                    if status == FileStatus::Ok {
                         self.cache.insert(&key, value);
-                        KvsResponse {
-                            id,
-                            status: KvsStatus::Ok,
-                            value: vec![],
-                        }
+                        Self::respond(ctx, out, port, id, KvsStatus::Ok, &[]);
                     } else {
-                        KvsResponse {
-                            id,
-                            status: KvsStatus::Error,
-                            value: vec![],
-                        }
-                    };
-                    Self::respond(ctx, out, port, resp);
+                        Self::respond(ctx, out, port, id, KvsStatus::Error, &[]);
+                    }
                 }
                 Pending::Delete { port, id } => {
                     self.stats.deletes += 1;
                     if let Some(met) = &self.met {
                         met.deletes.incr();
                     }
-                    let resp = KvsResponse {
-                        id,
-                        status: if status == FileStatus::Ok {
-                            KvsStatus::Ok
-                        } else {
-                            KvsStatus::Error
-                        },
-                        value: vec![],
+                    let st = if status == FileStatus::Ok {
+                        KvsStatus::Ok
+                    } else {
+                        KvsStatus::Error
                     };
-                    Self::respond(ctx, out, port, resp);
+                    Self::respond(ctx, out, port, id, st, &[]);
                 }
                 Pending::Rebuild { len } => {
                     self.rebuild_inflight -= 1;
-                    if status == FileStatus::Ok && payload.len() == len as usize {
-                        if self.scanner.feed(&mut self.engine, &payload).is_err() {
+                    if status == FileStatus::Ok && comp_buf.len() == len as usize {
+                        if self.scanner.feed(&mut self.engine, comp_buf).is_err() {
                             self.state = ServerState::Failed;
                             return;
                         }
@@ -777,6 +838,21 @@ impl KvsServer {
                 }
             }
         }
+    }
+
+    /// Drains storage completions, producing network responses.
+    fn drain(&mut self, ctx: &mut DeviceCtx<'_>, out: &mut Vec<(PortId, Bytes)>) {
+        // Named sub-scope for the E9 attribution table.
+        let _sp = profile::span("kvs.server.drain");
+        if self.session.is_none() {
+            return;
+        }
+        // Stream completions one at a time through the reusable payload
+        // buffer instead of materializing a Vec of owned payloads. The
+        // buffer is lent out for the loop so `self` stays borrowable.
+        let mut comp_buf = std::mem::take(&mut self.comp_buf);
+        self.drain_completions(ctx, out, &mut comp_buf);
+        self.comp_buf = comp_buf;
         if self.state == ServerState::Rebuilding {
             if self.rebuild_next >= self.file_size && self.rebuild_inflight == 0 {
                 self.state = ServerState::Ready;
@@ -812,7 +888,7 @@ impl KvsServer {
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         monitor: &mut Monitor,
-        out: &mut Vec<(PortId, Vec<u8>)>,
+        out: &mut Vec<(PortId, Bytes)>,
     ) {
         self.stats.failures += 1;
         if let Some(met) = &self.met {
@@ -830,31 +906,13 @@ impl KvsServer {
                 Some(Pending::Rebuild { .. }) | None => continue,
             };
             self.note_unavailable();
-            Self::respond(
-                ctx,
-                out,
-                port,
-                KvsResponse {
-                    id,
-                    status: KvsStatus::Unavailable,
-                    value: vec![],
-                },
-            );
+            Self::respond(ctx, out, port, id, KvsStatus::Unavailable, &[]);
         }
         self.inflight.clear();
         // Fail the backlog in arrival order.
         while let Some((port, req)) = self.backlog.pop_front() {
             self.note_unavailable();
-            Self::respond(
-                ctx,
-                out,
-                port,
-                KvsResponse {
-                    id: req.id(),
-                    status: KvsStatus::Unavailable,
-                    value: vec![],
-                },
-            );
+            Self::respond(ctx, out, port, req.id(), KvsStatus::Unavailable, &[]);
         }
         // Drop the dead session and the (now untrusted) index; the rebuild
         // scan will reconstruct it from the log on reconnect.
@@ -883,6 +941,7 @@ impl KvsServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::KvsResponse;
 
     #[test]
     fn value_cache_lru_semantics() {
@@ -1006,13 +1065,15 @@ mod tests {
             let mut ctx = fix.ctx();
             server.start(&mut ctx, &mut monitor);
             // Before any failure: still booting => Busy.
-            let out = server.on_request(
+            let mut out = Vec::new();
+            server.on_request(
                 &mut ctx,
                 PortId(7),
                 KvsRequest::Get {
                     id: 5,
                     key: b"k".to_vec(),
                 },
+                &mut out,
             );
             assert_eq!(
                 KvsResponse::decode(&out[0].1).unwrap().status,
@@ -1021,13 +1082,15 @@ mod tests {
             // After a failure-triggered restart: recovering => Unavailable.
             let mut sink = Vec::new();
             server.restart(&mut ctx, &mut monitor, &mut sink);
-            let out = server.on_request(
+            let mut out = Vec::new();
+            server.on_request(
                 &mut ctx,
                 PortId(7),
                 KvsRequest::Get {
                     id: 6,
                     key: b"k".to_vec(),
                 },
+                &mut out,
             );
             assert_eq!(
                 KvsResponse::decode(&out[0].1).unwrap().status,
@@ -1066,13 +1129,15 @@ mod tests {
                     id: 9000,
                 },
             );
-            let out = server.on_request(
+            let mut out = Vec::new();
+            server.on_request(
                 &mut ctx,
                 PortId(7),
                 KvsRequest::Get {
                     id: 9001,
                     key: b"k".to_vec(),
                 },
+                &mut out,
             );
             let resp = KvsResponse::decode(&out[0].1).unwrap();
             assert_eq!(resp.status, KvsStatus::Busy);

@@ -13,6 +13,7 @@
 
 pub mod switch;
 
+pub use lastcpu_sim::pool::{BufPool, Bytes};
 pub use switch::{NetCostModel, PortId, Switch, SwitchStats};
 
 /// Fixed per-frame header overhead on the wire, in bytes: an Ethernet-ish
@@ -33,14 +34,22 @@ pub struct Frame {
     /// Destination port, or [`PortId::BROADCAST`].
     pub dst: PortId,
     /// Payload bytes (the emulator does not model L2 headers beyond the
-    /// fixed per-frame overhead in the cost model).
-    pub payload: Vec<u8>,
+    /// fixed per-frame overhead in the cost model). Possibly pool-backed
+    /// ([`Bytes`]): the zero-alloc delivery path serializes into a buffer
+    /// drawn from the sender's [`BufPool`] and the storage returns to that
+    /// pool when the frame is decoded and dropped at the receiver.
+    pub payload: Bytes,
 }
 
 impl Frame {
-    /// Creates a unicast frame.
-    pub fn unicast(src: PortId, dst: PortId, payload: Vec<u8>) -> Self {
-        Frame { src, dst, payload }
+    /// Creates a unicast frame. Accepts a plain `Vec<u8>` or a pooled
+    /// [`Bytes`] payload.
+    pub fn unicast(src: PortId, dst: PortId, payload: impl Into<Bytes>) -> Self {
+        Frame {
+            src,
+            dst,
+            payload: payload.into(),
+        }
     }
 
     /// On-wire length in bytes (payload + [`FRAME_OVERHEAD_BYTES`]).

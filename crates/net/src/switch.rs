@@ -123,36 +123,60 @@ impl Switch {
         self.ports.contains(&p)
     }
 
+    /// Queues `wire` bytes on egress `port` (ingress serialization + switch
+    /// latency already folded into `at_switch`) and returns the delivery time.
+    fn egress(&mut self, at_switch: SimTime, port: PortId, wire: u64) -> SimTime {
+        let tx_time = self.cost.serialize(wire);
+        let start = (*self.busy_until.entry(port).or_insert(SimTime::ZERO)).max(at_switch);
+        let egress_done = start + tx_time;
+        self.busy_until.insert(port, egress_done);
+        self.stats.forwarded += 1;
+        self.stats.bytes += wire;
+        egress_done + self.cost.propagation
+    }
+
+    /// Routes a unicast frame without allocating: the hot delivery path.
+    ///
+    /// Returns the delivery time at `frame.dst`, or `None` if the
+    /// destination is unknown (dropped, counted) or the frame is a
+    /// broadcast (use [`Switch::route`]).
+    pub fn route_unicast(&mut self, now: SimTime, frame: &Frame) -> Option<SimTime> {
+        if frame.dst == PortId::BROADCAST {
+            return None;
+        }
+        if !self.has_port(frame.dst) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let wire = frame.wire_len();
+        // Ingress serialization + switch latency, then queue on the egress
+        // port, then propagation to the endpoint.
+        let at_switch = now + self.cost.serialize(wire) + self.cost.switch_latency;
+        Some(self.egress(at_switch, frame.dst, wire))
+    }
+
     /// Routes a frame arriving at the switch at `now`.
     ///
     /// Returns `(recipient, deliver_at)` pairs; the caller schedules the
     /// deliveries. Unknown unicast destinations are dropped (counted).
     pub fn route(&mut self, now: SimTime, frame: &Frame) -> Vec<(PortId, SimTime)> {
-        let recipients: Vec<PortId> = if frame.dst == PortId::BROADCAST {
-            self.ports
-                .iter()
-                .copied()
-                .filter(|&p| p != frame.src)
-                .collect()
-        } else if self.has_port(frame.dst) {
-            vec![frame.dst]
-        } else {
-            self.stats.dropped += 1;
-            return Vec::new();
-        };
+        if frame.dst != PortId::BROADCAST {
+            return match self.route_unicast(now, frame) {
+                Some(deliver) => vec![(frame.dst, deliver)],
+                None => Vec::new(),
+            };
+        }
+        let recipients: Vec<PortId> = self
+            .ports
+            .iter()
+            .copied()
+            .filter(|&p| p != frame.src)
+            .collect();
         let wire = frame.wire_len();
-        let tx_time = self.cost.serialize(wire);
         let mut out = Vec::with_capacity(recipients.len());
         for port in recipients {
-            // Ingress serialization + switch latency, then queue on the
-            // egress port, then propagation to the endpoint.
             let at_switch = now + self.cost.serialize(wire) + self.cost.switch_latency;
-            let start = (*self.busy_until.entry(port).or_insert(SimTime::ZERO)).max(at_switch);
-            let egress_done = start + tx_time;
-            self.busy_until.insert(port, egress_done);
-            let deliver = egress_done + self.cost.propagation;
-            self.stats.forwarded += 1;
-            self.stats.bytes += wire;
+            let deliver = self.egress(at_switch, port, wire);
             out.push((port, deliver));
         }
         out

@@ -40,6 +40,7 @@ pub mod dethash;
 pub mod export;
 pub mod fault;
 pub mod metrics;
+pub mod pool;
 pub mod profile;
 pub mod queue;
 pub mod record;
@@ -52,6 +53,7 @@ pub use critpath::CritPathReport;
 pub use dethash::{DetHashMap, DetHashSet};
 pub use fault::{BackoffPolicy, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{CounterHandle, GaugeHandle, HistogramHandle, MetricsHub};
+pub use pool::{BufPool, Bytes, PoolStats};
 pub use profile::{AllocScope, ProfileSnapshot};
 pub use queue::{EventQueue, QueueEngine, ScheduledEvent};
 pub use record::{CorrId, TraceData, TraceRecord};

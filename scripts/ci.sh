@@ -10,7 +10,9 @@
 #                        and exports retry/recovery metrics
 #   6. engine smoke test e9_engine_throughput (reduced sizes) produces a
 #                        well-formed BENCH_e9.json with nonzero events/sec
-#                        for both queue engines
+#                        for both queue engines and holds the pooled
+#                        delivery path's system-phase allocation rate at
+#                        <= 1.0 allocs/event
 #   7. rack smoke test   e10_rack_scaleout (2 machines, reduced ops, the
 #                        static and adaptive+p2c retry-policy arms): a
 #                        same-seed double run yields byte-identical
@@ -36,6 +38,13 @@
 #                        bench_diff: allocations/event are deterministic
 #                        and compared tightly; events/sec is host noise
 #                        and gets a relaxed tolerance
+#  12. parallel smoke    e13_parallel --no-wall (1/2/4 fabric threads):
+#                        the binary hard-asserts bit-identical events +
+#                        digests across thread counts; a same-flag double
+#                        run is byte-identical and bench_diff compares the
+#                        pair; plus an e10 run at --threads 4 whose
+#                        scaling/crash sections must equal the
+#                        single-threaded run's cell for cell
 #
 # Set CI_CRITERION=1 to additionally run the criterion host-time benches
 # (opt-in: they are measurements, not pass/fail gates, and take minutes).
@@ -130,19 +139,26 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - "$tmp/BENCH_e9.json" <<'PY'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["experiment"] == "e9" and d["schema_version"] == 1, d.keys()
+assert d["experiment"] == "e9" and d["schema_version"] == 2, d.keys()
 engines = d["engines"]
 assert set(engines) == {"wheel", "heap"}, engines.keys()
 for name, e in engines.items():
+    assert e["threads"] == 1, (name, e["threads"])
     for phase in ("queue", "system"):
         s = e[phase]
         assert s["events"] > 0, (name, phase)
         assert s["events_per_sec"] > 0, (name, phase)
         assert s["ns_per_event"] > 0, (name, phase)
+    # The E13 pooled-delivery gate: the end-to-end system phase must stay
+    # at or below one heap allocation per simulated event.
+    a = e["system"]["allocs_per_event"]
+    assert a <= 1.0, f"{name}: system allocs/event {a} > 1.0 (pool regressed)"
 assert engines["wheel"]["system"]["events"] == engines["heap"]["system"]["events"], \
     "engines diverged: system phase event counts differ"
 q = d["wheel_over_heap"]["queue"]
-print(f"    BENCH_e9.json well-formed; wheel/heap queue churn {q:.2f}x")
+a = engines["wheel"]["system"]["allocs_per_event"]
+print(f"    BENCH_e9.json well-formed; wheel/heap queue churn {q:.2f}x, "
+      f"system {a:.3f} allocs/event")
 PY
 else
     grep -q '"events_per_sec"' "$tmp/BENCH_e9.json" || {
@@ -169,7 +185,7 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - "$tmp/BENCH_e10_a.json" <<'PY'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["experiment"] == "e10" and d["schema_version"] == 2, d.keys()
+assert d["experiment"] == "e10" and d["schema_version"] == 3, d.keys()
 policies = {c["policy"] for c in d["scaling"]}
 assert policies == {"static", "adaptive+p2c"}, policies
 for c in d["scaling"]:
@@ -317,6 +333,61 @@ cargo run --offline --release -q -p lastcpu-bench --bin e9_engine_throughput -- 
 cargo run --offline --release -q -p lastcpu-bench --bin bench_diff -- \
     --events-tol 30 --allocs-tol 0.001 \
     "$tmp/BENCH_e9.json" "$tmp/BENCH_e9_again.json" | tail -1
+
+echo "==> parallel-fabric smoke test (e13_parallel --no-wall, double run)"
+# Reduced sizes; the binary itself hard-asserts that 1/2/4 fabric worker
+# threads produce identical event counts and determinism digests. With
+# --no-wall the artifact is pure virtual time, so a same-flag double run
+# must be byte-identical; bench_diff then compares the pair as an
+# e13-aware smoke of the diff tool.
+e13_flags=(--ops 100 --keys 60 --no-wall)
+cargo run --offline --release -q -p lastcpu-bench --bin e13_parallel -- \
+    "${e13_flags[@]}" --out "$tmp/BENCH_e13_a.json" >/dev/null
+cargo run --offline --release -q -p lastcpu-bench --bin e13_parallel -- \
+    "${e13_flags[@]}" --out "$tmp/BENCH_e13_b.json" >/dev/null
+cmp -s "$tmp/BENCH_e13_a.json" "$tmp/BENCH_e13_b.json" || {
+    echo "FAIL: same-flag BENCH_e13.json runs differ"; exit 1;
+}
+cargo run --offline --release -q -p lastcpu-bench --bin bench_diff -- \
+    "$tmp/BENCH_e13_a.json" "$tmp/BENCH_e13_b.json" | tail -1
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e13_a.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "e13" and d["schema_version"] == 1, d.keys()
+cells = d["cells"]
+assert {c["threads"] for c in cells} == {1, 2, 4}, cells
+assert len({(c["events"], c["digest"], c["virtual_ns"]) for c in cells}) == 1, \
+    "thread counts diverged"
+assert all(c["events"] > 0 and c["ops"] > 0 for c in cells), cells
+print(f"    byte-identical double run; {cells[0]['events']} events, "
+      f"digest {cells[0]['digest']} at threads 1/2/4")
+PY
+fi
+
+echo "==> rack thread-identity check (e10 at --threads 1 vs 4)"
+# The e10 smoke above ran single-threaded; the same flags at --threads 4
+# must produce identical scaling and crash sections (only the recorded
+# thread count itself may differ). This pins the windowed scheduler's
+# determinism contract on the full E10 workload, crash arm included.
+cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
+    "${e10_flags[@]}" --threads 4 --out "$tmp/BENCH_e10_t4.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e10_a.json" "$tmp/BENCH_e10_t4.json" <<'PY'
+import json, sys
+one = json.load(open(sys.argv[1]))
+four = json.load(open(sys.argv[2]))
+def strip(cells):
+    return [{k: v for k, v in c.items() if k != "threads"} for c in cells]
+for section in ("scaling", "crash"):
+    a, b = strip(one[section]), strip(four[section])
+    assert a == b, f"{section} section diverged between 1 and 4 threads"
+n = len(one["scaling"]) + len(one["crash"])
+print(f"    {n} cells identical between --threads 1 and --threads 4")
+PY
+else
+    echo "    python3 unavailable, thread-identity check skipped"
+fi
 
 if [ "${CI_CRITERION:-0}" = "1" ]; then
     echo "==> criterion host-time benches (opt-in via CI_CRITERION=1)"

@@ -12,7 +12,7 @@ use lastcpu_fabric::FabricConfig;
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
 use lastcpu_kvs::{build_rack_kvs_with_policy, RackSetup, RetryPolicy};
 use lastcpu_net::PortId;
-use lastcpu_sim::SimDuration;
+use lastcpu_sim::{export, FaultKind, FaultPlan, SimDuration, SimTime};
 
 /// A [`RackSetup`] with one closed-loop client per machine aimed at the
 /// *local* shard router.
@@ -38,13 +38,33 @@ fn build_rack_policy(
     workload: &WorkloadConfig,
     policy: RetryPolicy,
 ) -> Rack {
-    let mut setup = build_rack_kvs_with_policy(
+    build_rack_cfg(
         FabricConfig::default(),
+        machines,
+        replication,
+        seed,
+        false,
+        workload,
+        policy,
+    )
+}
+
+fn build_rack_cfg(
+    cfg: FabricConfig,
+    machines: usize,
+    replication: usize,
+    seed: u64,
+    trace: bool,
+    workload: &WorkloadConfig,
+    policy: RetryPolicy,
+) -> Rack {
+    let mut setup = build_rack_kvs_with_policy(
+        cfg,
         machines,
         replication,
         lastcpu_core::SystemConfig {
             seed,
-            trace: false,
+            trace,
             ..lastcpu_core::SystemConfig::default()
         },
         policy,
@@ -252,6 +272,115 @@ fn rack_runs_are_bit_identical() {
     let run = |seed: u64| run_fingerprint(seed, RetryPolicy::default());
     assert_eq!(run(7), run(7), "same seed, same rack, same bytes");
     assert_ne!(run(7), run(8), "different seed perturbs the run");
+}
+
+/// FNV-1a, to fold the (large) merged trace and metrics exports into a
+/// fingerprint without megabyte-long assert messages.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deep fingerprint of a rack run under `threads` fabric workers: merged
+/// trace, fabric + per-machine metrics exports, pool activity, per-machine
+/// key counts, client progress, and the acked-write audit. Any divergence
+/// between thread counts — event reordering, a racy counter, a pool buffer
+/// taken in a different order — lands in this string.
+fn threads_fingerprint(seed: u64, threads: usize, crash: bool) -> String {
+    let mut cfg = FabricConfig {
+        threads,
+        ..FabricConfig::default()
+    };
+    if crash {
+        let mut plan = FaultPlan::new(seed ^ 0xFAB);
+        plan.inject(SimTime::from_nanos(2_000_000), "m1", FaultKind::Crash);
+        cfg.fault_plan = Some(plan);
+    }
+    let mut rack = build_rack_cfg(
+        cfg,
+        2,
+        2,
+        seed,
+        true,
+        &small_workload(),
+        RetryPolicy::default(),
+    );
+    rack.setup.fabric.power_on();
+    if crash {
+        // The crash arm never completes the workload; a fixed virtual-time
+        // horizon keeps the runs comparable instead.
+        rack.setup.fabric.run_for(SimDuration::from_secs(2));
+    } else {
+        rack.run_to_completion(SimDuration::from_secs(10));
+        assert!(rack.all_done(), "workload incomplete at threads={threads}");
+    }
+
+    let fab = &rack.setup.fabric;
+    let mut fp = String::new();
+    fp.push_str(&format!(
+        "trace={:016x};",
+        fnv1a(&export::trace_jsonl(&fab.merged_trace()))
+    ));
+    fp.push_str(&format!(
+        "fabmet={:016x};",
+        fnv1a(&export::metrics_json(fab.metrics()))
+    ));
+    fp.push_str(&format!("now={};", fab.now().as_nanos()));
+    for i in 0..2 {
+        let m = rack.setup.machines[i];
+        fp.push_str(&format!(
+            "m{i}.met={:016x};",
+            fnv1a(&export::metrics_json(fab.machine(m).stats()))
+        ));
+        fp.push_str(&format!("m{i}.pool={:?};", fab.machine(m).pool().stats()));
+        fp.push_str(&format!("k{i}={};", rack.setup.nic(i).app().key_count()));
+        fp.push_str(&format!("c{i}={};", rack.client(i).ops_done()));
+    }
+    fp.push_str(&format!("lost={};", rack.setup.lost_acked_keys()));
+    fp
+}
+
+#[test]
+fn thread_count_is_invisible_to_rack_results() {
+    // The E13 determinism contract: one thread and N threads run the SAME
+    // windowed schedule, so every observable — merged trace, metrics,
+    // pool activity, final KVS state — is bit-identical from a seed.
+    for seed in [7u64, 0xE13, 1984] {
+        let base = threads_fingerprint(seed, 1, false);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                base,
+                threads_fingerprint(seed, threads, false),
+                "seed {seed:#x}: threads={threads} diverged from threads=1"
+            );
+        }
+    }
+    assert_ne!(
+        threads_fingerprint(7, 1, false),
+        threads_fingerprint(8, 1, false),
+        "fingerprint insensitive to seed — it proves nothing"
+    );
+}
+
+#[test]
+fn thread_count_is_invisible_under_crash_faults() {
+    // Faults are fabric control points: the window scheduler must fire them
+    // at a globally consistent instant regardless of partitioning, so the
+    // crash arm replays bit-identically across thread counts too.
+    for seed in [7u64, 0xE13, 1984] {
+        let base = threads_fingerprint(seed, 1, true);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                base,
+                threads_fingerprint(seed, threads, true),
+                "seed {seed:#x}: crash arm diverged at threads={threads}"
+            );
+        }
+    }
 }
 
 #[test]
