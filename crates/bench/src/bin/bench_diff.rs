@@ -30,6 +30,11 @@
 //!   deterministic — any drift is a regression, not noise);
 //!   `events_per_sec`, when both artifacts carry wall metrics, may not
 //!   drop more than `--events-tol` percent.
+//! - **e14** — per matched `(seed, threads, crash)` cell: the continuation
+//!   `digest` and `ckpt_events` must be *exactly* equal; `ckpt_bytes` may
+//!   not grow more than `--p99-tol` percent. Candidate-side invariants:
+//!   crash cells at R ≥ 2 must report `lost_acked_keys = 0`, and the
+//!   cross-process restart audit must have passed.
 //!
 //! Wall-clock metrics are host noise; CI double-runs of the same commit
 //! should pass a relaxed `--events-tol` (see `ci.sh`), while cross-commit
@@ -305,6 +310,71 @@ fn diff_e13(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn diff_e14(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
+    let cells = |j: &Json| -> Vec<Json> {
+        j.get("cells")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    let key = |c: &Json| -> Option<(u64, u64, bool)> {
+        Some((
+            c.get("seed")?.as_f64()? as u64,
+            c.get("threads")?.as_f64()? as u64,
+            matches!(c.get("crash").and_then(Json::as_bool), Some(true)),
+        ))
+    };
+    let cand_cells = cells(cand);
+    for b in cells(base) {
+        let Some(k) = key(&b) else { continue };
+        let Some(c) = cand_cells.iter().find(|c| key(c) == Some(k)) else {
+            println!("  cell {k:?}: absent in candidate, skipped");
+            continue;
+        };
+        let what = format!("s{:x}t{}{}", k.0, k.1, if k.2 { "c" } else { "" });
+        // The continuation digest is deterministic: any drift means the
+        // snapshot subsystem (or the simulator under it) changed behavior.
+        let digest = |j: &Json| {
+            j.get("digest")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        d.identical(&format!("{what}.digest"), &digest(&b), &digest(c));
+        d.identical(
+            &format!("{what}.ckpt_events"),
+            &format!("{:.0}", num(&b, "ckpt_events")?),
+            &format!("{:.0}", num(c, "ckpt_events")?),
+        );
+        // Checkpoint size may grow as components gain state, but a jump
+        // beyond the latency tolerance is worth failing a diff over.
+        d.latency(
+            &format!("{what}.ckpt_bytes"),
+            num(&b, "ckpt_bytes")?,
+            num(c, "ckpt_bytes")?,
+        );
+    }
+    // Candidate-side invariants, baseline-independent: the crash arms must
+    // never lose an acked write, and the cross-process restart audit must
+    // have passed.
+    let replication = num(cand, "config.replication").unwrap_or(0.0);
+    for c in &cand_cells {
+        let Some(k) = key(c) else { continue };
+        if k.2 && replication >= 2.0 {
+            d.must_be_zero(
+                &format!("s{:x}t{}c.lost_acked_keys", k.0, k.1),
+                num(c, "lost_acked_keys")?,
+            );
+        }
+    }
+    let audit_ok = matches!(
+        cand.path("cross_process_audit.ok").and_then(Json::as_bool),
+        Some(true)
+    );
+    d.identical("cross_process_audit.ok", "true", &audit_ok.to_string());
+    Ok(())
+}
+
 fn diff_e12(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
     d.coverage(
         "attribution.allocs",
@@ -396,6 +466,7 @@ fn run() -> Result<i32, String> {
         "e10" => diff_e10(&mut d, &base, &cand)?,
         "e12" => diff_e12(&mut d, &base, &cand)?,
         "e13" => diff_e13(&mut d, &base, &cand)?,
+        "e14" => diff_e14(&mut d, &base, &cand)?,
         other => return Err(format!("unsupported experiment {other:?}")),
     }
     if d.compared == 0 {

@@ -941,6 +941,176 @@ impl fmt::Debug for SystemBus {
     }
 }
 
+fn encode_service_desc_snap(w: &mut lastcpu_snap::SnapWriter, s: &ServiceDesc) {
+    s.snap_encode(w);
+}
+
+fn decode_service_desc_snap(
+    r: &mut lastcpu_snap::SnapReader<'_>,
+) -> lastcpu_snap::Result<ServiceDesc> {
+    ServiceDesc::snap_decode(r)
+}
+
+fn device_state_tag(s: DeviceState) -> u8 {
+    match s {
+        DeviceState::Attached => 0,
+        DeviceState::Alive => 1,
+        DeviceState::Failed => 2,
+        DeviceState::Departed => 3,
+    }
+}
+
+fn device_state_from_tag(t: u8) -> Option<DeviceState> {
+    Some(match t {
+        0 => DeviceState::Attached,
+        1 => DeviceState::Alive,
+        2 => DeviceState::Failed,
+        3 => DeviceState::Departed,
+        _ => return None,
+    })
+}
+
+impl lastcpu_snap::Snapshot for SystemBus {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.cost.hop_latency.as_nanos());
+        w.put_u64(self.cost.processing.as_nanos());
+        w.put_u64(self.cost.per_byte_ps);
+        w.put_u64(self.heartbeat_timeout.as_nanos());
+        w.put_u32(self.next_id);
+        w.put_u64(self.cur_corr.0);
+        w.put_u64(self.stats.messages);
+        w.put_u64(self.stats.bytes);
+        w.put_u64(self.stats.unicasts);
+        w.put_u64(self.stats.broadcast_deliveries);
+        w.put_u64(self.stats.map_ops);
+        w.put_u64(self.stats.denials);
+        w.put_u64(self.stats.flood_dropped);
+        w.put_u64(self.stats.failures);
+        // Registration order is semantic: broadcast fan-out and heartbeat
+        // sweeps iterate it, so it is preserved verbatim.
+        w.put_len(self.order.len());
+        for d in &self.order {
+            w.put_u32(d.0);
+        }
+        let mut ids: Vec<_> = self.devices.keys().copied().collect();
+        ids.sort_by_key(|d| d.0);
+        w.put_len(ids.len());
+        for id in ids {
+            let e = &self.devices[&id];
+            w.put_u32(e.id.0);
+            w.put_str(&e.name);
+            w.put_str(&e.kind);
+            w.put_u8(device_state_tag(e.state));
+            w.put_u64(e.last_seen.as_nanos());
+            w.put_len(e.services.len());
+            for s in &e.services {
+                encode_service_desc_snap(w, s);
+            }
+        }
+        let mut ctl: Vec<_> = self
+            .controllers
+            .iter()
+            .map(|(k, d)| (crate::message::resource_kind_tag(*k), d.0))
+            .collect();
+        ctl.sort_unstable();
+        w.put_len(ctl.len());
+        for (k, d) in ctl {
+            w.put_u8(k);
+            w.put_u32(d);
+        }
+        self.policy.encode(w);
+        let mut flood: Vec<_> = self
+            .flood
+            .iter()
+            .map(|(d, (t, n))| (d.0, t.as_nanos(), *n))
+            .collect();
+        flood.sort_unstable();
+        w.put_len(flood.len());
+        for (d, t, n) in flood {
+            w.put_u32(d);
+            w.put_u64(t);
+            w.put_u32(n);
+        }
+        w.put_opt(self.audit.as_ref(), |w, a| a.snapshot(w));
+    }
+}
+
+impl lastcpu_snap::Restore for SystemBus {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.cost.hop_latency = SimDuration::from_nanos(r.u64()?);
+        self.cost.processing = SimDuration::from_nanos(r.u64()?);
+        self.cost.per_byte_ps = r.u64()?;
+        self.heartbeat_timeout = SimDuration::from_nanos(r.u64()?);
+        self.next_id = r.u32()?;
+        self.cur_corr = CorrId(r.u64()?);
+        self.stats.messages = r.u64()?;
+        self.stats.bytes = r.u64()?;
+        self.stats.unicasts = r.u64()?;
+        self.stats.broadcast_deliveries = r.u64()?;
+        self.stats.map_ops = r.u64()?;
+        self.stats.denials = r.u64()?;
+        self.stats.flood_dropped = r.u64()?;
+        self.stats.failures = r.u64()?;
+        let n = r.len()?;
+        self.order = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.order.push(DeviceId(r.u32()?));
+        }
+        let n = r.len()?;
+        self.devices = DetHashMap::default();
+        for _ in 0..n {
+            let id = DeviceId(r.u32()?);
+            let name = r.str()?;
+            let kind = r.str()?;
+            let state = {
+                let t = r.u8()?;
+                device_state_from_tag(t)
+                    .ok_or_else(|| r.corrupt(format!("bad DeviceState tag {t}")))?
+            };
+            let last_seen = SimTime::from_nanos(r.u64()?);
+            let ns = r.len()?;
+            let mut services = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                services.push(decode_service_desc_snap(r)?);
+            }
+            self.devices.insert(
+                id,
+                DeviceEntry {
+                    id,
+                    name,
+                    kind,
+                    state,
+                    last_seen,
+                    services,
+                },
+            );
+        }
+        let n = r.len()?;
+        self.controllers = DetHashMap::default();
+        for _ in 0..n {
+            let t = r.u8()?;
+            let kind = crate::message::resource_kind_from_tag(t)
+                .ok_or_else(|| r.corrupt(format!("bad ResourceKind tag {t}")))?;
+            self.controllers.insert(kind, DeviceId(r.u32()?));
+        }
+        self.policy = SecurityPolicy::decode(r)?;
+        let n = r.len()?;
+        self.flood = DetHashMap::default();
+        for _ in 0..n {
+            let d = DeviceId(r.u32()?);
+            let t = SimTime::from_nanos(r.u64()?);
+            let c = r.u32()?;
+            self.flood.insert(d, (t, c));
+        }
+        self.audit = r.opt(|r| {
+            let mut a = BusAudit::default();
+            a.restore(r)?;
+            Ok(a)
+        })?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

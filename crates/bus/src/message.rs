@@ -926,6 +926,146 @@ impl Payload {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The privileged bus parser must never panic on untrusted bytes,
+        /// and anything it accepts must re-encode to the same bytes
+        /// (canonical encoding — no malleability).
+        #[test]
+        fn prop_decode_never_panics_and_is_canonical(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            if let Ok(env) = Envelope::decode(&data) {
+                prop_assert_eq!(env.encode(), data);
+            }
+        }
+
+        /// Truncating any valid message at any point is rejected.
+        #[test]
+        fn prop_truncation_always_detected(cut_ratio in 0.0f64..1.0, seed in any::<u64>()) {
+            let env = Envelope {
+                src: DeviceId(seed as u32),
+                dst: Dst::Device(DeviceId((seed >> 32) as u32)),
+                req: RequestId(seed),
+                corr: CorrId::NONE,
+                payload: Payload::ErrorNotify {
+                    code: ErrorCode::Protocol,
+                    conn: ConnId(seed ^ 0xFFFF),
+                    detail: format!("detail-{seed}"),
+                },
+            };
+            let bytes = env.encode();
+            let cut = ((bytes.len() as f64) * cut_ratio) as usize;
+            if cut < bytes.len() {
+                prop_assert!(Envelope::decode(&bytes[..cut]).is_err());
+            }
+        }
+
+        /// Bit flips are either rejected or decode to a *different* message
+        /// that still re-encodes canonically — never to a corrupted clone.
+        #[test]
+        fn prop_bitflip_safety(flip_byte in 0usize..64, flip_bit in 0u8..8) {
+            let env = Envelope {
+                src: DeviceId(3),
+                dst: Dst::Bus,
+                req: RequestId(9),
+                corr: CorrId::NONE,
+                payload: Payload::MapInstruction {
+                    resource: ResourceKind::Memory,
+                    op: MapOp::Map,
+                    device: DeviceId(4),
+                    pasid: 7,
+                    va: 0x10000,
+                    pa: 0x200000,
+                    pages: 16,
+                    perms: 3,
+                },
+            };
+            let mut bytes = env.encode();
+            let i = flip_byte % bytes.len();
+            bytes[i] ^= 1 << flip_bit;
+            if let Ok(decoded) = Envelope::decode(&bytes) {
+                prop_assert_eq!(decoded.encode(), bytes);
+            }
+        }
+    }
+}
+
+/// Stable tag for [`ResourceKind`] in snapshot sections (same numbering as
+/// the wire codec).
+pub(crate) fn resource_kind_tag(k: ResourceKind) -> u8 {
+    match k {
+        ResourceKind::Memory => 0,
+        ResourceKind::Storage => 1,
+        ResourceKind::Network => 2,
+        ResourceKind::Compute => 3,
+    }
+}
+
+/// Inverse of [`resource_kind_tag`].
+pub(crate) fn resource_kind_from_tag(t: u8) -> Option<ResourceKind> {
+    Some(match t {
+        0 => ResourceKind::Memory,
+        1 => ResourceKind::Storage,
+        2 => ResourceKind::Network,
+        3 => ResourceKind::Compute,
+        _ => return None,
+    })
+}
+
+impl ServiceDesc {
+    /// Serializes into a snapshot section.
+    pub fn snap_encode(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u16(self.id.0);
+        w.put_str(&self.name);
+        w.put_u8(resource_kind_tag(self.resource));
+    }
+
+    /// Inverse of [`ServiceDesc::snap_encode`].
+    pub fn snap_decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<Self> {
+        Ok(ServiceDesc {
+            id: ServiceId(r.u16()?),
+            name: r.str()?,
+            resource: {
+                let t = r.u8()?;
+                resource_kind_from_tag(t)
+                    .ok_or_else(|| r.corrupt(format!("bad ResourceKind tag {t}")))?
+            },
+        })
+    }
+}
+
+impl Status {
+    /// Serializes into a snapshot section (same tags as the wire codec).
+    pub fn snap_encode(self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u8(match self {
+            Status::Ok => 0,
+            Status::Denied => 1,
+            Status::NotFound => 2,
+            Status::NoResources => 3,
+            Status::Busy => 4,
+            Status::BadRequest => 5,
+            Status::Failed => 6,
+        });
+    }
+
+    /// Inverse of [`Status::snap_encode`].
+    pub fn snap_decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<Self> {
+        Ok(match r.u8()? {
+            0 => Status::Ok,
+            1 => Status::Denied,
+            2 => Status::NotFound,
+            3 => Status::NoResources,
+            4 => Status::Busy,
+            5 => Status::BadRequest,
+            6 => Status::Failed,
+            t => return Err(r.corrupt(format!("bad Status tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -1255,72 +1395,5 @@ mod tests {
             .kind_name(),
             "Query"
         );
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    proptest! {
-        /// The privileged bus parser must never panic on untrusted bytes,
-        /// and anything it accepts must re-encode to the same bytes
-        /// (canonical encoding — no malleability).
-        #[test]
-        fn prop_decode_never_panics_and_is_canonical(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-            if let Ok(env) = Envelope::decode(&data) {
-                prop_assert_eq!(env.encode(), data);
-            }
-        }
-
-        /// Truncating any valid message at any point is rejected.
-        #[test]
-        fn prop_truncation_always_detected(cut_ratio in 0.0f64..1.0, seed in any::<u64>()) {
-            let env = Envelope {
-                src: DeviceId(seed as u32),
-                dst: Dst::Device(DeviceId((seed >> 32) as u32)),
-                req: RequestId(seed),
-                corr: CorrId::NONE,
-                payload: Payload::ErrorNotify {
-                    code: ErrorCode::Protocol,
-                    conn: ConnId(seed ^ 0xFFFF),
-                    detail: format!("detail-{seed}"),
-                },
-            };
-            let bytes = env.encode();
-            let cut = ((bytes.len() as f64) * cut_ratio) as usize;
-            if cut < bytes.len() {
-                prop_assert!(Envelope::decode(&bytes[..cut]).is_err());
-            }
-        }
-
-        /// Bit flips are either rejected or decode to a *different* message
-        /// that still re-encodes canonically — never to a corrupted clone.
-        #[test]
-        fn prop_bitflip_safety(flip_byte in 0usize..64, flip_bit in 0u8..8) {
-            let env = Envelope {
-                src: DeviceId(3),
-                dst: Dst::Bus,
-                req: RequestId(9),
-                corr: CorrId::NONE,
-                payload: Payload::MapInstruction {
-                    resource: ResourceKind::Memory,
-                    op: MapOp::Map,
-                    device: DeviceId(4),
-                    pasid: 7,
-                    va: 0x10000,
-                    pa: 0x200000,
-                    pages: 16,
-                    perms: 3,
-                },
-            };
-            let mut bytes = env.encode();
-            let i = flip_byte % bytes.len();
-            bytes[i] ^= 1 << flip_bit;
-            if let Ok(decoded) = Envelope::decode(&bytes) {
-                prop_assert_eq!(decoded.encode(), bytes);
-            }
-        }
     }
 }

@@ -169,6 +169,24 @@ pub trait NetHost: std::any::Any {
 
     /// A timer armed with [`HostCtx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, _token: u64) {}
+
+    /// Serializes the host's durable state into a checkpoint section
+    /// body. Loud default: a host type either implements this or cannot
+    /// appear in a checkpointed machine.
+    fn snapshot_state(&self, _w: &mut lastcpu_snap::SnapWriter) -> lastcpu_snap::Result<()> {
+        Err(lastcpu_snap::SnapError::Unsupported(format!(
+            "host {:?}",
+            self.name()
+        )))
+    }
+
+    /// Loads state written by [`NetHost::snapshot_state`] back in place.
+    fn restore_state(&mut self, _r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        Err(lastcpu_snap::SnapError::Unsupported(format!(
+            "host {:?}",
+            self.name()
+        )))
+    }
 }
 
 #[cfg(test)]

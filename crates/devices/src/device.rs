@@ -414,6 +414,27 @@ pub trait Device: std::any::Any {
     /// The bus pulsed the reset line. The device must drop all state and
     /// re-introduce itself (`Hello`) if it recovers.
     fn on_reset(&mut self, _ctx: &mut DeviceCtx<'_>) {}
+
+    /// Serializes the device's durable state into a checkpoint section
+    /// body. The default fails loudly: a device type either implements
+    /// this or cannot appear in a checkpointed machine — silently
+    /// skipping state would make restore verification meaningless.
+    fn snapshot_state(&self, _w: &mut lastcpu_snap::SnapWriter) -> lastcpu_snap::Result<()> {
+        Err(lastcpu_snap::SnapError::Unsupported(format!(
+            "device {:?} (kind {:?})",
+            self.name(),
+            self.kind()
+        )))
+    }
+
+    /// Loads state written by [`Device::snapshot_state`] back in place.
+    fn restore_state(&mut self, _r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        Err(lastcpu_snap::SnapError::Unsupported(format!(
+            "device {:?} (kind {:?})",
+            self.name(),
+            self.kind()
+        )))
+    }
 }
 
 #[cfg(test)]

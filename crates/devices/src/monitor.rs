@@ -740,6 +740,301 @@ impl Monitor {
 }
 
 #[cfg(test)]
+mod discovery_correlation_tests {
+    use super::*;
+    use lastcpu_bus::{CorrId, ResourceKind};
+    use lastcpu_iommu::Iommu;
+    use lastcpu_mem::Dram;
+    use lastcpu_sim::MetricsHub;
+    use lastcpu_sim::{DetRng, SimTime};
+
+    #[test]
+    fn overlapping_discoveries_do_not_share_hits() {
+        let mut iommu = Iommu::new(16);
+        let mut dram = Dram::new(1 << 20);
+        let mut rng = DetRng::new(7);
+        let mut req = 0u64;
+        let hub = MetricsHub::new();
+        let mut m = Monitor::new();
+        let mut ctx = DeviceCtx::new(
+            SimTime::ZERO,
+            DeviceId(1),
+            None,
+            &mut iommu,
+            &mut dram,
+            &mut rng,
+            &mut req,
+            CorrId::NONE,
+            &hub,
+        );
+        let op_a = m.discover(&mut ctx, "alpha:*");
+        let op_b = m.discover(&mut ctx, "beta:*");
+        let (actions, _, _) = ctx.finish();
+        // Extract the two query request ids, in order.
+        let reqs: Vec<RequestId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                crate::device::Action::SendBus(e) if matches!(e.payload, Payload::Query { .. }) => {
+                    Some(e.req)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reqs.len(), 2);
+
+        let svc = |name: &str| ServiceDesc {
+            id: ServiceId(1),
+            name: name.into(),
+            resource: ResourceKind::Compute,
+        };
+        // A hit answering query B arrives first; then one answering A.
+        let mut ctx = DeviceCtx::new(
+            SimTime::ZERO,
+            DeviceId(1),
+            None,
+            &mut iommu,
+            &mut dram,
+            &mut rng,
+            &mut req,
+            CorrId::NONE,
+            &hub,
+        );
+        m.handle(
+            &mut ctx,
+            &Envelope {
+                src: DeviceId(5),
+                dst: Dst::Device(DeviceId(1)),
+                req: reqs[1],
+                corr: CorrId::NONE,
+                payload: Payload::QueryHit {
+                    device: DeviceId(5),
+                    service: svc("beta:thing"),
+                },
+            },
+        );
+        m.handle(
+            &mut ctx,
+            &Envelope {
+                src: DeviceId(6),
+                dst: Dst::Device(DeviceId(1)),
+                req: reqs[0],
+                corr: CorrId::NONE,
+                payload: Payload::QueryHit {
+                    device: DeviceId(6),
+                    service: svc("alpha:thing"),
+                },
+            },
+        );
+        // Close both windows.
+        let ev_a = m.on_timer(&mut ctx, (1 << 63) | (1 << 62) | op_a).unwrap();
+        let ev_b = m.on_timer(&mut ctx, (1 << 63) | (1 << 62) | op_b).unwrap();
+        match (&ev_a[0], &ev_b[0]) {
+            (
+                MonitorEvent::DiscoveryDone { op: oa, hits: ha },
+                MonitorEvent::DiscoveryDone { op: ob, hits: hb },
+            ) => {
+                assert_eq!(*oa, op_a);
+                assert_eq!(*ob, op_b);
+                assert_eq!(ha.len(), 1);
+                assert_eq!(hb.len(), 1);
+                assert_eq!(ha[0].1.name, "alpha:thing");
+                assert_eq!(hb[0].1.name, "beta:thing");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+impl AuthMode {
+    /// Serializes into a snapshot section.
+    pub fn snap_encode(&self, w: &mut lastcpu_snap::SnapWriter) {
+        match self {
+            AuthMode::Open => w.put_u8(0),
+            AuthMode::Local(set) => {
+                w.put_u8(1);
+                let mut tokens: Vec<u128> = set.iter().map(|t| t.0).collect();
+                tokens.sort_unstable();
+                w.put_len(tokens.len());
+                for t in tokens {
+                    w.put_u128(t);
+                }
+            }
+            AuthMode::Sealed { secret } => {
+                w.put_u8(2);
+                w.put_u64(*secret);
+            }
+        }
+    }
+
+    /// Inverse of [`AuthMode::snap_encode`].
+    pub fn snap_decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<Self> {
+        Ok(match r.u8()? {
+            0 => AuthMode::Open,
+            1 => {
+                let n = r.len()?;
+                let mut set = HashSet::with_capacity(n);
+                for _ in 0..n {
+                    set.insert(Token(r.u128()?));
+                }
+                AuthMode::Local(set)
+            }
+            2 => AuthMode::Sealed { secret: r.u64()? },
+            t => return Err(r.corrupt(format!("bad AuthMode tag {t}"))),
+        })
+    }
+}
+
+impl PendingOp {
+    fn snap_encode(&self, w: &mut lastcpu_snap::SnapWriter) {
+        match self {
+            PendingOp::Discover { hits, req } => {
+                w.put_u8(0);
+                w.put_len(hits.len());
+                for (d, svc) in hits {
+                    w.put_u32(d.0);
+                    svc.snap_encode(w);
+                }
+                w.put_u64(req.0);
+            }
+            PendingOp::Open { target } => {
+                w.put_u8(1);
+                w.put_u32(target.0);
+            }
+            PendingOp::Alloc => w.put_u8(2),
+            PendingOp::Share => w.put_u8(3),
+            PendingOp::Free => w.put_u8(4),
+            PendingOp::Close { conn } => {
+                w.put_u8(5);
+                w.put_u64(conn.0);
+            }
+        }
+    }
+
+    fn snap_decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<Self> {
+        Ok(match r.u8()? {
+            0 => {
+                let n = r.len()?;
+                let mut hits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let d = DeviceId(r.u32()?);
+                    hits.push((d, ServiceDesc::snap_decode(r)?));
+                }
+                PendingOp::Discover {
+                    hits,
+                    req: RequestId(r.u64()?),
+                }
+            }
+            1 => PendingOp::Open {
+                target: DeviceId(r.u32()?),
+            },
+            2 => PendingOp::Alloc,
+            3 => PendingOp::Share,
+            4 => PendingOp::Free,
+            5 => PendingOp::Close {
+                conn: ConnId(r.u64()?),
+            },
+            t => return Err(r.corrupt(format!("bad PendingOp tag {t}"))),
+        })
+    }
+}
+
+impl lastcpu_snap::Snapshot for Monitor {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_len(self.services.len());
+        for (svc, auth) in &self.services {
+            svc.snap_encode(w);
+            auth.snap_encode(w);
+        }
+        let mut ops: Vec<_> = self.ops.keys().copied().collect();
+        ops.sort_unstable();
+        w.put_len(ops.len());
+        for id in ops {
+            w.put_u64(id);
+            self.ops[&id].snap_encode(w);
+        }
+        w.put_u64(self.next_op);
+        let mut reqs: Vec<_> = self.req_to_op.iter().map(|(r, o)| (r.0, *o)).collect();
+        reqs.sort_unstable();
+        w.put_len(reqs.len());
+        for (req, op) in reqs {
+            w.put_u64(req);
+            w.put_u64(op);
+        }
+        let mut conns: Vec<_> = self.conns.keys().copied().collect();
+        conns.sort_by_key(|c| c.0);
+        w.put_len(conns.len());
+        for c in conns {
+            let sc = &self.conns[&c];
+            w.put_u64(sc.conn.0);
+            w.put_u32(sc.peer.0);
+            w.put_u16(sc.service.0);
+            w.put_opt(sc.principal.as_ref(), |w, p| w.put_u64(*p));
+        }
+        w.put_u64(self.next_conn);
+        let mut opened: Vec<_> = self.opened.iter().map(|(c, d)| (c.0, d.0)).collect();
+        opened.sort_unstable();
+        w.put_len(opened.len());
+        for (c, d) in opened {
+            w.put_u64(c);
+            w.put_u32(d);
+        }
+        w.put_u64(self.discovery_window.as_nanos());
+        w.put_opt(self.heartbeat.as_ref(), |w, h| w.put_u64(h.as_nanos()));
+        w.put_bool(self.registered);
+    }
+}
+
+impl lastcpu_snap::Restore for Monitor {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        let n = r.len()?;
+        self.services = Vec::with_capacity(n);
+        for _ in 0..n {
+            let svc = ServiceDesc::snap_decode(r)?;
+            let auth = AuthMode::snap_decode(r)?;
+            self.services.push((svc, auth));
+        }
+        let n = r.len()?;
+        self.ops = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            self.ops.insert(id, PendingOp::snap_decode(r)?);
+        }
+        self.next_op = r.u64()?;
+        let n = r.len()?;
+        self.req_to_op = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let req = RequestId(r.u64()?);
+            let op = r.u64()?;
+            self.req_to_op.insert(req, op);
+        }
+        let n = r.len()?;
+        self.conns = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let conn = ConnId(r.u64()?);
+            let sc = ServerConn {
+                conn,
+                peer: DeviceId(r.u32()?),
+                service: ServiceId(r.u16()?),
+                principal: r.opt(|r| r.u64())?,
+            };
+            self.conns.insert(conn, sc);
+        }
+        self.next_conn = r.u64()?;
+        let n = r.len()?;
+        self.opened = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let c = ConnId(r.u64()?);
+            let d = DeviceId(r.u32()?);
+            self.opened.insert(c, d);
+        }
+        self.discovery_window = SimDuration::from_nanos(r.u64()?);
+        self.heartbeat = r.opt(|r| Ok(SimDuration::from_nanos(r.u64()?)))?;
+        self.registered = r.bool()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use lastcpu_bus::CorrId;
@@ -1365,111 +1660,5 @@ mod tests {
         let mut ctx2 = fix.ctx();
         m.start(&mut ctx2, "d", "k");
         assert_eq!(sent(ctx2).len(), 2);
-    }
-}
-
-#[cfg(test)]
-mod discovery_correlation_tests {
-    use super::*;
-    use lastcpu_bus::{CorrId, ResourceKind};
-    use lastcpu_iommu::Iommu;
-    use lastcpu_mem::Dram;
-    use lastcpu_sim::MetricsHub;
-    use lastcpu_sim::{DetRng, SimTime};
-
-    #[test]
-    fn overlapping_discoveries_do_not_share_hits() {
-        let mut iommu = Iommu::new(16);
-        let mut dram = Dram::new(1 << 20);
-        let mut rng = DetRng::new(7);
-        let mut req = 0u64;
-        let hub = MetricsHub::new();
-        let mut m = Monitor::new();
-        let mut ctx = DeviceCtx::new(
-            SimTime::ZERO,
-            DeviceId(1),
-            None,
-            &mut iommu,
-            &mut dram,
-            &mut rng,
-            &mut req,
-            CorrId::NONE,
-            &hub,
-        );
-        let op_a = m.discover(&mut ctx, "alpha:*");
-        let op_b = m.discover(&mut ctx, "beta:*");
-        let (actions, _, _) = ctx.finish();
-        // Extract the two query request ids, in order.
-        let reqs: Vec<RequestId> = actions
-            .iter()
-            .filter_map(|a| match a {
-                crate::device::Action::SendBus(e) if matches!(e.payload, Payload::Query { .. }) => {
-                    Some(e.req)
-                }
-                _ => None,
-            })
-            .collect();
-        assert_eq!(reqs.len(), 2);
-
-        let svc = |name: &str| ServiceDesc {
-            id: ServiceId(1),
-            name: name.into(),
-            resource: ResourceKind::Compute,
-        };
-        // A hit answering query B arrives first; then one answering A.
-        let mut ctx = DeviceCtx::new(
-            SimTime::ZERO,
-            DeviceId(1),
-            None,
-            &mut iommu,
-            &mut dram,
-            &mut rng,
-            &mut req,
-            CorrId::NONE,
-            &hub,
-        );
-        m.handle(
-            &mut ctx,
-            &Envelope {
-                src: DeviceId(5),
-                dst: Dst::Device(DeviceId(1)),
-                req: reqs[1],
-                corr: CorrId::NONE,
-                payload: Payload::QueryHit {
-                    device: DeviceId(5),
-                    service: svc("beta:thing"),
-                },
-            },
-        );
-        m.handle(
-            &mut ctx,
-            &Envelope {
-                src: DeviceId(6),
-                dst: Dst::Device(DeviceId(1)),
-                req: reqs[0],
-                corr: CorrId::NONE,
-                payload: Payload::QueryHit {
-                    device: DeviceId(6),
-                    service: svc("alpha:thing"),
-                },
-            },
-        );
-        // Close both windows.
-        let ev_a = m.on_timer(&mut ctx, (1 << 63) | (1 << 62) | op_a).unwrap();
-        let ev_b = m.on_timer(&mut ctx, (1 << 63) | (1 << 62) | op_b).unwrap();
-        match (&ev_a[0], &ev_b[0]) {
-            (
-                MonitorEvent::DiscoveryDone { op: oa, hits: ha },
-                MonitorEvent::DiscoveryDone { op: ob, hits: hb },
-            ) => {
-                assert_eq!(*oa, op_a);
-                assert_eq!(*ob, op_b);
-                assert_eq!(ha.len(), 1);
-                assert_eq!(hb.len(), 1);
-                assert_eq!(ha[0].1.name, "alpha:thing");
-                assert_eq!(hb[0].1.name, "beta:thing");
-            }
-            other => panic!("unexpected {other:?}"),
-        }
     }
 }

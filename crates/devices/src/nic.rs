@@ -52,6 +52,24 @@ pub trait NicApp {
 
     /// The device was reset; drop all state.
     fn on_reset(&mut self) {}
+
+    /// Serializes the application's durable state for a machine
+    /// checkpoint (the NIC body embeds it in its own section). Loud
+    /// default, mirroring [`Device::snapshot_state`].
+    fn snapshot_state(&self, _w: &mut lastcpu_snap::SnapWriter) -> lastcpu_snap::Result<()> {
+        Err(lastcpu_snap::SnapError::Unsupported(format!(
+            "nic app {:?}",
+            self.app_name()
+        )))
+    }
+
+    /// Loads state written by [`NicApp::snapshot_state`] back in place.
+    fn restore_state(&mut self, _r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        Err(lastcpu_snap::SnapError::Unsupported(format!(
+            "nic app {:?}",
+            self.app_name()
+        )))
+    }
 }
 
 /// A smart NIC hosting application `A`.
@@ -111,6 +129,22 @@ impl<A: NicApp + 'static> SmartNic<A> {
 }
 
 impl<A: NicApp + 'static> Device for SmartNic<A> {
+    fn snapshot_state(&self, w: &mut lastcpu_snap::SnapWriter) -> lastcpu_snap::Result<()> {
+        w.put_str(&self.name);
+        w.put_u32(self.app_version);
+        w.put_bool(self.app_started);
+        lastcpu_snap::Snapshot::snapshot(&self.monitor, w);
+        self.app.snapshot_state(w)
+    }
+
+    fn restore_state(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.name = r.str()?;
+        self.app_version = r.u32()?;
+        self.app_started = r.bool()?;
+        lastcpu_snap::Restore::restore(&mut self.monitor, r)?;
+        self.app.restore_state(r)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -245,6 +279,48 @@ impl NicApp for EchoApp {
     }
 
     fn on_event(&mut self, _env: &mut NicEnv<'_, '_>, _ev: MonitorEvent) {}
+
+    fn snapshot_state(&self, w: &mut lastcpu_snap::SnapWriter) -> lastcpu_snap::Result<()> {
+        lastcpu_snap::Snapshot::snapshot(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        lastcpu_snap::Restore::restore(self, r)
+    }
+}
+
+impl<A: lastcpu_snap::Snapshot> lastcpu_snap::Snapshot for SmartNic<A> {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_str(&self.name);
+        w.put_u32(self.app_version);
+        w.put_bool(self.app_started);
+        self.monitor.snapshot(w);
+        self.app.snapshot(w);
+    }
+}
+
+impl<A: lastcpu_snap::Restore> lastcpu_snap::Restore for SmartNic<A> {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.name = r.str()?;
+        self.app_version = r.u32()?;
+        self.app_started = r.bool()?;
+        self.monitor.restore(r)?;
+        self.app.restore(r)
+    }
+}
+
+impl lastcpu_snap::Snapshot for EchoApp {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.frames_echoed);
+    }
+}
+
+impl lastcpu_snap::Restore for EchoApp {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.frames_echoed = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

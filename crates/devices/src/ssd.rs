@@ -852,6 +852,15 @@ impl SmartSsd {
 }
 
 impl Device for SmartSsd {
+    fn snapshot_state(&self, w: &mut lastcpu_snap::SnapWriter) -> lastcpu_snap::Result<()> {
+        lastcpu_snap::Snapshot::snapshot(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        lastcpu_snap::Restore::restore(self, r)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -1108,6 +1117,163 @@ impl FileClient {
             out.push((head, status, std::mem::take(&mut buf)));
         }
         Ok(out)
+    }
+}
+
+impl lastcpu_snap::Snapshot for SmartSsd {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_str(&self.name);
+        self.monitor.snapshot(w);
+        self.fs.snapshot(w);
+        w.put_bool(self.config.isolation);
+        w.put_u32(self.config.quantum);
+        w.put_len(self.config.exports.len());
+        for e in &self.config.exports {
+            w.put_str(e);
+        }
+        self.config.file_auth.snap_encode(w);
+        self.config.loader_auth.snap_encode(w);
+        w.put_u64(self.config.per_request_overhead.as_nanos());
+        let mut svcs: Vec<_> = self.exported.iter().map(|(s, p)| (s.0, p)).collect();
+        svcs.sort_unstable();
+        w.put_len(svcs.len());
+        for (s, p) in svcs {
+            w.put_u16(s);
+            w.put_str(p);
+        }
+        w.put_u16(self.next_file_svc);
+        let mut conns: Vec<_> = self.conns.keys().copied().collect();
+        conns.sort_by_key(|c| c.0);
+        w.put_len(conns.len());
+        for c in conns {
+            let fc = &self.conns[&c];
+            w.put_u64(c.0);
+            w.put_u32(fc.peer.0);
+            w.put_u32(fc.pasid.0);
+            w.put_str(&fc.file);
+            w.put_opt(fc.queue.as_ref(), |w, q| q.snapshot(w));
+            w.put_u64(fc.served);
+        }
+        w.put_len(self.work.len());
+        for c in &self.work {
+            w.put_u64(c.0);
+        }
+        w.put_bool(self.poll_armed);
+        w.put_u64(self.stats.requests);
+        w.put_u64(self.stats.bytes_read);
+        w.put_u64(self.stats.bytes_written);
+        w.put_u64(self.stats.conn_resets);
+        w.put_u64(self.stats.images_loaded);
+        // scratch_* buffers are reused walk scratch, cleared before every
+        // use — deliberately not state.
+    }
+}
+
+impl lastcpu_snap::Restore for SmartSsd {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.name = r.str()?;
+        self.monitor.restore(r)?;
+        self.fs.restore(r)?;
+        self.config.isolation = r.bool()?;
+        self.config.quantum = r.u32()?;
+        let n = r.len()?;
+        self.config.exports = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.config.exports.push(r.str()?);
+        }
+        self.config.file_auth = AuthMode::snap_decode(r)?;
+        self.config.loader_auth = AuthMode::snap_decode(r)?;
+        self.config.per_request_overhead = SimDuration::from_nanos(r.u64()?);
+        let n = r.len()?;
+        self.exported = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let s = ServiceId(r.u16()?);
+            self.exported.insert(s, r.str()?);
+        }
+        self.next_file_svc = r.u16()?;
+        let n = r.len()?;
+        self.conns = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let c = ConnId(r.u64()?);
+            let peer = DeviceId(r.u32()?);
+            let pasid = Pasid(r.u32()?);
+            let file = r.str()?;
+            let queue = r.opt(|r| {
+                let mut q = VirtqueueDevice::attach(QueueLayout::new(0, 1));
+                q.restore(r)?;
+                Ok(q)
+            })?;
+            let served = r.u64()?;
+            self.conns.insert(
+                c,
+                FileConn {
+                    peer,
+                    pasid,
+                    file,
+                    queue,
+                    served,
+                },
+            );
+        }
+        let n = r.len()?;
+        self.work = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            self.work.push_back(ConnId(r.u64()?));
+        }
+        self.poll_armed = r.bool()?;
+        self.stats.requests = r.u64()?;
+        self.stats.bytes_read = r.u64()?;
+        self.stats.bytes_written = r.u64()?;
+        self.stats.conn_resets = r.u64()?;
+        self.stats.images_loaded = r.u64()?;
+        Ok(())
+    }
+}
+
+impl lastcpu_snap::Snapshot for FileClient {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        self.driver.snapshot(w);
+        self.arena.snapshot(w);
+        let mut heads: Vec<_> = self.inflight.keys().copied().collect();
+        heads.sort_unstable();
+        w.put_len(heads.len());
+        for h in heads {
+            let (req_va, resp_va, cap) = self.inflight[&h];
+            w.put_u16(h);
+            w.put_u64(req_va);
+            w.put_u64(resp_va);
+            w.put_u32(cap);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for FileClient {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.driver.restore(r)?;
+        self.arena.restore(r)?;
+        let n = r.len()?;
+        self.inflight = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let h = r.u16()?;
+            let req_va = r.u64()?;
+            let resp_va = r.u64()?;
+            let cap = r.u32()?;
+            self.inflight.insert(h, (req_va, resp_va, cap));
+        }
+        Ok(())
+    }
+}
+
+impl FileClient {
+    /// A client with empty state, intended as the target of a
+    /// [`lastcpu_snap::Restore`]; unusable until restored.
+    pub fn placeholder() -> Self {
+        FileClient {
+            driver: lastcpu_virtio::VirtqueueDriver::detached(),
+            arena: lastcpu_virtio::BufferArena::new(0, CLIENT_SLOT, 1),
+            inflight: HashMap::new(),
+            encode_buf: Vec::new(),
+        }
     }
 }
 

@@ -825,6 +825,181 @@ impl Fabric {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rack checkpoints
+// ---------------------------------------------------------------------------
+
+use lastcpu_snap::{Checkpoint, Manifest, SnapError, SnapWriter, Snapshot as _};
+
+impl Fabric {
+    /// Stable fingerprint of the rack recipe: fabric configuration plus
+    /// every machine's name and its own builder fingerprint.
+    ///
+    /// `threads` is masked out of the configuration before hashing: the
+    /// windowed schedule guarantees results are bit-identical across
+    /// thread counts, so a checkpoint taken at `threads = 1` must be
+    /// restorable — and byte-comparable — on a `threads = 4` fabric.
+    pub fn config_fingerprint(&self) -> u64 {
+        let masked = FabricConfig {
+            threads: 1,
+            ..self.cfg.clone()
+        };
+        let mut h = lastcpu_snap::fnv1a(format!("{masked:?}").as_bytes());
+        for slot in &self.machines {
+            lastcpu_snap::fnv1a_fold(&mut h, slot.name.as_bytes());
+            lastcpu_snap::fnv1a_fold(&mut h, &slot.sys.config_fingerprint().to_le_bytes());
+        }
+        h
+    }
+
+    /// The fabric's own durable state: clock, directory, link occupancy,
+    /// in-flight frame digest, proxy wiring, and per-machine link faults.
+    fn fabric_section(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.now.as_nanos());
+        w.put_u64(self.dir_epoch);
+        w.put_opt(self.next_sync.as_ref(), |w, t| w.put_u64(t.as_nanos()));
+        w.put_len(self.fault_cursor);
+        w.put_len(self.faults.len());
+        for f in &self.faults {
+            w.put_u64(f.at.as_nanos());
+            w.put_str(&f.target);
+            f.kind.encode(&mut w);
+        }
+        // In-flight inter-machine deliveries, digested by full content.
+        let mut entries = self.queue.entries();
+        entries.sort_by_key(|(at, seq, _)| (*at, *seq));
+        w.put_len(entries.len());
+        let mut h = lastcpu_snap::fnv1a(b"links");
+        for (at, seq, d) in &entries {
+            let mut ew = SnapWriter::new();
+            ew.put_u64(at.as_nanos());
+            ew.put_u64(*seq);
+            ew.put_len(d.machine);
+            ew.put_u32(d.frame.src.0);
+            ew.put_u32(d.frame.dst.0);
+            ew.put_bytes(&d.frame.payload);
+            ew.put_u64(d.corr.0);
+            lastcpu_snap::fnv1a_fold(&mut h, &ew.into_bytes());
+        }
+        w.put_u64(h);
+        w.put_u64(self.queue.events_processed());
+        w.put_u64(self.queue.seq_cursor());
+        w.put_len(self.directory.len());
+        for e in &self.directory {
+            w.put_u32(e.machine);
+            w.put_str(&e.name);
+            w.put_str(&e.kind);
+            w.put_u32(e.port.0);
+        }
+        for slot in &self.machines {
+            w.put_str(&slot.name);
+            w.put_bool(slot.dead);
+            w.put_u64(slot.up_busy.as_nanos());
+            w.put_u64(slot.down_busy.as_nanos());
+            w.put_u32(slot.dir_port.0);
+            let mut proxies: Vec<(u32, u32, u32)> = slot
+                .proxy
+                .iter()
+                .map(|(peer, local)| (peer.machine, peer.port.0, local.0))
+                .collect();
+            proxies.sort_unstable();
+            w.put_len(proxies.len());
+            for (pm, pp, lp) in proxies {
+                w.put_u32(pm);
+                w.put_u32(pp);
+                w.put_u32(lp);
+            }
+            w.put_u32(slot.faults.drop_remaining);
+            w.put_u32(slot.faults.delay_remaining);
+            w.put_u64(slot.faults.delay_extra.as_nanos());
+            // `pending` is drained at every barrier, so a checkpoint taken
+            // between run calls sees it empty; serialized anyway so verify
+            // would catch a checkpoint taken mid-window.
+            w.put_len(slot.pending.len());
+            for t in &slot.pending {
+                w.put_u64(t.at.as_nanos());
+                w.put_u32(t.port.0);
+                w.put_u32(t.frame.src.0);
+                w.put_u32(t.frame.dst.0);
+                w.put_bytes(&t.frame.payload);
+            }
+            // `window_steps` is deliberately excluded: it is per-window
+            // scratch for the executor's step accounting, and its value at
+            // a barrier depends on how the window scheduler chunked work —
+            // i.e. on the thread count — not on simulation state. Including
+            // it would break cross-thread-count checkpoint identity.
+        }
+        w.into_bytes()
+    }
+
+    /// Serializes the whole rack: a `fabric` section (directory, links,
+    /// in-flight frames), the fabric metrics and link trace, then one
+    /// section per machine containing that machine's full encoded
+    /// [`System::checkpoint`]. Take it between `run` calls — the rack is
+    /// quiescent at those barriers.
+    pub fn checkpoint(&self, label: &str) -> lastcpu_snap::Result<Checkpoint> {
+        let manifest = Manifest {
+            schema_version: lastcpu_snap::SCHEMA_VERSION,
+            seed: self.cfg.seed,
+            virtual_ns: self.now.as_nanos(),
+            events: self.queue.events_processed(),
+            config_fp: self.config_fingerprint(),
+            label: label.to_string(),
+        };
+        let mut ck = Checkpoint::new(manifest);
+        ck.add_section("fabric", self.fabric_section());
+        ck.add_section("metrics", self.metrics.snapshot_bytes());
+        ck.add_section("trace", self.trace.snapshot_bytes());
+        for (i, slot) in self.machines.iter().enumerate() {
+            let inner = slot.sys.checkpoint(&format!("{label}/{}", slot.name))?;
+            ck.add_section(&format!("machine{i}"), inner.encode());
+        }
+        Ok(ck)
+    }
+
+    /// Byte-for-byte verification of the rack against `ck`.
+    pub fn verify_checkpoint(&self, ck: &Checkpoint) -> lastcpu_snap::Result<()> {
+        let mine = self.checkpoint(&ck.manifest.label)?;
+        if let Some(detail) = ck.diff(&mine) {
+            return Err(SnapError::VerifyMismatch {
+                section: "rack".into(),
+                detail,
+            });
+        }
+        Ok(())
+    }
+
+    /// Restores this rack to the state captured in `ck`.
+    ///
+    /// The rack must be freshly built from the same recipe (checked via
+    /// the manifest fingerprint) and powered on. Restore re-executes the
+    /// windowed schedule to the checkpoint's virtual time — bit-identical
+    /// across thread counts by the fabric's determinism contract — then
+    /// verifies every section, including each machine's full checkpoint,
+    /// byte-for-byte. Fails loudly on any divergence.
+    pub fn restore_from(&mut self, ck: &Checkpoint) -> lastcpu_snap::Result<()> {
+        if ck.manifest.schema_version != lastcpu_snap::SCHEMA_VERSION {
+            return Err(SnapError::VersionMismatch {
+                want: lastcpu_snap::SCHEMA_VERSION,
+                got: ck.manifest.schema_version,
+            });
+        }
+        if ck.manifest.config_fp != self.config_fingerprint() {
+            return Err(SnapError::VerifyMismatch {
+                section: "manifest".into(),
+                detail: format!(
+                    "config fingerprint mismatch: checkpoint {:#018x}, this rack {:#018x}",
+                    ck.manifest.config_fp,
+                    self.config_fingerprint()
+                ),
+            });
+        }
+        self.run_until(SimTime::from_nanos(ck.manifest.virtual_ns));
+        self.verify_checkpoint(ck)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -356,6 +356,114 @@ impl fmt::Debug for Iommu {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        /// Random map/unmap/translate across multiple PASIDs against a
+        /// model: the IOTLB must never serve a stale or cross-PASID
+        /// translation.
+        #[test]
+        fn prop_iommu_never_serves_stale_translations(
+            ops in proptest::collection::vec((0u8..3, 0u32..3, 0u64..24, 0u64..24), 1..200)
+        ) {
+            let mut mmu = Iommu::new(4); // tiny TLB: maximal churn
+            let mut model: HashMap<(u32, u64), u64> = HashMap::new();
+            for pasid in 0..3u32 {
+                mmu.bind_pasid(Pasid(pasid));
+            }
+            for (kind, pasid, vp, pp) in ops {
+                let va = VirtAddr::new(vp << 12);
+                let pa = PhysAddr::new((pp + 32) << 12);
+                match kind {
+                    0 => {
+                        let r = mmu.map(Pasid(pasid), va, pa, Perms::RW);
+                        if let std::collections::hash_map::Entry::Vacant(e) =
+                            model.entry((pasid, vp))
+                        {
+                            prop_assert!(r.is_ok());
+                            e.insert(pp + 32);
+                        } else {
+                            prop_assert!(r.is_err());
+                        }
+                    }
+                    1 => {
+                        let r = mmu.unmap(Pasid(pasid), va);
+                        match model.remove(&(pasid, vp)) {
+                            Some(frame) => {
+                                prop_assert_eq!(r.unwrap(), PhysAddr::new(frame << 12));
+                            }
+                            None => prop_assert!(r.is_err()),
+                        }
+                    }
+                    _ => {
+                        let r = mmu.translate(Pasid(pasid), va, AccessKind::Read);
+                        match model.get(&(pasid, vp)) {
+                            Some(frame) => {
+                                prop_assert_eq!(r.unwrap().pa, PhysAddr::new(frame << 12));
+                            }
+                            None => prop_assert!(r.is_err()),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl lastcpu_snap::Snapshot for Iommu {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.cost.tlb_lookup.as_nanos());
+        w.put_u64(self.cost.walk_per_access.as_nanos());
+        w.put_u64(self.cost.invalidate.as_nanos());
+        w.put_u64(self.stats.translations);
+        w.put_u64(self.stats.faults);
+        w.put_u64(self.stats.maps);
+        w.put_u64(self.stats.unmaps);
+        let mut pasids: Vec<_> = self.tables.keys().copied().collect();
+        pasids.sort_by_key(|p| p.0);
+        w.put_len(pasids.len());
+        for p in pasids {
+            w.put_u32(p.0);
+            self.tables[&p].snapshot(w);
+        }
+        self.tlb.snapshot(w);
+        w.put_opt(self.last_fault.as_ref(), |w, f| f.encode(w));
+        w.put_opt(self.audit.as_ref(), |w, a| a.snapshot(w));
+    }
+}
+
+impl lastcpu_snap::Restore for Iommu {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.cost.tlb_lookup = SimDuration::from_nanos(r.u64()?);
+        self.cost.walk_per_access = SimDuration::from_nanos(r.u64()?);
+        self.cost.invalidate = SimDuration::from_nanos(r.u64()?);
+        self.stats.translations = r.u64()?;
+        self.stats.faults = r.u64()?;
+        self.stats.maps = r.u64()?;
+        self.stats.unmaps = r.u64()?;
+        let n = r.len()?;
+        self.tables = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pasid = Pasid(r.u32()?);
+            let mut table = PageTable::new();
+            table.restore(r)?;
+            self.tables.insert(pasid, table);
+        }
+        self.tlb.restore(r)?;
+        self.last_fault = r.opt(IommuFault::decode)?;
+        self.audit = r.opt(|r| {
+            let mut a = DmaAudit::default();
+            a.restore(r)?;
+            Ok(a)
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -531,63 +639,5 @@ mod tests {
         assert!(mmu
             .translate(Pasid(1), VirtAddr::new(0x1000), AccessKind::Read)
             .is_ok());
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-    use std::collections::HashMap;
-
-    proptest! {
-        /// Random map/unmap/translate across multiple PASIDs against a
-        /// model: the IOTLB must never serve a stale or cross-PASID
-        /// translation.
-        #[test]
-        fn prop_iommu_never_serves_stale_translations(
-            ops in proptest::collection::vec((0u8..3, 0u32..3, 0u64..24, 0u64..24), 1..200)
-        ) {
-            let mut mmu = Iommu::new(4); // tiny TLB: maximal churn
-            let mut model: HashMap<(u32, u64), u64> = HashMap::new();
-            for pasid in 0..3u32 {
-                mmu.bind_pasid(Pasid(pasid));
-            }
-            for (kind, pasid, vp, pp) in ops {
-                let va = VirtAddr::new(vp << 12);
-                let pa = PhysAddr::new((pp + 32) << 12);
-                match kind {
-                    0 => {
-                        let r = mmu.map(Pasid(pasid), va, pa, Perms::RW);
-                        if let std::collections::hash_map::Entry::Vacant(e) =
-                            model.entry((pasid, vp))
-                        {
-                            prop_assert!(r.is_ok());
-                            e.insert(pp + 32);
-                        } else {
-                            prop_assert!(r.is_err());
-                        }
-                    }
-                    1 => {
-                        let r = mmu.unmap(Pasid(pasid), va);
-                        match model.remove(&(pasid, vp)) {
-                            Some(frame) => {
-                                prop_assert_eq!(r.unwrap(), PhysAddr::new(frame << 12));
-                            }
-                            None => prop_assert!(r.is_err()),
-                        }
-                    }
-                    _ => {
-                        let r = mmu.translate(Pasid(pasid), va, AccessKind::Read);
-                        match model.get(&(pasid, vp)) {
-                            Some(frame) => {
-                                prop_assert_eq!(r.unwrap().pa, PhysAddr::new(frame << 12));
-                            }
-                            None => prop_assert!(r.is_err()),
-                        }
-                    }
-                }
-            }
-        }
     }
 }

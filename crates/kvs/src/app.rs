@@ -65,6 +65,15 @@ impl KvsNicApp {
 }
 
 impl NicApp for KvsNicApp {
+    fn snapshot_state(&self, w: &mut lastcpu_snap::SnapWriter) -> lastcpu_snap::Result<()> {
+        lastcpu_snap::Snapshot::snapshot(self, w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        lastcpu_snap::Restore::restore(self, r)
+    }
+
     fn app_name(&self) -> &str {
         "kvs"
     }
@@ -117,5 +126,19 @@ impl NicApp for KvsNicApp {
         // Device reset loses all volatile state; the index would be rebuilt
         // on the next start. (The server is recreated by the system
         // assembler in recovery experiments.)
+    }
+}
+
+impl lastcpu_snap::Snapshot for KvsNicApp {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        // `out` is drained within the same delivery, so only the server
+        // carries durable state.
+        self.server.snapshot(w);
+    }
+}
+
+impl lastcpu_snap::Restore for KvsNicApp {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.server.restore(r)
     }
 }

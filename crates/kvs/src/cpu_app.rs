@@ -77,3 +77,17 @@ impl CpuApp for KvsCpuApp {
         self.out = out;
     }
 }
+
+impl lastcpu_snap::Snapshot for KvsCpuApp {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        // `out` is drained within the same delivery, so only the server
+        // carries durable state.
+        self.server.snapshot(w);
+    }
+}
+
+impl lastcpu_snap::Restore for KvsCpuApp {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.server.restore(r)
+    }
+}

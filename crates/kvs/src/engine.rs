@@ -319,119 +319,6 @@ impl Default for LogScanner {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn put_get_round_trip() {
-        let mut e = KvEngine::new();
-        let (off, rec) = e.put(b"k1", b"hello").unwrap();
-        assert_eq!(off, 0);
-        assert_eq!(rec.len(), 6 + 2 + 5);
-        let v = e.get(b"k1").unwrap();
-        assert_eq!(v.offset, 6 + 2);
-        assert_eq!(v.len, 5);
-        assert_eq!(e.cursor(), rec.len() as u64);
-    }
-
-    #[test]
-    fn overwrite_tracks_garbage() {
-        let mut e = KvEngine::new();
-        e.put(b"k", b"v1").unwrap();
-        let before = e.stats().dead_bytes;
-        e.put(b"k", b"longer-value").unwrap();
-        assert!(e.stats().dead_bytes > before);
-        assert_eq!(e.len(), 1);
-        assert_eq!(e.get(b"k").unwrap().len, 12);
-    }
-
-    #[test]
-    fn delete_appends_tombstone() {
-        let mut e = KvEngine::new();
-        e.put(b"k", b"v").unwrap();
-        let (off, rec) = e.delete(b"k").unwrap().unwrap();
-        assert!(off > 0);
-        assert_eq!(rec.len(), 6 + 1);
-        assert!(e.get(b"k").is_none());
-        // Deleting a missing key appends nothing.
-        assert_eq!(e.delete(b"nope").unwrap(), None);
-    }
-
-    #[test]
-    fn size_limits_enforced() {
-        let mut e = KvEngine::new();
-        assert_eq!(
-            e.put(&vec![0u8; MAX_KEY + 1], b"v"),
-            Err(EngineError::KeyTooLong)
-        );
-        assert_eq!(
-            e.put(b"k", &vec![0u8; MAX_VALUE + 1]),
-            Err(EngineError::ValueTooLong)
-        );
-    }
-
-    #[test]
-    fn scanner_rebuilds_index() {
-        let mut writer = KvEngine::new();
-        let mut log = Vec::new();
-        for i in 0..50u32 {
-            let (_, rec) = writer
-                .put(format!("key{i}").as_bytes(), format!("value{i}").as_bytes())
-                .unwrap();
-            log.extend_from_slice(&rec);
-        }
-        let (_, rec) = writer.delete(b"key7").unwrap().unwrap();
-        log.extend_from_slice(&rec);
-        let (_, rec) = writer.put(b"key3", b"updated").unwrap();
-        log.extend_from_slice(&rec);
-
-        // Rebuild with awkward chunk sizes to cross record boundaries.
-        let mut rebuilt = KvEngine::new();
-        let mut scanner = LogScanner::new();
-        for chunk in log.chunks(7) {
-            scanner.feed(&mut rebuilt, chunk).unwrap();
-        }
-        assert_eq!(scanner.pending(), 0);
-        assert_eq!(rebuilt.len(), writer.len());
-        assert!(rebuilt.get(b"key7").is_none());
-        assert_eq!(rebuilt.get(b"key3"), writer.get(b"key3"));
-        assert_eq!(rebuilt.cursor(), writer.cursor());
-        for i in 0..50u32 {
-            if i == 7 {
-                continue;
-            }
-            let k = format!("key{i}");
-            assert_eq!(rebuilt.get(k.as_bytes()), writer.get(k.as_bytes()), "{k}");
-        }
-    }
-
-    #[test]
-    fn scanner_rejects_corrupt_records() {
-        let mut log = Vec::new();
-        log.extend_from_slice(&(2000u16).to_le_bytes()); // klen > MAX_KEY
-        log.extend_from_slice(&5u32.to_le_bytes());
-        log.extend_from_slice(&[0u8; 64]);
-        let mut e = KvEngine::new();
-        let mut s = LogScanner::new();
-        assert_eq!(s.feed(&mut e, &log), Err(EngineError::Corrupt));
-    }
-
-    #[test]
-    fn scanner_handles_partial_header_at_boundary() {
-        let mut writer = KvEngine::new();
-        let (_, rec) = writer.put(b"abc", b"defgh").unwrap();
-        let mut e = KvEngine::new();
-        let mut s = LogScanner::new();
-        s.feed(&mut e, &rec[..3]).unwrap(); // mid-header
-        assert_eq!(e.len(), 0);
-        assert_eq!(s.pending(), 3);
-        s.feed(&mut e, &rec[3..]).unwrap();
-        assert_eq!(e.len(), 1);
-        assert_eq!(e.get(b"abc").unwrap().len, 5);
-    }
-}
-
-#[cfg(test)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -582,5 +469,170 @@ mod compaction_tests {
         let (e, _log) = build(&[("a", Some("v1"))]);
         let r = e.compact(|_| vec![1, 2, 3, 4, 5, 6, 7]); // wrong length
         assert_eq!(r.unwrap_err(), EngineError::Corrupt);
+    }
+}
+
+impl lastcpu_snap::Snapshot for KvEngine {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.cursor);
+        w.put_u64(self.stats.log_bytes);
+        w.put_u64(self.stats.dead_bytes);
+        // Sorted by key: DetHashMap iteration order depends on insertion
+        // history, which a restore does not reproduce.
+        let mut keys: Vec<&Vec<u8>> = self.index.keys().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for k in keys {
+            let v = self.index[k];
+            w.put_bytes(k);
+            w.put_u64(v.offset);
+            w.put_u32(v.len);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for KvEngine {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.cursor = r.u64()?;
+        self.stats.log_bytes = r.u64()?;
+        self.stats.dead_bytes = r.u64()?;
+        let n = r.len()?;
+        self.index = DetHashMap::default();
+        for _ in 0..n {
+            let k = r.bytes()?;
+            let offset = r.u64()?;
+            let len = r.u32()?;
+            self.index.insert(k, ValueRef { offset, len });
+        }
+        self.stats.live_keys = self.index.len() as u64;
+        Ok(())
+    }
+}
+
+impl lastcpu_snap::Snapshot for LogScanner {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_bytes(&self.carry);
+        w.put_u64(self.base);
+    }
+}
+
+impl lastcpu_snap::Restore for LogScanner {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.carry = r.bytes()?;
+        self.base = r.u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut e = KvEngine::new();
+        let (off, rec) = e.put(b"k1", b"hello").unwrap();
+        assert_eq!(off, 0);
+        assert_eq!(rec.len(), 6 + 2 + 5);
+        let v = e.get(b"k1").unwrap();
+        assert_eq!(v.offset, 6 + 2);
+        assert_eq!(v.len, 5);
+        assert_eq!(e.cursor(), rec.len() as u64);
+    }
+
+    #[test]
+    fn overwrite_tracks_garbage() {
+        let mut e = KvEngine::new();
+        e.put(b"k", b"v1").unwrap();
+        let before = e.stats().dead_bytes;
+        e.put(b"k", b"longer-value").unwrap();
+        assert!(e.stats().dead_bytes > before);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(b"k").unwrap().len, 12);
+    }
+
+    #[test]
+    fn delete_appends_tombstone() {
+        let mut e = KvEngine::new();
+        e.put(b"k", b"v").unwrap();
+        let (off, rec) = e.delete(b"k").unwrap().unwrap();
+        assert!(off > 0);
+        assert_eq!(rec.len(), 6 + 1);
+        assert!(e.get(b"k").is_none());
+        // Deleting a missing key appends nothing.
+        assert_eq!(e.delete(b"nope").unwrap(), None);
+    }
+
+    #[test]
+    fn size_limits_enforced() {
+        let mut e = KvEngine::new();
+        assert_eq!(
+            e.put(&vec![0u8; MAX_KEY + 1], b"v"),
+            Err(EngineError::KeyTooLong)
+        );
+        assert_eq!(
+            e.put(b"k", &vec![0u8; MAX_VALUE + 1]),
+            Err(EngineError::ValueTooLong)
+        );
+    }
+
+    #[test]
+    fn scanner_rebuilds_index() {
+        let mut writer = KvEngine::new();
+        let mut log = Vec::new();
+        for i in 0..50u32 {
+            let (_, rec) = writer
+                .put(format!("key{i}").as_bytes(), format!("value{i}").as_bytes())
+                .unwrap();
+            log.extend_from_slice(&rec);
+        }
+        let (_, rec) = writer.delete(b"key7").unwrap().unwrap();
+        log.extend_from_slice(&rec);
+        let (_, rec) = writer.put(b"key3", b"updated").unwrap();
+        log.extend_from_slice(&rec);
+
+        // Rebuild with awkward chunk sizes to cross record boundaries.
+        let mut rebuilt = KvEngine::new();
+        let mut scanner = LogScanner::new();
+        for chunk in log.chunks(7) {
+            scanner.feed(&mut rebuilt, chunk).unwrap();
+        }
+        assert_eq!(scanner.pending(), 0);
+        assert_eq!(rebuilt.len(), writer.len());
+        assert!(rebuilt.get(b"key7").is_none());
+        assert_eq!(rebuilt.get(b"key3"), writer.get(b"key3"));
+        assert_eq!(rebuilt.cursor(), writer.cursor());
+        for i in 0..50u32 {
+            if i == 7 {
+                continue;
+            }
+            let k = format!("key{i}");
+            assert_eq!(rebuilt.get(k.as_bytes()), writer.get(k.as_bytes()), "{k}");
+        }
+    }
+
+    #[test]
+    fn scanner_rejects_corrupt_records() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&(2000u16).to_le_bytes()); // klen > MAX_KEY
+        log.extend_from_slice(&5u32.to_le_bytes());
+        log.extend_from_slice(&[0u8; 64]);
+        let mut e = KvEngine::new();
+        let mut s = LogScanner::new();
+        assert_eq!(s.feed(&mut e, &log), Err(EngineError::Corrupt));
+    }
+
+    #[test]
+    fn scanner_handles_partial_header_at_boundary() {
+        let mut writer = KvEngine::new();
+        let (_, rec) = writer.put(b"abc", b"defgh").unwrap();
+        let mut e = KvEngine::new();
+        let mut s = LogScanner::new();
+        s.feed(&mut e, &rec[..3]).unwrap(); // mid-header
+        assert_eq!(e.len(), 0);
+        assert_eq!(s.pending(), 3);
+        s.feed(&mut e, &rec[3..]).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(b"abc").unwrap().len, 5);
     }
 }

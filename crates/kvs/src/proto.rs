@@ -335,6 +335,18 @@ pub fn encode_response_into(id: u64, status: KvsStatus, value: &[u8], buf: &mut 
     *buf = w.finish();
 }
 
+impl KvsStatus {
+    /// Stable one-byte tag for snapshot sections (same values as the wire).
+    pub fn snap_encode(self) -> u8 {
+        self.to_u8()
+    }
+
+    /// Inverse of [`KvsStatus::snap_encode`].
+    pub fn snap_decode(v: u8) -> KvsStatus {
+        KvsStatus::from_u8(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

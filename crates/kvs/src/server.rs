@@ -938,6 +938,240 @@ impl KvsServer {
     }
 }
 
+fn server_state_tag(s: ServerState) -> u8 {
+    match s {
+        ServerState::Boot => 0,
+        ServerState::FindingMemory => 1,
+        ServerState::FindingFile => 2,
+        ServerState::Connecting => 3,
+        ServerState::Rebuilding => 4,
+        ServerState::Ready => 5,
+        ServerState::Failed => 6,
+    }
+}
+
+fn server_state_from_tag(
+    r: &mut lastcpu_snap::SnapReader<'_>,
+    tag: u8,
+) -> lastcpu_snap::Result<ServerState> {
+    Ok(match tag {
+        0 => ServerState::Boot,
+        1 => ServerState::FindingMemory,
+        2 => ServerState::FindingFile,
+        3 => ServerState::Connecting,
+        4 => ServerState::Rebuilding,
+        5 => ServerState::Ready,
+        6 => ServerState::Failed,
+        t => return Err(r.corrupt(format!("unknown server state tag {t}"))),
+    })
+}
+
+impl Pending {
+    fn snap_encode(&self, w: &mut lastcpu_snap::SnapWriter) {
+        match self {
+            Pending::Get { port, id } => {
+                w.put_u8(0);
+                w.put_u32(port.0);
+                w.put_u64(*id);
+            }
+            Pending::Put {
+                port,
+                id,
+                key,
+                value,
+            } => {
+                w.put_u8(1);
+                w.put_u32(port.0);
+                w.put_u64(*id);
+                w.put_bytes(key);
+                w.put_bytes(value);
+            }
+            Pending::Delete { port, id } => {
+                w.put_u8(2);
+                w.put_u32(port.0);
+                w.put_u64(*id);
+            }
+            Pending::Rebuild { len } => {
+                w.put_u8(3);
+                w.put_u32(*len);
+            }
+        }
+    }
+
+    fn snap_decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<Pending> {
+        Ok(match r.u8()? {
+            0 => Pending::Get {
+                port: PortId(r.u32()?),
+                id: r.u64()?,
+            },
+            1 => Pending::Put {
+                port: PortId(r.u32()?),
+                id: r.u64()?,
+                key: r.bytes()?,
+                value: r.bytes()?,
+            },
+            2 => Pending::Delete {
+                port: PortId(r.u32()?),
+                id: r.u64()?,
+            },
+            3 => Pending::Rebuild { len: r.u32()? },
+            t => return Err(r.corrupt(format!("unknown pending-op tag {t}"))),
+        })
+    }
+}
+
+impl lastcpu_snap::Snapshot for ValueCache {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_len(self.capacity);
+        // LRU order is semantic (eviction picks the front), so entries are
+        // written in `order`, not sorted; `order` holds exactly the map keys.
+        w.put_len(self.order.len());
+        for k in &self.order {
+            w.put_bytes(k);
+            w.put_bytes(&self.map[k]);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for ValueCache {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.capacity = r.len()?;
+        let n = r.len()?;
+        if n > self.capacity {
+            return Err(r.corrupt(format!(
+                "cache holds {n} entries but capacity is {}",
+                self.capacity
+            )));
+        }
+        self.map = DetHashMap::default();
+        self.order = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let k = r.bytes()?;
+            let v = r.bytes()?;
+            self.order.push_back(k.clone());
+            self.map.insert(k, v);
+        }
+        Ok(())
+    }
+}
+
+impl lastcpu_snap::Snapshot for KvsServer {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_str(&self.config.file_pattern);
+        w.put_opt(self.config.memctl.as_ref(), |w, d| w.put_u32(d.0));
+        w.put_u128(self.config.token.0);
+        w.put_u64(self.config.va_base);
+        w.put_u16(self.config.queue_size);
+        w.put_len(self.config.cache_entries);
+        w.put_u64(self.config.per_request_cost.as_nanos());
+        w.put_u32(self.pasid.0);
+        w.put_u8(server_state_tag(self.state));
+        self.engine.snapshot(w);
+        self.scanner.snapshot(w);
+        w.put_opt(self.memctl.as_ref(), |w, d| w.put_u32(d.0));
+        w.put_u64(self.mem_op);
+        w.put_u64(self.file_op);
+        w.put_opt(self.session.as_ref(), |w, s| s.snapshot(w));
+        w.put_u64(self.file_size);
+        w.put_u64(self.rebuild_next);
+        w.put_u64(self.rebuild_inflight);
+        let mut slots: Vec<u16> = self.inflight.keys().copied().collect();
+        slots.sort_unstable();
+        w.put_len(slots.len());
+        for s in slots {
+            w.put_u16(s);
+            self.inflight[&s].snap_encode(w);
+        }
+        w.put_len(self.backlog.len());
+        for (port, req) in &self.backlog {
+            w.put_u32(port.0);
+            w.put_bytes(&req.encode());
+        }
+        self.cache.snapshot(w);
+        w.put_u64(self.stats.gets);
+        w.put_u64(self.stats.puts);
+        w.put_u64(self.stats.deletes);
+        w.put_u64(self.stats.cache_hits);
+        w.put_u64(self.stats.fast_gets);
+        w.put_u64(self.stats.shed);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.failures);
+        w.put_u64(self.stats.unavailable);
+        w.put_bool(self.recovering);
+        w.put_u64(self.generation);
+        w.put_bool(self.fast_path);
+        // Excluded: `met` (live MetricsHub handles, owned by the hub's own
+        // section) and `comp_buf` (reused scratch, contents meaningless
+        // between events).
+    }
+}
+
+impl lastcpu_snap::Restore for KvsServer {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.config.file_pattern = r.str()?;
+        self.config.memctl = r.opt(|r| Ok(DeviceId(r.u32()?)))?;
+        self.config.token = Token(r.u128()?);
+        self.config.va_base = r.u64()?;
+        self.config.queue_size = r.u16()?;
+        self.config.cache_entries = r.len()?;
+        self.config.per_request_cost = SimDuration::from_nanos(r.u64()?);
+        self.pasid = Pasid(r.u32()?);
+        let tag = r.u8()?;
+        self.state = server_state_from_tag(r, tag)?;
+        self.engine.restore(r)?;
+        self.scanner.restore(r)?;
+        self.memctl = r.opt(|r| Ok(DeviceId(r.u32()?)))?;
+        self.mem_op = r.u64()?;
+        self.file_op = r.u64()?;
+        self.session = r.opt(|r| {
+            let mut s = FileSession::new(
+                DeviceId(0),
+                DeviceId(0),
+                lastcpu_bus::ServiceId(0),
+                Token::NONE,
+                Pasid(0),
+                0,
+                1,
+            );
+            s.restore(r)?;
+            Ok(s)
+        })?;
+        self.file_size = r.u64()?;
+        self.rebuild_next = r.u64()?;
+        self.rebuild_inflight = r.u64()?;
+        let n = r.len()?;
+        self.inflight = DetHashMap::default();
+        for _ in 0..n {
+            let slot = r.u16()?;
+            let p = Pending::snap_decode(r)?;
+            self.inflight.insert(slot, p);
+        }
+        let n = r.len()?;
+        self.backlog = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let port = PortId(r.u32()?);
+            let body = r.bytes()?;
+            let req = KvsRequest::decode(&body)
+                .ok_or_else(|| r.corrupt("undecodable backlogged request"))?;
+            self.backlog.push_back((port, req));
+        }
+        self.cache.restore(r)?;
+        self.stats.gets = r.u64()?;
+        self.stats.puts = r.u64()?;
+        self.stats.deletes = r.u64()?;
+        self.stats.cache_hits = r.u64()?;
+        self.stats.fast_gets = r.u64()?;
+        self.stats.shed = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.stats.failures = r.u64()?;
+        self.stats.unavailable = r.u64()?;
+        self.recovering = r.bool()?;
+        self.generation = r.u64()?;
+        self.fast_path = r.bool()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -251,6 +251,52 @@ impl Dram {
     }
 }
 
+impl lastcpu_snap::Snapshot for Dram {
+    /// Serializes size, cost model, traffic counters, and every resident
+    /// frame (sorted by frame number, page bodies RLE-compressed — DRAM
+    /// images are overwhelmingly zero). Frame *residency* is part of the
+    /// state: a frame that was written and later zeroed in place stays
+    /// resident, and restore reproduces that exactly.
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.size);
+        w.put_u64(self.cost.access_latency.as_nanos());
+        w.put_u64(self.cost.per_byte_ps);
+        w.put_u64(self.bytes_read);
+        w.put_u64(self.bytes_written);
+        let mut frames: Vec<u64> = self.frames.keys().copied().collect();
+        frames.sort_unstable();
+        w.put_len(frames.len());
+        for f in frames {
+            w.put_u64(f);
+            w.put_bytes_rle(&self.frames[&f]);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for Dram {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.size = r.u64()?;
+        self.cost.access_latency = SimDuration::from_nanos(r.u64()?);
+        self.cost.per_byte_ps = r.u64()?;
+        self.bytes_read = r.u64()?;
+        self.bytes_written = r.u64()?;
+        self.frames.clear();
+        let n = r.len()?;
+        for _ in 0..n {
+            let f = r.u64()?;
+            let body = r.bytes_rle()?;
+            if body.len() != PAGE_SIZE as usize {
+                return Err(lastcpu_snap::SnapError::Corrupt {
+                    section: "dram".into(),
+                    detail: format!("frame {f} body is {} bytes, want {PAGE_SIZE}", body.len()),
+                });
+            }
+            self.frames.insert(f, body.into_boxed_slice());
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Debug for Dram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -259,6 +305,35 @@ impl fmt::Debug for Dram {
             self.size / (1024 * 1024),
             self.resident_bytes() / 1024
         )
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random scattered writes against a model byte map: reads always
+        /// agree, including across page boundaries and zeroed holes.
+        #[test]
+        fn prop_dram_matches_model(
+            writes in proptest::collection::vec(
+                (0u64..3 * PAGE_SIZE, proptest::collection::vec(any::<u8>(), 1..200)),
+                1..40,
+            )
+        ) {
+            let mut dram = Dram::new(4 * PAGE_SIZE);
+            let mut model = vec![0u8; (4 * PAGE_SIZE) as usize];
+            for (addr, data) in &writes {
+                let addr = *addr;
+                dram.write(PhysAddr::new(addr), data).unwrap();
+                model[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+            }
+            let mut back = vec![0u8; model.len()];
+            dram.read(PhysAddr::new(0), &mut back).unwrap();
+            prop_assert_eq!(back, model);
+        }
     }
 }
 
@@ -361,34 +436,5 @@ mod tests {
     fn size_rounds_to_pages() {
         let d = Dram::new(1);
         assert_eq!(d.size(), PAGE_SIZE);
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    proptest! {
-        /// Random scattered writes against a model byte map: reads always
-        /// agree, including across page boundaries and zeroed holes.
-        #[test]
-        fn prop_dram_matches_model(
-            writes in proptest::collection::vec(
-                (0u64..3 * PAGE_SIZE, proptest::collection::vec(any::<u8>(), 1..200)),
-                1..40,
-            )
-        ) {
-            let mut dram = Dram::new(4 * PAGE_SIZE);
-            let mut model = vec![0u8; (4 * PAGE_SIZE) as usize];
-            for (addr, data) in &writes {
-                let addr = *addr;
-                dram.write(PhysAddr::new(addr), data).unwrap();
-                model[addr as usize..addr as usize + data.len()].copy_from_slice(data);
-            }
-            let mut back = vec![0u8; model.len()];
-            dram.read(PhysAddr::new(0), &mut back).unwrap();
-            prop_assert_eq!(back, model);
-        }
     }
 }

@@ -211,6 +211,58 @@ impl FrameAllocator {
     }
 }
 
+impl lastcpu_snap::Snapshot for FrameAllocator {
+    /// Serializes the free lists (already ordered sets) and the allocated
+    /// map in frame order.
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.total);
+        w.put_u64(self.in_use);
+        w.put_len(self.free.len());
+        for set in &self.free {
+            w.put_len(set.len());
+            for &f in set {
+                w.put_u64(f);
+            }
+        }
+        let mut blocks: Vec<(u64, u8)> = self.allocated.iter().map(|(&f, &o)| (f, o)).collect();
+        blocks.sort_unstable();
+        w.put_len(blocks.len());
+        for (f, o) in blocks {
+            w.put_u64(f);
+            w.put_u8(o);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for FrameAllocator {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.total = r.u64()?;
+        self.in_use = r.u64()?;
+        let orders = r.len()?;
+        if orders != MAX_ORDER as usize + 1 {
+            return Err(lastcpu_snap::SnapError::Corrupt {
+                section: "frame-allocator".into(),
+                detail: format!("{orders} order lists, want {}", MAX_ORDER + 1),
+            });
+        }
+        self.free = vec![BTreeSet::new(); orders];
+        for set in &mut self.free {
+            let n = r.len()?;
+            for _ in 0..n {
+                set.insert(r.u64()?);
+            }
+        }
+        self.allocated.clear();
+        let n = r.len()?;
+        for _ in 0..n {
+            let f = r.u64()?;
+            let o = r.u8()?;
+            self.allocated.insert(f, o);
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Debug for FrameAllocator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -220,6 +272,53 @@ impl fmt::Debug for FrameAllocator {
             self.in_use,
             self.free_block_count()
         )
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any alloc/free interleaving: live blocks never overlap, free
+        /// accounting balances, and freeing everything coalesces fully.
+        #[test]
+        fn prop_buddy_invariants(ops in proptest::collection::vec((0u8..3, 0u8..6), 1..200)) {
+            let mut fa = FrameAllocator::new(2 << MAX_ORDER);
+            let total = fa.total_frames();
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for (kind, order) in ops {
+                match kind {
+                    0 | 1 => {
+                        if let Ok(first) = fa.alloc_order(order) {
+                            let len = 1u64 << order;
+                            for &(b, blen) in &live {
+                                prop_assert!(
+                                    first + len <= b || b + blen <= first,
+                                    "overlap: [{first},{}) vs [{b},{})", first + len, b + blen
+                                );
+                            }
+                            prop_assert!(first + len <= total);
+                            live.push((first, len));
+                        }
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let (b, _) = live.swap_remove(order as usize % live.len());
+                            fa.free(b).unwrap();
+                        }
+                    }
+                }
+                let used: u64 = live.iter().map(|&(_, l)| l).sum();
+                prop_assert_eq!(fa.allocated_frames(), used);
+            }
+            for (b, _) in live.drain(..) {
+                fa.free(b).unwrap();
+            }
+            prop_assert_eq!(fa.free_frames(), total);
+            prop_assert_eq!(fa.largest_free_order(), Some(MAX_ORDER));
+        }
     }
 }
 
@@ -334,52 +433,5 @@ mod tests {
         let a = fa.alloc_frames(3).unwrap();
         assert_eq!(fa.block_len(a), Some(4));
         assert_eq!(fa.block_len(a + 1), None);
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    proptest! {
-        /// Any alloc/free interleaving: live blocks never overlap, free
-        /// accounting balances, and freeing everything coalesces fully.
-        #[test]
-        fn prop_buddy_invariants(ops in proptest::collection::vec((0u8..3, 0u8..6), 1..200)) {
-            let mut fa = FrameAllocator::new(2 << MAX_ORDER);
-            let total = fa.total_frames();
-            let mut live: Vec<(u64, u64)> = Vec::new();
-            for (kind, order) in ops {
-                match kind {
-                    0 | 1 => {
-                        if let Ok(first) = fa.alloc_order(order) {
-                            let len = 1u64 << order;
-                            for &(b, blen) in &live {
-                                prop_assert!(
-                                    first + len <= b || b + blen <= first,
-                                    "overlap: [{first},{}) vs [{b},{})", first + len, b + blen
-                                );
-                            }
-                            prop_assert!(first + len <= total);
-                            live.push((first, len));
-                        }
-                    }
-                    _ => {
-                        if !live.is_empty() {
-                            let (b, _) = live.swap_remove(order as usize % live.len());
-                            fa.free(b).unwrap();
-                        }
-                    }
-                }
-                let used: u64 = live.iter().map(|&(_, l)| l).sum();
-                prop_assert_eq!(fa.allocated_frames(), used);
-            }
-            for (b, _) in live.drain(..) {
-                fa.free(b).unwrap();
-            }
-            prop_assert_eq!(fa.free_frames(), total);
-            prop_assert_eq!(fa.largest_free_order(), Some(MAX_ORDER));
-        }
     }
 }

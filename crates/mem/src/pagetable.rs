@@ -67,6 +67,16 @@ impl Perms {
             bits: self.bits | other.bits,
         }
     }
+
+    /// The raw permission bits (checkpoint wire form).
+    pub const fn to_bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Rebuilds from [`Perms::to_bits`] output (extra bits are masked off).
+    pub const fn from_bits(bits: u8) -> Perms {
+        Perms { bits: bits & 7 }
+    }
 }
 
 impl fmt::Debug for Perms {
@@ -398,6 +408,43 @@ impl PageTable {
     }
 }
 
+impl lastcpu_snap::Snapshot for PageTable {
+    /// Serializes the sorted leaf mappings plus the node counter. The
+    /// counter is explicit because it is *history*, not structure: unmap
+    /// leaves interior nodes in place, so the same mapping set can have
+    /// different node counts depending on how it was reached.
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.node_count);
+        let maps = self.iter();
+        w.put_len(maps.len());
+        for (va, pa, perms) in maps {
+            w.put_u64(va.as_u64());
+            w.put_u64(pa.as_u64());
+            w.put_u8(perms.to_bits());
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for PageTable {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        let node_count = r.u64()?;
+        *self = PageTable::new();
+        let n = r.len()?;
+        for _ in 0..n {
+            let va = VirtAddr::new(r.u64()?);
+            let pa = PhysAddr::new(r.u64()?);
+            let perms = Perms::from_bits(r.u8()?);
+            self.map(va, pa, perms)
+                .map_err(|e| lastcpu_snap::SnapError::Corrupt {
+                    section: "pagetable".into(),
+                    detail: format!("replaying mapping {va}: {e}"),
+                })?;
+        }
+        self.node_count = node_count;
+        Ok(())
+    }
+}
+
 impl fmt::Debug for PageTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -405,6 +452,108 @@ impl fmt::Debug for PageTable {
             "PageTable(pages={}, nodes={})",
             self.mapped_pages, self.node_count
         )
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Random map/unmap/protect sequences agree with a model HashMap.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Map(u64, u64, u8),
+        Unmap(u64),
+        Translate(u64),
+        Protect(u64, u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..64, 0u64..64, 1u8..8).prop_map(|(v, p, perms)| Op::Map(v, p, perms)),
+            (0u64..64).prop_map(Op::Unmap),
+            (0u64..64).prop_map(Op::Translate),
+            (0u64..64, 1u8..8).prop_map(|(v, perms)| Op::Protect(v, perms)),
+        ]
+    }
+
+    fn perms_from(bits: u8) -> Perms {
+        let mut p = Perms::NONE;
+        if bits & 1 != 0 {
+            p = p.union(Perms::R);
+        }
+        if bits & 2 != 0 {
+            p = p.union(Perms::W);
+        }
+        if bits & 4 != 0 {
+            p = p.union(Perms::X);
+        }
+        p
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pagetable_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut pt = PageTable::new();
+            let mut model: HashMap<u64, (u64, Perms)> = HashMap::new();
+            for op in ops {
+                match op {
+                    Op::Map(vp, pp, bits) => {
+                        let va = VirtAddr::new(vp << PAGE_SHIFT);
+                        let pa = PhysAddr::new(pp << PAGE_SHIFT);
+                        let perms = perms_from(bits);
+                        let r = pt.map(va, pa, perms);
+                        if let std::collections::hash_map::Entry::Vacant(e) = model.entry(vp) {
+                            prop_assert!(r.is_ok());
+                            e.insert((pp, perms));
+                        } else {
+                            prop_assert!(r.is_err(), "double map must fail");
+                        }
+                    }
+                    Op::Unmap(vp) => {
+                        let va = VirtAddr::new(vp << PAGE_SHIFT);
+                        let r = pt.unmap(va);
+                        match model.remove(&vp) {
+                            Some((pp, _)) => {
+                                prop_assert_eq!(r.unwrap(), PhysAddr::new(pp << PAGE_SHIFT));
+                            }
+                            None => prop_assert!(r.is_err()),
+                        }
+                    }
+                    Op::Translate(vp) => {
+                        let va = VirtAddr::new((vp << PAGE_SHIFT) | 0x123);
+                        let r = pt.translate(va, Perms::NONE);
+                        match model.get(&vp) {
+                            Some((pp, _)) => {
+                                let t = r.unwrap();
+                                prop_assert_eq!(t.pa.as_u64(), (pp << PAGE_SHIFT) | 0x123);
+                            }
+                            None => prop_assert!(r.is_err()),
+                        }
+                    }
+                    Op::Protect(vp, bits) => {
+                        let va = VirtAddr::new(vp << PAGE_SHIFT);
+                        let r = pt.protect(va, perms_from(bits));
+                        match model.get_mut(&vp) {
+                            Some(entry) => {
+                                prop_assert!(r.is_ok());
+                                entry.1 = perms_from(bits);
+                            }
+                            None => prop_assert!(r.is_err()),
+                        }
+                    }
+                }
+                prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+            }
+            // Final sweep: every model entry translates with its perms.
+            for (vp, (pp, perms)) in &model {
+                let t = pt.translate(VirtAddr::new(vp << PAGE_SHIFT), Perms::NONE).unwrap();
+                prop_assert_eq!(t.pa.page_number(), *pp);
+                prop_assert_eq!(t.perms, *perms);
+            }
+        }
     }
 }
 
@@ -552,107 +701,5 @@ mod tests {
         assert_eq!(format!("{}", Perms::RW), "rw-");
         assert_eq!(format!("{}", Perms::RWX), "rwx");
         assert_eq!(format!("{}", Perms::NONE), "---");
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-    use std::collections::HashMap;
-
-    /// Random map/unmap/protect sequences agree with a model HashMap.
-    #[derive(Debug, Clone)]
-    enum Op {
-        Map(u64, u64, u8),
-        Unmap(u64),
-        Translate(u64),
-        Protect(u64, u8),
-    }
-
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u64..64, 0u64..64, 1u8..8).prop_map(|(v, p, perms)| Op::Map(v, p, perms)),
-            (0u64..64).prop_map(Op::Unmap),
-            (0u64..64).prop_map(Op::Translate),
-            (0u64..64, 1u8..8).prop_map(|(v, perms)| Op::Protect(v, perms)),
-        ]
-    }
-
-    fn perms_from(bits: u8) -> Perms {
-        let mut p = Perms::NONE;
-        if bits & 1 != 0 {
-            p = p.union(Perms::R);
-        }
-        if bits & 2 != 0 {
-            p = p.union(Perms::W);
-        }
-        if bits & 4 != 0 {
-            p = p.union(Perms::X);
-        }
-        p
-    }
-
-    proptest! {
-        #[test]
-        fn prop_pagetable_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
-            let mut pt = PageTable::new();
-            let mut model: HashMap<u64, (u64, Perms)> = HashMap::new();
-            for op in ops {
-                match op {
-                    Op::Map(vp, pp, bits) => {
-                        let va = VirtAddr::new(vp << PAGE_SHIFT);
-                        let pa = PhysAddr::new(pp << PAGE_SHIFT);
-                        let perms = perms_from(bits);
-                        let r = pt.map(va, pa, perms);
-                        if let std::collections::hash_map::Entry::Vacant(e) = model.entry(vp) {
-                            prop_assert!(r.is_ok());
-                            e.insert((pp, perms));
-                        } else {
-                            prop_assert!(r.is_err(), "double map must fail");
-                        }
-                    }
-                    Op::Unmap(vp) => {
-                        let va = VirtAddr::new(vp << PAGE_SHIFT);
-                        let r = pt.unmap(va);
-                        match model.remove(&vp) {
-                            Some((pp, _)) => {
-                                prop_assert_eq!(r.unwrap(), PhysAddr::new(pp << PAGE_SHIFT));
-                            }
-                            None => prop_assert!(r.is_err()),
-                        }
-                    }
-                    Op::Translate(vp) => {
-                        let va = VirtAddr::new((vp << PAGE_SHIFT) | 0x123);
-                        let r = pt.translate(va, Perms::NONE);
-                        match model.get(&vp) {
-                            Some((pp, _)) => {
-                                let t = r.unwrap();
-                                prop_assert_eq!(t.pa.as_u64(), (pp << PAGE_SHIFT) | 0x123);
-                            }
-                            None => prop_assert!(r.is_err()),
-                        }
-                    }
-                    Op::Protect(vp, bits) => {
-                        let va = VirtAddr::new(vp << PAGE_SHIFT);
-                        let r = pt.protect(va, perms_from(bits));
-                        match model.get_mut(&vp) {
-                            Some(entry) => {
-                                prop_assert!(r.is_ok());
-                                entry.1 = perms_from(bits);
-                            }
-                            None => prop_assert!(r.is_err()),
-                        }
-                    }
-                }
-                prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
-            }
-            // Final sweep: every model entry translates with its perms.
-            for (vp, (pp, perms)) in &model {
-                let t = pt.translate(VirtAddr::new(vp << PAGE_SHIFT), Perms::NONE).unwrap();
-                prop_assert_eq!(t.pa.page_number(), *pp);
-                prop_assert_eq!(t.perms, *perms);
-            }
-        }
     }
 }

@@ -543,6 +543,111 @@ impl fmt::Debug for MemoryController {
     }
 }
 
+impl lastcpu_snap::Snapshot for MemoryController {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u32(self.id.0);
+        self.frames.snapshot(w);
+        w.put_u64(self.next_region);
+        w.put_u64(self.next_req);
+        w.put_opt(self.config.per_device_quota.as_ref(), |w, q| w.put_u64(*q));
+        w.put_u64(self.stats.allocs);
+        w.put_u64(self.stats.frees);
+        w.put_u64(self.stats.shares);
+        w.put_u64(self.stats.denials);
+        w.put_u64(self.stats.oom);
+        w.put_u64(self.stats.bytes_in_use);
+        w.put_u64(self.stats.peak_bytes);
+        w.put_u64(self.stats.reclaimed);
+        let mut ids: Vec<_> = self.regions.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_len(ids.len());
+        for id in ids {
+            let rg = &self.regions[&id];
+            w.put_u64(rg.id);
+            w.put_u32(rg.owner.0);
+            w.put_u32(rg.pasid);
+            w.put_u64(rg.va);
+            w.put_u64(rg.pages);
+            w.put_u64(rg.first_frame);
+            w.put_u8(rg.perms);
+            w.put_len(rg.shares.len());
+            for s in &rg.shares {
+                w.put_u32(s.device.0);
+                w.put_u32(s.pasid);
+                w.put_u64(s.va);
+                w.put_u8(s.perms);
+            }
+        }
+        let mut usage: Vec<_> = self.usage.iter().map(|(d, b)| (d.0, *b)).collect();
+        usage.sort_unstable();
+        w.put_len(usage.len());
+        for (d, b) in usage {
+            w.put_u32(d);
+            w.put_u64(b);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for MemoryController {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.id = DeviceId(r.u32()?);
+        self.frames.restore(r)?;
+        self.next_region = r.u64()?;
+        self.next_req = r.u64()?;
+        self.config.per_device_quota = r.opt(|r| r.u64())?;
+        self.stats.allocs = r.u64()?;
+        self.stats.frees = r.u64()?;
+        self.stats.shares = r.u64()?;
+        self.stats.denials = r.u64()?;
+        self.stats.oom = r.u64()?;
+        self.stats.bytes_in_use = r.u64()?;
+        self.stats.peak_bytes = r.u64()?;
+        self.stats.reclaimed = r.u64()?;
+        let n = r.len()?;
+        self.regions = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let owner = DeviceId(r.u32()?);
+            let pasid = r.u32()?;
+            let va = r.u64()?;
+            let pages = r.u64()?;
+            let first_frame = r.u64()?;
+            let perms = r.u8()?;
+            let k = r.len()?;
+            let mut shares = Vec::with_capacity(k);
+            for _ in 0..k {
+                shares.push(ShareEntry {
+                    device: DeviceId(r.u32()?),
+                    pasid: r.u32()?,
+                    va: r.u64()?,
+                    perms: r.u8()?,
+                });
+            }
+            self.regions.insert(
+                id,
+                Region {
+                    id,
+                    owner,
+                    pasid,
+                    va,
+                    pages,
+                    first_frame,
+                    perms,
+                    shares,
+                },
+            );
+        }
+        let n = r.len()?;
+        self.usage = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let d = DeviceId(r.u32()?);
+            let b = r.u64()?;
+            self.usage.insert(d, b);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -201,6 +201,79 @@ impl fmt::Debug for Switch {
 }
 
 #[cfg(test)]
+mod ordering_tests {
+    use super::*;
+
+    #[test]
+    fn per_port_delivery_preserves_send_order() {
+        // Frames from one source to one destination must arrive in order,
+        // even with mixed sizes (store-and-forward serialization).
+        let mut sw = Switch::new();
+        let a = sw.add_port();
+        let b = sw.add_port();
+        let mut prev = SimTime::ZERO;
+        for i in 0..20 {
+            let len = if i % 3 == 0 { 9000 } else { 64 };
+            let t = sw.route(prev, &Frame::unicast(a, b, vec![0; len]))[0].1;
+            assert!(t > prev, "frame {i} delivered out of order");
+            prev = t;
+        }
+    }
+}
+
+impl lastcpu_snap::Snapshot for Switch {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.cost.per_byte_ps);
+        w.put_u64(self.cost.switch_latency.as_nanos());
+        w.put_u64(self.cost.propagation.as_nanos());
+        w.put_u64(self.stats.forwarded);
+        w.put_u64(self.stats.dropped);
+        w.put_u64(self.stats.bytes);
+        w.put_u32(self.next_port);
+        w.put_len(self.ports.len());
+        for p in &self.ports {
+            w.put_u32(p.0);
+        }
+        let mut busy: Vec<_> = self
+            .busy_until
+            .iter()
+            .map(|(p, t)| (p.0, t.as_nanos()))
+            .collect();
+        busy.sort_unstable();
+        w.put_len(busy.len());
+        for (p, t) in busy {
+            w.put_u32(p);
+            w.put_u64(t);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for Switch {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.cost.per_byte_ps = r.u64()?;
+        self.cost.switch_latency = SimDuration::from_nanos(r.u64()?);
+        self.cost.propagation = SimDuration::from_nanos(r.u64()?);
+        self.stats.forwarded = r.u64()?;
+        self.stats.dropped = r.u64()?;
+        self.stats.bytes = r.u64()?;
+        self.next_port = r.u32()?;
+        let n = r.len()?;
+        self.ports = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.ports.push(PortId(r.u32()?));
+        }
+        let n = r.len()?;
+        self.busy_until = DetHashMap::default();
+        for _ in 0..n {
+            let p = PortId(r.u32()?);
+            let t = SimTime::from_nanos(r.u64()?);
+            self.busy_until.insert(p, t);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -305,26 +378,5 @@ mod tests {
         sw.route(SimTime::ZERO, &frame(a, PortId::BROADCAST, 10));
         assert_eq!(sw.stats().forwarded, 2);
         assert!(sw.stats().bytes > 0);
-    }
-}
-
-#[cfg(test)]
-mod ordering_tests {
-    use super::*;
-
-    #[test]
-    fn per_port_delivery_preserves_send_order() {
-        // Frames from one source to one destination must arrive in order,
-        // even with mixed sizes (store-and-forward serialization).
-        let mut sw = Switch::new();
-        let a = sw.add_port();
-        let b = sw.add_port();
-        let mut prev = SimTime::ZERO;
-        for i in 0..20 {
-            let len = if i % 3 == 0 { 9000 } else { 64 };
-            let t = sw.route(prev, &Frame::unicast(a, b, vec![0; len]))[0].1;
-            assert!(t > prev, "frame {i} delivered out of order");
-            prev = t;
-        }
     }
 }

@@ -212,6 +212,50 @@ impl BufPool {
             .len()
     }
 
+    /// The next generation tag a take would stamp (checkpoint cursor).
+    pub fn next_generation(&self) -> u64 {
+        self.core.next_gen.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the traffic counters (sampled-measurement windows read deltas
+    /// by resetting at window boundaries). The free-list, live set, and
+    /// generation cursor are untouched, so determinism is unaffected.
+    pub fn reset_stats(&self) {
+        self.core.taken.store(0, Ordering::Relaxed);
+        self.core.recycled.store(0, Ordering::Relaxed);
+        self.core.fresh.store(0, Ordering::Relaxed);
+        self.core.returned.store(0, Ordering::Relaxed);
+        self.core.shed.store(0, Ordering::Relaxed);
+    }
+
+    /// Restores checkpointed pool state: traffic counters, the generation
+    /// cursor, and the free-list *length* (`idle` cleared buffers — contents
+    /// and capacities are not semantic: a recycled buffer is always cleared
+    /// before reuse, so only how many takes hit the free-list matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffers are still outstanding — restoring under live
+    /// handles would corrupt the generation cursor.
+    pub fn restore_state(&self, stats: PoolStats, idle: usize, next_gen: u64) {
+        if let Some(live) = &self.core.live {
+            assert!(
+                live.lock().expect("pool live set poisoned").is_empty(),
+                "BufPool::restore_state with outstanding buffers"
+            );
+        }
+        let mut free = self.core.free.lock().expect("pool free-list poisoned");
+        free.clear();
+        free.resize_with(idle.min(self.core.max_free), Vec::new);
+        drop(free);
+        self.core.taken.store(stats.taken, Ordering::Relaxed);
+        self.core.recycled.store(stats.recycled, Ordering::Relaxed);
+        self.core.fresh.store(stats.fresh, Ordering::Relaxed);
+        self.core.returned.store(stats.returned, Ordering::Relaxed);
+        self.core.shed.store(stats.shed, Ordering::Relaxed);
+        self.core.next_gen.store(next_gen, Ordering::Relaxed);
+    }
+
     /// Buffers handed out and not yet returned.
     pub fn outstanding(&self) -> u64 {
         let s = self.stats();
@@ -396,6 +440,39 @@ impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
     fn eq(&self, other: &[u8; N]) -> bool {
         self.buf.as_slice() == other as &[u8]
+    }
+}
+
+impl lastcpu_snap::Snapshot for BufPool {
+    /// Serializes counters, the free-list length, and the generation cursor.
+    /// Buffer contents are deliberately excluded: recycled buffers are
+    /// cleared on return, so only the free-list *length* shapes future
+    /// behavior (hit/miss sequence) and the E9 allocation accounting.
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        let s = self.stats();
+        w.put_u64(s.taken);
+        w.put_u64(s.recycled);
+        w.put_u64(s.fresh);
+        w.put_u64(s.returned);
+        w.put_u64(s.shed);
+        w.put_len(self.idle());
+        w.put_u64(self.next_generation());
+    }
+}
+
+impl lastcpu_snap::Restore for BufPool {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        let stats = PoolStats {
+            taken: r.u64()?,
+            recycled: r.u64()?,
+            fresh: r.u64()?,
+            returned: r.u64()?,
+            shed: r.u64()?,
+        };
+        let idle = r.len()?;
+        let next_gen = r.u64()?;
+        self.restore_state(stats, idle, next_gen);
+        Ok(())
     }
 }
 

@@ -488,6 +488,171 @@ impl<E> EventQueue<E> {
         }
         self.seq = 0;
     }
+
+    /// The FIFO tie-break cursor: the `seq` the next scheduled event gets.
+    pub fn seq_cursor(&self) -> u64 {
+        self.seq
+    }
+
+    /// Every pending entry as `(time, seq, &event)`, sorted by `(time, seq)`
+    /// — i.e. exactly the order the queue would pop them. Engine internals
+    /// (which bucket or heap an entry currently sits in) are not observable,
+    /// so a checkpoint taken from either engine encodes identically.
+    pub fn entries(&self) -> Vec<(SimTime, u64, &E)> {
+        fn collect<'a, E>(
+            out: &mut Vec<(SimTime, u64, &'a E)>,
+            it: impl Iterator<Item = &'a Entry<E>>,
+        ) {
+            out.extend(it.map(|e| (e.at, e.seq, &e.event)));
+        }
+        let mut out: Vec<(SimTime, u64, &E)> = Vec::with_capacity(self.len());
+        match &self.engine {
+            EngineImpl::Heap(h) => collect(&mut out, h.iter()),
+            EngineImpl::Wheel(w) => {
+                collect(&mut out, w.ready.iter());
+                collect(&mut out, w.slots.iter().flatten());
+                collect(&mut out, w.overflow.iter());
+            }
+        }
+        out.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+
+    /// Reinitializes the queue from checkpointed state: clock, tie-break
+    /// cursor, lifetime pop counter, and the pending entries *with their
+    /// original seq values* (so same-instant FIFO order replays exactly).
+    ///
+    /// This is the restore path's reset — [`clear`](Self::clear) alone
+    /// cannot be used because it zeroes the seq cursor and keeps the
+    /// lifetime counter, both of which must instead match the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry fires before `now` or carries a seq at or beyond
+    /// `seq` (either would mean the checkpoint is internally inconsistent).
+    pub fn reinit_from(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        popped: u64,
+        entries: impl IntoIterator<Item = (SimTime, u64, E)>,
+    ) {
+        match &mut self.engine {
+            EngineImpl::Heap(h) => h.clear(),
+            EngineImpl::Wheel(w) => w.clear(now),
+        }
+        self.now = now;
+        self.seq = seq;
+        self.popped = popped;
+        // Insert in (at, seq) order: the wheel's sorted-ready merge relies
+        // on same-instant entries arriving in ascending seq order.
+        let mut entries: Vec<(SimTime, u64, E)> = entries.into_iter().collect();
+        entries.sort_unstable_by_key(|&(at, s, _)| (at, s));
+        for (at, entry_seq, event) in entries {
+            assert!(
+                at >= now,
+                "reinit_from: entry at {at:?} is before the restored clock {now:?}"
+            );
+            assert!(
+                entry_seq < seq,
+                "reinit_from: entry seq {entry_seq} is at/beyond the cursor {seq}"
+            );
+            let entry = Entry {
+                at,
+                seq: entry_seq,
+                event,
+            };
+            match &mut self.engine {
+                EngineImpl::Heap(h) => h.push(entry),
+                EngineImpl::Wheel(w) => w.schedule(entry),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod difftest {
+    use super::*;
+
+    /// Differential check: both engines produce identical pop sequences on a
+    /// deterministic pseudo-random schedule mixing same-instant bursts,
+    /// near-future and far-future (beyond-horizon) events, interleaved with
+    /// pops and deadline-limited pops.
+    pub fn differential_run(seed: u64, ops: usize) {
+        use crate::rng::DetRng;
+        let mut rng = DetRng::new(seed);
+        let mut wheel: EventQueue<u64> = EventQueue::with_engine(QueueEngine::Wheel);
+        let mut heap: EventQueue<u64> = EventQueue::with_engine(QueueEngine::Heap);
+        let mut next_id = 0u64;
+        for _ in 0..ops {
+            match rng.below(10) {
+                // Schedule a burst (possibly same-instant FIFO).
+                0..=4 => {
+                    let base = wheel.now();
+                    let delay = match rng.below(4) {
+                        0 => 0,                  // same instant
+                        1 => rng.below(1 << 10), // near: inside one slot region
+                        2 => rng.below(1 << 18), // mid: within the horizon
+                        _ => rng.below(1 << 24), // far: mostly beyond the horizon
+                    };
+                    let at = base + SimDuration::from_nanos(delay);
+                    let burst = 1 + rng.below(8);
+                    for _ in 0..burst {
+                        wheel.schedule_at(at, next_id);
+                        heap.schedule_at(at, next_id);
+                        next_id += 1;
+                    }
+                }
+                // Pop a few.
+                5..=7 => {
+                    for _ in 0..=rng.below(6) {
+                        let a = wheel.pop();
+                        let b = heap.pop();
+                        assert_eq!(a, b, "pop diverged (seed {seed:#x})");
+                    }
+                }
+                // Deadline-limited pop.
+                8 => {
+                    let d = wheel.now() + SimDuration::from_nanos(rng.below(1 << 20));
+                    let a = wheel.pop_until(d);
+                    let b = heap.pop_until(d);
+                    assert_eq!(a, b, "pop_until diverged (seed {seed:#x})");
+                }
+                // Peek (exercises the wheel cursor without consuming).
+                _ => {
+                    assert_eq!(wheel.peek_time(), heap.peek_time());
+                }
+            }
+            assert_eq!(wheel.now(), heap.now());
+            assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain: remaining sequences must match exactly.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "drain diverged (seed {seed:#x})");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.events_processed(), heap.events_processed());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::difftest::differential_run;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Property: for any random schedule (same-instant bursts, near- and
+        /// far-future mixes included), the wheel and the reference heap pop
+        /// bit-identical sequences.
+        #[test]
+        fn prop_wheel_matches_heap(seed in any::<u64>()) {
+            differential_run(seed, 200);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -680,91 +845,6 @@ mod tests {
     fn differential_wheel_vs_heap_fixed_seeds() {
         for seed in [0xC0FFEE, 1, 2, 3, 0xE9, 0xDEAD_BEEF, 42, 1984] {
             differential_run(seed, 400);
-        }
-    }
-}
-
-#[cfg(test)]
-mod difftest {
-    use super::*;
-
-    /// Differential check: both engines produce identical pop sequences on a
-    /// deterministic pseudo-random schedule mixing same-instant bursts,
-    /// near-future and far-future (beyond-horizon) events, interleaved with
-    /// pops and deadline-limited pops.
-    pub fn differential_run(seed: u64, ops: usize) {
-        use crate::rng::DetRng;
-        let mut rng = DetRng::new(seed);
-        let mut wheel: EventQueue<u64> = EventQueue::with_engine(QueueEngine::Wheel);
-        let mut heap: EventQueue<u64> = EventQueue::with_engine(QueueEngine::Heap);
-        let mut next_id = 0u64;
-        for _ in 0..ops {
-            match rng.below(10) {
-                // Schedule a burst (possibly same-instant FIFO).
-                0..=4 => {
-                    let base = wheel.now();
-                    let delay = match rng.below(4) {
-                        0 => 0,                  // same instant
-                        1 => rng.below(1 << 10), // near: inside one slot region
-                        2 => rng.below(1 << 18), // mid: within the horizon
-                        _ => rng.below(1 << 24), // far: mostly beyond the horizon
-                    };
-                    let at = base + SimDuration::from_nanos(delay);
-                    let burst = 1 + rng.below(8);
-                    for _ in 0..burst {
-                        wheel.schedule_at(at, next_id);
-                        heap.schedule_at(at, next_id);
-                        next_id += 1;
-                    }
-                }
-                // Pop a few.
-                5..=7 => {
-                    for _ in 0..=rng.below(6) {
-                        let a = wheel.pop();
-                        let b = heap.pop();
-                        assert_eq!(a, b, "pop diverged (seed {seed:#x})");
-                    }
-                }
-                // Deadline-limited pop.
-                8 => {
-                    let d = wheel.now() + SimDuration::from_nanos(rng.below(1 << 20));
-                    let a = wheel.pop_until(d);
-                    let b = heap.pop_until(d);
-                    assert_eq!(a, b, "pop_until diverged (seed {seed:#x})");
-                }
-                // Peek (exercises the wheel cursor without consuming).
-                _ => {
-                    assert_eq!(wheel.peek_time(), heap.peek_time());
-                }
-            }
-            assert_eq!(wheel.now(), heap.now());
-            assert_eq!(wheel.len(), heap.len());
-        }
-        // Drain: remaining sequences must match exactly.
-        loop {
-            let a = wheel.pop();
-            let b = heap.pop();
-            assert_eq!(a, b, "drain diverged (seed {seed:#x})");
-            if a.is_none() {
-                break;
-            }
-        }
-        assert_eq!(wheel.events_processed(), heap.events_processed());
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::difftest::differential_run;
-    use proptest::prelude::*;
-
-    proptest! {
-        /// Property: for any random schedule (same-instant bursts, near- and
-        /// far-future mixes included), the wheel and the reference heap pop
-        /// bit-identical sequences.
-        #[test]
-        fn prop_wheel_matches_heap(seed in any::<u64>()) {
-            differential_run(seed, 200);
         }
     }
 }

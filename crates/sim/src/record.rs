@@ -213,6 +213,194 @@ impl TraceData {
     }
 }
 
+impl TraceData {
+    /// Stable wire encoding for checkpoints (variant tag + fields, LE).
+    pub fn encode(&self, w: &mut lastcpu_snap::SnapWriter) {
+        match self {
+            TraceData::BusSend { what, dst } => {
+                w.put_u8(0);
+                w.put_str(what);
+                w.put_str(dst);
+            }
+            TraceData::Discovery { pattern, dst } => {
+                w.put_u8(1);
+                w.put_str(pattern);
+                w.put_str(dst);
+            }
+            TraceData::Deliver { to, kind } => {
+                w.put_u8(2);
+                w.put_str(to);
+                w.put_str(kind);
+            }
+            TraceData::BusRegister { device } => {
+                w.put_u8(3);
+                w.put_str(device);
+            }
+            TraceData::IommuMap {
+                device,
+                pasid,
+                va,
+                pa,
+                pages,
+                perms,
+            } => {
+                w.put_u8(4);
+                w.put_str(device);
+                w.put_u32(*pasid);
+                w.put_u64(*va);
+                w.put_u64(*pa);
+                w.put_u64(*pages);
+                w.put_str(perms);
+            }
+            TraceData::IommuUnmap {
+                device,
+                pasid,
+                va,
+                pages,
+            } => {
+                w.put_u8(5);
+                w.put_str(device);
+                w.put_u32(*pasid);
+                w.put_u64(*va);
+                w.put_u64(*pages);
+            }
+            TraceData::MapFailure { error } => {
+                w.put_u8(6);
+                w.put_str(error);
+            }
+            TraceData::DmaGrant {
+                to,
+                pages,
+                writable,
+            } => {
+                w.put_u8(7);
+                w.put_str(to);
+                w.put_u64(*pages);
+                w.put_bool(*writable);
+            }
+            TraceData::QueueDoorbell { to, value } => {
+                w.put_u8(8);
+                w.put_str(to);
+                w.put_u64(*value);
+            }
+            TraceData::DeviceFault { device, detail } => {
+                w.put_u8(9);
+                w.put_str(device);
+                w.put_str(detail);
+            }
+            TraceData::SecurityDenial {
+                device,
+                check,
+                detail,
+            } => {
+                w.put_u8(10);
+                w.put_str(device);
+                w.put_str(check);
+                w.put_str(detail);
+            }
+            TraceData::Stage { stage, id, aux } => {
+                w.put_u8(11);
+                w.put_str(stage);
+                w.put_u64(*id);
+                w.put_u64(*aux);
+            }
+            TraceData::LinkHop {
+                src_machine,
+                dst_machine,
+                bytes,
+                uplink_ns,
+                spine_ns,
+                downlink_ns,
+            } => {
+                w.put_u8(12);
+                w.put_u64(*src_machine as u64);
+                w.put_u64(*dst_machine as u64);
+                w.put_u64(*bytes);
+                w.put_u64(*uplink_ns);
+                w.put_u64(*spine_ns);
+                w.put_u64(*downlink_ns);
+            }
+            TraceData::Text(s) => {
+                w.put_u8(13);
+                w.put_str(s);
+            }
+        }
+    }
+
+    /// Inverse of [`TraceData::encode`]. `&'static str` fields come back
+    /// through the process-wide intern table.
+    pub fn decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<TraceData> {
+        Ok(match r.u8()? {
+            0 => TraceData::BusSend {
+                what: r.str()?,
+                dst: r.str()?,
+            },
+            1 => TraceData::Discovery {
+                pattern: r.str()?,
+                dst: r.str()?,
+            },
+            2 => TraceData::Deliver {
+                to: r.str()?,
+                kind: lastcpu_snap::intern_static(&r.str()?),
+            },
+            3 => TraceData::BusRegister { device: r.str()? },
+            4 => TraceData::IommuMap {
+                device: r.str()?,
+                pasid: r.u32()?,
+                va: r.u64()?,
+                pa: r.u64()?,
+                pages: r.u64()?,
+                perms: r.str()?,
+            },
+            5 => TraceData::IommuUnmap {
+                device: r.str()?,
+                pasid: r.u32()?,
+                va: r.u64()?,
+                pages: r.u64()?,
+            },
+            6 => TraceData::MapFailure { error: r.str()? },
+            7 => TraceData::DmaGrant {
+                to: r.str()?,
+                pages: r.u64()?,
+                writable: r.bool()?,
+            },
+            8 => TraceData::QueueDoorbell {
+                to: r.str()?,
+                value: r.u64()?,
+            },
+            9 => TraceData::DeviceFault {
+                device: r.str()?,
+                detail: r.str()?,
+            },
+            10 => TraceData::SecurityDenial {
+                device: r.str()?,
+                check: r.str()?,
+                detail: r.str()?,
+            },
+            11 => TraceData::Stage {
+                stage: lastcpu_snap::intern_static(&r.str()?),
+                id: r.u64()?,
+                aux: r.u64()?,
+            },
+            12 => TraceData::LinkHop {
+                src_machine: r.u64()? as usize,
+                dst_machine: r.u64()? as usize,
+                bytes: r.u64()?,
+                uplink_ns: r.u64()?,
+                spine_ns: r.u64()?,
+                downlink_ns: r.u64()?,
+            },
+            13 => TraceData::Text(r.str()?),
+            tag => {
+                return Err(lastcpu_snap::SnapError::Corrupt {
+                    section: "trace".into(),
+                    detail: format!("unknown TraceData tag {tag}"),
+                })
+            }
+        })
+    }
+}
+
 /// One trace record: when, who, which activity, and what.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
@@ -230,6 +418,24 @@ impl TraceRecord {
     /// Human-readable description (the legacy string form).
     pub fn what(&self) -> String {
         self.data.to_string()
+    }
+
+    /// Stable wire encoding for checkpoints.
+    pub fn encode(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.at.as_nanos());
+        w.put_str(&self.source);
+        w.put_u64(self.corr.0);
+        self.data.encode(w);
+    }
+
+    /// Inverse of [`TraceRecord::encode`].
+    pub fn decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<TraceRecord> {
+        Ok(TraceRecord {
+            at: SimTime::from_nanos(r.u64()?),
+            source: r.str()?,
+            corr: CorrId(r.u64()?),
+            data: TraceData::decode(r)?,
+        })
     }
 }
 

@@ -250,6 +250,48 @@ impl fmt::Debug for Histogram {
     }
 }
 
+impl lastcpu_snap::Snapshot for Histogram {
+    /// Serializes the envelope plus only the non-zero buckets (bucket
+    /// layout is a compile-time constant, so sparse pairs are stable).
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.count);
+        w.put_u128(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+        let nonzero = self.buckets.iter().filter(|&&c| c != 0).count();
+        w.put_len(nonzero);
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                w.put_u32(idx as u32);
+                w.put_u32(c);
+            }
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for Histogram {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.reset();
+        self.count = r.u64()?;
+        self.sum = r.u128()?;
+        self.min = r.u64()?;
+        self.max = r.u64()?;
+        let n = r.len()?;
+        for _ in 0..n {
+            let idx = r.u32()? as usize;
+            let c = r.u32()?;
+            if idx >= BUCKETS {
+                return Err(lastcpu_snap::SnapError::Corrupt {
+                    section: "histogram".into(),
+                    detail: format!("bucket index {idx} out of range"),
+                });
+            }
+            self.buckets[idx] = c;
+        }
+        Ok(())
+    }
+}
+
 /// A named registry of counters and histograms.
 ///
 /// Devices and subsystems record into the registry by string key; the bench
@@ -309,6 +351,72 @@ impl StatsRegistry {
     pub fn reset(&mut self) {
         self.counters.clear();
         self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Histogram invariants over arbitrary samples: ordering of
+        /// percentiles, envelope exactness, and bounded relative error
+        /// against an exact quantile.
+        #[test]
+        fn prop_histogram_quantile_bounds(mut samples in proptest::collection::vec(1u64..1_000_000_000, 1..300)) {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record_value(s);
+            }
+            samples.sort_unstable();
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            prop_assert_eq!(h.min().as_nanos(), samples[0]);
+            prop_assert_eq!(h.max().as_nanos(), *samples.last().unwrap());
+            let p50 = h.percentile(50.0).as_nanos();
+            let p99 = h.percentile(99.0).as_nanos();
+            let p100 = h.percentile(100.0).as_nanos();
+            prop_assert!(p50 <= p99 && p99 <= p100);
+            prop_assert_eq!(p100, *samples.last().unwrap());
+            // p50 within ~15% of the exact median (9% bucket error plus
+            // rank rounding on small sample counts).
+            let exact = samples[(samples.len() - 1) / 2] as f64;
+            let err = (p50 as f64 - exact).abs() / exact;
+            prop_assert!(err < 0.16, "p50={p50} exact={exact} err={err}");
+            // Mean inside the envelope.
+            let mean = h.mean().as_nanos();
+            prop_assert!(mean >= samples[0] && mean <= *samples.last().unwrap());
+        }
+
+        /// Bucket-boundary audit: at every percentile the histogram's
+        /// interpolated answer stays within one log-bucket width of the
+        /// exact sorted-sample percentile (same nearest-rank definition the
+        /// histogram uses).
+        #[test]
+        fn prop_percentile_within_one_bucket_of_exact(
+            mut samples in proptest::collection::vec(1u64..1_000_000_000, 1..400),
+            pct_tenths in 0u32..=1000,
+        ) {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record_value(s);
+            }
+            samples.sort_unstable();
+            let p = pct_tenths as f64 / 10.0;
+            let got = h.percentile(p).as_nanos();
+            let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+            let exact = samples[rank.min(samples.len()) - 1];
+            // One bucket width at `exact`: ≤ exact/8 once sub-bucketing is
+            // active (values ≥ 8); below that the layout is coarser (the
+            // [4, 8) range is one bucket), hence the +4 floor.
+            let width = exact / 8 + 4;
+            let lo = exact.saturating_sub(width);
+            let hi = exact.saturating_add(width);
+            prop_assert!(
+                (lo..=hi).contains(&got),
+                "p={p} got={got} exact={exact} width={width}"
+            );
+        }
     }
 }
 
@@ -540,71 +648,5 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), SimDuration::ZERO);
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    proptest! {
-        /// Histogram invariants over arbitrary samples: ordering of
-        /// percentiles, envelope exactness, and bounded relative error
-        /// against an exact quantile.
-        #[test]
-        fn prop_histogram_quantile_bounds(mut samples in proptest::collection::vec(1u64..1_000_000_000, 1..300)) {
-            let mut h = Histogram::new();
-            for &s in &samples {
-                h.record_value(s);
-            }
-            samples.sort_unstable();
-            prop_assert_eq!(h.count(), samples.len() as u64);
-            prop_assert_eq!(h.min().as_nanos(), samples[0]);
-            prop_assert_eq!(h.max().as_nanos(), *samples.last().unwrap());
-            let p50 = h.percentile(50.0).as_nanos();
-            let p99 = h.percentile(99.0).as_nanos();
-            let p100 = h.percentile(100.0).as_nanos();
-            prop_assert!(p50 <= p99 && p99 <= p100);
-            prop_assert_eq!(p100, *samples.last().unwrap());
-            // p50 within ~15% of the exact median (9% bucket error plus
-            // rank rounding on small sample counts).
-            let exact = samples[(samples.len() - 1) / 2] as f64;
-            let err = (p50 as f64 - exact).abs() / exact;
-            prop_assert!(err < 0.16, "p50={p50} exact={exact} err={err}");
-            // Mean inside the envelope.
-            let mean = h.mean().as_nanos();
-            prop_assert!(mean >= samples[0] && mean <= *samples.last().unwrap());
-        }
-
-        /// Bucket-boundary audit: at every percentile the histogram's
-        /// interpolated answer stays within one log-bucket width of the
-        /// exact sorted-sample percentile (same nearest-rank definition the
-        /// histogram uses).
-        #[test]
-        fn prop_percentile_within_one_bucket_of_exact(
-            mut samples in proptest::collection::vec(1u64..1_000_000_000, 1..400),
-            pct_tenths in 0u32..=1000,
-        ) {
-            let mut h = Histogram::new();
-            for &s in &samples {
-                h.record_value(s);
-            }
-            samples.sort_unstable();
-            let p = pct_tenths as f64 / 10.0;
-            let got = h.percentile(p).as_nanos();
-            let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
-            let exact = samples[rank.min(samples.len()) - 1];
-            // One bucket width at `exact`: ≤ exact/8 once sub-bucketing is
-            // active (values ≥ 8); below that the layout is coarser (the
-            // [4, 8) range is one bucket), hence the +4 floor.
-            let width = exact / 8 + 4;
-            let lo = exact.saturating_sub(width);
-            let hi = exact.saturating_add(width);
-            prop_assert!(
-                (lo..=hi).contains(&got),
-                "p={p} got={got} exact={exact} width={width}"
-            );
-        }
     }
 }

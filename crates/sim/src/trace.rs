@@ -170,6 +170,44 @@ impl TraceSink {
     }
 }
 
+impl lastcpu_snap::Snapshot for TraceSink {
+    /// Serializes the full sink: configuration, lifetime counter, and every
+    /// retained record (typed payloads included, so a restored sink renders
+    /// byte-identical trace output).
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_len(self.capacity);
+        w.put_bool(self.enabled);
+        w.put_u64(self.emitted);
+        w.put_len(self.ring.len());
+        for rec in &self.ring {
+            rec.encode(w);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for TraceSink {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        let capacity = r.len()?;
+        let enabled = r.bool()?;
+        let emitted = r.u64()?;
+        let n = r.len()?;
+        if n > capacity {
+            return Err(lastcpu_snap::SnapError::Corrupt {
+                section: "trace".into(),
+                detail: format!("{n} retained records exceed capacity {capacity}"),
+            });
+        }
+        self.ring.clear();
+        self.set_capacity(capacity);
+        self.enabled = enabled;
+        self.emitted = emitted;
+        for _ in 0..n {
+            self.ring.push_back(TraceRecord::decode(r)?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

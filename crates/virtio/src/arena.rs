@@ -80,6 +80,39 @@ impl BufferArena {
     }
 }
 
+impl lastcpu_snap::Snapshot for BufferArena {
+    fn snapshot(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u64(self.base);
+        w.put_u64(self.slot_size);
+        w.put_u16(self.total);
+        w.put_len(self.free.len());
+        for &s in &self.free {
+            w.put_u16(s);
+        }
+    }
+}
+
+impl lastcpu_snap::Restore for BufferArena {
+    fn restore(&mut self, r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<()> {
+        self.base = r.u64()?;
+        self.slot_size = r.u64()?;
+        self.total = r.u16()?;
+        let n = r.len()?;
+        if n > self.total as usize {
+            return Err(r.corrupt("more free slots than arena total"));
+        }
+        self.free = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = r.u16()?;
+            if s >= self.total {
+                return Err(r.corrupt(format!("free slot {s} out of range")));
+            }
+            self.free.push(s);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

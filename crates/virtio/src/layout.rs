@@ -113,6 +113,26 @@ impl QueueLayout {
     }
 }
 
+impl QueueLayout {
+    /// Serializes into a snapshot section.
+    pub fn encode(&self, w: &mut lastcpu_snap::SnapWriter) {
+        w.put_u16(self.size);
+        w.put_u64(self.desc);
+        w.put_u64(self.avail);
+        w.put_u64(self.used);
+    }
+
+    /// Inverse of [`QueueLayout::encode`].
+    pub fn decode(r: &mut lastcpu_snap::SnapReader<'_>) -> lastcpu_snap::Result<Self> {
+        Ok(QueueLayout {
+            size: r.u16()?,
+            desc: r.u64()?,
+            avail: r.u64()?,
+            used: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

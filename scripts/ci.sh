@@ -45,6 +45,15 @@
 #                        pair; plus an e10 run at --threads 4 whose
 #                        scaling/crash sections must equal the
 #                        single-threaded run's cell for cell
+#  13. checkpoint smoke  e14_checkpoint --no-wall (reduced matrix): the
+#                        binary hard-asserts that every restored rack
+#                        continues byte-identically to its uninterrupted
+#                        twin (no-fault and crash arms, 1 and 4 threads),
+#                        that digests agree across thread counts, and that
+#                        a checkpoint restored in a *fresh OS process*
+#                        finishes with lost_acked_keys == 0 at R=2; a
+#                        same-flag double run is byte-identical and
+#                        bench_diff compares the pair
 #
 # Set CI_CRITERION=1 to additionally run the criterion host-time benches
 # (opt-in: they are measurements, not pass/fail gates, and take minutes).
@@ -387,6 +396,47 @@ print(f"    {n} cells identical between --threads 1 and --threads 4")
 PY
 else
     echo "    python3 unavailable, thread-identity check skipped"
+fi
+
+echo "==> checkpoint smoke test (e14_checkpoint --no-wall, double run)"
+# Reduced matrix: one seed, 4 machines at R=2, 100 ops/client. The binary
+# itself hard-asserts restore byte-identity per cell, cross-thread digest
+# identity, and the cross-process restart audit (fresh process restores
+# the crash-arm checkpoint and loses zero acked writes). CI adds the
+# double-run byte-identity and a bench_diff pass over the pair.
+e14_flags=(--seeds 3604 --machines 4 --ops 100 --keys 60 --no-wall)
+cargo run --offline --release -q -p lastcpu-bench --bin e14_checkpoint -- \
+    "${e14_flags[@]}" --out "$tmp/BENCH_e14_a.json" >/dev/null
+cargo run --offline --release -q -p lastcpu-bench --bin e14_checkpoint -- \
+    "${e14_flags[@]}" --out "$tmp/BENCH_e14_b.json" >/dev/null
+cmp -s "$tmp/BENCH_e14_a.json" "$tmp/BENCH_e14_b.json" || {
+    echo "FAIL: same-flag BENCH_e14.json runs differ"; exit 1;
+}
+cargo run --offline --release -q -p lastcpu-bench --bin bench_diff -- \
+    "$tmp/BENCH_e14_a.json" "$tmp/BENCH_e14_b.json" | tail -1
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e14_a.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "e14" and d["schema_version"] == 1, d.keys()
+cells = d["cells"]
+assert cells, "no cells"
+for c in cells:
+    assert c["ckpt_bytes"] > 0 and c["ckpt_sections"] > 0, c
+    assert c["restore_replay_events"] == c["ckpt_events"], c
+    if c["crash"]:
+        assert c["lost_acked_keys"] == 0, f"crash cell lost acked writes: {c}"
+by_key = {}
+for c in cells:
+    by_key.setdefault((c["seed"], c["crash"]), set()).add(c["digest"])
+for k, digests in by_key.items():
+    assert len(digests) == 1, f"thread counts diverged for {k}: {digests}"
+assert d["cross_process_audit"]["ok"] is True, d["cross_process_audit"]
+kib = cells[0]["ckpt_bytes"] / 1024
+print(f"    byte-identical double run; {len(cells)} cells restored "
+      f"byte-identically ({kib:.0f} KiB checkpoints); fresh-process "
+      f"restart audit passed with 0 lost acked writes")
+PY
 fi
 
 if [ "${CI_CRITERION:-0}" = "1" ]; then
