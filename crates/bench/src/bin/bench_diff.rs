@@ -218,8 +218,9 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
     };
     // Schema v1 predates the retry-policy ablation; its cells are what the
     // v2 schema calls the "static" arm. Pre-v3 cells predate the parallel
-    // fabric and always ran single-threaded.
-    let key = |c: &Json| -> Option<(u64, u64, String, u64)> {
+    // fabric and always ran single-threaded. Pre-v4 cells predate the
+    // topology matrix and always ran the flat single-spine fabric.
+    let key = |c: &Json| -> Option<(u64, u64, String, u64, String, u64)> {
         Some((
             c.get("machines")?.as_f64()? as u64,
             c.get("replication")?.as_f64()? as u64,
@@ -228,6 +229,11 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
                 .unwrap_or("static")
                 .to_string(),
             c.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64,
+            c.get("topology")
+                .and_then(Json::as_str)
+                .unwrap_or("flat")
+                .to_string(),
+            c.get("oversub").and_then(Json::as_f64).unwrap_or(1.0) as u64,
         ))
     };
     let cand_cells = cells(cand, "scaling");
@@ -237,7 +243,7 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
             println!("  cell {k:?}: absent in candidate, skipped");
             continue;
         };
-        let what = format!("m{}r{}[{}]t{}", k.0, k.1, k.2, k.3);
+        let what = format!("m{}r{}[{}]t{}.{}x{}", k.0, k.1, k.2, k.3, k.4, k.5);
         d.throughput(
             &what,
             num(&b, "agg_ops_per_sec")?,
@@ -256,7 +262,10 @@ fn diff_e10(d: &mut Diff, base: &Json, cand: &Json) -> Result<(), String> {
         let Some(k) = key(&c) else { continue };
         if k.1 >= 2 {
             d.must_be_zero(
-                &format!("crash.m{}r{}[{}]t{}.lost_acked_keys", k.0, k.1, k.2, k.3),
+                &format!(
+                    "crash.m{}r{}[{}]t{}.{}x{}.lost_acked_keys",
+                    k.0, k.1, k.2, k.3, k.4, k.5
+                ),
                 num(&c, "lost_acked_keys")?,
             );
         }

@@ -7,37 +7,45 @@
 //! that composition:
 //!
 //! - **Scale-out** — aggregate throughput and end-to-end p50/p99 as the rack
-//!   grows 1 → 8 machines (one closed-loop client per machine, aimed at its
-//!   local shard router; keys shard over every smart-NIC frontend in the
-//!   rack, so ~(M−1)/M of requests cross the modeled inter-machine links).
-//! - **Replication** — the same sweep at R = 1/2/3: each PUT is acknowledged
-//!   only when every replica acked, so R buys crash-durability with link
-//!   and latency cost that this phase prices.
-//! - **Fail-over** — a whole-machine crash mid-run. The fabric's next
+//!   grows 8 → 128 machines (one closed-loop client per machine, aimed at
+//!   its local shard router; keys shard over every smart-NIC frontend in
+//!   the rack, so ~(M−1)/M of requests cross the modeled inter-machine
+//!   links).
+//! - **Topology** — the same sweep over real wiring graphs: `flat` (the
+//!   historical single spine), `leaf-spine`, and a k-ary `fat-tree`, each
+//!   at oversubscription ratios from `--oversub`. Every cell reports
+//!   per-link utilization (max/mean and the hottest link by busy time), so
+//!   congestion is attributable to actual wires. See docs/TOPOLOGY.md.
+//! - **Replication** — each PUT is acknowledged only when every replica
+//!   acked, so R buys crash-durability with link and latency cost that
+//!   this phase prices (`--replication`; default R = 2).
+//! - **Fail-over at every cell** — a whole-machine crash mid-run, per
+//!   (topology, oversubscription, machine-count) cell. The fabric's next
 //!   directory sweep withdraws the dead machine's endpoints; routers
 //!   re-shard and re-dispatch in-flight work. The run audits the paper's
 //!   promise: with R ≥ 2 **no acknowledged write is lost** (the replicated
-//!   copy survives on a live machine), while the R = 1 control loses the
+//!   copy survives on a live machine), while an R = 1 control loses the
 //!   victim's shard.
-//! - **Retry-policy ablation** — the whole matrix repeats per router
-//!   [`RetryPolicy`] arm (`static`, `adaptive`, `p2c`, `adaptive+p2c`),
-//!   isolating how much of the R = 3 tail is the static-timeout retry
-//!   storm versus fabric serialization (`--policies` narrows the sweep).
+//! - **Retry-policy ablation** — `--policies` repeats the matrix per router
+//!   [`RetryPolicy`] arm (`static`, `adaptive`, `p2c`, `adaptive+p2c`);
+//!   the default is the shipping `adaptive+p2c` arm (the full ablation is
+//!   recorded in EXPERIMENTS.md E10).
 //!
 //! Everything is virtual-time; two same-flag runs produce byte-identical
-//! JSON (`scripts/ci.sh` double-runs the smoke configuration and diffs).
-//! `--threads N` steps the rack on N fabric worker threads — the windowed
-//! scheduler makes the results bit-identical to `--threads 1`, so CI also
-//! diffs a 1-vs-4-thread pair; only wall-clock time may change.
+//! JSON (`scripts/ci.sh` double-runs the smoke configuration and diffs,
+//! including a 16-machine leaf-spine arm). `--threads N` steps the rack on
+//! N fabric worker threads — the windowed scheduler makes the results
+//! bit-identical to `--threads 1`, so CI also diffs a 1-vs-4-thread pair;
+//! only wall-clock time may change.
 //!
-//! Writes `BENCH_e10.json` (override with `--out`); schema in
+//! Writes `BENCH_e10.json` (override with `--out`); schema v4 in
 //! `EXPERIMENTS.md`. `--trace-out` dumps the *merged* rack trace of the last
 //! run (sources prefixed `m{i}/`, correlation ids rack-unique, so Perfetto
 //! draws cross-machine spans); `--metrics-out` dumps the fabric metrics hub.
 
 use lastcpu_bench::Table;
 use lastcpu_core::SystemConfig;
-use lastcpu_fabric::FabricConfig;
+use lastcpu_fabric::{FabricConfig, TopoKind, TopologyConfig};
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
 use lastcpu_kvs::{build_rack_kvs_with_policy, RackSetup, RetryPolicy};
 use lastcpu_net::PortId;
@@ -47,6 +55,8 @@ struct Args {
     machines: Vec<usize>,
     replication: Vec<usize>,
     policies: Vec<RetryPolicy>,
+    topologies: Vec<TopoKind>,
+    oversub: Vec<u64>,
     ops: u64,
     keys: u64,
     value_size: usize,
@@ -74,9 +84,15 @@ fn parse_list(s: &str, flag: &str) -> Vec<usize> {
 impl Args {
     fn parse() -> Args {
         let mut a = Args {
-            machines: vec![1, 2, 4, 8],
-            replication: vec![1, 2, 3],
-            policies: RetryPolicy::ALL.to_vec(),
+            machines: vec![8, 16, 32, 64, 128],
+            replication: vec![2],
+            policies: vec![RetryPolicy::parse("adaptive+p2c").expect("default policy")],
+            topologies: vec![
+                TopoKind::Flat,
+                TopoKind::parse("leaf-spine").expect("default leaf-spine"),
+                TopoKind::parse("fat-tree").expect("default fat-tree"),
+            ],
+            oversub: vec![1, 4],
             ops: 400,
             keys: 200,
             value_size: 128,
@@ -105,6 +121,22 @@ impl Args {
                         })
                         .collect();
                 }
+                "--topologies" => {
+                    a.topologies = val()
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(|p| {
+                            TopoKind::parse(p.trim())
+                                .unwrap_or_else(|e| panic!("bad --topologies arm: {e}"))
+                        })
+                        .collect();
+                }
+                "--oversub" => {
+                    a.oversub = parse_list(&val(), "--oversub")
+                        .into_iter()
+                        .map(|o| o.max(1) as u64)
+                        .collect();
+                }
                 "--ops" => a.ops = val().parse().expect("--ops"),
                 "--keys" => a.keys = val().parse().expect("--keys"),
                 "--value-size" => a.value_size = val().parse().expect("--value-size"),
@@ -121,8 +153,31 @@ impl Args {
         }
         a.machines.retain(|&m| m >= 1);
         a.replication.retain(|&r| r >= 1);
-        assert!(!a.machines.is_empty() && !a.replication.is_empty() && !a.policies.is_empty());
+        assert!(
+            !a.machines.is_empty()
+                && !a.replication.is_empty()
+                && !a.policies.is_empty()
+                && !a.topologies.is_empty()
+                && !a.oversub.is_empty()
+        );
         a
+    }
+
+    /// The (topology, oversub) cells of the matrix. A flat fabric has no
+    /// oversubscription knob (one implicit infinite spine), so it runs
+    /// once regardless of `--oversub`.
+    fn topo_cells(&self) -> Vec<(TopoKind, u64)> {
+        let mut cells = Vec::new();
+        for &kind in &self.topologies {
+            if matches!(kind, TopoKind::Flat) {
+                cells.push((kind, 1));
+            } else {
+                for &o in &self.oversub {
+                    cells.push((kind, o));
+                }
+            }
+        }
+        cells
     }
 }
 
@@ -133,16 +188,23 @@ struct Bench {
 }
 
 impl Bench {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         args: &Args,
         machines: usize,
         replication: usize,
         policy: RetryPolicy,
+        topology: TopoKind,
+        oversub: u64,
         read_fraction: f64,
     ) -> Bench {
         let mut setup = build_rack_kvs_with_policy(
             FabricConfig {
                 threads: args.threads,
+                topology: TopologyConfig {
+                    kind: topology,
+                    oversub,
+                },
                 ..FabricConfig::default()
             },
             machines,
@@ -262,6 +324,31 @@ impl Bench {
             .filter_map(|i| self.client(i).throughput())
             .sum()
     }
+
+    /// Per-link utilization over the whole run (`busy_ns / elapsed_ns`):
+    /// `(total links, used links, max, mean over used, hottest link name)`.
+    fn link_utilization(&self) -> (usize, usize, f64, f64, String) {
+        let topo = self.setup.fabric.topology();
+        let elapsed = self.setup.fabric.now().as_nanos();
+        if elapsed == 0 {
+            return (topo.num_links(), 0, 0.0, 0.0, String::new());
+        }
+        let (mut used, mut max, mut sum, mut hot) = (0usize, 0.0f64, 0.0f64, String::new());
+        for l in topo.links() {
+            if l.frames == 0 {
+                continue;
+            }
+            used += 1;
+            let util = l.busy_ns as f64 / elapsed as f64;
+            sum += util;
+            if util > max {
+                max = util;
+                hot = l.name.to_string();
+            }
+        }
+        let mean = if used > 0 { sum / used as f64 } else { 0.0 };
+        (topo.num_links(), used, max, mean, hot)
+    }
 }
 
 /// One scale-out cell.
@@ -269,6 +356,8 @@ struct ScaleCell {
     machines: usize,
     replication: usize,
     policy: RetryPolicy,
+    topology: TopoKind,
+    oversub: u64,
     threads: usize,
     done: bool,
     ops: u64,
@@ -279,6 +368,11 @@ struct ScaleCell {
     frames_forwarded: u64,
     failovers: u64,
     give_ups: u64,
+    links: usize,
+    links_used: usize,
+    max_link_util: f64,
+    mean_link_util: f64,
+    hot_link: String,
 }
 
 impl ScaleCell {
@@ -286,14 +380,20 @@ impl ScaleCell {
         format!(
             concat!(
                 "{{\"machines\": {}, \"replication\": {}, \"policy\": \"{}\", ",
+                "\"topology\": \"{}\", \"oversub\": {}, ",
                 "\"threads\": {}, \"done\": {}, \"ops\": {}, ",
                 "\"agg_ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, ",
                 "\"fabric_bytes\": {}, \"frames_forwarded\": {}, ",
-                "\"failovers\": {}, \"give_ups\": {}}}"
+                "\"failovers\": {}, \"give_ups\": {}, ",
+                "\"links\": {}, \"links_used\": {}, ",
+                "\"max_link_util\": {:.6}, \"mean_link_util\": {:.6}, ",
+                "\"hot_link\": \"{}\"}}"
             ),
             self.machines,
             self.replication,
             self.policy,
+            self.topology,
+            self.oversub,
             self.threads,
             self.done,
             self.ops,
@@ -304,6 +404,11 @@ impl ScaleCell {
             self.frames_forwarded,
             self.failovers,
             self.give_ups,
+            self.links,
+            self.links_used,
+            self.max_link_util,
+            self.mean_link_util,
+            self.hot_link,
         )
     }
 }
@@ -313,6 +418,8 @@ struct CrashCell {
     machines: usize,
     replication: usize,
     policy: RetryPolicy,
+    topology: TopoKind,
+    oversub: u64,
     threads: usize,
     crash_at_ms: f64,
     done: bool,
@@ -331,6 +438,7 @@ impl CrashCell {
         format!(
             concat!(
                 "{{\"machines\": {}, \"replication\": {}, \"policy\": \"{}\", ",
+                "\"topology\": \"{}\", \"oversub\": {}, ",
                 "\"threads\": {}, \"crash_at_ms\": {:.3}, ",
                 "\"done\": {}, \"ops\": {}, \"timeouts\": {}, \"unavailable\": {}, ",
                 "\"errors\": {}, \"give_ups\": {}, \"failovers\": {}, ",
@@ -339,6 +447,8 @@ impl CrashCell {
             self.machines,
             self.replication,
             self.policy,
+            self.topology,
+            self.oversub,
             self.threads,
             self.crash_at_ms,
             self.done,
@@ -361,15 +471,28 @@ fn run_scale_cell(
     machines: usize,
     replication: usize,
     policy: RetryPolicy,
+    topology: TopoKind,
+    oversub: u64,
 ) -> ScaleCell {
-    let mut b = Bench::build(args, machines, replication, policy, args.read_fraction);
+    let mut b = Bench::build(
+        args,
+        machines,
+        replication,
+        policy,
+        topology,
+        oversub,
+        args.read_fraction,
+    );
     b.setup.fabric.power_on();
     let done = b.run_to_completion(RUN_CAP);
     let lat = b.latency();
+    let (links, links_used, max_util, mean_util, hot_link) = b.link_utilization();
     ScaleCell {
         machines,
         replication,
         policy,
+        topology,
+        oversub,
         threads: args.threads,
         done,
         ops: b.sum_clients(|c| c.ops_done()),
@@ -380,6 +503,11 @@ fn run_scale_cell(
         frames_forwarded: b.setup.fabric.metrics().counter("fabric.frames_forwarded"),
         failovers: b.sum_router_stat(|s| s.failovers),
         give_ups: b.sum_router_stat(|s| s.give_ups),
+        links,
+        links_used,
+        max_link_util: max_util,
+        mean_link_util: mean_util,
+        hot_link,
     }
 }
 
@@ -388,11 +516,13 @@ fn run_crash_cell(
     machines: usize,
     replication: usize,
     policy: RetryPolicy,
+    topology: TopoKind,
+    oversub: u64,
 ) -> (CrashCell, Bench) {
     // Pure-read measured phase: the preload's acknowledged PUTs are the
     // audited set, and nothing re-writes a lost key afterwards, so the
     // R = 1 control genuinely shows the loss.
-    let mut b = Bench::build(args, machines, replication, policy, 1.0);
+    let mut b = Bench::build(args, machines, replication, policy, topology, oversub, 1.0);
     b.setup.fabric.power_on();
     // Let every machine finish loading, then kill machine 1 (never the
     // machine a key-holding audit would trivially excuse — any index > 0
@@ -410,6 +540,8 @@ fn run_crash_cell(
         machines,
         replication,
         policy,
+        topology,
+        oversub,
         threads: args.threads,
         crash_at_ms: crash_at.as_nanos() as f64 / 1e6,
         done,
@@ -427,13 +559,19 @@ fn run_crash_cell(
 
 fn main() {
     let args = Args::parse();
+    let topo_cells = args.topo_cells();
     println!("E10: rack scale-out — sharded, replicated CPU-less KVS over the fabric");
     println!(
         "    (machines {:?}, replication {:?}, {} ops/client, {} keys, {}-B values, seed {:#x})",
         args.machines, args.replication, args.ops, args.keys, args.value_size, args.seed
     );
     println!(
-        "    retry-policy arms: {}",
+        "    topologies: {} | retry-policy arms: {}",
+        topo_cells
+            .iter()
+            .map(|(t, o)| format!("{t}/x{o}"))
+            .collect::<Vec<_>>()
+            .join(", "),
         args.policies
             .iter()
             .map(|p| p.name())
@@ -442,9 +580,11 @@ fn main() {
     );
     println!();
 
-    // --- Phase A/B: the policy x machines x replication sweep -------------
+    // --- Phase A/B: policy x topology x machines x replication ------------
     let mut t = Table::new(&[
         "policy",
+        "topo",
+        "ov",
         "machines",
         "R",
         "ops",
@@ -452,42 +592,51 @@ fn main() {
         "p50 us",
         "p99 us",
         "fabric MB",
-        "failovers",
+        "links",
+        "max util",
+        "hot link",
     ]);
     let mut cells: Vec<ScaleCell> = Vec::new();
     for &policy in &args.policies {
-        for &m in &args.machines {
-            for &r in &args.replication {
-                if r > m {
-                    continue; // cannot hold R distinct replicas on < R machines
+        for &(topo, oversub) in &topo_cells {
+            for &m in &args.machines {
+                for &r in &args.replication {
+                    if r > m {
+                        continue; // cannot hold R distinct replicas on < R machines
+                    }
+                    let c = run_scale_cell(&args, m, r, policy, topo, oversub);
+                    t.row_strings(vec![
+                        policy.name().to_string(),
+                        topo.to_string(),
+                        format!("{oversub}"),
+                        m.to_string(),
+                        r.to_string(),
+                        c.ops.to_string(),
+                        format!("{:.0}", c.agg_ops_per_sec),
+                        format!("{:.1}", c.p50_us),
+                        format!("{:.1}", c.p99_us),
+                        format!("{:.2}", c.fabric_bytes as f64 / 1e6),
+                        c.links.to_string(),
+                        format!("{:.4}%", c.max_link_util * 100.0),
+                        c.hot_link.clone(),
+                    ]);
+                    cells.push(c);
                 }
-                let c = run_scale_cell(&args, m, r, policy);
-                t.row_strings(vec![
-                    policy.name().to_string(),
-                    m.to_string(),
-                    r.to_string(),
-                    c.ops.to_string(),
-                    format!("{:.0}", c.agg_ops_per_sec),
-                    format!("{:.1}", c.p50_us),
-                    format!("{:.1}", c.p99_us),
-                    format!("{:.2}", c.fabric_bytes as f64 / 1e6),
-                    c.failovers.to_string(),
-                ]);
-                cells.push(c);
             }
         }
     }
     t.print();
 
-    // --- Phase C: machine-crash fail-over --------------------------------
-    let crash_m = *args.machines.iter().max().expect("non-empty");
+    // --- Phase C: machine-crash fail-over at every matrix cell ------------
     let mut crash_cells: Vec<CrashCell> = Vec::new();
     let mut last_bench: Option<Bench> = None;
-    if !args.no_crash && crash_m >= 2 {
+    if !args.no_crash && args.machines.iter().any(|&m| m >= 2) {
         println!();
-        println!("fail-over: kill m1 after load, audit acknowledged writes");
+        println!("fail-over: kill m1 after load, audit acknowledged writes (per cell)");
         let mut ct = Table::new(&[
             "policy",
+            "topo",
+            "ov",
             "machines",
             "R",
             "crash ms",
@@ -498,24 +647,33 @@ fn main() {
             "lost acked",
         ]);
         for &policy in &args.policies {
-            for &r in &args.replication {
-                if r > crash_m {
-                    continue;
+            for &(topo, oversub) in &topo_cells {
+                for &m in &args.machines {
+                    if m < 2 {
+                        continue; // a 1-machine rack has no surviving replica
+                    }
+                    for &r in &args.replication {
+                        if r > m {
+                            continue;
+                        }
+                        let (c, b) = run_crash_cell(&args, m, r, policy, topo, oversub);
+                        ct.row_strings(vec![
+                            policy.name().to_string(),
+                            topo.to_string(),
+                            format!("{oversub}"),
+                            c.machines.to_string(),
+                            c.replication.to_string(),
+                            format!("{:.2}", c.crash_at_ms),
+                            c.ops.to_string(),
+                            c.timeouts.to_string(),
+                            c.failovers.to_string(),
+                            c.acked_keys.to_string(),
+                            c.lost_acked_keys.to_string(),
+                        ]);
+                        crash_cells.push(c);
+                        last_bench = Some(b);
+                    }
                 }
-                let (c, b) = run_crash_cell(&args, crash_m, r, policy);
-                ct.row_strings(vec![
-                    policy.name().to_string(),
-                    c.machines.to_string(),
-                    c.replication.to_string(),
-                    format!("{:.2}", c.crash_at_ms),
-                    c.ops.to_string(),
-                    c.timeouts.to_string(),
-                    c.failovers.to_string(),
-                    c.acked_keys.to_string(),
-                    c.lost_acked_keys.to_string(),
-                ]);
-                crash_cells.push(c);
-                last_bench = Some(b);
             }
         }
         ct.print();
@@ -549,11 +707,11 @@ fn main() {
     }
 
     // --- JSON -------------------------------------------------------------
-    let mut body = String::from("{\n  \"experiment\": \"e10\",\n  \"schema_version\": 3,\n");
+    let mut body = String::from("{\n  \"experiment\": \"e10\",\n  \"schema_version\": 4,\n");
     body.push_str(&format!(
         concat!(
             "  \"config\": {{\"machines\": {:?}, \"replication\": {:?}, ",
-            "\"policies\": [{}], ",
+            "\"policies\": [{}], \"topologies\": [{}], \"oversub\": {:?}, ",
             "\"ops_per_client\": {}, \"keys\": {}, \"value_size\": {}, ",
             "\"outstanding\": {}, \"read_fraction\": {:.3}, \"seed\": {}, ",
             "\"threads\": {}}},\n"
@@ -565,6 +723,12 @@ fn main() {
             .map(|p| format!("\"{p}\""))
             .collect::<Vec<_>>()
             .join(", "),
+        args.topologies
+            .iter()
+            .map(|t| format!("\"{t}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        args.oversub,
         args.ops,
         args.keys,
         args.value_size,
@@ -596,10 +760,11 @@ fn main() {
     }
 
     println!();
-    println!("expected shape: aggregate throughput grows with machines (each");
-    println!("machine adds a frontend and a client); higher R costs extra link");
-    println!("crossings per PUT; in the crash runs, R>=2 reports 0 lost acked");
-    println!("writes while the R=1 control loses the dead machine's shard;");
-    println!("the adaptive+p2c arm collapses the static arm's 8xR=3 retry-");
-    println!("storm tail (p99, failovers) at equal or better throughput.");
+    println!("expected shape: aggregate throughput grows with machines; real");
+    println!("topologies (leaf-spine, fat-tree) concentrate load on identifiable");
+    println!("uplinks — oversubscription raises max link utilization and the");
+    println!("p99 tail; at every cell the crash audit reports 0 lost acked");
+    println!("writes at R>=2 while an R=1 control loses the dead machine's");
+    println!("shard. The adaptive+p2c default keeps the retry storm collapsed");
+    println!("(full policy ablation: EXPERIMENTS.md E10).");
 }

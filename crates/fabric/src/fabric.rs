@@ -10,6 +10,7 @@ use lastcpu_sim::{
 };
 
 use crate::proto::{DirEndpoint, DirMsg};
+use crate::topology::{Topology, TopologyConfig};
 
 /// A machine's index in the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -28,10 +29,14 @@ pub struct FabricConfig {
     /// so results — merged traces, metrics, per-machine pool activity —
     /// are bit-identical across thread counts.
     pub threads: usize,
-    /// Inter-machine link timing. Defaults model a 25 GbE spine: 40 ps/B
-    /// line rate on each uplink/downlink, 600 ns spine switch latency,
-    /// 2 µs propagation.
+    /// Inter-machine link timing. Defaults model 25 GbE wires: 40 ps/B
+    /// line rate on every link, 600 ns store-and-forward switch latency,
+    /// 2 µs end-to-end propagation.
     pub link_cost: NetCostModel,
+    /// The rack wiring graph (flat single-spine, leaf-spine, or k-ary
+    /// fat-tree) plus the oversubscription ratio. The graph is built at
+    /// [`Fabric::power_on`], when the machine count is known.
+    pub topology: TopologyConfig,
     /// Period of the directory synchronization sweep (federated SSDP).
     pub sync_interval: SimDuration,
     /// Latency of an in-band directory query answer (the controller sits
@@ -53,6 +58,7 @@ impl Default for FabricConfig {
                 switch_latency: SimDuration::from_nanos(600),
                 propagation: SimDuration::from_micros(2),
             },
+            topology: TopologyConfig::default(),
             sync_interval: SimDuration::from_micros(250),
             dir_latency: SimDuration::from_nanos(500),
             fault_plan: None,
@@ -92,9 +98,6 @@ struct MachineSlot {
     name: String,
     sys: System,
     dead: bool,
-    /// When this machine's uplink / downlink finish their current frame.
-    up_busy: SimTime,
-    down_busy: SimTime,
     /// Proxy ports on this machine's edge switch, by remote peer.
     proxy: HashMap<RemotePeer, PortId>,
     /// Reverse map: local tunnel port -> the remote peer it represents.
@@ -188,8 +191,19 @@ pub struct Fabric {
     /// one due. Faults are control points like sweeps.
     faults: Vec<FaultEvent>,
     fault_cursor: usize,
+    /// The built link graph + per-pair path table. Rebuilt at
+    /// [`power_on`](Self::power_on) once the machine count is known; the
+    /// placeholder built at construction covers zero machines.
+    topo: Topology,
     /// Barrier merge scratch, reused across windows.
     merge_scratch: Vec<(u32, TunnelDelivery)>,
+    /// Per-(src, dst) traffic coalesced inside the current barrier and
+    /// flushed to the metric counters once per window, so counter-handle
+    /// traffic stays flat as machine count (and frames per window) grows.
+    pair_scratch: HashMap<(u32, u32), (u64, u64)>,
+    /// Flush scratch for `pair_scratch` (sorted for a deterministic, if
+    /// commutative, flush order), reused across windows.
+    pair_flush: Vec<((u32, u32), (u64, u64))>,
     metrics: MetricsHub,
     /// Fabric-level trace (link-hop timing records). Off by default so the
     /// throughput experiments pay only a branch per forwarded frame.
@@ -223,8 +237,10 @@ impl Fabric {
         let g_machines_dead = metrics.gauge_handle("fabric.machines_dead");
         let mut trace = TraceSink::default();
         trace.set_enabled(false);
+        let topo = Topology::build(&cfg.topology, &cfg.link_cost, 0, cfg.seed);
         Fabric {
             cfg,
+            topo,
             machines: Vec::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
@@ -234,6 +250,8 @@ impl Fabric {
             faults: Vec::new(),
             fault_cursor: 0,
             merge_scratch: Vec::new(),
+            pair_scratch: HashMap::new(),
+            pair_flush: Vec::new(),
             metrics,
             trace,
             m_frames_forwarded,
@@ -308,8 +326,6 @@ impl Fabric {
             name: name.into(),
             sys,
             dead: false,
-            up_busy: SimTime::ZERO,
-            down_busy: SimTime::ZERO,
             proxy: HashMap::new(),
             proxy_rev: HashMap::new(),
             dir_port,
@@ -384,12 +400,26 @@ impl Fabric {
         self.cfg.threads = threads.max(1);
     }
 
-    /// Powers on every machine, arms the directory sweep, and sorts the
-    /// fault plan into its firing order.
+    /// The built rack topology (graph, per-pair paths, per-link counters).
+    /// Before [`power_on`](Self::power_on) this is a zero-machine
+    /// placeholder.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Powers on every machine, builds the rack topology for the final
+    /// machine count, arms the directory sweep, and sorts the fault plan
+    /// into its firing order.
     pub fn power_on(&mut self) {
         for slot in &mut self.machines {
             slot.sys.power_on();
         }
+        self.topo = Topology::build(
+            &self.cfg.topology,
+            &self.cfg.link_cost,
+            self.machines.len(),
+            self.cfg.seed,
+        );
         self.next_sync = Some(self.now);
         if let Some(plan) = self.cfg.fault_plan.clone() {
             self.faults.extend(plan.events());
@@ -400,17 +430,18 @@ impl Fabric {
 
     /// The conservative lookahead: the minimum virtual time any machine's
     /// output needs before it can influence a machine again (itself
-    /// included). Inter-machine frames pay at least the spine switch plus
-    /// propagation; directory replies return after `dir_latency`. Machines
-    /// are mutually invisible inside any window shorter than this, which is
-    /// what lets a window run them concurrently.
+    /// included). Inter-machine frames pay at least the cheapest path's
+    /// total fixed latency (the topology's minimum over all machine
+    /// pairs — `switch_latency + propagation` for any two-hop path);
+    /// directory replies return after `dir_latency`. Machines are mutually
+    /// invisible inside any window shorter than this, which is what lets a
+    /// window run them concurrently.
     fn lookahead(&self) -> SimDuration {
-        let link = self.cfg.link_cost.switch_latency + self.cfg.link_cost.propagation;
-        let l = link.min(self.cfg.dir_latency);
+        let l = self.topo.min_latency().min(self.cfg.dir_latency);
         assert!(
             l > SimDuration::ZERO,
             "windowed fabric execution needs a nonzero minimum link latency \
-             (switch_latency + propagation, and dir_latency, must be > 0)"
+             (every path's latency sum, and dir_latency, must be > 0)"
         );
         l
     }
@@ -568,6 +599,33 @@ impl Fabric {
             }
         }
         self.merge_scratch = merged;
+        self.flush_link_metrics();
+    }
+
+    /// Flushes the per-(src, dst) traffic coalesced by `forward` during
+    /// this barrier to the fabric and per-machine counters — one counter
+    /// update per machine pair instead of one per frame. Totals are
+    /// identical to per-frame accounting; only the update cadence changes.
+    fn flush_link_metrics(&mut self) {
+        if self.pair_scratch.is_empty() {
+            return;
+        }
+        let mut flush = std::mem::take(&mut self.pair_flush);
+        flush.extend(self.pair_scratch.drain());
+        flush.sort_unstable_by_key(|&(pair, _)| pair);
+        let (mut total_bytes, mut total_frames) = (0u64, 0u64);
+        for &((a, b), (bytes, frames)) in &flush {
+            self.machines[a as usize].link_bytes.add(bytes);
+            self.machines[a as usize].link_frames.add(frames);
+            self.machines[b as usize].link_bytes.add(bytes);
+            self.machines[b as usize].link_frames.add(frames);
+            total_bytes += bytes;
+            total_frames += frames;
+        }
+        self.m_bytes.add(total_bytes);
+        self.m_frames_forwarded.add(total_frames);
+        flush.clear();
+        self.pair_flush = flush;
     }
 
     /// Runs for `d` from the current global time.
@@ -664,27 +722,20 @@ impl Fabric {
         if extra > SimDuration::ZERO {
             self.m_frames_delayed.incr();
         }
-        // Timing: serialize onto a's uplink (queuing behind its previous
-        // frame), cross the spine, serialize onto b's downlink (ditto),
-        // then propagate. Both links run at `link_cost` line rate.
+        // Timing: walk the frame across its topology path — first hop off
+        // `a`, any fabric hops ECMP chose for this pair, last hop into `b` —
+        // queuing at line rate on every link it crosses.
         let wire = d.frame.wire_len();
-        let tx = self.cfg.link_cost.serialize(wire);
-        let up_start = self.machines[a].up_busy.max(d.at);
-        let up_done = up_start + tx;
-        self.machines[a].up_busy = up_done;
-        let at_spine = up_done + self.cfg.link_cost.switch_latency;
-        let down_start = self.machines[b].down_busy.max(at_spine);
-        let down_done = down_start + tx;
-        self.machines[b].down_busy = down_done;
-        let deliver = down_done + self.cfg.link_cost.propagation + extra;
+        let t = self.topo.transit(a, b, wire, d.at);
+        let deliver = t.deliver + extra;
         // Attribution: the three stage durations below sum exactly to
-        // `deliver - d.at` (uplink queue+tx, spine switch+propagation+fault
-        // delay, downlink queue+tx), so the E12 analyzer's hop split can
-        // never exceed the observed transit window it is matched against.
-        let uplink_ns = up_done.as_nanos() - d.at.as_nanos();
-        let spine_ns = deliver.as_nanos() - down_done.as_nanos()
-            + self.cfg.link_cost.switch_latency.as_nanos();
-        let downlink_ns = down_done.as_nanos() - at_spine.as_nanos();
+        // `deliver - d.at` (first-hop queue+tx, all middle hops and fixed
+        // latencies plus fault delay, last-hop queue+tx), so the E12
+        // analyzer's hop split can never exceed the observed transit window
+        // it is matched against.
+        let uplink_ns = t.uplink_ns;
+        let spine_ns = t.spine_ns + extra.as_nanos();
+        let downlink_ns = t.downlink_ns;
         profile::charge_sim_to("fabric.uplink", uplink_ns);
         profile::charge_sim_to("fabric.spine", spine_ns);
         profile::charge_sim_to("fabric.downlink", downlink_ns);
@@ -707,12 +758,14 @@ impl Fabric {
         // the original sender, so replies tunnel back symmetrically.
         let src_on_b = self.proxy_port(b, a as u32, d.frame.src);
         let frame = Frame::unicast(src_on_b, peer.port, d.frame.payload);
-        self.m_frames_forwarded.incr();
-        self.m_bytes.add(wire);
-        self.machines[a].link_bytes.add(wire);
-        self.machines[a].link_frames.incr();
-        self.machines[b].link_bytes.add(wire);
-        self.machines[b].link_frames.incr();
+        // Coalesce accounting per (src, dst) pair; the barrier flushes the
+        // totals to the counters once per window.
+        let e = self
+            .pair_scratch
+            .entry((a as u32, b as u32))
+            .or_insert((0, 0));
+        e.0 += wire;
+        e.1 += 1;
         self.queue.schedule_at(
             deliver,
             LinkDelivery {
@@ -892,11 +945,13 @@ impl Fabric {
             w.put_str(&e.kind);
             w.put_u32(e.port.0);
         }
+        // Per-link queue cursors + traffic counters. The graph itself is a
+        // pure function of the (fingerprinted) config and machine count, so
+        // only dynamic state is serialized.
+        self.topo.snapshot_state(&mut w);
         for slot in &self.machines {
             w.put_str(&slot.name);
             w.put_bool(slot.dead);
-            w.put_u64(slot.up_busy.as_nanos());
-            w.put_u64(slot.down_busy.as_nanos());
             w.put_u32(slot.dir_port.0);
             let mut proxies: Vec<(u32, u32, u32)> = slot
                 .proxy
@@ -1286,6 +1341,84 @@ mod tests {
         // minted on m0 — sits in m0's.
         assert!(corrs.iter().all(|&c| c >= 1 << 40));
         assert!(corrs.iter().any(|&c| (1 << 40..2 << 40).contains(&c)));
+    }
+
+    #[test]
+    fn leaf_spine_cross_leaf_ping_pays_four_hops() {
+        use crate::topology::{TopoKind, TopologyConfig};
+        // m0 (leaf 0) pings an echo on m3 (leaf 1) across a spine: each
+        // crossing pays 4 transmissions + 3 switch hops + propagation.
+        let mut fab = Fabric::new(FabricConfig {
+            topology: TopologyConfig {
+                kind: TopoKind::LeafSpine { leaf_size: 2 },
+                oversub: 1,
+            },
+            ..FabricConfig::default()
+        });
+        let m0 = fab.add_machine("m0", quiet_sys(1));
+        for i in 1..4 {
+            fab.add_machine(format!("m{i}"), quiet_sys(1 + i as u64));
+        }
+        let m3 = MachineId(3);
+        let echo_port = fab.machine_mut(m3).add_host(Box::new(Echo));
+        let tunnel = fab.open_tunnel(m0, m3, echo_port);
+        let ping_port = fab.machine_mut(m0).add_host(Box::new(Pinger {
+            target: tunnel,
+            payload: vec![7; 64],
+            replies: Vec::new(),
+        }));
+        fab.power_on();
+        fab.run_for(SimDuration::from_millis(5));
+        let host = fab.machine(m0).host_as::<Pinger>(ping_port).unwrap();
+        assert_eq!(host.replies.len(), 1);
+        let cost = &FabricConfig::default().link_cost;
+        let wire = 64 + lastcpu_net::FRAME_OVERHEAD_BYTES;
+        // Round trip = 2 crossings, each 4×tx + 3×switch + propagation.
+        let one_way = 4 * cost.serialize(wire).as_nanos()
+            + 3 * cost.switch_latency.as_nanos()
+            + cost.propagation.as_nanos();
+        assert!(
+            host.replies[0].0.as_nanos() >= 2 * one_way,
+            "reply at {} < 2 × {one_way}",
+            host.replies[0].0.as_nanos()
+        );
+        assert_eq!(fab.topology().num_links(), 4 + 4 + 2 * 2 + 2 * 2);
+    }
+
+    #[test]
+    fn topologies_are_thread_invariant_and_deterministic() {
+        use crate::topology::{TopoKind, TopologyConfig};
+        for kind in [
+            TopoKind::LeafSpine { leaf_size: 2 },
+            TopoKind::FatTree { k: 0 },
+        ] {
+            let run = |threads: usize| {
+                let mut fab = Fabric::new(FabricConfig {
+                    threads,
+                    topology: TopologyConfig { kind, oversub: 2 },
+                    ..FabricConfig::default()
+                });
+                let m0 = fab.add_machine("m0", quiet_sys(10));
+                for i in 1..6 {
+                    fab.add_machine(format!("m{i}"), quiet_sys(10 + i as u64));
+                }
+                let m5 = MachineId(5);
+                let echo_port = fab.machine_mut(m5).add_host(Box::new(Echo));
+                let tunnel = fab.open_tunnel(m0, m5, echo_port);
+                let port = fab.machine_mut(m0).add_host(Box::new(Pinger {
+                    target: tunnel,
+                    payload: vec![3; 256],
+                    replies: Vec::new(),
+                }));
+                fab.power_on();
+                fab.run_for(SimDuration::from_millis(5));
+                let at = fab.machine(m0).host_as::<Pinger>(port).unwrap().replies[0].0;
+                (at, fab.metrics().counter("fabric.bytes"))
+            };
+            let base = run(1);
+            assert_eq!(run(1), base, "{kind}: rerun diverged");
+            assert_eq!(run(4), base, "{kind}: threads=4 diverged");
+        }
     }
 
     #[test]

@@ -25,15 +25,21 @@
 //!    [`FabricConfig::threads`] workers, any thread count replays
 //!    bit-identically from a seed — parallelism changes wall-clock time,
 //!    never results.
-//! 2. **Transparent tunnels.** Each machine's edge switch grows fabric-owned
-//!    *proxy ports*, one per remote peer the machine talks to. A frame sent
-//!    to a proxy port crosses the inter-machine link (per-link line-rate
-//!    serialization on both the uplink and the downlink, spine latency,
-//!    propagation — the same [`NetCostModel`] semantics the edge switch
-//!    uses) and re-enters the remote machine with its source rewritten to
-//!    the *remote* machine's proxy port for the original sender. Replies
-//!    are symmetric, so unmodified device firmware (the smart-NIC KVS app)
-//!    serves remote clients without knowing the rack exists.
+//! 2. **Transparent tunnels over an explicit topology.** Each machine's
+//!    edge switch grows fabric-owned *proxy ports*, one per remote peer the
+//!    machine talks to. A frame sent to a proxy port crosses the
+//!    inter-machine fabric — walking the per-pair path the configured
+//!    [`Topology`] (flat single-spine, leaf-spine, or k-ary fat-tree)
+//!    chose, queuing at line rate on every link it crosses with the same
+//!    [`NetCostModel`] serialization semantics the edge switch uses — and
+//!    re-enters the remote machine with its source rewritten to the
+//!    *remote* machine's proxy port for the original sender. Replies are
+//!    symmetric, so unmodified device firmware (the smart-NIC KVS app)
+//!    serves remote clients without knowing the rack exists. Path choice
+//!    is deterministic ECMP (a hash of `(src, dst, seed)`), so per-pair
+//!    ordering and bit-identical replay survive path diversity; see
+//!    [`topology`] for the cost model and docs/TOPOLOGY.md for the full
+//!    derivation.
 //! 3. **Rack-unique correlation ids.** Machine `m` allocates correlation
 //!    ids from base `(m+1) << 40`, and the fabric threads the id through
 //!    inter-machine frames, so a merged Chrome trace spans machines without
@@ -54,7 +60,9 @@
 pub mod fabric;
 pub mod proto;
 pub mod ring;
+pub mod topology;
 
 pub use fabric::{DirEntry, Fabric, FabricConfig, MachineId};
 pub use proto::{DirEndpoint, DirMsg};
 pub use ring::HashRing;
+pub use topology::{LinkStats, TopoKind, Topology, TopologyConfig, Transit};

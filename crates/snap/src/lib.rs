@@ -29,7 +29,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Bumped whenever the framing or any section layout changes shape.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: the fabric section serializes per-topology-link queue cursors and
+/// traffic counters instead of per-machine uplink/downlink busy times.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// File magic: identifies a lastcpu checkpoint, revision 1 of the framing.
 pub const MAGIC: &[u8; 8] = b"LCSNAP1\0";

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the lastcpu docs set.
+
+Scans the given markdown files for inline links and images
+(``[text](target)`` / ``![alt](target)``) and fails if any *relative*
+target does not exist on disk, resolved against the linking file's
+directory. External schemes (http/https/mailto) are recorded but not
+fetched — CI runs offline — and pure in-page anchors (``#section``) are
+checked against the file's own headings.
+
+Anchors on relative targets (``DESIGN.md#10-rack-scale-fabric``) are
+validated against the target file's headings using GitHub's slug rules
+(lowercase, spaces to dashes, punctuation dropped).
+
+Usage: check_links.py FILE.md [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. The target stops at the first whitespace or ')'
+# so optional '"title"' parts don't leak into the path.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: strip markup, lowercase, keep
+    word characters and dashes, spaces become dashes."""
+    text = re.sub(r"[`*_\[\]()]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def scan(path: Path):
+    """Yields (line_number, target) for every link outside code fences."""
+    in_fence = False
+    for ln, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield ln, m.group(1)
+
+
+def headings_of(path: Path):
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def main(files):
+    errors = []
+    external = 0
+    checked = 0
+    heading_cache = {}
+
+    def slugs(p: Path):
+        if p not in heading_cache:
+            heading_cache[p] = headings_of(p)
+        return heading_cache[p]
+
+    for name in files:
+        src = Path(name)
+        if not src.is_file():
+            errors.append(f"{name}: file not found")
+            continue
+        for ln, target in scan(src):
+            checked += 1
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            if target.startswith("#"):
+                if github_slug(target[1:]) not in slugs(src):
+                    errors.append(f"{name}:{ln}: dead anchor {target}")
+                continue
+            rel, _, anchor = target.partition("#")
+            dest = (src.parent / rel).resolve()
+            if not dest.exists():
+                errors.append(f"{name}:{ln}: broken link {target}")
+            elif anchor and dest.suffix == ".md":
+                if github_slug(anchor) not in slugs(dest):
+                    errors.append(f"{name}:{ln}: dead anchor {target}")
+
+    for e in errors:
+        print(f"FAIL: {e}")
+    print(
+        f"    {checked} links checked across {len(files)} files "
+        f"({external} external, not fetched); {len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))

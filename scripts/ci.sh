@@ -13,16 +13,23 @@
 #                        for both queue engines and holds the pooled
 #                        delivery path's system-phase allocation rate at
 #                        <= 1.0 allocs/event
-#   7. rack smoke test   e10_rack_scaleout (2 machines, reduced ops, the
-#                        static and adaptive+p2c retry-policy arms): a
-#                        same-seed double run yields byte-identical
-#                        BENCH_e10.json, and the machine-kill audit keeps
-#                        every acked write at R=2 under both arms; then a
-#                        tail smoke runs the full 8-machine R=3 cell under
-#                        adaptive+p2c and fails if its p99 exceeds 2x the
-#                        R=2 baseline or any acked write is lost
+#   7. rack smoke test   e10_rack_scaleout (2 machines, flat topology,
+#                        reduced ops, the static and adaptive+p2c
+#                        retry-policy arms): a same-seed double run yields
+#                        byte-identical BENCH_e10.json (schema v4 with
+#                        per-link utilization), and the machine-kill audit
+#                        keeps every acked write at R=2 under both arms;
+#                        then a tail smoke runs the full 8-machine R=3
+#                        cell under adaptive+p2c and fails if its p99
+#                        exceeds 2x the R=2 baseline or any acked write is
+#                        lost; then a topology smoke runs 16 machines on a
+#                        leaf-spine:8 tree at oversubscription 4 — double
+#                        run byte-identical, bench_diff clean, per-link
+#                        utilization reported, crash audit lossless
 #   8. docs gate         cargo doc --no-deps with rustdoc warnings as
-#                        errors, plus an explicit doctest run
+#                        errors, an explicit doctest run, and a markdown
+#                        link checker (scripts/check_links.py) over
+#                        README/DESIGN/EXPERIMENTS/ROADMAP and docs/
 #   9. security smoke    e11_security (one seed, reduced ops): a same-seed
 #                        double run yields byte-identical BENCH_e11.json,
 #                        every hardened row reports leaked == 0 and an
@@ -80,6 +87,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
 
 echo "==> docs gate: doctests"
 cargo test --offline -q --doc
+
+echo "==> docs gate: markdown links"
+# Every relative link and intra-file anchor in the reviewer-facing docs
+# must resolve (external URLs are counted, not fetched — CI is offline).
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/check_links.py \
+        README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md
+else
+    echo "    python3 unavailable, markdown link check skipped"
+fi
 
 echo "==> observability smoke test (f2_init_sequence)"
 tmp="$(mktemp -d)"
@@ -182,7 +199,7 @@ echo "==> rack smoke test (e10_rack_scaleout, 2 machines, double run)"
 # whole-file property: two same-seed runs must produce byte-identical
 # artifacts — per policy arm, since the arms are part of the artifact.
 e10_flags=(--machines 1,2 --replication 1,2 --ops 120 --keys 60
-           --policies static,adaptive+p2c)
+           --policies static,adaptive+p2c --topologies flat --oversub 1)
 cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
     "${e10_flags[@]}" --out "$tmp/BENCH_e10_a.json" >/dev/null
 cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
@@ -194,15 +211,19 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - "$tmp/BENCH_e10_a.json" <<'PY'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["experiment"] == "e10" and d["schema_version"] == 3, d.keys()
+assert d["experiment"] == "e10" and d["schema_version"] == 4, d.keys()
 policies = {c["policy"] for c in d["scaling"]}
 assert policies == {"static", "adaptive+p2c"}, policies
 for c in d["scaling"]:
     assert c["done"], f"scaling cell incomplete: {c}"
+    assert c["topology"] == "flat" and c["oversub"] == 1, c
     assert c["ops"] == 120 * c["machines"], c
     assert c["agg_ops_per_sec"] > 0 and c["p99_us"] > 0, c
+    assert c["links"] > 0 and c["links_used"] <= c["links"], c
     if c["machines"] > 1:
         assert c["fabric_bytes"] > 0, f"no fabric traffic: {c}"
+        assert c["links_used"] > 0 and c["max_link_util"] > 0, \
+            f"no per-link utilization: {c}"
 crash = {(c["policy"], c["replication"]): c for c in d["crash"]}
 assert crash, "no crash cells"
 for c in crash.values():
@@ -228,6 +249,7 @@ echo "==> rack tail smoke test (e10, 8 machines, R=3, adaptive+p2c)"
 # static arm sits ~9x above it), and the crash audit must hold at R>=2.
 cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
     --machines 8 --replication 2,3 --policies adaptive+p2c \
+    --topologies flat --oversub 1 \
     --out "$tmp/BENCH_e10_tail.json" >/dev/null
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$tmp/BENCH_e10_tail.json" <<'PY'
@@ -243,6 +265,44 @@ for c in d["crash"]:
         assert c["lost_acked_keys"] == 0, f"lost acked writes: {c}"
 print(f"    adaptive+p2c 8xR=3: p99 {r3['p99_us']:.0f}us vs R=2 "
       f"{r2['p99_us']:.0f}us, {r3['failovers']} failovers, 0 lost acked")
+PY
+fi
+
+echo "==> topology smoke test (e10, 16-machine leaf-spine, double run)"
+# The ISSUE-10 gate at CI size: a 16-machine rack on a real leaf-spine
+# tree (2 leaves of 8, ECMP across the spines left by oversub 4) must
+# replay byte-identically, report per-link utilization, and keep every
+# acked write at R=2 through the machine-kill audit. bench_diff compares
+# the pair as a smoke of its topology-aware e10 keying.
+topo_flags=(--machines 16 --replication 2 --ops 120 --keys 60
+            --policies adaptive+p2c --topologies leaf-spine:8 --oversub 4)
+cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
+    "${topo_flags[@]}" --out "$tmp/BENCH_e10_ls_a.json" >/dev/null
+cargo run --offline --release -q -p lastcpu-bench --bin e10_rack_scaleout -- \
+    "${topo_flags[@]}" --out "$tmp/BENCH_e10_ls_b.json" >/dev/null
+cmp -s "$tmp/BENCH_e10_ls_a.json" "$tmp/BENCH_e10_ls_b.json" || {
+    echo "FAIL: same-seed leaf-spine BENCH_e10.json runs differ"; exit 1;
+}
+cargo run --offline --release -q -p lastcpu-bench --bin bench_diff -- \
+    "$tmp/BENCH_e10_ls_a.json" "$tmp/BENCH_e10_ls_b.json" | tail -1
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/BENCH_e10_ls_a.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 4, d.keys()
+[c] = d["scaling"]
+assert c["topology"] == "leaf-spine:8" and c["oversub"] == 4, c
+assert c["done"] and c["machines"] == 16, c
+# 16 machines x (up + down) host links, plus 2 leaves x 2 surviving
+# spines x (up + down) trunks.
+assert c["links"] == 40, c["links"]
+assert 0 < c["links_used"] <= c["links"], c
+assert c["max_link_util"] > 0 and c["hot_link"], c
+for k in d["crash"]:
+    assert k["topology"] == "leaf-spine:8" and k["oversub"] == 4, k
+    assert k["lost_acked_keys"] == 0, f"leaf-spine crash lost writes: {k}"
+print(f"    byte-identical double run; {c['links_used']}/{c['links']} links "
+      f"used, hottest {c['hot_link']} at {c['max_link_util'] * 100:.3f}%")
 PY
 fi
 

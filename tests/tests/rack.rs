@@ -8,7 +8,7 @@
 //!
 //! [`ShardRouterHost`]: lastcpu_kvs::ShardRouterHost
 
-use lastcpu_fabric::FabricConfig;
+use lastcpu_fabric::{FabricConfig, TopoKind, TopologyConfig};
 use lastcpu_kvs::client::{KvsClientHost, WorkloadConfig};
 use lastcpu_kvs::{build_rack_kvs_with_policy, RackSetup, RetryPolicy};
 use lastcpu_net::PortId;
@@ -404,4 +404,64 @@ fn every_retry_policy_replays_bit_identically() {
             "policy {policy} fingerprint insensitive to seed"
         );
     }
+}
+
+/// Compact fingerprint of a 64-machine leaf-spine run (8 leaves of 8,
+/// ECMP across 8 spines): fabric metrics, final clock, per-machine KVS
+/// state, client progress, and the acked-write audit. Tracing stays off —
+/// at this scale the merged trace would dominate the (debug-build) test.
+fn leaf_spine_fingerprint(threads: usize) -> String {
+    const MACHINES: usize = 64;
+    let cfg = FabricConfig {
+        threads,
+        topology: TopologyConfig {
+            kind: TopoKind::LeafSpine { leaf_size: 8 },
+            oversub: 1,
+        },
+        ..FabricConfig::default()
+    };
+    // Tiny per-client workload: 64 clients already put 768 ops and their
+    // R=2 replication traffic through every tier of the tree.
+    let wl = WorkloadConfig {
+        keys: 48,
+        total_ops: 12,
+        outstanding: 2,
+        ..small_workload()
+    };
+    let mut rack = build_rack_cfg(cfg, MACHINES, 2, 0xE10, false, &wl, RetryPolicy::default());
+    rack.setup.fabric.power_on();
+    rack.run_to_completion(SimDuration::from_secs(30));
+    assert!(
+        rack.all_done(),
+        "64-machine leaf-spine workload incomplete at threads={threads}"
+    );
+    let fab = &rack.setup.fabric;
+    let mut fp = format!(
+        "now={};fabmet={:016x};",
+        fab.now().as_nanos(),
+        fnv1a(&export::metrics_json(fab.metrics()))
+    );
+    for i in 0..MACHINES {
+        fp.push_str(&format!(
+            "k{i}={};c{i}={};",
+            rack.setup.nic(i).app().key_count(),
+            rack.client(i).ops_done()
+        ));
+    }
+    fp.push_str(&format!("lost={};", rack.setup.lost_acked_keys()));
+    fp
+}
+
+#[test]
+fn leaf_spine_rack_replays_bit_identically_across_threads() {
+    // The ISSUE-10 scale-out contract: a 64-machine rack on a real
+    // leaf-spine tree — per-link queuing, ECMP path diversity and all —
+    // must stay inside the windowed determinism envelope, so one worker
+    // and four workers produce the same bytes.
+    let base = leaf_spine_fingerprint(1);
+    assert_eq!(
+        base,
+        leaf_spine_fingerprint(4),
+        "threads=4 diverged from threads=1 on 64-machine leaf-spine"
+    );
 }
